@@ -1,0 +1,115 @@
+//! Microbenchmarks of the SmartConf control path.
+//!
+//! The paper argues SmartConf is cheap enough to run at every
+//! configuration use site; these benches quantify that claim for this
+//! implementation: a controller step costs nanoseconds, synthesis
+//! microseconds.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smartconf_core::{
+    Controller, ControllerBuilder, Goal, Hardness, ProfileSet, Registry, SmartConf,
+    SmartConfIndirect,
+};
+use std::hint::black_box;
+
+fn profile_40() -> ProfileSet {
+    let mut p = ProfileSet::new();
+    for setting in [40.0, 80.0, 120.0, 160.0] {
+        for k in 0..10 {
+            p.add(setting, 100.0 + 2.0 * setting + (k % 5) as f64);
+        }
+    }
+    p
+}
+
+fn controller() -> Controller {
+    let goal = Goal::new("memory_mb", 495.0)
+        .with_hardness(Hardness::Hard)
+        .unwrap();
+    ControllerBuilder::new(goal)
+        .profile(&profile_40())
+        .unwrap()
+        .bounds(0.0, 2_000.0)
+        .build()
+        .unwrap()
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller");
+    group.bench_function("step", |b| {
+        let mut ctl = controller();
+        let mut m = 100.0;
+        b.iter(|| {
+            m = if m > 400.0 { 100.0 } else { m + 1.0 };
+            black_box(ctl.step(black_box(m)))
+        });
+    });
+    group.bench_function("direct_set_perf_conf", |b| {
+        let mut sc = SmartConf::new("c", controller());
+        b.iter(|| {
+            sc.set_perf(black_box(300.0));
+            black_box(sc.conf())
+        });
+    });
+    group.bench_function("indirect_set_perf_conf", |b| {
+        let mut sc = SmartConfIndirect::new("c", controller());
+        b.iter(|| {
+            sc.set_perf(black_box(300.0), black_box(80.0));
+            black_box(sc.conf())
+        });
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.bench_function("fit_and_build_from_40_samples", |b| {
+        let profile = profile_40();
+        let goal = Goal::new("m", 495.0).with_hardness(Hardness::Hard).unwrap();
+        b.iter(|| {
+            ControllerBuilder::new(goal.clone())
+                .profile(black_box(&profile))
+                .unwrap()
+                .build()
+                .unwrap()
+        });
+    });
+    group.bench_function("profile_add_sample", |b| {
+        b.iter_batched(
+            ProfileSet::new,
+            |mut p| {
+                for i in 0..40 {
+                    p.add((i % 4) as f64 * 40.0, i as f64);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let sys = "max.queue.size @ memory_max\nmax.queue.size = 50\nmax.queue.size.max = 10000\n";
+    let app = "memory_max = 1024\nmemory_max.hard = 1\n";
+    let profile_text = profile_40().to_sys_string();
+    c.bench_function("registry/parse_and_build", |b| {
+        b.iter(|| {
+            let mut reg = Registry::new();
+            reg.parse_sys_str(black_box(sys)).unwrap();
+            reg.parse_app_str(black_box(app)).unwrap();
+            reg.add_profile(
+                "max.queue.size",
+                ProfileSet::from_sys_string(black_box(&profile_text)).unwrap(),
+            );
+            black_box(reg.build_indirect("max.queue.size").unwrap())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_step, bench_synthesis, bench_registry
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Throughput of the host-system simulators: one full two-phase
+//! evaluation run per iteration. Keeps the cost of regenerating the
+//! paper's figures visible (each is a handful of these runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartconf_dfs::Hd4995;
+use smartconf_harness::Scenario;
+use smartconf_kvstore::scenarios::{Ca6059, Hb2149, Hb3813, Hb6728, TwinQueues};
+use smartconf_mapred::Mr2820;
+use std::hint::black_box;
+
+fn bench_static_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_eval_run");
+    group.sample_size(10);
+    group.bench_function("ca6059", |b| {
+        let s = Ca6059::standard();
+        b.iter(|| black_box(s.run_static(60.0, 42)));
+    });
+    group.bench_function("hb2149", |b| {
+        let s = Hb2149::standard();
+        b.iter(|| black_box(s.run_static(100.0, 42)));
+    });
+    group.bench_function("hb3813", |b| {
+        let s = Hb3813::standard();
+        b.iter(|| black_box(s.run_static(80.0, 42)));
+    });
+    group.bench_function("hb6728", |b| {
+        let s = Hb6728::standard();
+        b.iter(|| black_box(s.run_static(80.0, 42)));
+    });
+    group.bench_function("hd4995", |b| {
+        let s = Hd4995::standard();
+        b.iter(|| black_box(s.run_static(400_000.0, 42)));
+    });
+    group.bench_function("mr2820", |b| {
+        let s = Mr2820::standard();
+        b.iter(|| black_box(s.run_static(120.0, 42)));
+    });
+    group.finish();
+}
+
+fn bench_smartconf_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smartconf_eval_run");
+    group.sample_size(10);
+    group.bench_function("hb3813_with_profiling", |b| {
+        let s = Hb3813::standard();
+        b.iter(|| black_box(s.run_smartconf(42)));
+    });
+    group.bench_function("twin_queues_figure8", |b| {
+        let t = TwinQueues::standard();
+        b.iter(|| black_box(t.run_smartconf(13)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_static_runs, bench_smartconf_runs
+}
+criterion_main!(benches);

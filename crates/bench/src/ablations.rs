@@ -1,0 +1,264 @@
+//! Outcome-oriented ablations of SmartConf's design choices.
+//!
+//! The Criterion benches (`cargo bench`) time these code paths; this
+//! module measures what each design choice *buys* — the quantities
+//! DESIGN.md's ablation list calls for:
+//!
+//! * virtual goal + two poles vs. the §5.2/§6.4 alternatives (safety),
+//! * the automated λ-derived virtual goal vs. fixed margins (headroom
+//!   vs. safety),
+//! * the §5.4 interaction factor on vs. off (joint overshoot),
+//! * pole sweep (settling steps vs. disturbance tolerance),
+//! * profiling budget (how λ and the virtual goal converge with samples).
+
+use smartconf_core::{Controller, ControllerBuilder, Goal, Hardness, ProfileSet};
+use smartconf_harness::TextTable;
+use smartconf_kvstore::scenarios::{ControllerVariant, Hb3813, TwinQueues};
+use smartconf_simkernel::SimRng;
+
+/// Ablation A: controller variants on the unstable Figure 7 workload.
+pub fn controller_variants(seed: u64) -> String {
+    let scenario = Hb3813::figure7();
+    let mut table = TextTable::new(vec!["variant", "outcome"]);
+    for (name, variant) in [
+        ("SmartConf (vgoal + 2 poles)", ControllerVariant::SmartConf),
+        ("single pole 0.9 + vgoal", ControllerVariant::SinglePole),
+        ("two poles, no vgoal", ControllerVariant::NoVirtualGoal),
+    ] {
+        let r = scenario.run_variant(variant, seed);
+        let outcome = match r.crash_time_us {
+            Some(t) => format!("OOM at {:.0} s", t as f64 / 1e6),
+            None if r.constraint_ok => "constraint met".into(),
+            None => "constraint violated".into(),
+        };
+        table.row(vec![name.into(), outcome]);
+    }
+    format!("Ablation A: hard-goal machinery (HB3813, unstable mix, seed {seed})\n\n{table}")
+}
+
+/// Ablation B: λ-derived virtual goal vs. fixed margins.
+///
+/// Sweeps fixed margins around the automated one and reports the
+/// trade-off each choice makes on the standard HB3813 run: too small a
+/// margin violates the constraint; too large leaves throughput unused.
+pub fn virtual_goal_margins(seed: u64) -> String {
+    let scenario = Hb3813::standard();
+    let profile = scenario.collect_profile(seed ^ 0x5eed);
+    let auto_lambda = profile.lambda();
+    let mut table = TextTable::new(vec!["margin lambda", "throughput (ops/s)", "constraint"]);
+    for (label, lambda) in [
+        ("0 (no margin)".to_string(), 0.0),
+        (format!("{auto_lambda:.3} (automated)"), auto_lambda),
+        ("0.05".to_string(), 0.05),
+        ("0.15 (overcautious)".to_string(), 0.15),
+    ] {
+        let goal = Goal::new("memory_mb", scenario.heap_goal_mb())
+            .with_hardness(Hardness::Hard)
+            .expect("positive target");
+        let controller = ControllerBuilder::new(goal)
+            .profile(&profile)
+            .expect("profile synthesizes")
+            .lambda(lambda)
+            .bounds(0.0, 2_000.0)
+            .initial(0.0)
+            .build()
+            .expect("controller builds");
+        let r = scenario.run_with_controller(controller, seed, &format!("lambda-{lambda:.3}"));
+        table.row(vec![
+            label,
+            format!("{:.1}", r.tradeoff),
+            if r.constraint_ok {
+                "ok".into()
+            } else {
+                "X (fails)".into()
+            },
+        ]);
+    }
+    format!("Ablation B: virtual-goal margin (HB3813 standard, seed {seed})\n\n{table}")
+}
+
+/// Ablation C: the §5.4 interaction factor on the twin-queue experiment.
+pub fn interaction_factor(seed: u64) -> String {
+    let twin = TwinQueues::standard();
+    let mut table = TextTable::new(vec!["interaction", "peak memory (MB)", "constraint"]);
+    for (label, n) in [("N = 2 (super-hard)", None), ("N = 1 (disabled)", Some(1))] {
+        let out = twin.run_smartconf_with_interaction(seed, n);
+        let peak = out
+            .result
+            .series("used_memory_mb")
+            .and_then(|s| s.summary())
+            .map(|s| s.max)
+            .unwrap_or(f64::NAN);
+        table.row(vec![
+            label.into(),
+            format!("{peak:.1}"),
+            if out.result.constraint_ok {
+                "ok".into()
+            } else {
+                "X (fails)".into()
+            },
+        ]);
+    }
+    format!("Ablation C: interaction splitting (two queues, one goal, seed {seed})\n\n{table}")
+}
+
+/// Ablation D: pole sweep — settling steps on a clean plant vs. the
+/// largest plant-gain error the pole still converges under.
+pub fn pole_sweep() -> String {
+    let mut table = TextTable::new(vec![
+        "pole",
+        "settling steps (clean plant)",
+        "max gain error tolerated",
+    ]);
+    for pole in [0.0, 0.3, 0.5, 0.8, 0.9, 0.95] {
+        let settle = settling_steps(pole, 1.0);
+        // Find the largest true/model gain ratio that still converges.
+        let mut tolerated = 1.0;
+        let mut ratio = 1.0;
+        while ratio < 64.0 {
+            if settling_steps(pole, ratio) < 20_000 {
+                tolerated = ratio;
+                ratio *= 1.25;
+            } else {
+                break;
+            }
+        }
+        table.row(vec![
+            format!("{pole}"),
+            format!("{settle}"),
+            format!("{tolerated:.2}x"),
+        ]);
+    }
+    format!(
+        "Ablation D: pole vs settling time and model-error tolerance\n\
+         (theory: pole p tolerates gain error up to 2/(1-p))\n\n{table}"
+    )
+}
+
+fn settling_steps(pole: f64, gain_ratio: f64) -> u32 {
+    let ctl = ControllerBuilder::new(Goal::new("m", 500.0))
+        .alpha(2.0)
+        .pole(pole)
+        .bounds(-1e9, 1e9)
+        .build()
+        .expect("controller builds");
+    let mut ctl: Controller = ctl;
+    let mut setting = 0.0;
+    for step in 0..20_000u32 {
+        let measured = 2.0 * gain_ratio * setting;
+        if (measured - 500.0).abs() < 0.005 * 500.0 {
+            return step;
+        }
+        setting = ctl.step(measured);
+        if !setting.is_finite() || setting.abs() > 1e8 {
+            return 20_000; // diverged
+        }
+    }
+    20_000
+}
+
+/// Ablation E: profiling budget — how λ, the virtual goal, and the
+/// fitted gain converge as samples accumulate.
+pub fn profiling_budget(seed: u64) -> String {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut table = TextTable::new(vec![
+        "samples/setting",
+        "alpha",
+        "lambda",
+        "virtual goal (of 495)",
+    ]);
+    for per_setting in [3usize, 10, 48, 200] {
+        let mut profile = ProfileSet::new();
+        for setting in [40.0, 80.0, 120.0, 160.0] {
+            for _ in 0..per_setting {
+                profile.add(setting, 300.0 + 1.0 * setting + rng.normal(0.0, 12.0));
+            }
+        }
+        let fit = profile.fit().expect("fits");
+        let goal = Goal::new("m", 495.0)
+            .with_hardness(Hardness::Hard)
+            .expect("goal");
+        table.row(vec![
+            format!("{per_setting}"),
+            format!("{:.3}", fit.alpha()),
+            format!("{:.4}", profile.lambda()),
+            format!("{:.1}", goal.virtual_target(profile.lambda())),
+        ]);
+    }
+    format!(
+        "Ablation E: profiling budget vs derived control parameters\n\
+         (true gain 1.0; noise sigma 12 on a ~400 MB mean)\n\n{table}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_report_expected_outcomes() {
+        let report = controller_variants(77);
+        assert!(report.contains("constraint met"));
+        assert!(report.matches("OOM at").count() == 2, "{report}");
+    }
+
+    #[test]
+    fn margin_sweep_shows_the_tradeoff() {
+        let report = virtual_goal_margins(42);
+        // No margin fails; the automated margin passes.
+        assert!(report.contains("X (fails)"), "{report}");
+        assert!(report.contains("(automated)"));
+        let auto_line = report
+            .lines()
+            .find(|l| l.contains("(automated)"))
+            .expect("automated row");
+        assert!(auto_line.contains("ok"), "{auto_line}");
+    }
+
+    #[test]
+    fn interaction_off_raises_peak_memory() {
+        let report = interaction_factor(13);
+        let peak = |marker: &str| -> f64 {
+            report
+                .lines()
+                .find(|l| l.contains(marker))
+                .and_then(|l| l.split('|').nth(2))
+                .and_then(|c| c.trim().parse::<f64>().ok())
+                .expect("peak cell")
+        };
+        assert!(
+            peak("N = 1") >= peak("N = 2"),
+            "splitting should not increase peak memory:\n{report}"
+        );
+    }
+
+    #[test]
+    fn pole_tolerance_matches_theory() {
+        // p = 0.5 should tolerate gain error up to ~2/(1-0.5) = 4x.
+        let s = pole_sweep();
+        assert!(s.contains("Ablation D"));
+        let row = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("| 0.5"))
+            .unwrap();
+        let tolerated: f64 = row
+            .split('|')
+            .nth(3)
+            .unwrap()
+            .trim()
+            .trim_end_matches('x')
+            .parse()
+            .unwrap();
+        assert!(
+            (2.5..=5.0).contains(&tolerated),
+            "pole 0.5 tolerated {tolerated}x (theory ~4x)"
+        );
+    }
+
+    #[test]
+    fn profiling_budget_lambda_stabilizes() {
+        let report = profiling_budget(7);
+        assert!(report.contains("200"));
+        assert!(report.contains("Ablation E"));
+    }
+}

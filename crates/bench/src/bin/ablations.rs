@@ -1,0 +1,14 @@
+//! Regenerates the outcome ablations of DESIGN.md section 5.
+
+use smartconf_bench::ablations;
+
+fn main() {
+    println!("{}\n", ablations::controller_variants(77));
+    println!(
+        "{}\n",
+        ablations::virtual_goal_margins(smartconf_bench::EXPERIMENT_SEED)
+    );
+    println!("{}\n", ablations::interaction_factor(13));
+    println!("{}\n", ablations::pole_sweep());
+    println!("{}", ablations::profiling_budget(7));
+}

@@ -1,0 +1,28 @@
+//! Regenerates Figure 5 (trade-off speedups vs. static settings).
+
+fn main() {
+    let seed = smartconf_bench::EXPERIMENT_SEED;
+    println!("{}", smartconf_bench::figure5::render(seed));
+    if std::path::Path::new("results").is_dir() {
+        let mut csv = String::from("issue,policy,setting,speedup_vs_optimal,constraint_ok\n");
+        for s in smartconf_bench::figure5::all_scenarios() {
+            let row = smartconf_bench::figure5::run_scenario(s.as_ref(), seed);
+            for (label, setting, speedup, ok) in &row.bars {
+                csv.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    row.issue,
+                    label,
+                    setting.map(|v| v.to_string()).unwrap_or_default(),
+                    if speedup.is_nan() {
+                        String::new()
+                    } else {
+                        format!("{speedup:.4}")
+                    },
+                    ok
+                ));
+            }
+        }
+        let _ = std::fs::write("results/figure5.csv", csv);
+        eprintln!("wrote results/figure5.csv");
+    }
+}

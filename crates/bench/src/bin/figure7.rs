@@ -1,0 +1,21 @@
+//! Regenerates Figure 7 (SmartConf vs alternative controllers).
+
+fn main() {
+    // Seed 77 is the repository's representative run for this figure
+    // (see EXPERIMENTS.md for seed sensitivity).
+    println!("{}", smartconf_bench::figure7::render(77));
+    if std::path::Path::new("results").is_dir() {
+        let f = smartconf_bench::figure7::run(77);
+        for (name, r) in [
+            ("smartconf", &f.smartconf),
+            ("single_pole", &f.single_pole),
+            ("no_virtual_goal", &f.no_virtual_goal),
+        ] {
+            let _ = std::fs::write(
+                format!("results/figure7_{name}.csv"),
+                r.series_csv(1_000_000),
+            );
+        }
+        eprintln!("wrote results/figure7_*.csv");
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8 (two interacting PerfConfs).
+
+fn main() {
+    println!("{}", smartconf_bench::figure8::render(13));
+    if std::path::Path::new("results").is_dir() {
+        let twin = smartconf_bench::figure8::run(13);
+        let _ = std::fs::write("results/figure8.csv", twin.result.series_csv(1_000_000));
+        eprintln!("wrote results/figure8.csv");
+    }
+}

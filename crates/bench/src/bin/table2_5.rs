@@ -1,0 +1,12 @@
+//! Regenerates Tables 1-5 (the SmartConf interface summary and the
+//! Section 2 empirical study).
+
+use smartconf_study::{render_table1, render_table2, render_table3, render_table4, render_table5};
+
+fn main() {
+    println!("{}", render_table1());
+    println!("{}", render_table2());
+    println!("{}", render_table3());
+    println!("{}", render_table4());
+    println!("{}", render_table5());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (benchmark suite).
+
+fn main() {
+    println!("{}", smartconf_bench::table6::render());
+}

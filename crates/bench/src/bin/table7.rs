@@ -1,0 +1,5 @@
+//! Regenerates Table 7 (integration effort).
+
+fn main() {
+    println!("{}", smartconf_bench::table7::render());
+}

@@ -1,0 +1,202 @@
+//! Figure 5: trade-off performance of SmartConf vs. static settings.
+//!
+//! For every case study, runs SmartConf and four static baselines over
+//! the two-phase evaluation workload and reports each policy's speedup
+//! relative to the best constraint-satisfying static setting (found by
+//! exhaustive sweep, as in §6.3). Policies that fail the constraint are
+//! marked with ✗, matching the red crosses in the paper's figure.
+
+use crossbeam::thread;
+use smartconf_dfs::Hd4995;
+use smartconf_harness::{RunResult, Scenario, StaticChoice, TextTable};
+use smartconf_kvstore::scenarios::{Ca6059, Hb2149, Hb3813, Hb6728};
+use smartconf_mapred::Mr2820;
+
+/// One scenario's Figure 5 numbers.
+#[derive(Debug)]
+pub struct Figure5Row {
+    /// Issue id, e.g. "HB3813".
+    pub issue: String,
+    /// The trade-off metric's name.
+    pub metric: String,
+    /// `(label, setting, speedup-vs-optimal, constraint_ok)` per policy,
+    /// in the paper's bar order.
+    pub bars: Vec<(String, Option<f64>, f64, bool)>,
+}
+
+/// All six scenarios, boxed behind the common trait.
+pub fn all_scenarios() -> Vec<Box<dyn Scenario + Send + Sync>> {
+    vec![
+        Box::new(Ca6059::standard()),
+        Box::new(Hb2149::standard()),
+        Box::new(Hb3813::standard()),
+        Box::new(Hb6728::standard()),
+        Box::new(Hd4995::standard()),
+        Box::new(Mr2820::standard()),
+    ]
+}
+
+/// Runs Figure 5 for one scenario.
+pub fn run_scenario(scenario: &(dyn Scenario + Sync), seed: u64) -> Figure5Row {
+    let smart = scenario.run_smartconf(seed);
+    let sweep = sweep_statics_dyn(scenario, seed);
+
+    let mut bars: Vec<(String, Option<f64>, f64, bool)> = Vec::new();
+    let optimal = sweep
+        .iter()
+        .filter(|(_, r)| r.constraint_ok)
+        .max_by(|a, b| {
+            let (x, y) = (score(scenario, &a.1), score(scenario, &b.1));
+            x.total_cmp(&y)
+        });
+    let nonoptimal = sweep
+        .iter()
+        .filter(|(_, r)| r.constraint_ok)
+        .min_by(|a, b| {
+            let (x, y) = (score(scenario, &a.1), score(scenario, &b.1));
+            x.total_cmp(&y)
+        });
+
+    let baseline = optimal.map(|(_, r)| r.clone());
+    let speedup = |r: &RunResult| -> f64 {
+        baseline
+            .as_ref()
+            .map(|b| r.speedup_over(b))
+            .unwrap_or(f64::NAN)
+    };
+
+    bars.push((
+        "SmartConf".into(),
+        None,
+        speedup(&smart),
+        smart.constraint_ok,
+    ));
+    if let Some((setting, r)) = optimal {
+        bars.push((
+            "Static-Optimal".into(),
+            Some(*setting),
+            speedup(r),
+            r.constraint_ok,
+        ));
+    }
+    if let Some((setting, r)) = nonoptimal {
+        bars.push((
+            "Static-Nonoptimal".into(),
+            Some(*setting),
+            speedup(r),
+            r.constraint_ok,
+        ));
+    }
+    for (choice, label) in [
+        (StaticChoice::PatchDefault, "Static-Patch-Default"),
+        (StaticChoice::BuggyDefault, "Static-Buggy-Default"),
+    ] {
+        if let Some(setting) = scenario.static_setting(choice) {
+            let r = scenario.run_static(setting, seed);
+            bars.push((label.into(), Some(setting), speedup(&r), r.constraint_ok));
+        }
+    }
+
+    Figure5Row {
+        issue: scenario.id().to_string(),
+        metric: smart.tradeoff_name.clone(),
+        bars,
+    }
+}
+
+fn score(scenario: &dyn Scenario, r: &RunResult) -> f64 {
+    use smartconf_harness::TradeoffDirection;
+    match scenario.tradeoff_direction() {
+        TradeoffDirection::HigherIsBetter => r.tradeoff,
+        TradeoffDirection::LowerIsBetter => -r.tradeoff,
+    }
+}
+
+/// `sweep_statics` is generic over `Sized` scenarios; this is the
+/// object-safe equivalent used when iterating boxed scenarios.
+fn sweep_statics_dyn(scenario: &(dyn Scenario + Sync), seed: u64) -> Vec<(f64, RunResult)> {
+    let candidates = scenario.candidate_settings();
+    thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .iter()
+            .map(|&setting| scope.spawn(move |_| (setting, scenario.run_static(setting, seed))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .collect()
+    })
+    .expect("sweep scope")
+}
+
+/// Runs the whole figure (all scenarios in parallel) and renders it.
+pub fn render(seed: u64) -> String {
+    let scenarios = all_scenarios();
+    let rows: Vec<Figure5Row> = thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|s| scope.spawn(move |_| run_scenario(s.as_ref(), seed)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("figure5 worker"))
+            .collect()
+    })
+    .expect("figure5 scope");
+
+    let mut table = TextTable::new(vec![
+        "issue",
+        "policy",
+        "setting",
+        "speedup vs optimal",
+        "constraint",
+    ]);
+    for row in &rows {
+        for (label, setting, speedup, ok) in &row.bars {
+            table.row(vec![
+                row.issue.clone(),
+                label.clone(),
+                setting
+                    .map(|s| format!("{s}"))
+                    .unwrap_or_else(|| "-".into()),
+                if speedup.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{speedup:.2}x")
+                },
+                if *ok { "ok".into() } else { "X (fails)".into() },
+            ]);
+        }
+    }
+    format!(
+        "Figure 5: trade-off performance, normalized to the best \
+         constraint-satisfying static setting\n\n{table}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smartconf_satisfies_everywhere_and_beats_or_matches_optimal() {
+        // The headline claim of the paper's §6.2/§6.3 on our seed.
+        let scenarios = all_scenarios();
+        for s in &scenarios {
+            let row = run_scenario(s.as_ref(), crate::EXPERIMENT_SEED);
+            let smart = &row.bars[0];
+            assert_eq!(smart.0, "SmartConf");
+            assert!(
+                smart.3,
+                "{}: SmartConf must satisfy its constraint",
+                row.issue
+            );
+            assert!(
+                smart.2 > 0.9,
+                "{}: SmartConf speedup {} should be near or above optimal-static",
+                row.issue,
+                smart.2
+            );
+        }
+    }
+}

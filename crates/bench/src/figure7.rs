@@ -1,0 +1,102 @@
+//! Figure 7: SmartConf vs. the traditional alternative controllers.
+//!
+//! Recreates §6.4's comparison on the less stable HB3813 workload:
+//! SmartConf (virtual goal + context-aware two poles) against a
+//! single-pole controller and a controller targeting the real limit
+//! instead of a virtual goal. In the paper both alternatives OOM
+//! (~80 s and ~36 s); SmartConf survives.
+
+use smartconf_harness::{AsciiChart, RunResult};
+use smartconf_kvstore::scenarios::{ControllerVariant, Hb3813};
+
+/// The three runs of the figure.
+#[derive(Debug)]
+pub struct Figure7 {
+    /// Full SmartConf.
+    pub smartconf: RunResult,
+    /// Single conservative pole with the same virtual goal.
+    pub single_pole: RunResult,
+    /// Two poles but targeting the raw limit.
+    pub no_virtual_goal: RunResult,
+}
+
+/// Runs all three variants.
+pub fn run(seed: u64) -> Figure7 {
+    let scenario = Hb3813::figure7();
+    Figure7 {
+        smartconf: scenario.run_variant(ControllerVariant::SmartConf, seed),
+        single_pole: scenario.run_variant(ControllerVariant::SinglePole, seed),
+        no_virtual_goal: scenario.run_variant(ControllerVariant::NoVirtualGoal, seed),
+    }
+}
+
+/// Renders the memory traces and crash times.
+pub fn render(seed: u64) -> String {
+    let f = run(seed);
+    let mut out =
+        String::from("Figure 7: SmartConf vs. alternative controllers (HB3813, unstable mix)\n\n");
+    for r in [&f.smartconf, &f.single_pole, &f.no_virtual_goal] {
+        let crash = r
+            .crash_time_us
+            .map(|t| format!("OOM at {:.0} s", t as f64 / 1e6))
+            .unwrap_or_else(|| "no OOM".into());
+        out.push_str(&format!(
+            "{:<16} constraint {}  ({crash})\n",
+            r.label,
+            if r.constraint_ok { "met" } else { "VIOLATED" },
+        ));
+    }
+    let series: Vec<(&smartconf_metrics::TimeSeries, char)> = [
+        (&f.smartconf, 's'),
+        (&f.single_pole, '1'),
+        (&f.no_virtual_goal, 'x'),
+    ]
+    .into_iter()
+    .filter_map(|(r, g)| r.series("used_memory_mb").map(|ts| (ts, g)))
+    .collect();
+    out.push_str("\nused memory: s = SmartConf, 1 = single pole, x = no virtual goal\n");
+    out.push_str(
+        &AsciiChart::new(72, 14)
+            .with_guide(495.0, "hard constraint")
+            .render(&series),
+    );
+    out.push_str("\nt(s)  smartconf_mem  single_pole_mem  no_vgoal_mem\n");
+    for ts in (0..=180).step_by(5) {
+        let t = ts * 1_000_000;
+        let cell = |r: &RunResult| {
+            r.series("used_memory_mb")
+                .and_then(|s| s.value_at(t))
+                .map(|v| format!("{v:13.1}"))
+                .unwrap_or_else(|| format!("{:>13}", "dead"))
+        };
+        out.push_str(&format!(
+            "{ts:>4}  {}  {}  {}\n",
+            cell(&f.smartconf),
+            cell(&f.single_pole),
+            cell(&f.no_virtual_goal)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternatives_crash_and_smartconf_survives() {
+        let f = run(77);
+        assert!(f.smartconf.constraint_ok, "SmartConf must survive");
+        assert!(f.single_pole.crashed, "single-pole must OOM (paper: ~80 s)");
+        assert!(
+            f.no_virtual_goal.crashed,
+            "no-virtual-goal must OOM (paper: ~36 s)"
+        );
+        // The no-virtual-goal controller dies first: it rides the raw
+        // limit from the start.
+        assert!(
+            f.no_virtual_goal.crash_time_us.unwrap() <= f.single_pole.crash_time_us.unwrap(),
+            "no-virtual-goal should die no later than single-pole"
+        );
+    }
+}

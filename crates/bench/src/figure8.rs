@@ -1,0 +1,89 @@
+//! Figure 8: two interacting PerfConfs under one super-hard memory goal.
+//!
+//! §6.5's experiment: HB3813's request-queue bound and HB6728's
+//! response-queue bound both constrain the same heap. Reads join the
+//! write workload at 50 s; the two coordinated controllers trade the
+//! memory budget between the queues and never violate the constraint.
+
+use smartconf_harness::AsciiChart;
+use smartconf_kvstore::scenarios::{TwinQueues, TwinRunResult};
+
+/// Runs the experiment.
+pub fn run(seed: u64) -> TwinRunResult {
+    TwinQueues::standard().run_smartconf(seed)
+}
+
+/// Renders memory and both configuration traces.
+pub fn render(seed: u64) -> String {
+    let twin = run(seed);
+    let r = &twin.result;
+    let mut out = String::from("Figure 8: SmartConf adjusts two related PerfConfs\n\n");
+    out.push_str(&format!(
+        "interaction factor N = {} (super-hard goal shared by both confs)\n",
+        twin.interaction_n
+    ));
+    out.push_str(&format!(
+        "memory constraint {}: max used {:.1} MB\n\n",
+        if r.constraint_ok {
+            "never violated"
+        } else {
+            "VIOLATED"
+        },
+        r.series("used_memory_mb")
+            .and_then(|s| s.summary())
+            .map(|s| s.max)
+            .unwrap_or(f64::NAN)
+    ));
+    if let Some(mem) = r.series("used_memory_mb") {
+        out.push_str("used memory under two coordinated controllers\n");
+        out.push_str(
+            &AsciiChart::new(72, 12)
+                .with_guide(495.0, "memory constraint")
+                .render(&[(mem, 'm')]),
+        );
+        out.push('\n');
+    }
+    if let (Some(req), Some(resp)) = (
+        r.series("request_queue.len"),
+        r.series("response_queue.bytes_mb"),
+    ) {
+        out.push_str("q = request queue length, r = response queue MB\n");
+        out.push_str(&AsciiChart::new(72, 10).render(&[(req, 'q'), (resp, 'r')]));
+        out.push('\n');
+    }
+    out.push_str("t(s)  used_mem  max.queue.size  resp.maxsize(MB)  req_len  resp_MB\n");
+    for ts in (0..=240).step_by(5) {
+        let t = ts * 1_000_000;
+        let cell = |name: &str, w: usize| {
+            r.series(name)
+                .and_then(|s| s.value_at(t))
+                .map(|v| format!("{v:>w$.1}"))
+                .unwrap_or_else(|| format!("{:>w$}", "-"))
+        };
+        out.push_str(&format!(
+            "{ts:>4}  {}  {}  {}  {}  {}\n",
+            cell("used_memory_mb", 8),
+            cell("max.queue.size", 14),
+            cell("response.queue.maxsize_mb", 16),
+            cell("request_queue.len", 7),
+            cell("response_queue.bytes_mb", 7),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinated_queues_share_without_violation() {
+        let twin = run(13);
+        assert_eq!(twin.interaction_n, 2);
+        assert!(twin.result.constraint_ok, "no OOM and no goal violation");
+        // After reads join at 50 s the response queue holds real bytes.
+        let resp = twin.result.series("response_queue.bytes_mb").unwrap();
+        let after = resp.max_in(50_000_000, 240_000_000).unwrap();
+        assert!(after > 5.0, "response queue should carry load: {after} MB");
+    }
+}

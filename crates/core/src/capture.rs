@@ -1,0 +1,224 @@
+//! Run-time profiling capture (paper §5.5).
+//!
+//! "The SmartConf system file contains an entry that allows developers to
+//! enable or disable profiling. Once profiling is enabled, the calling of
+//! `SmartConf::setPerf` records the current performance measurement not
+//! only in the SmartConf object but also in a buffer, together with the
+//! current (deputy) configuration value, periodically flushed to file
+//! `<ConfName>.SmartConf.sys`, which will be read during the
+//! initialization of configuration `<ConfName>`."
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::{Error, ProfilePoint, ProfileSet, Result};
+
+/// Buffered capture of `(setting, perf)` samples, periodically flushed to
+/// a `<ConfName>.SmartConf.sys` file in the profile directory.
+///
+/// Attach one to a [`SmartConf`](crate::SmartConf) or
+/// [`SmartConfIndirect`](crate::SmartConfIndirect) via their
+/// `enable_profiling` methods; every subsequent `set_perf` records a
+/// sample.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::ProfilingCapture;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join(format!("sc-cap-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let mut capture = ProfilingCapture::new(&dir, "max.queue.size", 4);
+/// for k in 0..10 {
+///     capture.record(50.0, 300.0 + k as f64);
+/// }
+/// capture.flush()?;
+/// let profile = ProfilingCapture::load(&dir, "max.queue.size")?;
+/// assert_eq!(profile.len(), 10);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProfilingCapture {
+    path: PathBuf,
+    buffer: Vec<ProfilePoint>,
+    flush_every: usize,
+    recorded: u64,
+}
+
+impl ProfilingCapture {
+    /// Creates a capture writing to `<dir>/<conf_name>.SmartConf.sys`,
+    /// flushing automatically every `flush_every` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flush_every` is zero.
+    pub fn new(dir: impl AsRef<Path>, conf_name: &str, flush_every: usize) -> Self {
+        assert!(flush_every > 0, "flush interval must be positive");
+        ProfilingCapture {
+            path: Self::file_path(dir, conf_name),
+            buffer: Vec::with_capacity(flush_every),
+            flush_every,
+            recorded: 0,
+        }
+    }
+
+    /// The conventional sample-file path for a configuration.
+    pub fn file_path(dir: impl AsRef<Path>, conf_name: &str) -> PathBuf {
+        dir.as_ref().join(format!("{conf_name}.SmartConf.sys"))
+    }
+
+    /// Loads previously captured samples for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the file cannot be read, [`Error::Parse`] on a
+    /// corrupt sample line.
+    pub fn load(dir: impl AsRef<Path>, conf_name: &str) -> Result<ProfileSet> {
+        let path = Self::file_path(dir, conf_name);
+        let text = std::fs::read_to_string(&path).map_err(|e| Error::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        ProfileSet::from_sys_string(&text)
+    }
+
+    /// Records one sample; flushes to disk when the buffer fills.
+    /// A flush failure is deferred to the next explicit [`Self::flush`]
+    /// (recording sites must stay infallible).
+    pub fn record(&mut self, setting: f64, perf: f64) {
+        if !setting.is_finite() || !perf.is_finite() {
+            return;
+        }
+        self.buffer.push(ProfilePoint { setting, perf });
+        self.recorded += 1;
+        if self.buffer.len() >= self.flush_every {
+            let _ = self.flush();
+        }
+    }
+
+    /// Number of samples recorded over the capture's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Samples buffered but not yet on disk.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Appends buffered samples to the capture file.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on any filesystem failure; the buffer is preserved
+    /// so a later flush can retry.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let io_err = |e: std::io::Error| Error::Io {
+            path: self.path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(io_err)?;
+        let mut text = String::new();
+        for p in &self.buffer {
+            text.push_str(&format!("sample {} {}\n", p.setting, p.perf));
+        }
+        file.write_all(text.as_bytes()).map_err(io_err)?;
+        self.buffer.clear();
+        Ok(())
+    }
+}
+
+impl Drop for ProfilingCapture {
+    fn drop(&mut self) {
+        // Best-effort final flush; errors are ignored per C-DTOR-FAIL.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sc-capture-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn records_and_loads_round_trip() {
+        let d = dir("round");
+        let mut cap = ProfilingCapture::new(&d, "q", 100);
+        for k in 0..25 {
+            cap.record(40.0 + (k % 4) as f64 * 40.0, 300.0 + k as f64);
+        }
+        assert_eq!(cap.recorded(), 25);
+        cap.flush().unwrap();
+        assert_eq!(cap.pending(), 0);
+        let p = ProfilingCapture::load(&d, "q").unwrap();
+        assert_eq!(p.len(), 25);
+        assert_eq!(p.num_settings(), 4);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn auto_flushes_at_interval() {
+        let d = dir("auto");
+        let mut cap = ProfilingCapture::new(&d, "q", 5);
+        for _ in 0..5 {
+            cap.record(1.0, 2.0);
+        }
+        // Buffer drained by the automatic flush.
+        assert_eq!(cap.pending(), 0);
+        assert_eq!(ProfilingCapture::load(&d, "q").unwrap().len(), 5);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn appends_across_instances() {
+        let d = dir("append");
+        {
+            let mut cap = ProfilingCapture::new(&d, "q", 100);
+            cap.record(1.0, 10.0);
+        } // drop flushes
+        {
+            let mut cap = ProfilingCapture::new(&d, "q", 100);
+            cap.record(2.0, 20.0);
+        }
+        let p = ProfilingCapture::load(&d, "q").unwrap();
+        assert_eq!(p.len(), 2);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn ignores_non_finite_samples() {
+        let d = dir("nan");
+        let mut cap = ProfilingCapture::new(&d, "q", 100);
+        cap.record(f64::NAN, 1.0);
+        cap.record(1.0, f64::INFINITY);
+        assert_eq!(cap.recorded(), 0);
+        fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let d = dir("missing");
+        assert!(matches!(
+            ProfilingCapture::load(&d, "nope"),
+            Err(Error::Io { .. })
+        ));
+        fs::remove_dir_all(&d).unwrap();
+    }
+}

@@ -1,0 +1,529 @@
+//! The synthesized SmartConf controller (paper §5).
+//!
+//! Implements Equation 2 with the paper's three PerfConf-specific
+//! extensions: automatically chosen poles (§5.1), virtual goals with
+//! context-aware poles for hard constraints (§5.2), and the interaction
+//! factor for super-hard goals shared by several configurations (§5.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Goal, Hardness, Result, Sense};
+
+/// Consecutive saturated-and-violating steps before the controller flags
+/// the goal as unreachable.
+const UNREACHABLE_STREAK: u32 = 5;
+
+/// An integral controller that adjusts one configuration to keep one
+/// performance metric at its goal.
+///
+/// Each call to [`Controller::step`] consumes the latest measurement and
+/// returns the next configuration setting:
+///
+/// ```text
+/// c_{k+1} = c_k + (1 − p) / (N · α) · e_{k+1}
+/// ```
+///
+/// where `e` is the distance to the (possibly virtual) target, `p` the
+/// pole in effect, `α` the profiled gain, and `N` the number of
+/// configurations sharing a super-hard goal.
+///
+/// Use [`ControllerBuilder`](crate::ControllerBuilder) to synthesize one
+/// from profiling data; construct directly only when you already know the
+/// control parameters.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::{Controller, Goal};
+///
+/// // Memory grows 2 MB per queue slot; keep memory below 400 MB.
+/// let goal = Goal::new("memory_mb", 400.0);
+/// let mut c = Controller::new(2.0, 0.0, goal, 0.0, (0.0, 1000.0), 0.0)?;
+/// // Measured memory is 100 MB: lots of headroom, so the queue grows.
+/// let next = c.step(100.0);
+/// assert_eq!(next, 150.0); // (400-100)/2 added
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Controller {
+    alpha: f64,
+    pole: f64,
+    goal: Goal,
+    lambda: f64,
+    interaction: u32,
+    min: f64,
+    max: f64,
+    current: f64,
+    last_pole_used: f64,
+    unreachable_streak: u32,
+}
+
+impl Controller {
+    /// Creates a controller from explicit parameters.
+    ///
+    /// * `alpha` — profiled gain (performance change per unit of
+    ///   configuration); must be non-zero and finite.
+    /// * `pole` — regular pole in `[0, 1)`.
+    /// * `goal` — the performance goal; hard goals get the virtual-goal
+    ///   and two-pole treatment automatically.
+    /// * `lambda` — profiled instability coefficient (sets the virtual
+    ///   goal margin); must be non-negative.
+    /// * `bounds` — inclusive `(min, max)` range of valid settings.
+    /// * `initial` — starting setting; clamped into bounds. The paper
+    ///   notes the quality of this value does not matter (§6.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroGain`] for a zero/non-finite `alpha` and
+    /// [`Error::InvalidParameter`] for a pole outside `[0, 1)`, negative
+    /// or non-finite `lambda`, or an empty bounds range.
+    pub fn new(
+        alpha: f64,
+        pole: f64,
+        goal: Goal,
+        lambda: f64,
+        bounds: (f64, f64),
+        initial: f64,
+    ) -> Result<Self> {
+        if !alpha.is_finite() || alpha == 0.0 {
+            return Err(Error::ZeroGain {
+                conf: goal.metric().to_string(),
+            });
+        }
+        if !(0.0..1.0).contains(&pole) {
+            return Err(Error::InvalidParameter {
+                reason: format!("pole must be in [0, 1), got {pole}"),
+            });
+        }
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(Error::InvalidParameter {
+                reason: format!("lambda must be non-negative, got {lambda}"),
+            });
+        }
+        let (min, max) = bounds;
+        if !min.is_finite() || !max.is_finite() || min > max {
+            return Err(Error::InvalidParameter {
+                reason: format!("bounds must satisfy min <= max, got ({min}, {max})"),
+            });
+        }
+        if !initial.is_finite() {
+            return Err(Error::InvalidParameter {
+                reason: format!("initial setting must be finite, got {initial}"),
+            });
+        }
+        Ok(Controller {
+            alpha,
+            pole,
+            goal,
+            lambda,
+            interaction: 1,
+            min,
+            max,
+            current: initial.clamp(min, max),
+            last_pole_used: pole,
+            unreachable_streak: 0,
+        })
+    }
+
+    /// Sets the interaction factor `N` (number of configurations sharing a
+    /// super-hard goal, §5.4). Only applied when the goal is super-hard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `n` is zero.
+    pub fn set_interaction(&mut self, n: u32) -> Result<()> {
+        if n == 0 {
+            return Err(Error::InvalidParameter {
+                reason: "interaction factor must be at least 1".into(),
+            });
+        }
+        self.interaction = n;
+        Ok(())
+    }
+
+    /// The goal under control.
+    pub fn goal(&self) -> &Goal {
+        &self.goal
+    }
+
+    /// Updates the goal target at run time (paper's `setGoal`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGoal`] if `target` is not finite.
+    pub fn set_goal(&mut self, target: f64) -> Result<()> {
+        self.goal.set_target(target)?;
+        self.unreachable_streak = 0;
+        Ok(())
+    }
+
+    /// The profiled gain `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The regular pole.
+    pub fn pole(&self) -> f64 {
+        self.pole
+    }
+
+    /// The pole used on the most recent [`Controller::step`] (0 when the
+    /// last measurement was beyond the virtual goal of a hard constraint).
+    pub fn last_pole_used(&self) -> f64 {
+        self.last_pole_used
+    }
+
+    /// The instability coefficient `λ` used for the virtual goal.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The effective target the controller steers toward: the virtual goal
+    /// for hard constraints, the real target otherwise.
+    pub fn effective_target(&self) -> f64 {
+        if self.goal.hardness().is_hard() {
+            self.goal.virtual_target(self.lambda)
+        } else {
+            self.goal.target()
+        }
+    }
+
+    /// Current configuration setting.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Overrides the current setting.
+    ///
+    /// For *indirect* configurations the controller must act on the deputy
+    /// variable's actual value rather than the threshold it set last time
+    /// (paper §5.3, why `SmartConf_I::setPerf` takes the deputy value);
+    /// the wrapper calls this before [`Controller::step`]. The value is
+    /// clamped into bounds.
+    pub fn set_current(&mut self, value: f64) {
+        if value.is_finite() {
+            self.current = value.clamp(self.min, self.max);
+        }
+    }
+
+    /// Inclusive bounds on the setting.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// Whether the controller has been saturated at a bound while the goal
+    /// stayed violated for several consecutive steps — the paper's
+    /// "alert users that the goal is unreachable" condition (§4.3).
+    pub fn goal_unreachable(&self) -> bool {
+        self.unreachable_streak >= UNREACHABLE_STREAK
+    }
+
+    /// Consumes the latest measurement and returns the next setting.
+    ///
+    /// Implements the context-aware two-pole scheme for hard goals: while
+    /// the measurement is on the safe side of the virtual goal the regular
+    /// pole damps adjustments; once beyond it, pole 0 drives the system
+    /// back as fast as the model allows (paper §5.2).
+    ///
+    /// Non-finite measurements leave the setting unchanged.
+    pub fn step(&mut self, measured: f64) -> f64 {
+        if !measured.is_finite() {
+            return self.current;
+        }
+        let target = self.effective_target();
+        let error = self.goal.error_against(target, measured);
+
+        let in_danger = self.goal.hardness().is_hard() && error < 0.0;
+        let pole = if in_danger { 0.0 } else { self.pole };
+        self.last_pole_used = pole;
+
+        let n = if self.goal.hardness() == Hardness::SuperHard {
+            self.interaction as f64
+        } else {
+            1.0
+        };
+        // Normalize to an upper-bound problem: for lower bounds the metric
+        // is negated, which negates both the error and the gain.
+        let alpha_signed = match self.goal.sense() {
+            Sense::UpperBound => self.alpha,
+            Sense::LowerBound => -self.alpha,
+        };
+        let next = self.current + (1.0 - pole) / (n * alpha_signed) * error;
+        let clamped = next.clamp(self.min, self.max);
+
+        let saturated = clamped != next;
+        if saturated && self.goal.is_violated(measured) {
+            self.unreachable_streak = self.unreachable_streak.saturating_add(1);
+        } else {
+            self.unreachable_streak = 0;
+        }
+
+        self.current = clamped;
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soft(target: f64) -> Goal {
+        Goal::new("m", target)
+    }
+
+    fn hard(target: f64) -> Goal {
+        Goal::new("m", target)
+            .with_hardness(Hardness::Hard)
+            .unwrap()
+    }
+
+    #[test]
+    fn deadbeat_closes_error_in_one_model_step() {
+        let mut c = Controller::new(2.0, 0.0, soft(100.0), 0.0, (0.0, 1e6), 10.0).unwrap();
+        // Plant: s = 2c + 0. Measured at c=10 is 20; error 80; dc = 40.
+        let next = c.step(20.0);
+        assert_eq!(next, 50.0);
+        // At c=50 the plant reads 100: converged, no further movement.
+        assert_eq!(c.step(100.0), 50.0);
+    }
+
+    #[test]
+    fn pole_damps_movement() {
+        let mut fast = Controller::new(1.0, 0.0, soft(100.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        let mut slow = Controller::new(1.0, 0.9, soft(100.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        let df = fast.step(0.0);
+        let ds = slow.step(0.0);
+        assert!(df > ds);
+        assert!((ds - 10.0).abs() < 1e-12); // (1-0.9)*100/1
+    }
+
+    #[test]
+    fn converges_on_simulated_plant() {
+        // Plant: s = 3c + 50, goal 500 => c* = 150.
+        let mut c = Controller::new(3.0, 0.5, soft(500.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        let mut setting = 0.0;
+        for _ in 0..100 {
+            let measured = 3.0 * setting + 50.0;
+            setting = c.step(measured);
+        }
+        assert!((setting - 150.0).abs() < 1.0, "setting {setting}");
+    }
+
+    #[test]
+    fn converges_with_wrong_alpha_if_within_delta() {
+        // True gain 3, modeled gain 2 (delta = 1.5 < 2 so pole 0 is fine).
+        let mut c = Controller::new(2.0, 0.0, soft(300.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        let mut setting = 0.0;
+        for _ in 0..60 {
+            setting = c.step(3.0 * setting);
+        }
+        assert!((setting - 100.0).abs() < 1.0, "setting {setting}");
+    }
+
+    #[test]
+    fn negative_gain_plant_converges() {
+        // Bigger config -> lower metric (e.g. more flush threads -> less
+        // backlog). Plant: s = 1000 - 4c; goal <= 200 => c* = 200.
+        let mut c = Controller::new(-4.0, 0.0, soft(200.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        let mut setting = 0.0;
+        for _ in 0..50 {
+            setting = c.step(1000.0 - 4.0 * setting);
+        }
+        assert!((setting - 200.0).abs() < 1.0, "setting {setting}");
+    }
+
+    #[test]
+    fn lower_bound_goal_converges_from_violation() {
+        // Metric: free disk = 1000 - 2c, must stay >= 400 => c* = 300.
+        let goal = Goal::new("free", 400.0).with_sense(Sense::LowerBound);
+        let mut c = Controller::new(-2.0, 0.0, goal, 0.0, (0.0, 1e6), 500.0).unwrap();
+        let mut setting = 500.0;
+        for _ in 0..50 {
+            setting = c.step(1000.0 - 2.0 * setting);
+        }
+        assert!((setting - 300.0).abs() < 1.0, "setting {setting}");
+    }
+
+    #[test]
+    fn hard_goal_steers_to_virtual_target() {
+        // lambda 0.1 => virtual target 90 when target is 100.
+        let mut c = Controller::new(1.0, 0.5, hard(100.0), 0.1, (0.0, 1e6), 0.0).unwrap();
+        assert!((c.effective_target() - 90.0).abs() < 1e-12);
+        let mut setting = 0.0;
+        for _ in 0..200 {
+            setting = c.step(setting); // plant: s = c
+        }
+        assert!((setting - 90.0).abs() < 0.5, "setting {setting}");
+    }
+
+    #[test]
+    fn soft_goal_ignores_virtual_target() {
+        let c = Controller::new(1.0, 0.5, soft(100.0), 0.1, (0.0, 1e6), 0.0).unwrap();
+        assert_eq!(c.effective_target(), 100.0);
+    }
+
+    #[test]
+    fn two_pole_switching() {
+        let mut c = Controller::new(1.0, 0.9, hard(100.0), 0.1, (0.0, 1e6), 50.0).unwrap();
+        // Safe region (below virtual target 90): regular pole.
+        c.step(50.0);
+        assert_eq!(c.last_pole_used(), 0.9);
+        // Danger region (beyond virtual target): pole 0.
+        c.step(95.0);
+        assert_eq!(c.last_pole_used(), 0.0);
+        // Back to safe.
+        c.step(10.0);
+        assert_eq!(c.last_pole_used(), 0.9);
+    }
+
+    #[test]
+    fn danger_reaction_is_full_strength() {
+        let mut slow = Controller::new(1.0, 0.9, hard(100.0), 0.1, (0.0, 1e6), 80.0).unwrap();
+        // Beyond virtual goal 90 by 10: full correction of -10/alpha.
+        let next = slow.step(100.0);
+        assert!((next - 70.0).abs() < 1e-9, "next {next}");
+    }
+
+    #[test]
+    fn interaction_factor_splits_error_for_superhard() {
+        let sh = Goal::new("m", 100.0)
+            .with_hardness(Hardness::SuperHard)
+            .unwrap();
+        let mut c = Controller::new(1.0, 0.0, sh.clone(), 0.0, (0.0, 1e6), 0.0).unwrap();
+        c.set_interaction(2).unwrap();
+        // Error to virtual target (lambda 0 -> 100) is 100; split by 2.
+        assert_eq!(c.step(0.0), 50.0);
+
+        // Hardness::Hard does not split.
+        let mut h = Controller::new(1.0, 0.0, hard(100.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        h.set_interaction(2).unwrap();
+        assert_eq!(h.step(0.0), 100.0);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let mut c = Controller::new(1.0, 0.0, soft(1000.0), 0.0, (0.0, 50.0), 0.0).unwrap();
+        assert_eq!(c.step(0.0), 50.0);
+        let mut d = Controller::new(1.0, 0.0, soft(-1000.0), 0.0, (10.0, 50.0), 20.0).unwrap();
+        assert_eq!(d.step(0.0), 10.0);
+    }
+
+    #[test]
+    fn unreachable_goal_flagged_after_streak() {
+        // Plant s = c + 2000 with goal <= 1000: even at the minimum
+        // setting the metric violates, so the goal is unreachable.
+        let mut c = Controller::new(1.0, 0.0, soft(1000.0), 0.0, (0.0, 50.0), 50.0).unwrap();
+        let mut setting = 50.0;
+        for _ in 0..3 {
+            setting = c.step(setting + 2000.0);
+            assert!(!c.goal_unreachable());
+        }
+        for _ in 0..5 {
+            setting = c.step(setting + 2000.0);
+        }
+        assert!(c.goal_unreachable());
+        // Raising the goal clears the alert path.
+        c.set_goal(3000.0).unwrap();
+        assert!(!c.goal_unreachable());
+    }
+
+    #[test]
+    fn set_current_drives_indirect_updates() {
+        let mut c = Controller::new(1.0, 0.0, soft(100.0), 0.0, (0.0, 200.0), 50.0).unwrap();
+        // Deputy actually sits at 80 even though we last set 50.
+        c.set_current(80.0);
+        // Error 20 from measurement 80 -> next = 100.
+        assert_eq!(c.step(80.0), 100.0);
+        // Out-of-bounds deputy values clamp.
+        c.set_current(1e9);
+        assert_eq!(c.current(), 200.0);
+    }
+
+    #[test]
+    fn nan_measurement_is_ignored() {
+        let mut c = Controller::new(1.0, 0.0, soft(100.0), 0.0, (0.0, 1e6), 42.0).unwrap();
+        assert_eq!(c.step(f64::NAN), 42.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let g = soft(1.0);
+        assert!(matches!(
+            Controller::new(0.0, 0.0, g.clone(), 0.0, (0.0, 1.0), 0.0),
+            Err(Error::ZeroGain { .. })
+        ));
+        assert!(matches!(
+            Controller::new(1.0, 1.0, g.clone(), 0.0, (0.0, 1.0), 0.0),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Controller::new(1.0, 0.0, g.clone(), -0.1, (0.0, 1.0), 0.0),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Controller::new(1.0, 0.0, g.clone(), 0.0, (2.0, 1.0), 0.0),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Controller::new(1.0, 0.0, g, 0.0, (0.0, 1.0), f64::NAN),
+            Err(Error::InvalidParameter { .. })
+        ));
+        let mut ok = Controller::new(1.0, 0.0, soft(1.0), 0.0, (0.0, 1.0), 5.0).unwrap();
+        assert_eq!(ok.current(), 1.0); // initial clamped
+        assert!(ok.set_interaction(0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On any linear plant within the modeled gain's factor-of-two
+        /// error bound, the controller converges to the goal and never
+        /// leaves its bounds.
+        #[test]
+        fn converges_on_linear_plants(
+            alpha_true in 0.5f64..8.0,
+            model_ratio in 0.6f64..1.9,
+            offset in 0.0f64..50.0,
+            target in 100.0f64..1000.0,
+            pole in 0.0f64..0.9,
+        ) {
+            let alpha_model = alpha_true * model_ratio;
+            let goal = Goal::new("m", target);
+            let mut c = Controller::new(alpha_model, pole, goal, 0.0, (0.0, 1e9), 0.0).unwrap();
+            let mut setting = 0.0;
+            for _ in 0..400 {
+                let measured = alpha_true * setting + offset;
+                setting = c.step(measured);
+                let (lo, hi) = c.bounds();
+                prop_assert!(setting >= lo && setting <= hi);
+            }
+            let final_perf = alpha_true * setting + offset;
+            prop_assert!((final_perf - target).abs() < 0.02 * target,
+                "final perf {} vs target {}", final_perf, target);
+        }
+
+        /// A hard goal never overshoots on a noiseless plant: the virtual
+        /// goal plus monotone approach keeps the metric at or below target.
+        #[test]
+        fn hard_goal_no_overshoot_noiseless(
+            alpha in 0.5f64..4.0,
+            target in 100.0f64..1000.0,
+            lambda in 0.0f64..0.3,
+            pole in 0.0f64..0.9,
+        ) {
+            let goal = Goal::new("m", target).with_hardness(Hardness::Hard).unwrap();
+            let mut c = Controller::new(alpha, pole, goal, lambda, (0.0, 1e9), 0.0).unwrap();
+            let mut setting = 0.0;
+            for _ in 0..300 {
+                let measured = alpha * setting;
+                prop_assert!(measured <= target + 1e-6,
+                    "overshoot: {} > {}", measured, target);
+                setting = c.step(measured);
+            }
+        }
+    }
+}

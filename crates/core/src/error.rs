@@ -1,0 +1,138 @@
+//! Error type for controller synthesis and registry handling.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by SmartConf controller synthesis and configuration
+/// registry parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The profile does not contain enough distinct settings or samples to
+    /// fit a model (the paper profiles 4 settings × 10 samples).
+    InsufficientProfile {
+        /// What was missing, e.g. "2 distinct settings".
+        needed: String,
+        /// What the profile actually contained.
+        got: String,
+    },
+    /// The profiled performance response is not monotonic in the
+    /// configuration, which the SmartConf controller cannot handle
+    /// (paper §6.6, limitation 2 — e.g. MR5420's `max_chunks_tolerable`).
+    NonMonotonicModel {
+        /// Configuration name or description for diagnostics.
+        conf: String,
+    },
+    /// The fitted model has (near-)zero gain: the metric does not respond
+    /// to the configuration, so no controller can steer it.
+    ZeroGain {
+        /// Configuration name or description for diagnostics.
+        conf: String,
+    },
+    /// A goal value was invalid (non-finite, or non-positive for a
+    /// hard upper bound whose virtual goal would be meaningless).
+    InvalidGoal {
+        /// Explanation of the rejected goal.
+        reason: String,
+    },
+    /// An argument outside its documented domain.
+    InvalidParameter {
+        /// Explanation of the rejected parameter.
+        reason: String,
+    },
+    /// A configuration name was not found in the registry.
+    UnknownConf {
+        /// The requested configuration name.
+        name: String,
+    },
+    /// A metric name was not found in the registry.
+    UnknownMetric {
+        /// The requested metric name.
+        name: String,
+    },
+    /// A `SmartConf.sys` or application configuration file failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the syntax problem.
+        message: String,
+    },
+    /// An I/O failure while reading or writing registry files.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InsufficientProfile { needed, got } => {
+                write!(f, "insufficient profiling data: needed {needed}, got {got}")
+            }
+            Error::NonMonotonicModel { conf } => write!(
+                f,
+                "profiled response of '{conf}' is not monotonic in the configuration"
+            ),
+            Error::ZeroGain { conf } => write!(
+                f,
+                "profiled response of '{conf}' does not depend on the configuration"
+            ),
+            Error::InvalidGoal { reason } => write!(f, "invalid goal: {reason}"),
+            Error::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            Error::UnknownConf { name } => write!(f, "unknown configuration '{name}'"),
+            Error::UnknownMetric { name } => write!(f, "unknown metric '{name}'"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Io { path, message } => write!(f, "i/o error on '{path}': {message}"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<Error> = vec![
+            Error::InsufficientProfile {
+                needed: "2 settings".into(),
+                got: "1".into(),
+            },
+            Error::NonMonotonicModel { conf: "x".into() },
+            Error::ZeroGain { conf: "x".into() },
+            Error::InvalidGoal {
+                reason: "nan".into(),
+            },
+            Error::InvalidParameter { reason: "p".into() },
+            Error::UnknownConf { name: "c".into() },
+            Error::UnknownMetric { name: "m".into() },
+            Error::Parse {
+                line: 3,
+                message: "bad".into(),
+            },
+            Error::Io {
+                path: "/x".into(),
+                message: "denied".into(),
+            },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: StdError + Send + Sync + 'static>(_: E) {}
+        takes_err(Error::UnknownConf { name: "c".into() });
+    }
+}

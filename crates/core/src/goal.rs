@@ -1,0 +1,270 @@
+//! Performance goals: what users specify instead of configuration values.
+//!
+//! Under SmartConf the user never sets `max.queue.size = 100`; they state
+//! "memory consumption must stay below 1024 MB, and that is a hard
+//! constraint" (paper Figure 2). This module is the vocabulary for such
+//! statements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// How strictly a goal must be respected (paper §4.3, §5.2, §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Hardness {
+    /// Best-effort: transient overshoot is tolerable (e.g. a latency SLA).
+    #[default]
+    Soft,
+    /// Overshoot is a failure (e.g. out-of-memory). Enables the virtual
+    /// goal and context-aware poles of §5.2.
+    Hard,
+    /// Hard, and additionally splits the control error across all
+    /// interacting configurations sharing the goal (§5.4's safety net).
+    SuperHard,
+}
+
+impl Hardness {
+    /// Whether the goal forbids overshoot (hard or super-hard).
+    pub fn is_hard(self) -> bool {
+        matches!(self, Hardness::Hard | Hardness::SuperHard)
+    }
+}
+
+/// Which side of the target is "safe".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Sense {
+    /// The metric must stay at or below the target (memory, latency).
+    #[default]
+    UpperBound,
+    /// The metric must stay at or above the target (free disk space).
+    LowerBound,
+}
+
+/// A performance goal on a named metric.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::{Goal, Hardness, Sense};
+///
+/// let goal = Goal::new("memory_consumption", 495.0)
+///     .with_hardness(Hardness::Hard)?;
+/// assert!(goal.is_violated(500.0));
+/// assert!(!goal.is_violated(400.0));
+/// // Positive error = headroom, negative = violation.
+/// assert_eq!(goal.error(400.0), 95.0);
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Goal {
+    metric: String,
+    target: f64,
+    hardness: Hardness,
+    sense: Sense,
+}
+
+impl Goal {
+    /// Creates a soft upper-bound goal on `metric` with the given target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not finite. Use [`Goal::try_new`] for a
+    /// fallible variant.
+    pub fn new(metric: impl Into<String>, target: f64) -> Self {
+        Self::try_new(metric, target).expect("goal target must be finite")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGoal`] if `target` is not finite.
+    pub fn try_new(metric: impl Into<String>, target: f64) -> Result<Self> {
+        if !target.is_finite() {
+            return Err(Error::InvalidGoal {
+                reason: format!("target must be finite, got {target}"),
+            });
+        }
+        Ok(Goal {
+            metric: metric.into(),
+            target,
+            hardness: Hardness::Soft,
+            sense: Sense::UpperBound,
+        })
+    }
+
+    /// Sets the hardness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGoal`] for a hard upper-bound goal with a
+    /// non-positive target: its virtual goal `(1−λ)·target` would not be a
+    /// meaningful safety margin.
+    pub fn with_hardness(mut self, hardness: Hardness) -> Result<Self> {
+        if hardness.is_hard() && self.sense == Sense::UpperBound && self.target <= 0.0 {
+            return Err(Error::InvalidGoal {
+                reason: format!(
+                    "hard upper-bound goal on '{}' needs a positive target, got {}",
+                    self.metric, self.target
+                ),
+            });
+        }
+        self.hardness = hardness;
+        Ok(self)
+    }
+
+    /// Sets which side of the target is safe.
+    pub fn with_sense(mut self, sense: Sense) -> Self {
+        self.sense = sense;
+        self
+    }
+
+    /// The metric this goal constrains.
+    pub fn metric(&self) -> &str {
+        &self.metric
+    }
+
+    /// The target value.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Updates the target at run time (paper's `setGoal` API).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGoal`] if `target` is not finite.
+    pub fn set_target(&mut self, target: f64) -> Result<()> {
+        if !target.is_finite() {
+            return Err(Error::InvalidGoal {
+                reason: format!("target must be finite, got {target}"),
+            });
+        }
+        self.target = target;
+        Ok(())
+    }
+
+    /// The hardness.
+    pub fn hardness(&self) -> Hardness {
+        self.hardness
+    }
+
+    /// The sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Signed distance from `measured` to the target: positive when there
+    /// is headroom, negative when the goal is violated, regardless of
+    /// sense.
+    pub fn error(&self, measured: f64) -> f64 {
+        self.error_against(self.target, measured)
+    }
+
+    /// Like [`Goal::error`] but against an alternative target (the
+    /// controller evaluates errors against the *virtual* goal for hard
+    /// constraints).
+    pub fn error_against(&self, target: f64, measured: f64) -> f64 {
+        match self.sense {
+            Sense::UpperBound => target - measured,
+            Sense::LowerBound => measured - target,
+        }
+    }
+
+    /// Whether `measured` violates the goal.
+    pub fn is_violated(&self, measured: f64) -> bool {
+        self.error(measured) < 0.0
+    }
+
+    /// The virtual goal `s_v` for a margin `λ` (paper §5.2): pulled inside
+    /// the real target so disturbances hit the virtual goal first.
+    ///
+    /// For an upper bound this is `(1−λ)·target`; for a lower bound,
+    /// `(1+λ)·target`. `λ` is clamped to `[0, MAX_VIRTUAL_MARGIN]` so a
+    /// wildly unstable profile cannot push the virtual goal to zero.
+    pub fn virtual_target(&self, lambda: f64) -> f64 {
+        /// Upper bound on the virtual-goal margin: even a very noisy
+        /// profile should not discard more than half the budget.
+        const MAX_VIRTUAL_MARGIN: f64 = 0.5;
+        let l = lambda.clamp(0.0, MAX_VIRTUAL_MARGIN);
+        match self.sense {
+            Sense::UpperBound => (1.0 - l) * self.target,
+            Sense::LowerBound => (1.0 + l) * self.target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_error_and_violation() {
+        let g = Goal::new("mem", 100.0);
+        assert_eq!(g.error(40.0), 60.0);
+        assert_eq!(g.error(140.0), -40.0);
+        assert!(g.is_violated(100.1));
+        assert!(!g.is_violated(100.0));
+    }
+
+    #[test]
+    fn lower_bound_error_and_violation() {
+        let g = Goal::new("free_disk", 100.0).with_sense(Sense::LowerBound);
+        assert_eq!(g.error(140.0), 40.0);
+        assert_eq!(g.error(60.0), -40.0);
+        assert!(g.is_violated(99.0));
+        assert!(!g.is_violated(100.0));
+    }
+
+    #[test]
+    fn virtual_target_upper() {
+        let g = Goal::new("mem", 495.0);
+        assert!((g.virtual_target(0.1) - 445.5).abs() < 1e-9);
+        assert_eq!(g.virtual_target(0.0), 495.0);
+    }
+
+    #[test]
+    fn virtual_target_lower() {
+        let g = Goal::new("disk", 100.0).with_sense(Sense::LowerBound);
+        assert!((g.virtual_target(0.1) - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_target_clamps_lambda() {
+        let g = Goal::new("mem", 100.0);
+        assert_eq!(g.virtual_target(5.0), 50.0);
+        assert_eq!(g.virtual_target(-1.0), 100.0);
+    }
+
+    #[test]
+    fn hard_goal_requires_positive_upper_target() {
+        let err = Goal::new("mem", 0.0).with_hardness(Hardness::Hard);
+        assert!(matches!(err, Err(Error::InvalidGoal { .. })));
+        let ok = Goal::new("disk", 0.0)
+            .with_sense(Sense::LowerBound)
+            .with_hardness(Hardness::Hard);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn non_finite_target_rejected() {
+        assert!(Goal::try_new("m", f64::NAN).is_err());
+        let mut g = Goal::new("m", 1.0);
+        assert!(g.set_target(f64::INFINITY).is_err());
+        assert!(g.set_target(2.0).is_ok());
+        assert_eq!(g.target(), 2.0);
+    }
+
+    #[test]
+    fn hardness_predicates() {
+        assert!(!Hardness::Soft.is_hard());
+        assert!(Hardness::Hard.is_hard());
+        assert!(Hardness::SuperHard.is_hard());
+    }
+
+    #[test]
+    fn error_against_alternative_target() {
+        let g = Goal::new("mem", 495.0);
+        assert_eq!(g.error_against(445.0, 400.0), 45.0);
+    }
+}

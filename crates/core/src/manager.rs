@@ -1,0 +1,358 @@
+//! The configuration manager: every SmartConf configuration of an
+//! application, built from the registry and driven through one handle.
+//!
+//! The paper's host systems create one `SmartConf` object per
+//! configuration at the places the configuration is used. For
+//! applications with many SmartConf configurations (or for
+//! administration surfaces that update goals at run time, §4.3), the
+//! manager provides the registry-driven aggregate view: build all
+//! controllers, dispatch `set_perf`/`conf` by name, update every
+//! controller sharing a metric when its goal changes, and surface
+//! unreachable-goal alerts.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::{Error, ProfilingCapture, Registry, Result, SmartConf, SmartConfIndirect};
+
+/// A managed configuration: direct or indirect, per its registry entry.
+#[derive(Debug)]
+pub enum ManagedConf {
+    /// Directly-acting configuration (paper Figure 3).
+    Direct(SmartConf),
+    /// Threshold on a deputy variable (paper Figure 4).
+    Indirect(SmartConfIndirect),
+}
+
+impl ManagedConf {
+    fn set_goal(&mut self, target: f64) -> Result<()> {
+        match self {
+            ManagedConf::Direct(c) => c.set_goal(target),
+            ManagedConf::Indirect(c) => c.set_goal(target),
+        }
+    }
+
+    fn goal_unreachable(&self) -> bool {
+        match self {
+            ManagedConf::Direct(c) => c.goal_unreachable(),
+            ManagedConf::Indirect(c) => c.goal_unreachable(),
+        }
+    }
+}
+
+/// All SmartConf configurations of an application behind one handle.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::{ConfManager, Goal, Hardness, ProfileSet, Registry};
+///
+/// let mut reg = Registry::new();
+/// reg.parse_sys_str(
+///     "q1.size @ memory\nq1.size.indirect = 1\nq1.size.max = 2000\n\
+///      q2.size @ memory\nq2.size.indirect = 1\nq2.size.max = 2000\n",
+/// )?;
+/// reg.parse_app_str("memory = 495\nmemory.superhard = 1\n")?;
+/// let mut profile = ProfileSet::new();
+/// for s in [40.0, 80.0, 120.0, 160.0] {
+///     for k in 0..10 {
+///         profile.add(s, 100.0 + 2.0 * s + (k % 3) as f64);
+///     }
+/// }
+/// reg.add_profile("q1.size", profile.clone());
+/// reg.add_profile("q2.size", profile);
+///
+/// let mut manager = ConfManager::from_registry(&reg)?;
+/// manager.set_perf_indirect("q1.size", 300.0, 50.0)?;
+/// assert!(manager.conf("q1.size")? > 0.0);
+/// // One call retargets every controller sharing the metric.
+/// assert_eq!(manager.set_goal("memory", 400.0)?, 2);
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ConfManager {
+    confs: BTreeMap<String, ManagedConf>,
+    metric_index: BTreeMap<String, Vec<String>>,
+}
+
+impl ConfManager {
+    /// Builds every configuration declared in the registry.
+    ///
+    /// Entries marked `indirect` become [`SmartConfIndirect`] (with the
+    /// default identity transducer; build custom-transducer confs with
+    /// [`Registry::build_indirect_with`] and insert them via
+    /// [`ConfManager::insert`]).
+    ///
+    /// # Errors
+    ///
+    /// Any synthesis error for any configuration
+    /// ([`Error::UnknownMetric`], [`Error::InsufficientProfile`],
+    /// [`Error::NonMonotonicModel`], ...).
+    pub fn from_registry(registry: &Registry) -> Result<Self> {
+        let mut manager = ConfManager {
+            confs: BTreeMap::new(),
+            metric_index: BTreeMap::new(),
+        };
+        let names: Vec<String> = registry.conf_names().map(String::from).collect();
+        for name in names {
+            let entry = registry.entry(&name).expect("name from registry");
+            let metric = entry.metric.clone();
+            let managed = if entry.indirect {
+                ManagedConf::Indirect(registry.build_indirect(&name)?)
+            } else {
+                ManagedConf::Direct(registry.build(&name)?)
+            };
+            manager.insert_with_metric(name, metric, managed);
+        }
+        Ok(manager)
+    }
+
+    /// Inserts a pre-built configuration (e.g. one with a custom
+    /// transducer), associating it with `metric` for goal updates.
+    pub fn insert(&mut self, metric: impl Into<String>, conf: ManagedConf) {
+        let name = match &conf {
+            ManagedConf::Direct(c) => c.name().to_string(),
+            ManagedConf::Indirect(c) => c.name().to_string(),
+        };
+        self.insert_with_metric(name, metric.into(), conf);
+    }
+
+    fn insert_with_metric(&mut self, name: String, metric: String, conf: ManagedConf) {
+        self.metric_index
+            .entry(metric)
+            .or_default()
+            .push(name.clone());
+        self.confs.insert(name, conf);
+    }
+
+    /// Number of managed configurations.
+    pub fn len(&self) -> usize {
+        self.confs.len()
+    }
+
+    /// Whether the manager holds no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.confs.is_empty()
+    }
+
+    /// Names of the managed configurations, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.confs.keys().map(String::as_str)
+    }
+
+    fn get_mut(&mut self, name: &str) -> Result<&mut ManagedConf> {
+        self.confs.get_mut(name).ok_or_else(|| Error::UnknownConf {
+            name: name.to_string(),
+        })
+    }
+
+    /// Feeds a measurement to a *direct* configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownConf`] for unknown names;
+    /// [`Error::InvalidParameter`] when the configuration is indirect
+    /// (its deputy value is required — use
+    /// [`ConfManager::set_perf_indirect`]).
+    pub fn set_perf(&mut self, name: &str, actual: f64) -> Result<()> {
+        match self.get_mut(name)? {
+            ManagedConf::Direct(c) => {
+                c.set_perf(actual);
+                Ok(())
+            }
+            ManagedConf::Indirect(_) => Err(Error::InvalidParameter {
+                reason: format!("'{name}' is indirect: use set_perf_indirect with its deputy"),
+            }),
+        }
+    }
+
+    /// Feeds a measurement and deputy value to an *indirect*
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownConf`] for unknown names;
+    /// [`Error::InvalidParameter`] when the configuration is direct.
+    pub fn set_perf_indirect(&mut self, name: &str, actual: f64, deputy: f64) -> Result<()> {
+        match self.get_mut(name)? {
+            ManagedConf::Indirect(c) => {
+                c.set_perf(actual, deputy);
+                Ok(())
+            }
+            ManagedConf::Direct(_) => Err(Error::InvalidParameter {
+                reason: format!("'{name}' is direct: use set_perf"),
+            }),
+        }
+    }
+
+    /// Computes and returns the adjusted setting for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownConf`] for unknown names.
+    pub fn conf(&mut self, name: &str) -> Result<f64> {
+        Ok(match self.get_mut(name)? {
+            ManagedConf::Direct(c) => c.conf(),
+            ManagedConf::Indirect(c) => c.conf(),
+        })
+    }
+
+    /// Like [`ConfManager::conf`], rounded to the nearest integer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownConf`] for unknown names.
+    pub fn conf_rounded(&mut self, name: &str) -> Result<i64> {
+        Ok(self.conf(name)?.round() as i64)
+    }
+
+    /// Updates the goal of every configuration associated with `metric`
+    /// (the administrator-facing `setGoal` of §4.3) and returns how many
+    /// controllers were retargeted.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownMetric`] if no configuration uses the metric;
+    /// [`Error::InvalidGoal`] for a non-finite target.
+    pub fn set_goal(&mut self, metric: &str, target: f64) -> Result<usize> {
+        let names = self
+            .metric_index
+            .get(metric)
+            .cloned()
+            .ok_or_else(|| Error::UnknownMetric {
+                name: metric.to_string(),
+            })?;
+        for name in &names {
+            self.get_mut(name)?.set_goal(target)?;
+        }
+        Ok(names.len())
+    }
+
+    /// Names of configurations currently reporting their goal as
+    /// unreachable (§4.3's user alert).
+    pub fn unreachable(&self) -> Vec<&str> {
+        self.confs
+            .iter()
+            .filter(|(_, c)| c.goal_unreachable())
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+
+    /// Enables §5.5 profiling capture on every managed configuration,
+    /// writing `<name>.SmartConf.sys` files into `dir`.
+    pub fn enable_profiling(&mut self, dir: impl AsRef<Path>, flush_every: usize) {
+        for (name, conf) in &mut self.confs {
+            let capture = ProfilingCapture::new(&dir, name, flush_every);
+            match conf {
+                ManagedConf::Direct(c) => c.enable_profiling(capture),
+                ManagedConf::Indirect(c) => c.enable_profiling(capture),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Goal, ProfileSet};
+
+    fn profile_2x() -> ProfileSet {
+        let mut p = ProfileSet::new();
+        for s in [40.0, 80.0, 120.0, 160.0] {
+            for k in 0..10 {
+                p.add(s, 100.0 + 2.0 * s + (k % 3) as f64);
+            }
+        }
+        p
+    }
+
+    fn registry() -> Registry {
+        let mut reg = Registry::new();
+        reg.add_indirect_conf("q.size", "memory", 0.0, (0.0, 2_000.0));
+        reg.add_conf("cache.size", "latency", 10.0, (0.0, 2_000.0));
+        reg.set_goal(Goal::new("memory", 495.0));
+        reg.set_goal(Goal::new("latency", 300.0));
+        reg.add_profile("q.size", profile_2x());
+        reg.add_profile("cache.size", profile_2x());
+        reg
+    }
+
+    #[test]
+    fn builds_direct_and_indirect_from_registry() {
+        let mut m = ConfManager::from_registry(&registry()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.names().collect::<Vec<_>>(), vec!["cache.size", "q.size"]);
+
+        m.set_perf("cache.size", 200.0).unwrap();
+        assert!(m.conf("cache.size").unwrap() > 10.0);
+        m.set_perf_indirect("q.size", 300.0, 50.0).unwrap();
+        assert!(m.conf_rounded("q.size").unwrap() > 50);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let mut m = ConfManager::from_registry(&registry()).unwrap();
+        assert!(matches!(
+            m.set_perf("q.size", 1.0),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            m.set_perf_indirect("cache.size", 1.0, 2.0),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(m.conf("nope"), Err(Error::UnknownConf { .. })));
+    }
+
+    #[test]
+    fn goal_update_fans_out_by_metric() {
+        let mut reg = registry();
+        reg.add_conf("other.size", "memory", 0.0, (0.0, 2_000.0));
+        reg.add_profile("other.size", profile_2x());
+        let mut m = ConfManager::from_registry(&reg).unwrap();
+        assert_eq!(m.set_goal("memory", 400.0).unwrap(), 2);
+        assert_eq!(m.set_goal("latency", 100.0).unwrap(), 1);
+        assert!(matches!(
+            m.set_goal("unknown", 1.0),
+            Err(Error::UnknownMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_alerts_surface() {
+        let mut reg = Registry::new();
+        reg.add_conf("c", "m", 10.0, (0.0, 2_000.0));
+        // Plant floor ~100 but goal 10: unreachable.
+        reg.set_goal(Goal::new("m", 10.0));
+        reg.add_profile("c", profile_2x());
+        let mut m = ConfManager::from_registry(&reg).unwrap();
+        let mut setting = 10.0;
+        for _ in 0..10 {
+            m.set_perf("c", 2.0 * setting + 100.0).unwrap();
+            setting = m.conf("c").unwrap();
+        }
+        assert_eq!(m.unreachable(), vec!["c"]);
+    }
+
+    #[test]
+    fn profiling_capture_fans_out() {
+        let dir = std::env::temp_dir().join(format!("sc-mgr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = ConfManager::from_registry(&registry()).unwrap();
+        m.enable_profiling(&dir, 1);
+        m.set_perf("cache.size", 200.0).unwrap();
+        m.set_perf_indirect("q.size", 300.0, 50.0).unwrap();
+        assert!(ProfilingCapture::file_path(&dir, "cache.size").exists());
+        assert!(ProfilingCapture::file_path(&dir, "q.size").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_round_trips_indirect_flag() {
+        let reg = registry();
+        let mut reg2 = Registry::new();
+        reg2.parse_sys_str(&reg.to_sys_string()).unwrap();
+        assert!(reg2.entry("q.size").unwrap().indirect);
+        assert!(!reg2.entry("cache.size").unwrap().indirect);
+    }
+}

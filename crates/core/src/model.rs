@@ -1,0 +1,262 @@
+//! Linear performance models fitted from profiling data.
+//!
+//! The paper (§5, Equation 1) approximates how a performance metric reacts
+//! to a configuration with a linear model `s_k = α · c_{k−1}` built by
+//! regression over profiling runs. Only the gain `α` enters the controller
+//! (Equation 2); the intercept is absorbed by the integral action. We fit
+//! the full affine model `s = α·c + β` by ordinary least squares because
+//! real metrics have large baselines (heap = queue bytes + everything
+//! else), and report fit diagnostics so synthesis can reject degenerate
+//! profiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// An affine fit `perf ≈ alpha · setting + beta` with diagnostics.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::LinearFit;
+///
+/// let pts = [(1.0, 12.0), (2.0, 14.0), (3.0, 16.0), (4.0, 18.0)];
+/// let fit = LinearFit::ols(&pts)?;
+/// assert!((fit.alpha() - 2.0).abs() < 1e-9);
+/// assert!((fit.beta() - 10.0).abs() < 1e-9);
+/// assert!((fit.r_squared() - 1.0).abs() < 1e-9);
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    alpha: f64,
+    beta: f64,
+    r_squared: f64,
+    n: usize,
+}
+
+impl LinearFit {
+    /// Fits by ordinary least squares over `(setting, perf)` points.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InsufficientProfile`] with fewer than 2 points or fewer
+    ///   than 2 distinct settings.
+    /// * [`Error::InvalidParameter`] if any coordinate is not finite.
+    pub fn ols(points: &[(f64, f64)]) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(Error::InsufficientProfile {
+                needed: "at least 2 points".into(),
+                got: format!("{}", points.len()),
+            });
+        }
+        for &(c, s) in points {
+            if !c.is_finite() || !s.is_finite() {
+                return Err(Error::InvalidParameter {
+                    reason: format!("non-finite profile point ({c}, {s})"),
+                });
+            }
+        }
+        let n = points.len() as f64;
+        let mean_c = points.iter().map(|p| p.0).sum::<f64>() / n;
+        let mean_s = points.iter().map(|p| p.1).sum::<f64>() / n;
+        let mut ss_cc = 0.0;
+        let mut ss_cs = 0.0;
+        let mut ss_ss = 0.0;
+        for &(c, s) in points {
+            ss_cc += (c - mean_c) * (c - mean_c);
+            ss_cs += (c - mean_c) * (s - mean_s);
+            ss_ss += (s - mean_s) * (s - mean_s);
+        }
+        if ss_cc == 0.0 {
+            return Err(Error::InsufficientProfile {
+                needed: "at least 2 distinct settings".into(),
+                got: "all settings equal".into(),
+            });
+        }
+        let alpha = ss_cs / ss_cc;
+        let beta = mean_s - alpha * mean_c;
+        let r_squared = if ss_ss == 0.0 {
+            1.0 // constant response is fit perfectly (alpha = 0)
+        } else {
+            (ss_cs * ss_cs) / (ss_cc * ss_ss)
+        };
+        Ok(LinearFit {
+            alpha,
+            beta,
+            r_squared,
+            n: points.len(),
+        })
+    }
+
+    /// The gain: change in performance per unit change of configuration.
+    /// This is the `α` of the paper's Equations 1–2.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The intercept of the affine fit.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Coefficient of determination in `[0, 1]`.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of points used in the fit.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the fit used no points (never true for a constructed fit).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Predicted performance at a configuration setting.
+    pub fn predict(&self, setting: f64) -> f64 {
+        self.alpha * setting + self.beta
+    }
+
+    /// Configuration setting whose predicted performance equals `perf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroGain`] when `alpha` is (near) zero.
+    pub fn invert(&self, perf: f64) -> Result<f64> {
+        if self.alpha.abs() < f64::EPSILON {
+            return Err(Error::ZeroGain {
+                conf: "linear model".into(),
+            });
+        }
+        Ok((perf - self.beta) / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 7.0)).collect();
+        let fit = LinearFit::ols(&pts).unwrap();
+        assert!((fit.alpha() - 3.0).abs() < 1e-12);
+        assert!((fit.beta() - 7.0).abs() < 1e-12);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+        assert_eq!(fit.len(), 10);
+        assert!(!fit.is_empty());
+    }
+
+    #[test]
+    fn negative_slope() {
+        let pts = [(0.0, 10.0), (10.0, 0.0)];
+        let fit = LinearFit::ols(&pts).unwrap();
+        assert!((fit.alpha() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_fit_close() {
+        // y = 2x + 1 with symmetric noise.
+        let pts = [
+            (1.0, 3.2),
+            (1.0, 2.8),
+            (2.0, 5.1),
+            (2.0, 4.9),
+            (3.0, 7.3),
+            (3.0, 6.7),
+        ];
+        let fit = LinearFit::ols(&pts).unwrap();
+        assert!((fit.alpha() - 2.0).abs() < 0.1, "alpha {}", fit.alpha());
+        assert!(fit.r_squared() > 0.95);
+    }
+
+    #[test]
+    fn predict_and_invert_round_trip() {
+        let pts = [(0.0, 5.0), (10.0, 25.0)];
+        let fit = LinearFit::ols(&pts).unwrap();
+        let c = fit.invert(15.0).unwrap();
+        assert!((c - 5.0).abs() < 1e-12);
+        assert!((fit.predict(c) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_response_has_zero_gain() {
+        let pts = [(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)];
+        let fit = LinearFit::ols(&pts).unwrap();
+        assert_eq!(fit.alpha(), 0.0);
+        assert!(matches!(fit.invert(5.0), Err(Error::ZeroGain { .. })));
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(matches!(
+            LinearFit::ols(&[(1.0, 1.0)]),
+            Err(Error::InsufficientProfile { .. })
+        ));
+        assert!(matches!(
+            LinearFit::ols(&[]),
+            Err(Error::InsufficientProfile { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_settings_rejected() {
+        let pts = [(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)];
+        assert!(matches!(
+            LinearFit::ols(&pts),
+            Err(Error::InsufficientProfile { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(matches!(
+            LinearFit::ols(&[(1.0, f64::NAN), (2.0, 1.0)]),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn r_squared_degrades_with_noise() {
+        let clean = [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)];
+        let noisy = [(1.0, 2.0), (2.0, 9.0), (3.0, 4.0)];
+        let f1 = LinearFit::ols(&clean).unwrap();
+        let f2 = LinearFit::ols(&noisy).unwrap();
+        assert!(f1.r_squared() > f2.r_squared());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn recovers_any_exact_line(
+            alpha in -100.0f64..100.0,
+            beta in -1000.0f64..1000.0,
+            n in 2usize..50,
+        ) {
+            let pts: Vec<(f64, f64)> =
+                (0..n).map(|i| (i as f64, alpha * i as f64 + beta)).collect();
+            let fit = LinearFit::ols(&pts).unwrap();
+            prop_assert!((fit.alpha() - alpha).abs() < 1e-6 * (1.0 + alpha.abs()));
+            prop_assert!((fit.beta() - beta).abs() < 1e-5 * (1.0 + beta.abs()));
+        }
+
+        #[test]
+        fn r_squared_in_unit_interval(
+            pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40)
+        ) {
+            // Ensure at least two distinct settings.
+            let mut pts = pts;
+            pts.push((101.0, 0.0));
+            let fit = LinearFit::ols(&pts).unwrap();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&fit.r_squared()));
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Profiling data: the samples that drive controller synthesis.
+//!
+//! The paper profiles each PerfConf at 4 settings with 10 measurements
+//! each (§6.1). From the grouped samples SmartConf derives everything the
+//! controller needs, with **no user-supplied control parameters**:
+//!
+//! * the model gain `α` (regression, Equation 1),
+//! * the instability coefficient `λ = (1/N) Σ σᵢ/mᵢ` (§5.2), which sets
+//!   the virtual goal,
+//! * the model-error bound `Δ = 1 + (1/N) Σ 3σᵢ/mᵢ` (§5.1), which sets the
+//!   pole.
+//!
+//! `Δ = 1 + 3λ` by construction: the pole tolerates model error up to
+//! three standard deviations of the profiled variability (a 99.7%
+//! statistical guarantee under normality).
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+use smartconf_metrics::OnlineStats;
+
+use crate::{Error, LinearFit, Result};
+
+/// Minimum distinct settings for a usable profile.
+const MIN_SETTINGS: usize = 2;
+/// Relative tolerance when checking response monotonicity across settings.
+const MONOTONE_TOLERANCE: f64 = 0.05;
+
+/// One profiling observation: the performance measured while the
+/// configuration held a given setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfilePoint {
+    /// Configuration setting in effect.
+    pub setting: f64,
+    /// Measured performance.
+    pub perf: f64,
+}
+
+/// A collection of profiling samples grouped by configuration setting.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::ProfileSet;
+///
+/// let mut profile = ProfileSet::new();
+/// for setting in [40.0, 80.0, 120.0, 160.0] {
+///     for k in 0..10 {
+///         // memory grows ~2 MB per queue slot, with some noise
+///         let noise = (k % 3) as f64;
+///         profile.add(setting, 100.0 + 2.0 * setting + noise);
+///     }
+/// }
+/// let fit = profile.fit()?;
+/// assert!((fit.alpha() - 2.0).abs() < 0.05);
+/// assert!(profile.lambda() < 0.05);
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProfileSet {
+    points: Vec<ProfilePoint>,
+    /// Per-setting stats, keyed by the exact bit pattern of the setting.
+    groups: Vec<(f64, OnlineStats)>,
+}
+
+impl ProfileSet {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        ProfileSet::default()
+    }
+
+    /// Records one measurement taken at `setting`.
+    ///
+    /// Non-finite values are ignored (a broken sensor reading must not
+    /// poison synthesis).
+    pub fn add(&mut self, setting: f64, perf: f64) {
+        if !setting.is_finite() || !perf.is_finite() {
+            return;
+        }
+        self.points.push(ProfilePoint { setting, perf });
+        match self
+            .groups
+            .iter_mut()
+            .find(|(s, _)| s.to_bits() == setting.to_bits())
+        {
+            Some((_, stats)) => stats.record(perf),
+            None => {
+                let mut stats = OnlineStats::new();
+                stats.record(perf);
+                self.groups.push((setting, stats));
+                self.groups.sort_by(|a, b| a.0.total_cmp(&b.0));
+            }
+        }
+    }
+
+    /// All raw points in insertion order.
+    pub fn points(&self) -> &[ProfilePoint] {
+        &self.points
+    }
+
+    /// Number of raw samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the profile has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of distinct settings sampled.
+    pub fn num_settings(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Per-setting `(setting, stats)` pairs in ascending setting order.
+    pub fn groups(&self) -> impl Iterator<Item = (f64, &OnlineStats)> {
+        self.groups.iter().map(|(s, st)| (*s, st))
+    }
+
+    /// The instability coefficient `λ = (1/N) Σ σᵢ/mᵢ` across sampled
+    /// settings (paper §5.2). Zero for an empty profile.
+    pub fn lambda(&self) -> f64 {
+        if self.groups.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .groups
+            .iter()
+            .map(|(_, st)| st.coefficient_of_variation())
+            .sum();
+        sum / self.groups.len() as f64
+    }
+
+    /// The model-error bound `Δ = 1 + (1/N) Σ 3σᵢ/mᵢ = 1 + 3λ` (§5.1).
+    ///
+    /// The paper phrases the denominator as the mean "w.r.t minimum
+    /// performance under the i-th sampled configuration"; because `σ/m` is
+    /// scale-invariant, normalizing each group by its minimum leaves the
+    /// ratio unchanged, so we compute it directly from the group CV.
+    pub fn delta(&self) -> f64 {
+        1.0 + 3.0 * self.lambda()
+    }
+
+    /// Fits the affine model over all raw points.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InsufficientProfile`] — fewer than 2 distinct settings.
+    /// * [`Error::InvalidParameter`] — propagated from non-finite data
+    ///   (unreachable through [`ProfileSet::add`]).
+    pub fn fit(&self) -> Result<LinearFit> {
+        if self.num_settings() < MIN_SETTINGS {
+            return Err(Error::InsufficientProfile {
+                needed: format!("{MIN_SETTINGS} distinct settings"),
+                got: format!("{}", self.num_settings()),
+            });
+        }
+        let pts: Vec<(f64, f64)> = self.points.iter().map(|p| (p.setting, p.perf)).collect();
+        LinearFit::ols(&pts)
+    }
+
+    /// Checks that the per-setting mean response is monotonic in the
+    /// setting, within a small relative tolerance. SmartConf cannot
+    /// control non-monotonic responses (paper §6.6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonMonotonicModel`] when group means move both up
+    /// and down by more than the tolerance.
+    pub fn check_monotonic(&self, conf_name: &str) -> Result<()> {
+        let means: Vec<f64> = self.groups.iter().map(|(_, st)| st.mean()).collect();
+        if means.len() < 3 {
+            return Ok(()); // two points are always monotone
+        }
+        let scale = means
+            .iter()
+            .fold(0.0_f64, |a, &m| a.max(m.abs()))
+            .max(f64::MIN_POSITIVE);
+        let tol = scale * MONOTONE_TOLERANCE;
+        let mut rising = false;
+        let mut falling = false;
+        for w in means.windows(2) {
+            let d = w[1] - w[0];
+            if d > tol {
+                rising = true;
+            } else if d < -tol {
+                falling = true;
+            }
+        }
+        if rising && falling {
+            return Err(Error::NonMonotonicModel {
+                conf: conf_name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes to the on-disk `<ConfName>.SmartConf.sys` sample format:
+    /// one `sample <setting> <perf>` line per point.
+    pub fn to_sys_string(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            let _ = writeln!(out, "sample {} {}", p.setting, p.perf);
+        }
+        out
+    }
+
+    /// Parses the format produced by [`ProfileSet::to_sys_string`].
+    /// Blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] on malformed lines.
+    pub fn from_sys_string(text: &str) -> Result<Self> {
+        let mut set = ProfileSet::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next();
+            if tag != Some("sample") {
+                return Err(Error::Parse {
+                    line: idx + 1,
+                    message: format!("expected 'sample <setting> <perf>', got '{line}'"),
+                });
+            }
+            let parse = |s: Option<&str>| -> Result<f64> {
+                s.and_then(|v| v.parse::<f64>().ok()).ok_or(Error::Parse {
+                    line: idx + 1,
+                    message: format!("malformed sample line '{line}'"),
+                })
+            };
+            let setting = parse(parts.next())?;
+            let perf = parse(parts.next())?;
+            set.add(setting, perf);
+        }
+        Ok(set)
+    }
+}
+
+impl FromIterator<(f64, f64)> for ProfileSet {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut set = ProfileSet::new();
+        for (s, p) in iter {
+            set.add(s, p);
+        }
+        set
+    }
+}
+
+impl Extend<(f64, f64)> for ProfileSet {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (s, p) in iter {
+            self.add(s, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_profile() -> ProfileSet {
+        let mut p = ProfileSet::new();
+        for setting in [40.0, 80.0, 120.0, 160.0] {
+            for k in 0..10 {
+                let noise = [(k % 5) as f64 - 2.0, 0.0][k % 2];
+                p.add(setting, 100.0 + 2.0 * setting + 5.0 * noise);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn grouping_counts() {
+        let p = noisy_profile();
+        assert_eq!(p.len(), 40);
+        assert_eq!(p.num_settings(), 4);
+        let settings: Vec<f64> = p.groups().map(|(s, _)| s).collect();
+        assert_eq!(settings, vec![40.0, 80.0, 120.0, 160.0]);
+    }
+
+    #[test]
+    fn lambda_and_delta_relation() {
+        let p = noisy_profile();
+        let l = p.lambda();
+        assert!(l > 0.0 && l < 0.2, "lambda {l}");
+        assert!((p.delta() - (1.0 + 3.0 * l)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_for_noiseless() {
+        let p: ProfileSet = [(1.0, 10.0), (2.0, 20.0)].into_iter().collect();
+        assert_eq!(p.lambda(), 0.0);
+        assert_eq!(p.delta(), 1.0);
+    }
+
+    #[test]
+    fn empty_profile_defaults() {
+        let p = ProfileSet::new();
+        assert!(p.is_empty());
+        assert_eq!(p.lambda(), 0.0);
+        assert_eq!(p.delta(), 1.0);
+        assert!(matches!(p.fit(), Err(Error::InsufficientProfile { .. })));
+    }
+
+    #[test]
+    fn fit_recovers_gain() {
+        let fit = noisy_profile().fit().unwrap();
+        assert!((fit.alpha() - 2.0).abs() < 0.15, "alpha {}", fit.alpha());
+    }
+
+    #[test]
+    fn one_setting_cannot_fit() {
+        let p: ProfileSet = [(5.0, 1.0), (5.0, 2.0)].into_iter().collect();
+        assert!(matches!(p.fit(), Err(Error::InsufficientProfile { .. })));
+    }
+
+    #[test]
+    fn monotonic_accepts_increasing_and_decreasing() {
+        let inc: ProfileSet = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)].into_iter().collect();
+        assert!(inc.check_monotonic("c").is_ok());
+        let dec: ProfileSet = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)].into_iter().collect();
+        assert!(dec.check_monotonic("c").is_ok());
+    }
+
+    #[test]
+    fn monotonic_rejects_vee_shape() {
+        // MR5420-style: few chunks slow (imbalance), many chunks slow (no
+        // batching), sweet spot in the middle.
+        let vee: ProfileSet = [(1.0, 10.0), (2.0, 2.0), (3.0, 10.0)].into_iter().collect();
+        assert!(matches!(
+            vee.check_monotonic("max_chunks_tolerable"),
+            Err(Error::NonMonotonicModel { .. })
+        ));
+    }
+
+    #[test]
+    fn monotonic_tolerates_noise() {
+        let wiggle: ProfileSet = [(1.0, 100.0), (2.0, 99.5), (3.0, 150.0), (4.0, 200.0)]
+            .into_iter()
+            .collect();
+        assert!(wiggle.check_monotonic("c").is_ok());
+    }
+
+    #[test]
+    fn sys_round_trip() {
+        let p = noisy_profile();
+        let text = p.to_sys_string();
+        let q = ProfileSet::from_sys_string(&text).unwrap();
+        assert_eq!(p.len(), q.len());
+        assert_eq!(p.num_settings(), q.num_settings());
+        assert!((p.lambda() - q.lambda()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sys_parse_ignores_comments_and_blanks() {
+        let text = "# header\n\nsample 1 2\n   \nsample 3 4\n";
+        let p = ProfileSet::from_sys_string(text).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn sys_parse_rejects_garbage() {
+        assert!(matches!(
+            ProfileSet::from_sys_string("sample 1\n"),
+            Err(Error::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            ProfileSet::from_sys_string("sample 1 2\nnot_a_sample 3 4\n"),
+            Err(Error::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn add_ignores_non_finite() {
+        let mut p = ProfileSet::new();
+        p.add(f64::NAN, 1.0);
+        p.add(1.0, f64::INFINITY);
+        assert!(p.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn lambda_non_negative(
+            samples in prop::collection::vec((0.0f64..10.0, 1.0f64..1000.0), 1..80)
+        ) {
+            let p: ProfileSet = samples.into_iter().collect();
+            prop_assert!(p.lambda() >= 0.0);
+            prop_assert!(p.delta() >= 1.0);
+        }
+
+        #[test]
+        fn sys_round_trip_any(
+            samples in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..50)
+        ) {
+            let p: ProfileSet = samples.into_iter().collect();
+            let q = ProfileSet::from_sys_string(&p.to_sys_string()).unwrap();
+            prop_assert_eq!(p.len(), q.len());
+        }
+    }
+}

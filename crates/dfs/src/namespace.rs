@@ -1,0 +1,317 @@
+//! The namenode's namespace: an inode tree with content summaries.
+//!
+//! `du`/content-summary (HD4995's operation) walks a directory subtree
+//! under the namesystem lock, accumulating file counts and lengths. This
+//! module provides the tree the traversal walks: directories and files,
+//! deterministic synthetic population, and a resumable cursor that
+//! visits `limit` inodes per lock quantum — exactly the unit
+//! `content-summary.limit` meters.
+
+use smartconf_simkernel::SimRng;
+
+/// Index of an inode in the namespace arena.
+pub type InodeId = usize;
+
+/// One inode: a file with a length, or a directory with children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inode {
+    /// A regular file.
+    File {
+        /// File length in bytes.
+        length: u64,
+    },
+    /// A directory.
+    Directory {
+        /// Child inodes.
+        children: Vec<InodeId>,
+    },
+}
+
+/// Aggregates computed by a content-summary traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContentSummary {
+    /// Number of files under the subtree.
+    pub file_count: u64,
+    /// Number of directories under the subtree (including the root).
+    pub directory_count: u64,
+    /// Total file bytes under the subtree.
+    pub length: u64,
+}
+
+/// An arena-allocated namespace tree rooted at inode 0.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_dfs::Namespace;
+/// use smartconf_simkernel::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let ns = Namespace::synthesize(1_000, 8, &mut rng);
+/// assert_eq!(ns.summary(ns.root()).file_count, 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Namespace {
+    inodes: Vec<Inode>,
+}
+
+impl Namespace {
+    /// Creates a namespace holding only an empty root directory.
+    pub fn new() -> Self {
+        Namespace {
+            inodes: vec![Inode::Directory {
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root directory's id.
+    pub fn root(&self) -> InodeId {
+        0
+    }
+
+    /// Total number of inodes.
+    pub fn len(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Whether the namespace holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.inodes.len() == 1
+    }
+
+    /// Borrows an inode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn inode(&self, id: InodeId) -> &Inode {
+        &self.inodes[id]
+    }
+
+    /// Adds a file under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a directory.
+    pub fn add_file(&mut self, parent: InodeId, length: u64) -> InodeId {
+        let id = self.inodes.len();
+        self.inodes.push(Inode::File { length });
+        match &mut self.inodes[parent] {
+            Inode::Directory { children } => children.push(id),
+            Inode::File { .. } => panic!("parent {parent} is a file"),
+        }
+        id
+    }
+
+    /// Adds a directory under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a directory.
+    pub fn add_directory(&mut self, parent: InodeId) -> InodeId {
+        let id = self.inodes.len();
+        self.inodes.push(Inode::Directory {
+            children: Vec::new(),
+        });
+        match &mut self.inodes[parent] {
+            Inode::Directory { children } => children.push(id),
+            Inode::File { .. } => panic!("parent {parent} is a file"),
+        }
+        id
+    }
+
+    /// Synthesizes a namespace with `files` files spread over directories
+    /// of roughly `files_per_dir` entries (TestDFSIO populates flat, wide
+    /// directories; file sizes follow a heavy-ish spread around 64 MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `files_per_dir` is zero.
+    pub fn synthesize(files: u64, files_per_dir: u64, rng: &mut SimRng) -> Self {
+        assert!(files_per_dir > 0, "need at least one file per directory");
+        let mut ns = Namespace::new();
+        let mut remaining = files;
+        while remaining > 0 {
+            let dir = ns.add_directory(ns.root());
+            let in_this_dir = remaining.min(files_per_dir);
+            for _ in 0..in_this_dir {
+                let length = rng.uniform(16e6, 128e6) as u64;
+                ns.add_file(dir, length);
+            }
+            remaining -= in_this_dir;
+        }
+        ns
+    }
+
+    /// Computes the content summary of a subtree in one pass (the
+    /// unmetered traversal the pre-HD4995 namenode did while holding the
+    /// lock for the whole walk).
+    pub fn summary(&self, root: InodeId) -> ContentSummary {
+        let mut cursor = TraversalCursor::new(root);
+        let mut total = ContentSummary::default();
+        while !cursor.is_done() {
+            let step = cursor.advance(self, u64::MAX);
+            total.file_count += step.file_count;
+            total.directory_count += step.directory_count;
+            total.length += step.length;
+        }
+        total
+    }
+}
+
+impl Default for Namespace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A resumable depth-first traversal that visits at most `limit` inodes
+/// per call — the unit `content-summary.limit` meters. Between calls the
+/// namenode releases the lock and lets writers in (HD4995's fix).
+#[derive(Debug, Clone)]
+pub struct TraversalCursor {
+    stack: Vec<InodeId>,
+    visited: u64,
+}
+
+impl TraversalCursor {
+    /// Starts a traversal at `root`.
+    pub fn new(root: InodeId) -> Self {
+        TraversalCursor {
+            stack: vec![root],
+            visited: 0,
+        }
+    }
+
+    /// Whether the traversal has visited everything.
+    pub fn is_done(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Total inodes visited so far.
+    pub fn visited(&self) -> u64 {
+        self.visited
+    }
+
+    /// Visits up to `limit` inodes, returning the partial summary of
+    /// this quantum.
+    pub fn advance(&mut self, ns: &Namespace, limit: u64) -> ContentSummary {
+        let mut partial = ContentSummary::default();
+        let mut steps = 0;
+        while steps < limit {
+            let Some(id) = self.stack.pop() else {
+                break;
+            };
+            steps += 1;
+            self.visited += 1;
+            match ns.inode(id) {
+                Inode::File { length } => {
+                    partial.file_count += 1;
+                    partial.length += length;
+                }
+                Inode::Directory { children } => {
+                    partial.directory_count += 1;
+                    self.stack.extend(children.iter().rev());
+                }
+            }
+        }
+        partial
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Namespace {
+        // root / d1 / {f1: 100, f2: 200}, root / f3: 50
+        let mut ns = Namespace::new();
+        let d1 = ns.add_directory(ns.root());
+        ns.add_file(d1, 100);
+        ns.add_file(d1, 200);
+        ns.add_file(ns.root(), 50);
+        ns
+    }
+
+    #[test]
+    fn summary_aggregates_subtree() {
+        let ns = tiny();
+        let s = ns.summary(ns.root());
+        assert_eq!(s.file_count, 3);
+        assert_eq!(s.directory_count, 2); // root + d1
+        assert_eq!(s.length, 350);
+    }
+
+    #[test]
+    fn subtree_summary_excludes_siblings() {
+        let ns = tiny();
+        let d1 = match ns.inode(ns.root()) {
+            Inode::Directory { children } => children[0],
+            _ => unreachable!(),
+        };
+        let s = ns.summary(d1);
+        assert_eq!(s.file_count, 2);
+        assert_eq!(s.length, 300);
+    }
+
+    #[test]
+    fn metered_traversal_matches_unmetered() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let ns = Namespace::synthesize(500, 7, &mut rng);
+        let full = ns.summary(ns.root());
+
+        for limit in [1, 3, 64, 10_000] {
+            let mut cursor = TraversalCursor::new(ns.root());
+            let mut total = ContentSummary::default();
+            let mut quanta = 0;
+            while !cursor.is_done() {
+                let part = cursor.advance(&ns, limit);
+                total.file_count += part.file_count;
+                total.directory_count += part.directory_count;
+                total.length += part.length;
+                quanta += 1;
+            }
+            assert_eq!(total, full, "limit {limit} changed the answer");
+            let expected_quanta = (ns.len() as u64).div_ceil(limit);
+            assert_eq!(quanta, expected_quanta, "limit {limit}");
+            assert_eq!(cursor.visited(), ns.len() as u64);
+        }
+    }
+
+    #[test]
+    fn synthesize_counts() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let ns = Namespace::synthesize(100, 8, &mut rng);
+        let s = ns.summary(ns.root());
+        assert_eq!(s.file_count, 100);
+        assert_eq!(s.directory_count as usize + s.file_count as usize, ns.len());
+        // 100 files over dirs of 8: 13 dirs + root.
+        assert_eq!(s.directory_count, 14);
+        assert!(!ns.is_empty());
+    }
+
+    #[test]
+    fn empty_namespace() {
+        let ns = Namespace::new();
+        assert!(ns.is_empty());
+        let s = ns.summary(ns.root());
+        assert_eq!(s.file_count, 0);
+        assert_eq!(s.directory_count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a file")]
+    fn adding_under_file_panics() {
+        let mut ns = Namespace::new();
+        let f = ns.add_file(ns.root(), 1);
+        ns.add_file(f, 2);
+    }
+
+    #[test]
+    fn deterministic_synthesis() {
+        let a = Namespace::synthesize(64, 5, &mut SimRng::seed_from_u64(9));
+        let b = Namespace::synthesize(64, 5, &mut SimRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,325 @@
+//! The HD4995 scenario wiring: profiling, SmartConf synthesis, and the
+//! two-phase evaluation.
+
+use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConfIndirect};
+use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_simkernel::{SimDuration, SimTime, Simulation};
+
+use crate::namenode::{LimitPolicy, NamenodeEvent, NamenodeModel};
+use crate::namespace::Namespace;
+use smartconf_simkernel::SimRng;
+use smartconf_workload::TestDfsIoWorkload;
+
+/// The HD4995 scenario.
+///
+/// * Profiling: single-client TestDFSIO — one `du` at a time, light
+///   writers (Table 6).
+/// * Evaluation: multi-client — `du` requests keep arriving while
+///   writers run; the worst-case writer-block goal is 20 s in phase 1
+///   and tightens to 10 s in phase 2.
+/// * Trade-off: mean `du` completion latency (lower is better).
+#[derive(Debug, Clone)]
+pub struct Hd4995 {
+    /// Traversal cost per inode.
+    per_file: SimDuration,
+    /// Re-acquisition overhead per yield.
+    yield_overhead: SimDuration,
+    /// The single-client profiling workload (Table 6).
+    profile_workload: TestDfsIoWorkload,
+    /// The multi-client evaluation workload.
+    eval_workload: TestDfsIoWorkload,
+    /// Worst-case writer-block goals per phase, seconds.
+    phase_goals_secs: (f64, f64),
+    /// Phase durations.
+    phase_secs: (u64, u64),
+    profile_settings: Vec<f64>,
+}
+
+impl Hd4995 {
+    /// The standard setup: 1 M-inode `du`s at 20 µs/inode (20 s of pure
+    /// traversal), 2 s yield overhead, `du` requests every ~50 s,
+    /// writer-block goals 20 s then 10 s.
+    pub fn standard() -> Self {
+        Hd4995 {
+            per_file: SimDuration::from_micros(20),
+            yield_overhead: SimDuration::from_secs(2),
+            // One client issuing a du every ~40 s over a 1 M-inode tree,
+            // writers at 100 ops/s.
+            profile_workload: TestDfsIoWorkload::new(
+                1,
+                100.0,
+                1_000_000,
+                SimDuration::from_secs(40),
+            ),
+            // Several clients: du requests arrive every ~50 s on average
+            // and can queue behind each other.
+            eval_workload: TestDfsIoWorkload::new(4, 100.0, 1_000_000, SimDuration::from_secs(50)),
+            phase_goals_secs: (20.0, 10.0),
+            phase_secs: (200, 200),
+            profile_settings: vec![100_000.0, 300_000.0, 500_000.0, 700_000.0],
+        }
+    }
+
+    /// The workload's aggregate write rate, as a mean inter-arrival gap.
+    fn write_gap(w: &TestDfsIoWorkload) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / w.arrivals().mean_rate())
+    }
+
+    /// Per-phase worst-case writer-block goals in seconds.
+    pub fn phase_goals_secs(&self) -> (f64, f64) {
+        self.phase_goals_secs
+    }
+
+    /// Profiles the writer-block duration against the traversal limit
+    /// under the single-client profiling workload.
+    pub fn collect_profile(&self, seed: u64) -> ProfileSet {
+        let mut profile = ProfileSet::new();
+        for (i, &setting) in self.profile_settings.iter().enumerate() {
+            let horizon = SimTime::from_secs(120);
+            let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
+            let w = &self.profile_workload;
+            let model = NamenodeModel::new(
+                self.per_file,
+                self.yield_overhead,
+                LimitPolicy::Static(setting as u64),
+                setting as u64,
+                Self::write_gap(w),
+                w.du_interval(),
+                Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
+                horizon,
+            );
+            let mut sim = Simulation::new(model, seed.wrapping_add(i as u64 + 1));
+            sim.schedule_at(SimTime::ZERO, NamenodeEvent::WriteArrival);
+            sim.schedule_at(SimTime::ZERO, NamenodeEvent::DuArrival);
+            sim.run_until(horizon);
+            let m = sim.into_model();
+            for p in m.block_series.points().iter().take(40) {
+                profile.add(setting, p.value);
+            }
+        }
+        profile
+    }
+
+    /// Synthesizes the SmartConf controller for the traversal limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails (the standard profile is well-formed:
+    /// block duration is essentially affine in the limit).
+    pub fn build_controller(&self, profile: &ProfileSet) -> Controller {
+        let goal = Goal::new("write_block_secs", self.phase_goals_secs.0);
+        ControllerBuilder::new(goal)
+            .profile(profile)
+            .expect("profiling data supports synthesis")
+            .bounds(1_000.0, 5_000_000.0)
+            .initial(100_000.0)
+            .build()
+            .expect("controller synthesis")
+    }
+
+    fn run(&self, policy: LimitPolicy, initial_limit: u64, seed: u64, label: &str) -> RunResult {
+        let (p1, p2) = self.phase_secs;
+        let horizon = SimTime::from_secs(p1 + p2);
+        let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
+        let w = &self.eval_workload;
+        let model = NamenodeModel::new(
+            self.per_file,
+            self.yield_overhead,
+            policy,
+            initial_limit,
+            Self::write_gap(w),
+            w.du_interval(),
+            Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
+            horizon,
+        );
+        let mut sim = Simulation::new(model, seed);
+        sim.schedule_at(SimTime::ZERO, NamenodeEvent::WriteArrival);
+        sim.schedule_at(SimTime::ZERO, NamenodeEvent::DuArrival);
+        sim.schedule_at(SimTime::ZERO, NamenodeEvent::Sample);
+
+        // Phase 1 under the loose goal.
+        sim.run_until(SimTime::from_secs(p1));
+        let phase1_worst = sim.model().run_worst_block_secs;
+        // Goal tightens for phase 2 (the paper's changing constraint).
+        sim.model_mut().set_goal(self.phase_goals_secs.1);
+        sim.run_until(horizon);
+
+        let m = sim.into_model();
+        let phase2_worst = m
+            .block_series
+            .points()
+            .iter()
+            .filter(|p| p.t_us >= p1 * 1_000_000)
+            .map(|p| p.value)
+            .fold(0.0_f64, f64::max);
+        // Soft goals tolerate marginal overshoot (paper §4.3): a block
+        // within 2% of the cap counts as meeting it — the controller
+        // steers *to* the cap, so measurement noise straddles it.
+        const SOFT_TOLERANCE: f64 = 1.02;
+        let ok = phase1_worst <= self.phase_goals_secs.0 * SOFT_TOLERANCE
+            && phase2_worst <= self.phase_goals_secs.1 * SOFT_TOLERANCE;
+        let du_latency_secs = if m.du_latency.is_empty() {
+            f64::NAN
+        } else {
+            m.du_latency.mean() / 1e6
+        };
+        RunResult::new(
+            label,
+            ok,
+            du_latency_secs,
+            "mean du latency (s)",
+            TradeoffDirection::LowerIsBetter,
+        )
+        .with_series(m.block_series)
+        .with_series(m.conf_series)
+    }
+}
+
+impl Default for Hd4995 {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl Scenario for Hd4995 {
+    fn id(&self) -> &str {
+        "HD4995"
+    }
+
+    fn description(&self) -> &str {
+        "content-summary.limit limits #files traversed before du releases the big lock. \
+         Too big, write blocked for long; too small, du latency hurts."
+    }
+
+    fn config_name(&self) -> &str {
+        "content-summary.limit"
+    }
+
+    fn candidate_settings(&self) -> Vec<f64> {
+        (1..=20).map(|i| (i * 100_000) as f64).collect()
+    }
+
+    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+        match choice {
+            // The hard-coded behaviour traversed everything in one lock
+            // acquisition; the patch exposed the knob but kept that
+            // default (the issue's complaint).
+            StaticChoice::BuggyDefault => Some(5_000_000.0),
+            StaticChoice::PatchDefault => Some(5_000_000.0),
+            _ => None,
+        }
+    }
+
+    fn tradeoff_direction(&self) -> TradeoffDirection {
+        TradeoffDirection::LowerIsBetter
+    }
+
+    fn run_static(&self, setting: f64, seed: u64) -> RunResult {
+        self.run(
+            LimitPolicy::Static(setting.max(1.0) as u64),
+            setting.max(1.0) as u64,
+            seed,
+            &format!("static-{setting}"),
+        )
+    }
+
+    fn run_smartconf(&self, seed: u64) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let conf = SmartConfIndirect::new("content-summary.limit", controller);
+        self.run(
+            LimitPolicy::Smart(Box::new(conf)),
+            100_000,
+            seed,
+            "SmartConf",
+        )
+    }
+
+    fn profile(&self, seed: u64) -> ProfileSet {
+        self.collect_profile(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Hd4995 {
+        let mut s = Hd4995::standard();
+        s.phase_secs = (100, 100);
+        // Denser du stream so both phases see several traversals.
+        s.eval_workload = TestDfsIoWorkload::new(4, 100.0, 1_000_000, SimDuration::from_secs(15));
+        s
+    }
+
+    #[test]
+    fn profile_is_affine_in_limit() {
+        let p = Hd4995::standard().collect_profile(3);
+        assert_eq!(p.num_settings(), 4);
+        let fit = p.fit().unwrap();
+        // Worst block = limit * 20us => slope 2e-5 s/inode.
+        assert!(
+            (fit.alpha() - 2e-5).abs() < 5e-6,
+            "alpha {} (expected ~2e-5)",
+            fit.alpha()
+        );
+    }
+
+    #[test]
+    fn smartconf_meets_both_goals_and_adapts_down() {
+        let s = quick();
+        let smart = s.run_smartconf(19);
+        assert!(smart.constraint_ok, "SmartConf violated a block goal");
+        let conf = smart.series("content-summary.limit").unwrap();
+        let p1 = conf.value_at(95_000_000).unwrap();
+        let p2 = conf.value_at(195_000_000).unwrap();
+        assert!(
+            p2 < p1,
+            "limit should tighten with the goal: phase1 {p1}, phase2 {p2}"
+        );
+    }
+
+    #[test]
+    fn whole_namespace_quantum_violates() {
+        let s = quick();
+        // Entire 1M-inode du in one quantum: 20 s block > 10 s goal.
+        let r = s.run_static(5_000_000.0, 19);
+        assert!(!r.constraint_ok);
+    }
+
+    #[test]
+    fn tiny_limit_satisfies_but_du_is_slow() {
+        let s = quick();
+        let tiny = s.run_static(100_000.0, 19);
+        let moderate = s.run_static(400_000.0, 19);
+        assert!(tiny.constraint_ok);
+        if moderate.constraint_ok {
+            assert!(
+                tiny.tradeoff > moderate.tradeoff,
+                "tiny du latency {} should exceed moderate {}",
+                tiny.tradeoff,
+                moderate.tradeoff
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = quick();
+        let a = s.run_static(300_000.0, 4);
+        let b = s.run_static(300_000.0, 4);
+        assert_eq!(a.tradeoff, b.tradeoff);
+    }
+
+    #[test]
+    fn scenario_metadata() {
+        let s = Hd4995::standard();
+        assert_eq!(s.id(), "HD4995");
+        assert_eq!(s.phase_goals_secs(), (20.0, 10.0));
+        assert_eq!(s.tradeoff_direction(), TradeoffDirection::LowerIsBetter);
+        assert_eq!(
+            s.static_setting(StaticChoice::BuggyDefault),
+            s.static_setting(StaticChoice::PatchDefault),
+        );
+    }
+}

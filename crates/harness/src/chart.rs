@@ -1,0 +1,201 @@
+//! Terminal charts: render time series as ASCII line plots.
+//!
+//! The paper's Figures 6–8 are time-series plots; the figure binaries
+//! print both the raw columns (for plotting elsewhere) and these quick
+//! terminal renderings so the shape is visible without leaving the
+//! shell.
+
+use smartconf_metrics::TimeSeries;
+
+/// Renders one or more series into a fixed-size ASCII chart.
+///
+/// Each series gets a glyph; a horizontal guide line can mark a
+/// constraint. Values are resampled onto the column grid with
+/// zero-order hold and scaled into the row range.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_harness::AsciiChart;
+/// use smartconf_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new("mem");
+/// for t in 0..60u64 {
+///     ts.push(t * 1_000_000, (t as f64 * 8.0).min(400.0));
+/// }
+/// let chart = AsciiChart::new(40, 10)
+///     .with_guide(495.0, "goal")
+///     .render(&[(&ts, '*')]);
+/// assert!(chart.contains('*'));
+/// assert!(chart.contains("goal"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    guides: Vec<(f64, String)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart of `width` columns by `height` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is smaller than 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
+        AsciiChart {
+            width,
+            height,
+            guides: Vec::new(),
+        }
+    }
+
+    /// Adds a horizontal guide line (e.g. the hard constraint).
+    pub fn with_guide(mut self, value: f64, label: impl Into<String>) -> Self {
+        self.guides.push((value, label.into()));
+        self
+    }
+
+    /// Renders the series (each with its glyph) into a string.
+    ///
+    /// Empty input or all-empty series render an explanatory placeholder
+    /// instead of panicking.
+    pub fn render(&self, series: &[(&TimeSeries, char)]) -> String {
+        let t_max = series
+            .iter()
+            .filter_map(|(s, _)| s.last().map(|p| p.t_us))
+            .max()
+            .unwrap_or(0);
+        if t_max == 0 {
+            return "(no data to chart)\n".to_string();
+        }
+
+        // Value range across series and guides.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (s, _) in series {
+            if let Some(sum) = s.summary() {
+                lo = lo.min(sum.min);
+                hi = hi.max(sum.max);
+            }
+        }
+        for (g, _) in &self.guides {
+            lo = lo.min(*g);
+            hi = hi.max(*g);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return "(no data to chart)\n".to_string();
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let row_of = |v: f64| -> usize {
+            let frac = (v - lo) / (hi - lo);
+            let r = ((1.0 - frac) * (self.height - 1) as f64).round();
+            (r as usize).min(self.height - 1)
+        };
+
+        // Guides first so data overdraws them.
+        for (g, _) in &self.guides {
+            let r = row_of(*g);
+            for cell in &mut grid[r] {
+                *cell = '-';
+            }
+        }
+        for (s, glyph) in series {
+            // Indexing is two-dimensional (row depends on the value at
+            // each column), so a plain counted loop is clearest here.
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..self.width {
+                let t = t_max * col as u64 / (self.width - 1) as u64;
+                if let Some(v) = s.value_at(t) {
+                    grid[row_of(v)][col] = *glyph;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let v = hi - (hi - lo) * i as f64 / (self.height - 1) as f64;
+            let line: String = row.iter().collect();
+            let guide_label = self
+                .guides
+                .iter()
+                .find(|(g, _)| row_of(*g) == i)
+                .map(|(_, l)| format!(" <- {l}"))
+                .unwrap_or_default();
+            out.push_str(&format!("{v:>9.1} |{line}|{guide_label}\n"));
+        }
+        let secs = t_max as f64 / 1e6;
+        out.push_str(&format!(
+            "{:>9} +{}+\n{:>9}  0{:>width$.0}s\n",
+            "",
+            "-".repeat(self.width),
+            "",
+            secs,
+            width = self.width - 1
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: u64, scale: f64) -> TimeSeries {
+        let mut ts = TimeSeries::new("ramp");
+        for t in 0..n {
+            ts.push(t * 1_000_000, t as f64 * scale);
+        }
+        ts
+    }
+
+    #[test]
+    fn renders_shape_and_guide() {
+        let ts = ramp(100, 5.0);
+        let chart = AsciiChart::new(50, 12)
+            .with_guide(495.0, "limit")
+            .render(&[(&ts, '*')]);
+        assert!(chart.contains("limit"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains('-'));
+        // 12 data rows + 2 axis rows.
+        assert_eq!(chart.lines().count(), 14);
+    }
+
+    #[test]
+    fn two_series_two_glyphs() {
+        let a = ramp(50, 2.0);
+        let b = ramp(50, 4.0);
+        let chart = AsciiChart::new(30, 8).render(&[(&a, 'a'), (&b, 'b')]);
+        assert!(chart.contains('a'));
+        assert!(chart.contains('b'));
+    }
+
+    #[test]
+    fn empty_series_is_placeholder() {
+        let ts = TimeSeries::new("empty");
+        let chart = AsciiChart::new(30, 8).render(&[(&ts, '*')]);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let mut ts = TimeSeries::new("flat");
+        for t in 1..10u64 {
+            ts.push(t * 1_000_000, 7.0);
+        }
+        let chart = AsciiChart::new(20, 5).render(&[(&ts, '*')]);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_dimensions_panic() {
+        let _ = AsciiChart::new(1, 5);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared experiment-harness types for the SmartConf reproduction.
+//!
+//! Each of the paper's six PerfConf case studies (Table 6) is implemented
+//! as a [`Scenario`] in its host-system crate. The bench crate drives the
+//! scenarios through this common interface to regenerate Figure 5 (the
+//! SmartConf-vs-static speedup comparison), the time-series figures, and
+//! the exhaustive static sweep that finds the best static configuration.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chart;
+mod outcome;
+mod report;
+mod scenario;
+mod sweep;
+
+pub use chart::AsciiChart;
+pub use outcome::{RunResult, TradeoffDirection};
+pub use report::TextTable;
+pub use scenario::{Scenario, StaticChoice};
+pub use sweep::{sweep_statics, StaticSweep};

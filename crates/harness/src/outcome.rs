@@ -1,0 +1,215 @@
+//! Results of one experiment run.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use smartconf_metrics::TimeSeries;
+
+/// Whether larger or smaller trade-off values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TradeoffDirection {
+    /// e.g. throughput — Figure 5 speedup is `new / baseline`.
+    HigherIsBetter,
+    /// e.g. latency — Figure 5 speedup is `baseline / new`.
+    LowerIsBetter,
+}
+
+/// The outcome of one simulated run of a scenario under one configuration
+/// policy (a static setting, SmartConf, or an ablated controller).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Human-readable label ("SmartConf", "static-90", ...).
+    pub label: String,
+    /// Whether the performance constraint held for the whole run.
+    pub constraint_ok: bool,
+    /// Whether the run died (OOM/OOD crash). A crashed run always has
+    /// `constraint_ok == false`.
+    pub crashed: bool,
+    /// Simulated time of the crash in microseconds, if any.
+    pub crash_time_us: Option<u64>,
+    /// The secondary (trade-off) metric being optimized under the
+    /// constraint.
+    pub tradeoff: f64,
+    /// Name of the trade-off metric ("write throughput (ops/s)", ...).
+    pub tradeoff_name: String,
+    /// Which direction of `tradeoff` is better.
+    pub direction: TradeoffDirection,
+    /// Named time series recorded during the run (used memory, queue
+    /// size, throughput...).
+    pub series: BTreeMap<String, TimeSeries>,
+}
+
+impl RunResult {
+    /// Creates a result with no series.
+    pub fn new(
+        label: impl Into<String>,
+        constraint_ok: bool,
+        tradeoff: f64,
+        tradeoff_name: impl Into<String>,
+        direction: TradeoffDirection,
+    ) -> Self {
+        RunResult {
+            label: label.into(),
+            constraint_ok,
+            crashed: false,
+            crash_time_us: None,
+            tradeoff,
+            tradeoff_name: tradeoff_name.into(),
+            direction,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Marks the run as crashed at the given simulated time.
+    pub fn with_crash(mut self, t_us: u64) -> Self {
+        self.crashed = true;
+        self.crash_time_us = Some(t_us);
+        self.constraint_ok = false;
+        self
+    }
+
+    /// Attaches a named time series.
+    pub fn with_series(mut self, series: TimeSeries) -> Self {
+        self.series.insert(series.name().to_string(), series);
+        self
+    }
+
+    /// Looks up a recorded series.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Renders all recorded series as CSV on a shared time grid
+    /// (zero-order hold), one column per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_us` is zero.
+    pub fn series_csv(&self, step_us: u64) -> String {
+        assert!(step_us > 0, "csv step must be positive");
+        let names: Vec<&str> = self.series.keys().map(String::as_str).collect();
+        let mut out = String::from("t_us");
+        for n in &names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        let end = self
+            .series
+            .values()
+            .filter_map(|s| s.last().map(|p| p.t_us))
+            .max()
+            .unwrap_or(0);
+        let mut t = 0u64;
+        while t <= end {
+            out.push_str(&t.to_string());
+            for n in &names {
+                out.push(',');
+                if let Some(v) = self.series[*n].value_at(t) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+            t += step_us;
+        }
+        out
+    }
+
+    /// Speedup of `self` relative to `baseline` in the scenario's
+    /// direction (Figure 5's y-axis). Returns `f64::NAN` when the
+    /// baseline trade-off is zero or either run produced a non-finite
+    /// trade-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two results measure different trade-off directions.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(
+            self.direction, baseline.direction,
+            "cannot compare trade-offs with different directions"
+        );
+        let (a, b) = match self.direction {
+            TradeoffDirection::HigherIsBetter => (self.tradeoff, baseline.tradeoff),
+            TradeoffDirection::LowerIsBetter => (baseline.tradeoff, self.tradeoff),
+        };
+        if !a.is_finite() || !b.is_finite() || b == 0.0 {
+            f64::NAN
+        } else {
+            a / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tradeoff: f64, dir: TradeoffDirection) -> RunResult {
+        RunResult::new("x", true, tradeoff, "m", dir)
+    }
+
+    #[test]
+    fn speedup_higher_is_better() {
+        let a = result(20.0, TradeoffDirection::HigherIsBetter);
+        let b = result(10.0, TradeoffDirection::HigherIsBetter);
+        assert_eq!(a.speedup_over(&b), 2.0);
+        assert_eq!(b.speedup_over(&a), 0.5);
+    }
+
+    #[test]
+    fn speedup_lower_is_better() {
+        let fast = result(5.0, TradeoffDirection::LowerIsBetter);
+        let slow = result(10.0, TradeoffDirection::LowerIsBetter);
+        assert_eq!(fast.speedup_over(&slow), 2.0);
+    }
+
+    #[test]
+    fn speedup_degenerate_is_nan() {
+        let a = result(1.0, TradeoffDirection::HigherIsBetter);
+        let z = result(0.0, TradeoffDirection::HigherIsBetter);
+        assert!(a.speedup_over(&z).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "different directions")]
+    fn mismatched_directions_panic() {
+        let a = result(1.0, TradeoffDirection::HigherIsBetter);
+        let b = result(1.0, TradeoffDirection::LowerIsBetter);
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn crash_clears_constraint() {
+        let r = result(1.0, TradeoffDirection::HigherIsBetter).with_crash(5_000_000);
+        assert!(r.crashed);
+        assert!(!r.constraint_ok);
+        assert_eq!(r.crash_time_us, Some(5_000_000));
+    }
+
+    #[test]
+    fn series_csv_renders_grid() {
+        let mut mem = TimeSeries::new("mem");
+        mem.push(0, 1.0);
+        mem.push(2_000_000, 3.0);
+        let mut thr = TimeSeries::new("thr");
+        thr.push(1_000_000, 10.0);
+        let r = result(1.0, TradeoffDirection::HigherIsBetter)
+            .with_series(mem)
+            .with_series(thr);
+        let csv = r.series_csv(1_000_000);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_us,mem,thr");
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1000000,1,10");
+        assert_eq!(lines[3], "2000000,3,10");
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let mut ts = TimeSeries::new("mem");
+        ts.push(0, 1.0);
+        let r = result(1.0, TradeoffDirection::HigherIsBetter).with_series(ts);
+        assert_eq!(r.series("mem").unwrap().len(), 1);
+        assert!(r.series("nope").is_none());
+    }
+}

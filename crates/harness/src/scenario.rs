@@ -1,0 +1,122 @@
+//! The scenario abstraction: one PerfConf case study.
+
+use smartconf_core::ProfileSet;
+
+use crate::{RunResult, TradeoffDirection};
+
+/// The static baselines Figure 5 compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StaticChoice {
+    /// The default setting users complained about in the original issue.
+    BuggyDefault,
+    /// The default the developers' patch introduced.
+    PatchDefault,
+    /// The best constraint-satisfying static setting, found by exhaustive
+    /// sweep over the scenario's candidate settings.
+    Optimal,
+    /// A plausible-but-poor static setting (the paper's randomly chosen
+    /// static configurations).
+    Nonoptimal,
+}
+
+/// One PerfConf case study from Table 6 (e.g. HB3813), runnable under a
+/// static setting or under SmartConf control.
+///
+/// Implementations live in the host-system crates
+/// (`smartconf-kvstore`, `smartconf-dfs`, `smartconf-mapred`); the bench
+/// crate drives them through this trait to regenerate the evaluation.
+pub trait Scenario {
+    /// Issue identifier, e.g. `"HB3813"`.
+    fn id(&self) -> &str;
+
+    /// One-line description of the configuration and its trade-off.
+    fn description(&self) -> &str;
+
+    /// The configuration name, e.g. `"ipc.server.max.queue.size"`.
+    fn config_name(&self) -> &str;
+
+    /// Candidate static settings for the exhaustive sweep that finds the
+    /// static optimal (paper §6.3: "we find the best static configuration
+    /// by exhaustively searching all possible PerfConf settings").
+    fn candidate_settings(&self) -> Vec<f64>;
+
+    /// The static setting associated with a named baseline choice.
+    /// `Optimal` and `Nonoptimal` are discovered by sweeping and return
+    /// `None` here.
+    fn static_setting(&self, choice: StaticChoice) -> Option<f64>;
+
+    /// Which direction of the trade-off metric is better.
+    fn tradeoff_direction(&self) -> TradeoffDirection;
+
+    /// Runs the two-phase evaluation workload with a fixed setting.
+    fn run_static(&self, setting: f64, seed: u64) -> RunResult;
+
+    /// Runs the two-phase evaluation workload under SmartConf control.
+    fn run_smartconf(&self, seed: u64) -> RunResult;
+
+    /// Runs the profiling workload (distinct from the evaluation workload,
+    /// §6.1) and returns the collected samples.
+    fn profile(&self, seed: u64) -> ProfileSet;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy scenario over the plant `metric = setting`, constraint
+    /// `metric <= 100`, trade-off = setting (higher is better).
+    struct Toy;
+
+    impl Scenario for Toy {
+        fn id(&self) -> &str {
+            "TOY1"
+        }
+        fn description(&self) -> &str {
+            "toy"
+        }
+        fn config_name(&self) -> &str {
+            "toy.setting"
+        }
+        fn candidate_settings(&self) -> Vec<f64> {
+            (0..=20).map(|i| i as f64 * 10.0).collect()
+        }
+        fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+            match choice {
+                StaticChoice::BuggyDefault => Some(200.0),
+                StaticChoice::PatchDefault => Some(150.0),
+                _ => None,
+            }
+        }
+        fn tradeoff_direction(&self) -> TradeoffDirection {
+            TradeoffDirection::HigherIsBetter
+        }
+        fn run_static(&self, setting: f64, _seed: u64) -> RunResult {
+            RunResult::new(
+                format!("static-{setting}"),
+                setting <= 100.0,
+                setting,
+                "setting",
+                TradeoffDirection::HigherIsBetter,
+            )
+        }
+        fn run_smartconf(&self, seed: u64) -> RunResult {
+            let mut r = self.run_static(100.0, seed);
+            r.label = "SmartConf".into();
+            r
+        }
+        fn profile(&self, _seed: u64) -> ProfileSet {
+            [(10.0, 10.0), (20.0, 20.0)].into_iter().collect()
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let s: Box<dyn Scenario> = Box::new(Toy);
+        assert_eq!(s.id(), "TOY1");
+        assert!(s.run_static(50.0, 1).constraint_ok);
+        assert!(!s.run_static(150.0, 1).constraint_ok);
+        assert_eq!(s.run_smartconf(1).label, "SmartConf");
+        assert_eq!(s.static_setting(StaticChoice::Optimal), None);
+        assert_eq!(s.profile(1).num_settings(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Simulated distributed key-value store substrate.
+//!
+//! The SmartConf paper's key-value case studies run on Cassandra and
+//! HBase; this crate models the *mechanisms* those four issues exercise —
+//! nothing more, nothing less (see the repository `DESIGN.md` for the
+//! substitution argument):
+//!
+//! * a JVM-style [`HeapModel`] with a hard capacity (exceeding it is an
+//!   out-of-memory crash),
+//! * [`BackgroundChurn`] (from the simulation kernel), the fluctuating
+//!   live-object population that makes memory headroom unpredictable,
+//! * bounded RPC [`CountBoundedQueue`]/[`ByteBoundedQueue`]s whose
+//!   resident payloads count against the heap,
+//! * a write-buffer [`Memtable`] with flush, and a [`Memstore`] with
+//!   upper/lower flush watermarks that block writes while draining.
+//!
+//! The four case studies are wired in [`scenarios`]:
+//!
+//! | issue | configuration | constraint | trade-off |
+//! |---|---|---|---|
+//! | CA6059 | `memtable_total_space_in_mb` | no OOM (hard) | write latency |
+//! | HB2149 | `global.memstore.lowerLimit` | worst write block ≤ t (soft) | write throughput |
+//! | HB3813 | `ipc.server.max.queue.size` | no OOM (hard) | RPC throughput |
+//! | HB6728 | `ipc.server.response.queue.maxsize` | no OOM (hard) | read throughput |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod heap;
+mod memtable;
+mod queues;
+pub mod scenarios;
+
+pub use heap::HeapModel;
+pub use memtable::{Memstore, Memtable};
+pub use queues::{ByteBoundedQueue, CountBoundedQueue, QueuedRequest};
+pub use smartconf_simkernel::BackgroundChurn;

@@ -1,0 +1,497 @@
+//! HB6728: `ipc.server.response.queue.maxsize` — the RPC response-queue
+//! byte bound.
+//!
+//! The original configuration was unbounded (∞); the patch capped it at
+//! 1 GB, which still exceeds the region server's heap, so OOM remained
+//! possible (Table 6, Figure 5). The model: read responses (2 MB each)
+//! queue for network transmission; queued response bytes are
+//! heap-resident. Deeper response queues pipeline the network better
+//! (higher read throughput), but the bytes count against the heap. In
+//! phase 2 a 30% write mix adds a sawtoothing memstore component,
+//! shrinking the budget the response queue may use — an **indirect,
+//! hard** PerfConf (`N-N-Y`).
+
+use smartconf_core::{
+    Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConfIndirect,
+};
+use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_metrics::{RateCounter, TimeSeries};
+use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
+use smartconf_workload::{PhasedWorkload, YcsbWorkload};
+
+use crate::{BackgroundChurn, ByteBoundedQueue, HeapModel, Memtable, QueuedRequest};
+
+const MB: u64 = 1_000_000;
+const CHURN_TICK: SimDuration = SimDuration::from_millis(100);
+const SAMPLE_TICK: SimDuration = SimDuration::from_millis(500);
+const RATE_WINDOW: SimDuration = SimDuration::from_secs(5);
+
+/// The HB6728 scenario.
+#[derive(Debug, Clone)]
+pub struct Hb6728 {
+    heap_goal: u64,
+    oom_limit: u64,
+    base_bytes: u64,
+    churn_mean: f64,
+    churn_sigma: f64,
+    /// Network: per-response cost plus overhead amortized by queue depth.
+    send_overhead: SimDuration,
+    per_send_cost: SimDuration,
+    /// Memstore flush threshold for the phase-2 write mix.
+    memstore_threshold: u64,
+    memstore_flush_rate: f64,
+    eval: PhasedWorkload<YcsbWorkload>,
+    profile_workload: YcsbWorkload,
+    /// Profiled settings, in MB of response-queue bound.
+    profile_settings: Vec<f64>,
+}
+
+impl Hb6728 {
+    /// Standard two-phase setup: phase 1 `0.0W, 2MB`, phase 2 `0.3W, 2MB`
+    /// (Table 6), 200 s each.
+    pub fn standard() -> Self {
+        Hb6728 {
+            heap_goal: 495 * MB,
+            oom_limit: 510 * MB,
+            base_bytes: 100 * MB,
+            churn_mean: 200.0 * MB as f64,
+            churn_sigma: 1.5 * MB as f64,
+            send_overhead: SimDuration::from_secs(2),
+            per_send_cost: SimDuration::from_millis(10),
+            memstore_threshold: 30 * MB,
+            memstore_flush_rate: 150.0 * MB as f64,
+            eval: PhasedWorkload::new(vec![
+                (SimDuration::from_secs(200), Self::workload("0.0W")),
+                (SimDuration::from_secs(200), Self::workload("0.3W")),
+            ]),
+            profile_workload: Self::workload("0.0W"),
+            profile_settings: vec![40.0, 80.0, 120.0, 160.0],
+        }
+    }
+
+    fn workload(spec: &str) -> YcsbWorkload {
+        // Readers saturate the store; the response queue is the
+        // bottleneck, so its depth sets read throughput.
+        YcsbWorkload::paper(spec, 2.0, 0.0, 60.0)
+    }
+
+    /// The memory goal in MB.
+    pub fn heap_goal_mb(&self) -> f64 {
+        self.heap_goal as f64 / MB as f64
+    }
+
+    /// Profiles memory against the response-queue bound (4 settings × 10
+    /// samples).
+    pub fn collect_profile(&self, seed: u64) -> ProfileSet {
+        let mut profile = ProfileSet::new();
+        for (i, &setting_mb) in self.profile_settings.iter().enumerate() {
+            let workload =
+                PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
+            let result = self.run_model(
+                Policy::Static((setting_mb * MB as f64) as u64),
+                &workload,
+                seed.wrapping_add(i as u64 + 1),
+                "profiling",
+            );
+            let mem = result
+                .series("used_memory_mb")
+                .expect("profiling run records memory");
+            // 48 samples on a 1 s grid (see HB3813: CLT coverage incl.
+            // churn spikes).
+            for k in 0..48u64 {
+                if let Some(v) = mem.value_at((10 + k) * 1_000_000) {
+                    profile.add(setting_mb, v);
+                }
+            }
+        }
+        profile
+    }
+
+    /// Synthesizes the SmartConf controller for the response queue. The
+    /// deputy is the resident response bytes in MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails (the standard profile is well-formed).
+    pub fn build_controller(&self, profile: &ProfileSet) -> Controller {
+        let goal = Goal::new("memory_mb", self.heap_goal_mb())
+            .with_hardness(Hardness::Hard)
+            .expect("positive target");
+        ControllerBuilder::new(goal)
+            .profile(profile)
+            .expect("profiling data supports synthesis")
+            .bounds(0.0, 2_000.0)
+            .initial(0.0)
+            .build()
+            .expect("controller synthesis")
+    }
+
+    fn run_model(
+        &self,
+        policy: Policy,
+        workload: &PhasedWorkload<YcsbWorkload>,
+        seed: u64,
+        label: &str,
+    ) -> RunResult {
+        let horizon = SimTime::ZERO + workload.total_duration();
+        let mut heap = HeapModel::new(self.oom_limit);
+        heap.set_component("base", self.base_bytes);
+        let initial_max = match &policy {
+            Policy::Static(b) => *b,
+            Policy::Smart(_) => 0,
+        };
+        let model = ResponseModel {
+            heap,
+            churn: BackgroundChurn::with_spikes(
+                self.churn_mean,
+                self.churn_sigma,
+                0.002,
+                4.0 * MB as f64,
+                6.0 * MB as f64,
+            )
+            .with_reversion(0.02),
+            queue: ByteBoundedQueue::new(initial_max),
+            memtable: Memtable::new(self.memstore_threshold, self.memstore_flush_rate),
+            policy,
+            phased: workload.clone(),
+            sending: false,
+            send_overhead: self.send_overhead,
+            per_send_cost: self.per_send_cost,
+            completed_reads: 0,
+            crashed: None,
+            goal_mb: self.heap_goal_mb(),
+            goal_violated: false,
+            mem_series: TimeSeries::new("used_memory_mb"),
+            conf_series: TimeSeries::new("response.queue.maxsize_mb"),
+            queue_series: TimeSeries::new("response.queue.bytes_mb"),
+            thr_series: TimeSeries::new("read_throughput_ops_per_sec"),
+            rate: RateCounter::new(RATE_WINDOW.as_micros()),
+            horizon,
+        };
+        let mut sim = Simulation::new(model, seed);
+        sim.schedule_at(SimTime::ZERO, Ev::Arrival);
+        sim.schedule_at(SimTime::ZERO, Ev::ChurnTick);
+        sim.schedule_at(SimTime::ZERO, Ev::Sample);
+        sim.run_until(horizon);
+
+        let m = sim.into_model();
+        let elapsed_secs = workload.total_duration().as_secs_f64();
+        let mut result = RunResult::new(
+            label,
+            m.crashed.is_none() && !m.goal_violated,
+            m.completed_reads as f64 / elapsed_secs,
+            "read throughput (ops/s)",
+            TradeoffDirection::HigherIsBetter,
+        );
+        if let Some(t) = m.crashed {
+            result = result.with_crash(t.as_micros());
+        }
+        result
+            .with_series(m.mem_series)
+            .with_series(m.conf_series)
+            .with_series(m.queue_series)
+            .with_series(m.thr_series)
+    }
+}
+
+impl Default for Hb6728 {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl Scenario for Hb6728 {
+    fn id(&self) -> &str {
+        "HB6728"
+    }
+
+    fn description(&self) -> &str {
+        "ipc.server.response.queue.maxsize limits RPC-response queue size. \
+         Too big, OOM; too small, read/write throughput hurts."
+    }
+
+    fn config_name(&self) -> &str {
+        "ipc.server.response.queue.maxsize"
+    }
+
+    fn candidate_settings(&self) -> Vec<f64> {
+        // MB bounds on resident response bytes.
+        (1..=30).map(|i| (i * 10) as f64).collect()
+    }
+
+    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+        match choice {
+            // Originally unbounded; represent "infinity" as well past
+            // any plausible heap.
+            StaticChoice::BuggyDefault => Some(100_000.0),
+            // The patch capped it at 1 GB — still twice this heap.
+            StaticChoice::PatchDefault => Some(1_000.0),
+            _ => None,
+        }
+    }
+
+    fn tradeoff_direction(&self) -> TradeoffDirection {
+        TradeoffDirection::HigherIsBetter
+    }
+
+    fn run_static(&self, setting: f64, seed: u64) -> RunResult {
+        self.run_model(
+            Policy::Static((setting.max(0.0) * MB as f64) as u64),
+            &self.eval.clone(),
+            seed,
+            &format!("static-{setting}MB"),
+        )
+    }
+
+    fn run_smartconf(&self, seed: u64) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
+        self.run_model(
+            Policy::Smart(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "SmartConf",
+        )
+    }
+
+    fn profile(&self, seed: u64) -> ProfileSet {
+        self.collect_profile(seed)
+    }
+}
+
+#[derive(Debug)]
+enum Policy {
+    /// Fixed byte bound.
+    Static(u64),
+    /// SmartConf controller over the deputy (resident MB).
+    Smart(Box<SmartConfIndirect>),
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival,
+    SendDone,
+    FlushDone,
+    ChurnTick,
+    Sample,
+}
+
+#[derive(Debug)]
+struct ResponseModel {
+    heap: HeapModel,
+    churn: BackgroundChurn,
+    queue: ByteBoundedQueue,
+    memtable: Memtable,
+    policy: Policy,
+    phased: PhasedWorkload<YcsbWorkload>,
+    sending: bool,
+    send_overhead: SimDuration,
+    per_send_cost: SimDuration,
+    completed_reads: u64,
+    crashed: Option<SimTime>,
+    goal_mb: f64,
+    goal_violated: bool,
+    mem_series: TimeSeries,
+    conf_series: TimeSeries,
+    queue_series: TimeSeries,
+    thr_series: TimeSeries,
+    rate: RateCounter,
+    horizon: SimTime,
+}
+
+impl ResponseModel {
+    fn control_step(&mut self) {
+        if let Policy::Smart(sc) = &mut self.policy {
+            let deputy_mb = self.queue.bytes() as f64 / MB as f64;
+            sc.set_perf(self.heap.used_mb(), deputy_mb);
+            let bound_mb = sc.conf().max(0.0);
+            self.queue.set_max_bytes((bound_mb * MB as f64) as u64);
+        }
+    }
+
+    fn sync_heap(&mut self) {
+        self.heap
+            .set_component("response_queue", self.queue.bytes());
+        self.heap
+            .set_component("memstore", self.memtable.total_bytes());
+    }
+
+    fn check_oom(&mut self, ctx: &mut Context<'_, Ev>) {
+        if self.crashed.is_none() && self.heap.is_oom() {
+            self.crashed = Some(ctx.now());
+            let t = ctx.now().as_micros();
+            self.mem_series.push(t, self.heap.used_mb());
+            ctx.halt();
+        }
+    }
+
+    fn maybe_start_send(&mut self, ctx: &mut Context<'_, Ev>) {
+        if !self.sending && !self.queue.is_empty() {
+            self.sending = true;
+            let depth = self.queue.len() as f64;
+            let amortized = self.send_overhead.as_micros() as f64 / (1.0 + depth);
+            let cost = self.per_send_cost + SimDuration::from_micros(amortized as u64);
+            ctx.schedule_in(cost, Ev::SendDone);
+        }
+    }
+}
+
+impl Model for ResponseModel {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, ctx: &mut Context<'_, Ev>) {
+        match event {
+            Ev::Arrival => {
+                let now = ctx.now();
+                let workload = self.phased.at(now).clone();
+                let op = workload.next_op(ctx.rng());
+                if op.is_write() {
+                    // Writes land in the memstore; the heavy payload
+                    // lives there, the ack response is negligible.
+                    self.memtable.write(op.size_bytes());
+                    if self.memtable.should_flush() && !self.memtable.is_flushing() {
+                        let d = self.memtable.start_flush();
+                        ctx.schedule_in(d, Ev::FlushDone);
+                    }
+                    self.sync_heap();
+                    self.check_oom(ctx);
+                } else {
+                    // Reads are served from cache/disk quickly; the
+                    // response then queues for network transmission.
+                    self.control_step();
+                    let pushed = self.queue.try_push(QueuedRequest {
+                        enqueued_at: now,
+                        bytes: op.size_bytes(),
+                        is_write: false,
+                    });
+                    if pushed {
+                        self.sync_heap();
+                        self.check_oom(ctx);
+                    }
+                }
+                if self.crashed.is_none() {
+                    self.maybe_start_send(ctx);
+                    let gap = workload.arrivals().next_gap(ctx.rng());
+                    ctx.schedule_in(gap, Ev::Arrival);
+                }
+            }
+            Ev::SendDone => {
+                if self.queue.pop().is_some() {
+                    self.completed_reads += 1;
+                    self.rate.record(ctx.now().as_micros(), 1);
+                    self.sync_heap();
+                }
+                self.sending = false;
+                self.maybe_start_send(ctx);
+            }
+            Ev::FlushDone => {
+                self.memtable.finish_flush();
+                self.sync_heap();
+                if self.memtable.should_flush() {
+                    let d = self.memtable.start_flush();
+                    ctx.schedule_in(d, Ev::FlushDone);
+                }
+            }
+            Ev::ChurnTick => {
+                let level = self.churn.tick(ctx.rng());
+                self.heap.set_component("churn", level);
+                self.check_oom(ctx);
+                ctx.schedule_in(CHURN_TICK, Ev::ChurnTick);
+            }
+            Ev::Sample => {
+                if self.heap.used_mb() > self.goal_mb {
+                    self.goal_violated = true;
+                }
+                let t = ctx.now().as_micros();
+                self.mem_series.push(t, self.heap.used_mb());
+                self.conf_series
+                    .push(t, self.queue.max_bytes() as f64 / MB as f64);
+                self.queue_series
+                    .push(t, self.queue.bytes() as f64 / MB as f64);
+                let rate = self.rate.rate_per_sec(t);
+                self.thr_series.push(t, rate);
+                if ctx.now() < self.horizon {
+                    ctx.schedule_in(SAMPLE_TICK, Ev::Sample);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Hb6728 {
+        let mut s = Hb6728::standard();
+        s.eval = PhasedWorkload::new(vec![
+            (SimDuration::from_secs(40), Hb6728::workload("0.0W")),
+            (SimDuration::from_secs(40), Hb6728::workload("0.3W")),
+        ]);
+        s
+    }
+
+    #[test]
+    fn profile_shape() {
+        let p = Hb6728::standard().collect_profile(3);
+        assert_eq!(p.num_settings(), 4);
+        assert_eq!(p.len(), 4 * 48);
+        let fit = p.fit().unwrap();
+        // ~1 MB of heap per MB of queue bound.
+        assert!(
+            fit.alpha() > 0.3 && fit.alpha() < 2.0,
+            "alpha {}",
+            fit.alpha()
+        );
+    }
+
+    #[test]
+    fn smartconf_satisfies_and_competes() {
+        let s = quick();
+        let smart = s.run_smartconf(17);
+        assert!(smart.constraint_ok, "SmartConf failed: {smart:?}");
+        let conservative = s.run_static(60.0, 17);
+        if conservative.constraint_ok {
+            assert!(smart.tradeoff >= conservative.tradeoff * 0.95);
+        }
+    }
+
+    #[test]
+    fn unbounded_default_ooms() {
+        let s = quick();
+        let buggy = s.run_static(100_000.0, 17);
+        assert!(buggy.crashed, "unbounded response queue must OOM");
+        // The 1 GB patch default also exceeds the heap.
+        let patch = s.run_static(1_000.0, 17);
+        assert!(!patch.constraint_ok);
+    }
+
+    #[test]
+    fn memstore_component_active_in_phase_two() {
+        let s = quick();
+        let r = s.run_static(60.0, 21);
+        let mem = r.series("used_memory_mb").unwrap();
+        // Phase 2 carries the write mix: memory is higher on average.
+        let p1 = mem.max_in(20_000_000, 40_000_000).unwrap();
+        let p2 = mem.max_in(60_000_000, 80_000_000).unwrap();
+        assert!(p2 > p1, "phase2 max {p2} <= phase1 max {p1}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = quick();
+        let a = s.run_static(80.0, 5);
+        let b = s.run_static(80.0, 5);
+        assert_eq!(a.tradeoff, b.tradeoff);
+    }
+
+    #[test]
+    fn scenario_metadata() {
+        let s = Hb6728::standard();
+        assert_eq!(s.id(), "HB6728");
+        assert_eq!(s.static_setting(StaticChoice::PatchDefault), Some(1_000.0));
+        assert!(s.static_setting(StaticChoice::BuggyDefault).unwrap() > 10_000.0);
+        assert_eq!(s.tradeoff_direction(), TradeoffDirection::HigherIsBetter);
+    }
+}

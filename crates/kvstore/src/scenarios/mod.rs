@@ -1,0 +1,19 @@
+//! The four key-value PerfConf case studies (paper Table 6).
+//!
+//! Each module wires the shared substrate (heap, churn, queues, write
+//! buffers) into a discrete-event server model for one issue, implements
+//! [`smartconf_harness::Scenario`] on it, and exposes the knobs the
+//! benchmark harness needs (ablated controllers for Figure 7, the
+//! combined two-queue model for Figure 8).
+
+mod ca6059;
+mod hb2149;
+mod hb3813;
+mod hb6728;
+mod twin;
+
+pub use ca6059::Ca6059;
+pub use hb2149::Hb2149;
+pub use hb3813::{ControllerVariant, Hb3813};
+pub use hb6728::Hb6728;
+pub use twin::{TwinQueues, TwinRunResult};

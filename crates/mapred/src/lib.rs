@@ -1,0 +1,27 @@
+//! Simulated MapReduce substrate.
+//!
+//! Hosts the paper's MR2820 case study: `local.dir.minspacestart` decides
+//! whether a worker has enough free local disk to accept a map task.
+//!
+//! * too **small** — tasks start on nearly-full disks; their spill files
+//!   plus other tenants' fluctuating disk usage run the disk out
+//!   (out-of-disk, the hard failure);
+//! * too **big** — workers sit idle whenever free space dips below the
+//!   reserve, and jobs take longer.
+//!
+//! Map tasks spill intermediate data to local disk while they run; the
+//! spill lives on until the shuffle fetches it. The **conditional,
+//! direct, hard** PerfConf (`Y-Y-Y`) is adjusted by a controller on the
+//! master and shipped to the workers — the paper's Table 7 notes this
+//! master-to-slave delivery as part of MR2820's integration cost.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod disk;
+pub mod scenario;
+
+pub use cluster::{ClusterEvent, ClusterModel, SpacePolicy};
+pub use disk::WorkerDisk;
+pub use scenario::Mr2820;

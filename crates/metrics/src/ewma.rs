@@ -1,0 +1,136 @@
+//! Exponentially weighted moving average.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially weighted moving average over a stream of samples.
+///
+/// SmartConf sensors feed raw measurements (queue occupancy, heap bytes)
+/// that can be noisy at the event granularity of the simulators; an EWMA
+/// with a modest smoothing factor presents the controller with the same
+/// kind of time-averaged signal the paper's Java sensors (e.g. MapReduce's
+/// `MemHeapUsedM`) expose.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_metrics::Ewma;
+///
+/// let mut e = Ewma::new(0.5);
+/// e.record(10.0);
+/// e.record(20.0);
+/// assert_eq!(e.value(), 15.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// `alpha = 1.0` tracks the latest sample exactly; smaller values
+    /// smooth more.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0.0, 1.0]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0, 1], got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Records a sample. The first sample initializes the average.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current smoothed value, or `0.0` before any sample.
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Current smoothed value, or `None` before any sample.
+    pub fn value_opt(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Discards all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value_opt(), None);
+        assert_eq!(e.value(), 0.0);
+        e.record(42.0);
+        assert_eq!(e.value(), 42.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest() {
+        let mut e = Ewma::new(1.0);
+        e.record(1.0);
+        e.record(99.0);
+        assert_eq!(e.value(), 99.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.3);
+        e.record(0.0);
+        for _ in 0..200 {
+            e.record(10.0);
+        }
+        assert!((e.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_nan() {
+        let mut e = Ewma::new(0.5);
+        e.record(5.0);
+        e.record(f64::NAN);
+        assert_eq!(e.value(), 5.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut e = Ewma::new(0.5);
+        e.record(5.0);
+        e.reset();
+        assert_eq!(e.value_opt(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn zero_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "EWMA alpha")]
+    fn big_alpha_panics() {
+        let _ = Ewma::new(1.5);
+    }
+}

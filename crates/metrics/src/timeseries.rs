@@ -1,0 +1,310 @@
+//! Append-only time-series recording and resampling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OnlineStats;
+
+/// One `(time, value)` observation. Time is in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Timestamp in microseconds since simulation start.
+    pub t_us: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// Summary statistics over a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Number of points.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean of the values (unweighted by time).
+    pub mean: f64,
+    /// Time-weighted mean, treating each value as holding until the next
+    /// sample (zero-order hold).
+    pub time_weighted_mean: f64,
+}
+
+/// An append-only `(time, value)` series with monotonically non-decreasing
+/// timestamps.
+///
+/// The evaluation figures of the paper (Figures 6–8) are all time series:
+/// used memory, queue-size settings, throughput. Simulators record into
+/// `TimeSeries` and the bench harness renders/resamples them.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new("used_memory_mb");
+/// ts.push(0, 100.0);
+/// ts.push(1_000_000, 200.0);
+/// assert_eq!(ts.last().unwrap().value, 200.0);
+/// assert_eq!(ts.summary().unwrap().max, 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_us` is earlier than the last recorded timestamp
+    /// (series must be recorded in time order).
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                t_us >= last.t_us,
+                "time series '{}' must be appended in time order: {} < {}",
+                self.name,
+                t_us,
+                last.t_us
+            );
+        }
+        self.points.push(SeriesPoint { t_us, value });
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points in time order.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Last recorded point.
+    pub fn last(&self) -> Option<SeriesPoint> {
+        self.points.last().copied()
+    }
+
+    /// Value at time `t_us` under zero-order hold (the most recent sample
+    /// at or before `t_us`), or `None` before the first sample.
+    pub fn value_at(&self, t_us: u64) -> Option<f64> {
+        match self.points.binary_search_by_key(&t_us, |p| p.t_us) {
+            Ok(i) => {
+                // On ties, take the last sample with this timestamp.
+                let mut i = i;
+                while i + 1 < self.points.len() && self.points[i + 1].t_us == t_us {
+                    i += 1;
+                }
+                Some(self.points[i].value)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].value),
+        }
+    }
+
+    /// Maximum value in the half-open time range `[from_us, to_us)`.
+    pub fn max_in(&self, from_us: u64, to_us: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| p.t_us >= from_us && p.t_us < to_us)
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Resamples the series onto a fixed grid of `step_us` using zero-order
+    /// hold, from the first to the last timestamp inclusive.
+    ///
+    /// Useful for rendering figures with aligned x axes.
+    pub fn resample(&self, step_us: u64) -> Vec<SeriesPoint> {
+        assert!(step_us > 0, "resample step must be positive");
+        let (Some(first), Some(last)) = (self.points.first(), self.points.last()) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut t = first.t_us;
+        while t <= last.t_us {
+            if let Some(v) = self.value_at(t) {
+                out.push(SeriesPoint { t_us: t, value: v });
+            }
+            t += step_us;
+        }
+        out
+    }
+
+    /// Summary statistics, or `None` when empty.
+    pub fn summary(&self) -> Option<SeriesSummary> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let stats: OnlineStats = self.points.iter().map(|p| p.value).collect();
+        let mut weighted = 0.0;
+        let mut span = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].t_us - w[0].t_us) as f64;
+            weighted += w[0].value * dt;
+            span += dt;
+        }
+        let twm = if span > 0.0 {
+            weighted / span
+        } else {
+            stats.mean()
+        };
+        Some(SeriesSummary {
+            count: self.points.len(),
+            min: stats.min().unwrap_or(0.0),
+            max: stats.max().unwrap_or(0.0),
+            mean: stats.mean(),
+            time_weighted_mean: twm,
+        })
+    }
+}
+
+impl FromIterator<(u64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (u64, f64)>>(iter: I) -> Self {
+        let mut ts = TimeSeries::new("");
+        for (t, v) in iter {
+            ts.push(t, v);
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_at_zero_order_hold() {
+        let ts: TimeSeries = [(10, 1.0), (20, 2.0), (30, 3.0)].into_iter().collect();
+        assert_eq!(ts.value_at(5), None);
+        assert_eq!(ts.value_at(10), Some(1.0));
+        assert_eq!(ts.value_at(15), Some(1.0));
+        assert_eq!(ts.value_at(20), Some(2.0));
+        assert_eq!(ts.value_at(99), Some(3.0));
+    }
+
+    #[test]
+    fn value_at_duplicate_timestamps_takes_last() {
+        let ts: TimeSeries = [(10, 1.0), (10, 2.0), (10, 3.0)].into_iter().collect();
+        assert_eq!(ts.value_at(10), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new("x");
+        ts.push(10, 1.0);
+        ts.push(5, 2.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let ts: TimeSeries = [(0, 10.0), (10, 20.0), (30, 0.0)].into_iter().collect();
+        let s = ts.summary().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 20.0);
+        assert_eq!(s.mean, 10.0);
+        // 10.0 held for 10 us, 20.0 held for 20 us => (100 + 400)/30
+        assert!((s.time_weighted_mean - 500.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert_eq!(TimeSeries::new("x").summary(), None);
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let ts: TimeSeries = [(5, 7.0)].into_iter().collect();
+        let s = ts.summary().unwrap();
+        assert_eq!(s.time_weighted_mean, 7.0);
+    }
+
+    #[test]
+    fn resample_grid() {
+        let ts: TimeSeries = [(0, 1.0), (25, 2.0)].into_iter().collect();
+        let r = ts.resample(10);
+        assert_eq!(
+            r,
+            vec![
+                SeriesPoint {
+                    t_us: 0,
+                    value: 1.0
+                },
+                SeriesPoint {
+                    t_us: 10,
+                    value: 1.0
+                },
+                SeriesPoint {
+                    t_us: 20,
+                    value: 1.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn max_in_range() {
+        let ts: TimeSeries = [(0, 1.0), (10, 9.0), (20, 4.0)].into_iter().collect();
+        assert_eq!(ts.max_in(0, 15), Some(9.0));
+        assert_eq!(ts.max_in(11, 30), Some(4.0));
+        assert_eq!(ts.max_in(50, 60), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn value_at_matches_linear_scan(
+            mut times in prop::collection::vec(0u64..10_000, 1..50),
+            query in 0u64..12_000,
+        ) {
+            times.sort_unstable();
+            let ts: TimeSeries = times.iter().enumerate()
+                .map(|(i, &t)| (t, i as f64))
+                .collect();
+            let expect = times.iter().enumerate()
+                .filter(|(_, &t)| t <= query)
+                .map(|(i, _)| i as f64)
+                .next_back();
+            prop_assert_eq!(ts.value_at(query), expect);
+        }
+
+        #[test]
+        fn summary_mean_in_bounds(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let ts: TimeSeries = values.iter().enumerate()
+                .map(|(i, &v)| (i as u64, v))
+                .collect();
+            let s = ts.summary().unwrap();
+            prop_assert!(s.mean >= s.min - 1e-6 && s.mean <= s.max + 1e-6);
+            prop_assert!(s.time_weighted_mean >= s.min - 1e-6
+                && s.time_weighted_mean <= s.max + 1e-6);
+        }
+    }
+}

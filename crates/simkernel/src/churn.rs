@@ -1,0 +1,228 @@
+//! Background heap churn: the unpredictable live-object population.
+//!
+//! The paper motivates hard-goal handling with disturbances like "a new
+//! process could unexpectedly allocate a huge data structure" (§5.2).
+//! This process models the non-queue heap residents of a busy JVM: a
+//! mean-reverting random walk (compactions, caches, GC slack) plus
+//! occasional heavy-tailed spikes (bulk allocations).
+
+use crate::SimRng;
+
+/// A mean-reverting churn process with heavy-tailed spikes.
+///
+/// Sampled on a fixed tick by the server models; the current level is a
+/// heap component.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::{BackgroundChurn, SimRng};
+///
+/// let mut churn = BackgroundChurn::new(120_000_000.0, 30_000_000.0, 0.02);
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let level = churn.tick(&mut rng);
+/// assert!(level > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackgroundChurn {
+    mean: f64,
+    sigma: f64,
+    spike_prob: f64,
+    spike_min: f64,
+    spike_cap: f64,
+    /// Mean-reversion strength per tick.
+    reversion: f64,
+    level: f64,
+    /// Remaining ticks of an active spike.
+    spike_ticks: u32,
+    spike_bytes: f64,
+    spike_target: f64,
+}
+
+impl BackgroundChurn {
+    /// Creates a churn process.
+    ///
+    /// * `mean` — long-run average churn in bytes.
+    /// * `sigma` — per-tick noise amplitude in bytes.
+    /// * `spike_prob` — per-tick probability of starting a spike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` or `sigma` is negative, or `spike_prob` outside
+    /// `[0, 1]`.
+    pub fn new(mean: f64, sigma: f64, spike_prob: f64) -> Self {
+        Self::with_spikes(mean, sigma, spike_prob, mean * 0.3, mean * 2.0)
+    }
+
+    /// Creates a churn process with explicit spike sizing: spikes draw
+    /// from a Pareto with scale `spike_min` bytes, capped at `spike_cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` or `sigma` is negative, `spike_prob` is outside
+    /// `[0, 1]`, or `spike_min > spike_cap`.
+    pub fn with_spikes(
+        mean: f64,
+        sigma: f64,
+        spike_prob: f64,
+        spike_min: f64,
+        spike_cap: f64,
+    ) -> Self {
+        assert!(
+            mean >= 0.0 && sigma >= 0.0,
+            "mean and sigma must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&spike_prob),
+            "spike probability must be in [0,1], got {spike_prob}"
+        );
+        assert!(
+            spike_min <= spike_cap,
+            "spike_min ({spike_min}) must not exceed spike_cap ({spike_cap})"
+        );
+        BackgroundChurn {
+            mean,
+            sigma,
+            spike_prob,
+            spike_min,
+            spike_cap,
+            reversion: 0.1,
+            level: mean,
+            spike_ticks: 0,
+            spike_bytes: 0.0,
+            spike_target: 0.0,
+        }
+    }
+
+    /// A churn process that never moves (for deterministic tests).
+    pub fn constant(bytes: f64) -> Self {
+        let mut c = BackgroundChurn::new(bytes.max(0.0), 0.0, 0.0);
+        c.level = bytes.max(0.0);
+        c
+    }
+
+    /// Advances one tick and returns the current churn level in bytes.
+    pub fn tick(&mut self, rng: &mut SimRng) -> u64 {
+        // Mean-reverting base walk.
+        let noise = if self.sigma > 0.0 {
+            rng.normal(0.0, self.sigma)
+        } else {
+            0.0
+        };
+        self.level += self.reversion * (self.mean - self.level) + noise;
+        self.level = self.level.max(0.0);
+
+        // Spike lifecycle: a heavy-tailed target is ramped up over a few
+        // ticks (allocations grow over GC cycles, not instantaneously),
+        // held, then collected all at once.
+        const RAMP_TICKS: f64 = 5.0;
+        if self.spike_ticks > 0 {
+            if self.spike_bytes < self.spike_target {
+                self.spike_bytes =
+                    (self.spike_bytes + self.spike_target / RAMP_TICKS).min(self.spike_target);
+            }
+            self.spike_ticks -= 1;
+            if self.spike_ticks == 0 {
+                self.spike_bytes = 0.0;
+                self.spike_target = 0.0;
+            }
+        } else if self.spike_prob > 0.0 && rng.chance(self.spike_prob) && self.spike_min > 0.0 {
+            self.spike_target = rng.pareto(self.spike_min, 1.5).min(self.spike_cap);
+            self.spike_ticks = rng.uniform_u64(8, 20) as u32;
+        }
+
+        (self.level + self.spike_bytes) as u64
+    }
+
+    /// Sets the mean-reversion strength per tick (default 0.1). Smaller
+    /// values give a smoother, slower-wandering process whose total
+    /// variability is larger for the same per-tick noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reversion` is not in `(0, 1]`.
+    pub fn with_reversion(mut self, reversion: f64) -> Self {
+        assert!(
+            reversion > 0.0 && reversion <= 1.0,
+            "reversion must be in (0, 1], got {reversion}"
+        );
+        self.reversion = reversion;
+        self
+    }
+
+    /// Current level without advancing.
+    pub fn level(&self) -> u64 {
+        (self.level + self.spike_bytes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_churn_is_flat() {
+        let mut c = BackgroundChurn::constant(5_000.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(c.tick(&mut rng), 5_000);
+        }
+    }
+
+    #[test]
+    fn stays_near_mean_without_spikes() {
+        let mut c = BackgroundChurn::new(100_000.0, 2_000.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let levels: Vec<u64> = (0..5_000).map(|_| c.tick(&mut rng)).collect();
+        let avg = levels.iter().sum::<u64>() as f64 / levels.len() as f64;
+        assert!((avg - 100_000.0).abs() < 10_000.0, "avg {avg}");
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut c = BackgroundChurn::new(100.0, 10_000.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let _ = c.tick(&mut rng); // u64 return type enforces >= 0
+        }
+    }
+
+    #[test]
+    fn spikes_occur_and_decay() {
+        let mut c = BackgroundChurn::new(100_000.0, 1_000.0, 0.05);
+        let mut rng = SimRng::seed_from_u64(4);
+        let levels: Vec<u64> = (0..2_000).map(|_| c.tick(&mut rng)).collect();
+        let max = *levels.iter().max().unwrap();
+        // Some spike pushed well above the mean...
+        assert!(max > 125_000, "max {max}");
+        // ...but decayed: the last samples are back near the mean.
+        let tail_avg = levels[1_900..].iter().sum::<u64>() as f64 / 100.0;
+        assert!(tail_avg < 250_000.0, "tail avg {tail_avg}");
+    }
+
+    #[test]
+    fn spike_bounded_by_cap() {
+        let mut c = BackgroundChurn::new(100_000.0, 0.0, 1.0);
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..500 {
+            assert!(c.tick(&mut rng) <= 320_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut c = BackgroundChurn::new(50_000.0, 5_000.0, 0.02);
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..200).map(|_| c.tick(&mut rng)).collect::<Vec<u64>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "spike probability")]
+    fn bad_spike_prob_panics() {
+        let _ = BackgroundChurn::new(1.0, 1.0, 2.0);
+    }
+}

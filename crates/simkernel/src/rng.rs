@@ -1,0 +1,254 @@
+//! Seeded random source with the distributions the simulators need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimDuration;
+
+/// Deterministic random source for simulations.
+///
+/// Wraps a seeded PRNG and provides the handful of distributions the
+/// workload generators and disturbance processes use. Keeping the
+/// distribution implementations here (rather than pulling in a
+/// distributions crate) keeps the dependency set to the approved list and
+/// makes the sampling code auditable.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Used to give each simulated component (workload, churn process,
+    /// service times) its own stream so that adding a component does not
+    /// perturb the others' draws.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.random::<u64>())
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "uniform_u64 requires lo < hi, got [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0,1], got {p}"
+        );
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.random::<f64>() < p
+        }
+    }
+
+    /// Exponential draw with the given mean (inverse-CDF method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Normal draw via Box–Muller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is not finite.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(
+            mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
+            "normal requires finite mu and non-negative sigma, got ({mu}, {sigma})"
+        );
+        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.inner.random::<f64>();
+        mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw truncated below at `floor`.
+    pub fn normal_at_least(&mut self, mu: f64, sigma: f64, floor: f64) -> f64 {
+        self.normal(mu, sigma).max(floor)
+    }
+
+    /// Pareto draw with scale `x_min` and shape `alpha` (heavy tail).
+    ///
+    /// Models the occasional huge allocation the paper cites as the kind of
+    /// sudden discrete disturbance that breaks traditional overshoot
+    /// analysis (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_min` or `alpha` is not positive and finite.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(
+            x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
+            "pareto requires positive x_min and alpha, got ({x_min}, {alpha})"
+        );
+        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        x_min / u.powf(1.0 / alpha)
+    }
+
+    /// Exponentially distributed inter-arrival gap with the given mean.
+    pub fn exp_gap(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Raw `u64` draw (for deriving seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(123);
+        let mut b = SimRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let n = r.uniform_u64(10, 20);
+            assert!((10..20).contains(&n));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = SimRng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var was {var}");
+    }
+
+    #[test]
+    fn pareto_at_least_xmin() {
+        let mut r = SimRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert!(r.pareto(3.0, 2.0) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(17);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_parent_use() {
+        let mut parent1 = SimRng::seed_from_u64(21);
+        let mut child1 = parent1.fork();
+        let c1: Vec<u64> = (0..5).map(|_| child1.next_u64()).collect();
+
+        let mut parent2 = SimRng::seed_from_u64(21);
+        let mut child2 = parent2.fork();
+        // Parent draws more afterwards; child stream must be unchanged.
+        let _ = parent2.next_u64();
+        let c2: Vec<u64> = (0..5).map(|_| child2.next_u64()).collect();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn exp_gap_zero_mean_is_zero() {
+        let mut r = SimRng::seed_from_u64(23);
+        assert_eq!(r.exp_gap(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn chance_out_of_range_panics() {
+        let mut r = SimRng::seed_from_u64(1);
+        let _ = r.chance(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential mean")]
+    fn exponential_zero_mean_panics() {
+        let mut r = SimRng::seed_from_u64(1);
+        let _ = r.exponential(0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Bounded trace log for debugging simulation runs.
+
+use std::collections::VecDeque;
+
+use crate::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the record.
+    pub at: SimTime,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A bounded, optionally disabled, in-memory trace of simulation events.
+///
+/// When disabled (the default for experiment runs), [`TraceLog::record`]
+/// never evaluates the message closure, so tracing costs nothing in the
+/// benchmark harness.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::{SimTime, TraceLog};
+///
+/// let mut log = TraceLog::with_capacity(2);
+/// log.record(SimTime::from_secs(1), || "first".to_string());
+/// log.record(SimTime::from_secs(2), || "second".to_string());
+/// log.record(SimTime::from_secs(3), || "third".to_string());
+/// // Oldest entry was evicted.
+/// assert_eq!(log.entries().len(), 2);
+/// assert_eq!(log.entries()[0].message, "second");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+}
+
+impl TraceLog {
+    /// Creates a disabled log that records nothing.
+    pub fn disabled() -> Self {
+        TraceLog {
+            capacity: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Creates a log keeping the most recent `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Whether recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records a message; lazily evaluated, dropped when disabled.
+    pub fn record(&mut self, at: SimTime, message: impl FnOnce() -> String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            message: message(),
+        });
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> &VecDeque<TraceEntry> {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_never_evaluates() {
+        let mut log = TraceLog::disabled();
+        log.record(SimTime::ZERO, || panic!("must not be called"));
+        assert!(log.entries().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..10u64 {
+            log.record(SimTime::from_micros(i), || format!("m{i}"));
+        }
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.entries()[0].message, "m7");
+        assert_eq!(log.entries()[2].message, "m9");
+    }
+
+    #[test]
+    fn enabled_flag() {
+        assert!(TraceLog::with_capacity(1).is_enabled());
+        assert!(!TraceLog::default().is_enabled());
+    }
+}

@@ -1,0 +1,372 @@
+//! The study's aggregate counts (paper Tables 2–5).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four systems of the study suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StudySystem {
+    /// Apache Cassandra (distributed key-value store).
+    Cassandra,
+    /// Apache HBase (distributed key-value store).
+    HBase,
+    /// HDFS (distributed file system).
+    Hdfs,
+    /// Hadoop MapReduce (distributed computing infrastructure).
+    MapReduce,
+}
+
+impl StudySystem {
+    /// All four systems in the paper's row order.
+    pub const ALL: [StudySystem; 4] = [
+        StudySystem::Cassandra,
+        StudySystem::HBase,
+        StudySystem::Hdfs,
+        StudySystem::MapReduce,
+    ];
+
+    /// The paper's abbreviation (CA, HB, HD, MR).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            StudySystem::Cassandra => "CA",
+            StudySystem::HBase => "HB",
+            StudySystem::Hdfs => "HD",
+            StudySystem::MapReduce => "MR",
+        }
+    }
+}
+
+impl fmt::Display for StudySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StudySystem::Cassandra => "Cassandra",
+            StudySystem::HBase => "HBase",
+            StudySystem::Hdfs => "HDFS",
+            StudySystem::MapReduce => "MapReduce",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Table 2: issues and posts studied per system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuiteCounts {
+    /// The system.
+    pub system: StudySystem,
+    /// PerfConf issues studied.
+    pub perfconf_issues: u32,
+    /// PerfConf forum posts studied.
+    pub perfconf_posts: u32,
+    /// All configuration issues sampled.
+    pub allconf_issues: u32,
+    /// All configuration posts sampled.
+    pub allconf_posts: u32,
+}
+
+/// Table 2 data.
+pub const SUITE: [SuiteCounts; 4] = [
+    SuiteCounts {
+        system: StudySystem::Cassandra,
+        perfconf_issues: 20,
+        perfconf_posts: 20,
+        allconf_issues: 32,
+        allconf_posts: 60,
+    },
+    SuiteCounts {
+        system: StudySystem::HBase,
+        perfconf_issues: 30,
+        perfconf_posts: 7,
+        allconf_issues: 48,
+        allconf_posts: 33,
+    },
+    SuiteCounts {
+        system: StudySystem::Hdfs,
+        perfconf_issues: 20,
+        perfconf_posts: 7,
+        allconf_issues: 31,
+        allconf_posts: 39,
+    },
+    SuiteCounts {
+        system: StudySystem::MapReduce,
+        perfconf_issues: 10,
+        perfconf_posts: 20,
+        allconf_issues: 13,
+        allconf_posts: 25,
+    },
+];
+
+/// Table 3: what the PerfConf patches did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchCounts {
+    /// The system.
+    pub system: StudySystem,
+    /// Added a configuration to tune a new functionality.
+    pub tune_new_functionality: u32,
+    /// Added a configuration to replace hard-coded data.
+    pub replace_hard_coded: u32,
+    /// Added a configuration to refine an existing configuration.
+    pub refine_existing: u32,
+    /// Changed an existing configuration to fix a poor default value.
+    pub fix_poor_default: u32,
+}
+
+/// Table 3 data.
+pub const PATCHES: [PatchCounts; 4] = [
+    PatchCounts {
+        system: StudySystem::Cassandra,
+        tune_new_functionality: 11,
+        replace_hard_coded: 2,
+        refine_existing: 2,
+        fix_poor_default: 5,
+    },
+    PatchCounts {
+        system: StudySystem::HBase,
+        tune_new_functionality: 16,
+        replace_hard_coded: 1,
+        refine_existing: 0,
+        fix_poor_default: 13,
+    },
+    PatchCounts {
+        system: StudySystem::Hdfs,
+        tune_new_functionality: 8,
+        replace_hard_coded: 7,
+        refine_existing: 0,
+        fix_poor_default: 5,
+    },
+    PatchCounts {
+        system: StudySystem::MapReduce,
+        tune_new_functionality: 4,
+        replace_hard_coded: 4,
+        refine_existing: 1,
+        fix_poor_default: 1,
+    },
+];
+
+/// Table 4: how a PerfConf affects performance. One PerfConf can affect
+/// more than one metric, so columns need not sum to the issue counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImpactCounts {
+    /// The system.
+    pub system: StudySystem,
+    /// Affects user-request latency.
+    pub user_request_latency: u32,
+    /// Affects internal job throughput.
+    pub internal_job_throughput: u32,
+    /// Affects memory or disk consumption.
+    pub memory_disk_consumption: u32,
+    /// Takes effect continuously.
+    pub always_on: u32,
+    /// Takes effect only around specific events (conditional).
+    pub conditional: u32,
+    /// Affects performance directly.
+    pub direct: u32,
+    /// Affects performance through a deputy variable (indirect).
+    pub indirect: u32,
+}
+
+/// Table 4 data.
+pub const IMPACT: [ImpactCounts; 4] = [
+    ImpactCounts {
+        system: StudySystem::Cassandra,
+        user_request_latency: 14,
+        internal_job_throughput: 8,
+        memory_disk_consumption: 9,
+        always_on: 9,
+        conditional: 11,
+        direct: 7,
+        indirect: 13,
+    },
+    ImpactCounts {
+        system: StudySystem::HBase,
+        user_request_latency: 28,
+        internal_job_throughput: 3,
+        memory_disk_consumption: 15,
+        always_on: 17,
+        conditional: 13,
+        direct: 16,
+        indirect: 14,
+    },
+    ImpactCounts {
+        system: StudySystem::Hdfs,
+        user_request_latency: 20,
+        internal_job_throughput: 5,
+        memory_disk_consumption: 8,
+        always_on: 8,
+        conditional: 12,
+        direct: 8,
+        indirect: 12,
+    },
+    ImpactCounts {
+        system: StudySystem::MapReduce,
+        user_request_latency: 9,
+        internal_job_throughput: 0,
+        memory_disk_consumption: 7,
+        always_on: 6,
+        conditional: 4,
+        direct: 4,
+        indirect: 6,
+    },
+];
+
+/// Table 5: configuration value types and deciding factors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SettingCounts {
+    /// The system.
+    pub system: StudySystem,
+    /// Integer-typed configurations.
+    pub integer: u32,
+    /// Floating-point configurations.
+    pub floating_point: u32,
+    /// Non-numerical configurations.
+    pub non_numerical: u32,
+    /// Proper setting decided by static system features.
+    pub static_system: u32,
+    /// Decided by static workload characteristics known before launch.
+    pub static_workload: u32,
+    /// Decided by dynamic workload/environment factors.
+    pub dynamic: u32,
+}
+
+/// Table 5 data.
+pub const SETTINGS: [SettingCounts; 4] = [
+    SettingCounts {
+        system: StudySystem::Cassandra,
+        integer: 15,
+        floating_point: 4,
+        non_numerical: 1,
+        static_system: 0,
+        static_workload: 4,
+        dynamic: 16,
+    },
+    SettingCounts {
+        system: StudySystem::HBase,
+        integer: 23,
+        floating_point: 5,
+        non_numerical: 2,
+        static_system: 1,
+        static_workload: 0,
+        dynamic: 29,
+    },
+    SettingCounts {
+        system: StudySystem::Hdfs,
+        integer: 19,
+        floating_point: 0,
+        non_numerical: 1,
+        static_system: 0,
+        static_workload: 0,
+        dynamic: 20,
+    },
+    SettingCounts {
+        system: StudySystem::MapReduce,
+        integer: 9,
+        floating_point: 0,
+        non_numerical: 1,
+        static_system: 1,
+        static_workload: 2,
+        dynamic: 7,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let issues: u32 = SUITE.iter().map(|s| s.perfconf_issues).sum();
+        let posts: u32 = SUITE.iter().map(|s| s.perfconf_posts).sum();
+        let all_issues: u32 = SUITE.iter().map(|s| s.allconf_issues).sum();
+        let all_posts: u32 = SUITE.iter().map(|s| s.allconf_posts).sum();
+        assert_eq!(issues, 80);
+        assert_eq!(posts, 54);
+        assert_eq!(all_issues, 124);
+        assert_eq!(all_posts, 157);
+    }
+
+    #[test]
+    fn perfconf_fractions_match_section_221() {
+        // "65% of issues and 35% of posts that we studied involve
+        // performance concerns."
+        let issues: u32 = SUITE.iter().map(|s| s.perfconf_issues).sum();
+        let all_issues: u32 = SUITE.iter().map(|s| s.allconf_issues).sum();
+        let frac = issues as f64 / all_issues as f64;
+        assert!((frac - 0.65).abs() < 0.02, "issue fraction {frac}");
+        let posts: u32 = SUITE.iter().map(|s| s.perfconf_posts).sum();
+        let all_posts: u32 = SUITE.iter().map(|s| s.allconf_posts).sum();
+        let frac = posts as f64 / all_posts as f64;
+        assert!((frac - 0.35).abs() < 0.02, "post fraction {frac}");
+    }
+
+    #[test]
+    fn table3_rows_sum_to_issue_counts() {
+        for (p, s) in PATCHES.iter().zip(&SUITE) {
+            let total = p.tune_new_functionality
+                + p.replace_hard_coded
+                + p.refine_existing
+                + p.fix_poor_default;
+            assert_eq!(
+                total, s.perfconf_issues,
+                "{}: patch categories must cover all issues",
+                p.system
+            );
+        }
+    }
+
+    #[test]
+    fn default_problem_counts_match_section_221() {
+        // "either the default (24 of 80 cases) or the original hard-coded
+        // (14 of 80 cases) setting caused severe performance issues."
+        let defaults: u32 = PATCHES.iter().map(|p| p.fix_poor_default).sum();
+        let hard_coded: u32 = PATCHES.iter().map(|p| p.replace_hard_coded).sum();
+        assert_eq!(defaults, 24);
+        assert_eq!(hard_coded, 14);
+    }
+
+    #[test]
+    fn table5_value_types_sum_to_issue_counts() {
+        for (t, s) in SETTINGS.iter().zip(&SUITE) {
+            assert_eq!(
+                t.integer + t.floating_point + t.non_numerical,
+                s.perfconf_issues,
+                "{}: value types must cover all issues",
+                t.system
+            );
+        }
+        // ">80% are integers."
+        let ints: u32 = SETTINGS.iter().map(|t| t.integer).sum();
+        assert!(ints as f64 / 80.0 > 0.8);
+    }
+
+    #[test]
+    fn deciding_factors_match_section_223() {
+        // 2 static-system cases, 6 static-workload cases, rest dynamic.
+        let system: u32 = SETTINGS.iter().map(|t| t.static_system).sum();
+        let workload: u32 = SETTINGS.iter().map(|t| t.static_workload).sum();
+        let dynamic: u32 = SETTINGS.iter().map(|t| t.dynamic).sum();
+        assert_eq!(system, 2);
+        assert_eq!(workload, 6);
+        assert_eq!(dynamic, 72);
+        assert!(dynamic as f64 / 80.0 > 0.85, "~90% dynamic");
+    }
+
+    #[test]
+    fn table4_condition_and_direct_splits_cover_suite() {
+        for (i, s) in IMPACT.iter().zip(&SUITE) {
+            assert_eq!(
+                i.always_on + i.conditional,
+                s.perfconf_issues,
+                "{}",
+                i.system
+            );
+            assert_eq!(i.direct + i.indirect, s.perfconf_issues, "{}", i.system);
+        }
+    }
+
+    #[test]
+    fn abbreviations_and_names() {
+        assert_eq!(StudySystem::Cassandra.abbrev(), "CA");
+        assert_eq!(StudySystem::MapReduce.to_string(), "MapReduce");
+        assert_eq!(StudySystem::ALL.len(), 4);
+    }
+}

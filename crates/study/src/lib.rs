@@ -1,0 +1,20 @@
+//! The paper's Section 2 empirical study, encoded as data.
+//!
+//! The SmartConf paper opens with a study of 80 developer-patched issues
+//! and 54 user posts about performance-sensitive configurations across
+//! Cassandra, HBase, HDFS, and Hadoop MapReduce. Tables 2–5 aggregate
+//! that study; this crate encodes those aggregates as typed data so the
+//! benchmark harness can regenerate the tables and so the counts are
+//! testable against the paper's totals.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod data;
+mod tables;
+
+pub use data::{
+    ImpactCounts, PatchCounts, SettingCounts, StudySystem, SuiteCounts, IMPACT, PATCHES, SETTINGS,
+    SUITE,
+};
+pub use tables::{render_table1, render_table2, render_table3, render_table4, render_table5};

@@ -1,0 +1,175 @@
+//! Text renderers for Tables 2–5.
+
+use std::fmt::Write as _;
+
+use crate::{StudySystem, IMPACT, PATCHES, SETTINGS, SUITE};
+
+fn header(title: &str) -> String {
+    format!("{title}\n{}\n", "=".repeat(title.len()))
+}
+
+fn row4(label: &str, values: [u32; 4]) -> String {
+    format!(
+        "{label:<32} {:>4} {:>4} {:>4} {:>4}   {:>5}\n",
+        values[0],
+        values[1],
+        values[2],
+        values[3],
+        values.iter().sum::<u32>()
+    )
+}
+
+fn system_header() -> String {
+    let mut s = String::from(&format!("{:<32}", ""));
+    for sys in StudySystem::ALL {
+        let _ = write!(s, " {:>4}", sys.abbrev());
+    }
+    s.push_str("   Total\n");
+    s
+}
+
+/// Renders Table 1 (traditional configuration vs SmartConf: who answers
+/// which question).
+pub fn render_table1() -> String {
+    let mut out = header("Table 1: Traditional configuration vs SmartConf");
+    out.push_str(&format!(
+        "{:<10} {:<44} {}
+",
+        "Prior", "Question", "SmartConf"
+    ));
+    for (prior, question, smart) in [
+        ("N/A", "Which C needs dynamic adjustment?", "Developers"),
+        ("N/A", "What perf. metric M does C affect?", "Developers"),
+        ("N/A", "What is the constraint on metric M?", "Users"),
+        ("Users", "How to set & adjust configuration C?", "SmartConf"),
+    ] {
+        out.push_str(&format!(
+            "{prior:<10} {question:<44} {smart}
+"
+        ));
+    }
+    out
+}
+
+/// Renders Table 2 (the study suite).
+pub fn render_table2() -> String {
+    let mut out = header("Table 2: Empirical study suite");
+    out.push_str(&system_header());
+    out.push_str(&row4("PerfConf issues", SUITE.map(|s| s.perfconf_issues)));
+    out.push_str(&row4("PerfConf posts", SUITE.map(|s| s.perfconf_posts)));
+    out.push_str(&row4("AllConf issues", SUITE.map(|s| s.allconf_issues)));
+    out.push_str(&row4("AllConf posts", SUITE.map(|s| s.allconf_posts)));
+    out
+}
+
+/// Renders Table 3 (types of PerfConf patches).
+pub fn render_table3() -> String {
+    let mut out = header("Table 3: Different types of PerfConf patches");
+    out.push_str(&system_header());
+    out.push_str("Add a new configuration to ...\n");
+    out.push_str(&row4(
+        "  Tune a new functionality",
+        PATCHES.map(|p| p.tune_new_functionality),
+    ));
+    out.push_str(&row4(
+        "  Replace hard-coded data",
+        PATCHES.map(|p| p.replace_hard_coded),
+    ));
+    out.push_str(&row4(
+        "  Refine an existing conf.",
+        PATCHES.map(|p| p.refine_existing),
+    ));
+    out.push_str("Change an existing configuration to ...\n");
+    out.push_str(&row4(
+        "  Fix a poor default value",
+        PATCHES.map(|p| p.fix_poor_default),
+    ));
+    out
+}
+
+/// Renders Table 4 (how a PerfConf affects performance).
+pub fn render_table4() -> String {
+    let mut out = header("Table 4: How a PerfConf affects performance");
+    out.push_str(&system_header());
+    out.push_str(&row4(
+        "User-request latency",
+        IMPACT.map(|i| i.user_request_latency),
+    ));
+    out.push_str(&row4(
+        "Internal job throughput",
+        IMPACT.map(|i| i.internal_job_throughput),
+    ));
+    out.push_str(&row4(
+        "Memory/disk consumption",
+        IMPACT.map(|i| i.memory_disk_consumption),
+    ));
+    out.push('\n');
+    out.push_str(&row4("Always-on impact", IMPACT.map(|i| i.always_on)));
+    out.push_str(&row4("Conditional impact", IMPACT.map(|i| i.conditional)));
+    out.push('\n');
+    out.push_str(&row4("Direct impact", IMPACT.map(|i| i.direct)));
+    out.push_str(&row4("Indirect impact", IMPACT.map(|i| i.indirect)));
+    out
+}
+
+/// Renders Table 5 (how to set PerfConfs).
+pub fn render_table5() -> String {
+    let mut out = header("Table 5: How to set PerfConfs");
+    out.push_str(&system_header());
+    out.push_str("Configuration variable type\n");
+    out.push_str(&row4("  Integer", SETTINGS.map(|t| t.integer)));
+    out.push_str(&row4(
+        "  Floating points",
+        SETTINGS.map(|t| t.floating_point),
+    ));
+    out.push_str(&row4("  Non-numerical", SETTINGS.map(|t| t.non_numerical)));
+    out.push_str("Deciding factors\n");
+    out.push_str(&row4(
+        "  Static system settings",
+        SETTINGS.map(|t| t.static_system),
+    ));
+    out.push_str(&row4(
+        "  Static workload characteristics",
+        SETTINGS.map(|t| t.static_workload),
+    ));
+    out.push_str(&row4("  Dynamic factors", SETTINGS.map(|t| t.dynamic)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_nonempty_with_headers() {
+        // Table 1 is the interface-role table; Tables 2-5 carry the
+        // per-system columns.
+        let t1 = render_table1();
+        assert!(t1.contains("How to set & adjust configuration C?"));
+        assert!(t1.contains("SmartConf"));
+        for (table, marker) in [
+            (render_table2(), "PerfConf issues"),
+            (render_table3(), "Fix a poor default value"),
+            (render_table4(), "Conditional impact"),
+            (render_table5(), "Dynamic factors"),
+        ] {
+            assert!(table.contains("CA"));
+            assert!(table.contains("MR"));
+            assert!(table.contains(marker), "missing '{marker}' in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn table2_contains_totals() {
+        let t = render_table2();
+        assert!(t.contains("80"), "total PerfConf issues:\n{t}");
+        assert!(t.contains("157"), "total AllConf posts:\n{t}");
+    }
+
+    #[test]
+    fn table5_contains_integer_majority() {
+        let t = render_table5();
+        // 15 + 23 + 19 + 9 = 66 integer PerfConfs.
+        assert!(t.contains("66"), "{t}");
+    }
+}

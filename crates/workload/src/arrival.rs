@@ -1,0 +1,147 @@
+//! Request arrival processes.
+
+use smartconf_simkernel::{SimDuration, SimRng};
+
+/// How request inter-arrival gaps are drawn.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::{SimDuration, SimRng};
+/// use smartconf_workload::ArrivalProcess;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let arrivals = ArrivalProcess::poisson_rate(100.0); // 100 req/s
+/// let gap = arrivals.next_gap(&mut rng);
+/// assert!(gap > SimDuration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential gaps with the given mean.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: SimDuration,
+    },
+    /// Deterministic arrivals with a fixed gap (open-loop pacing).
+    Fixed {
+        /// The constant gap between arrivals.
+        gap: SimDuration,
+    },
+    /// Bursty arrivals: Poisson at `mean_gap`, but with probability
+    /// `burst_prob` a burst of `burst_len` back-to-back requests follows.
+    /// Models the sudden discrete disturbances of paper §5.2.
+    Bursty {
+        /// Mean gap between arrival events.
+        mean_gap: SimDuration,
+        /// Probability an arrival starts a burst.
+        burst_prob: f64,
+        /// Number of extra requests in a burst.
+        burst_len: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` requests per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn poisson_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_secs_f64(1.0 / rate),
+        }
+    }
+
+    /// Draws the gap until the next arrival event.
+    pub fn next_gap(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } => rng.exp_gap(mean_gap),
+            ArrivalProcess::Fixed { gap } => gap,
+            ArrivalProcess::Bursty { mean_gap, .. } => rng.exp_gap(mean_gap),
+        }
+    }
+
+    /// Number of requests delivered by one arrival event (1, or the burst
+    /// size for bursty processes that rolled a burst).
+    pub fn batch_size(&self, rng: &mut SimRng) -> u32 {
+        match *self {
+            ArrivalProcess::Bursty {
+                burst_prob,
+                burst_len,
+                ..
+            } if rng.chance(burst_prob) => 1 + burst_len,
+            _ => 1,
+        }
+    }
+
+    /// The long-run average request rate per second.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { mean_gap } | ArrivalProcess::Fixed { gap: mean_gap } => {
+                1.0 / mean_gap.as_secs_f64()
+            }
+            ArrivalProcess::Bursty {
+                mean_gap,
+                burst_prob,
+                burst_len,
+            } => (1.0 + burst_prob * burst_len as f64) / mean_gap.as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_inverts_gap() {
+        let a = ArrivalProcess::poisson_rate(200.0);
+        assert!((a.mean_rate() - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fixed_gap_is_constant() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let a = ArrivalProcess::Fixed {
+            gap: SimDuration::from_millis(5),
+        };
+        for _ in 0..10 {
+            assert_eq!(a.next_gap(&mut rng), SimDuration::from_millis(5));
+            assert_eq!(a.batch_size(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_gap_close() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let a = ArrivalProcess::poisson_rate(1000.0);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| a.next_gap(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.001).abs() < 0.0001, "mean gap {mean}");
+    }
+
+    #[test]
+    fn bursts_inflate_batch() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let a = ArrivalProcess::Bursty {
+            mean_gap: SimDuration::from_millis(1),
+            burst_prob: 0.5,
+            burst_len: 9,
+        };
+        let batches: Vec<u32> = (0..1000).map(|_| a.batch_size(&mut rng)).collect();
+        assert!(batches.contains(&10));
+        assert!(batches.contains(&1));
+        assert!((a.mean_rate() - 5500.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn zero_rate_panics() {
+        let _ = ArrivalProcess::poisson_rate(0.0);
+    }
+}

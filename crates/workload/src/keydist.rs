@@ -1,0 +1,191 @@
+//! Key popularity distributions (YCSB-style).
+
+use smartconf_simkernel::SimRng;
+
+/// Which keys a workload touches and how often.
+///
+/// The zipfian variant implements the standard Gray et al. generator used
+/// by YCSB, with the usual skew θ = 0.99, plus FNV scrambling so popular
+/// keys are spread across the keyspace rather than clustered at 0.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyDistribution {
+    /// All keys equally likely.
+    Uniform {
+        /// Number of keys.
+        n: u64,
+    },
+    /// Zipf-distributed popularity (scrambled).
+    Zipfian {
+        /// Number of keys.
+        n: u64,
+        /// Skew parameter θ in `(0, 1)`; YCSB uses 0.99.
+        theta: f64,
+        /// Precomputed ζ(n, θ).
+        zetan: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// Uniform distribution over `n` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        KeyDistribution::Uniform { n }
+    }
+
+    /// YCSB-style scrambled zipfian over `n` keys with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "zipfian theta must be in (0, 1), got {theta}"
+        );
+        let zetan = zeta(n, theta);
+        KeyDistribution::Zipfian { n, theta, zetan }
+    }
+
+    /// The default YCSB zipfian (θ = 0.99).
+    pub fn ycsb_default(n: u64) -> Self {
+        Self::zipfian(n, 0.99)
+    }
+
+    /// Number of keys in the keyspace.
+    pub fn key_count(&self) -> u64 {
+        match *self {
+            KeyDistribution::Uniform { n } | KeyDistribution::Zipfian { n, .. } => n,
+        }
+    }
+
+    /// Draws a key in `[0, n)`.
+    pub fn next_key(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            KeyDistribution::Uniform { n } => rng.uniform_u64(0, n),
+            KeyDistribution::Zipfian { n, theta, zetan } => {
+                let rank = zipf_rank(rng, n, theta, zetan);
+                // Scramble so hot ranks are spread over the keyspace.
+                fnv1a(rank) % n
+            }
+        }
+    }
+
+    /// Draws the *rank* (0 = most popular) instead of the scrambled key —
+    /// useful for cache-hit modelling, where "is this one of the hottest
+    /// `k` items" is the question.
+    pub fn next_rank(&self, rng: &mut SimRng) -> u64 {
+        match *self {
+            KeyDistribution::Uniform { n } => rng.uniform_u64(0, n),
+            KeyDistribution::Zipfian { n, theta, zetan } => zipf_rank(rng, n, theta, zetan),
+        }
+    }
+}
+
+/// ζ(n, θ) = Σ_{i=1..n} 1/i^θ, computed directly for the key counts the
+/// simulators use (≤ 10⁷).
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+/// Gray et al. "Quickly generating billion-record synthetic databases"
+/// zipfian rank generator.
+fn zipf_rank(rng: &mut SimRng, n: u64, theta: f64, zetan: f64) -> u64 {
+    let alpha = 1.0 / (1.0 - theta);
+    let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+    let u = rng.uniform(0.0, 1.0);
+    let uz = u * zetan;
+    if uz < 1.0 {
+        return 0;
+    }
+    if uz < 1.0 + 0.5f64.powf(theta) {
+        return 1;
+    }
+    ((n as f64) * (eta * u - eta + 1.0).powf(alpha)) as u64
+}
+
+/// 64-bit FNV-1a hash for key scrambling.
+fn fnv1a(x: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..8 {
+        hash ^= (x >> (8 * i)) & 0xff;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_keyspace() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = KeyDistribution::uniform(10);
+        let mut seen = [0u32; 10];
+        for _ in 0..10_000 {
+            seen[d.next_key(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in seen.iter().enumerate() {
+            assert!((700..1300).contains(&c), "key {k} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let d = KeyDistribution::ycsb_default(10_000);
+        let mut top10 = 0u32;
+        let total = 20_000;
+        for _ in 0..total {
+            if d.next_rank(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // Under theta=0.99 the top-10 ranks carry a large share; under
+        // uniform they would carry ~0.1%.
+        let share = top10 as f64 / total as f64;
+        assert!(share > 0.2, "top-10 share {share}");
+    }
+
+    #[test]
+    fn zipfian_ranks_in_range() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let d = KeyDistribution::zipfian(100, 0.9);
+        for _ in 0..5_000 {
+            assert!(d.next_rank(&mut rng) < 100);
+            assert!(d.next_key(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn scrambling_spreads_hot_keys() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let d = KeyDistribution::ycsb_default(1_000_000);
+        // The most common *keys* should not all be tiny numbers.
+        let keys: Vec<u64> = (0..100).map(|_| d.next_key(&mut rng)).collect();
+        assert!(keys.iter().any(|&k| k > 1_000));
+    }
+
+    #[test]
+    fn key_count_accessor() {
+        assert_eq!(KeyDistribution::uniform(5).key_count(), 5);
+        assert_eq!(KeyDistribution::ycsb_default(7).key_count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_keyspace_panics() {
+        let _ = KeyDistribution::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_panics() {
+        let _ = KeyDistribution::zipfian(10, 1.5);
+    }
+}

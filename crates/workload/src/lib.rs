@@ -1,0 +1,34 @@
+//! Workload generators for the SmartConf reproduction.
+//!
+//! The paper evaluates with three standard workloads (Table 6):
+//!
+//! * **YCSB** for the key-value stores (Cassandra, HBase) — here
+//!   [`YcsbWorkload`]: configurable read/write mix (`xW`), request size
+//!   (`yMB`), read index cache ratio (`Cz`), zipfian or uniform key
+//!   popularity, Poisson arrivals.
+//! * **TestDFSIO** for HDFS — here [`TestDfsIoWorkload`]: one or many
+//!   clients streaming file writes, plus periodic `du` (content summary)
+//!   interrogations.
+//! * **WordCount** for MapReduce — here [`WordCountJob`]: an input of
+//!   `x` bytes cut into `y`-byte splits executed with `z`-way parallelism
+//!   per worker.
+//!
+//! Evaluation workloads are *two-phase* (the workload or goal changes
+//! mid-run, §6.1); [`PhasedWorkload`] expresses that.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arrival;
+mod keydist;
+mod phase;
+mod testdfsio;
+mod wordcount;
+mod ycsb;
+
+pub use arrival::ArrivalProcess;
+pub use keydist::KeyDistribution;
+pub use phase::{Phase, PhasedWorkload};
+pub use testdfsio::{DfsOp, TestDfsIoWorkload};
+pub use wordcount::{MapTask, WordCountJob};
+pub use ycsb::{KvOp, YcsbWorkload};

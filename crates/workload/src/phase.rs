@@ -1,0 +1,182 @@
+//! Phased workloads: the two-phase evaluation runs of paper §6.1.
+//!
+//! "The evaluation workload contains two phases where either the workload
+//! or the performance goal changes" — a [`PhasedWorkload`] is an ordered
+//! list of [`Phase`]s; the simulator asks which phase is active at the
+//! current simulated time.
+
+use smartconf_simkernel::{SimDuration, SimTime};
+
+/// One phase: a workload description active for a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase<W> {
+    /// How long the phase lasts.
+    pub duration: SimDuration,
+    /// The workload active during the phase.
+    pub workload: W,
+}
+
+/// A sequence of phases; the last phase's workload also answers queries
+/// past the total duration (so a simulation that runs slightly long stays
+/// well-defined).
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::{SimDuration, SimTime};
+/// use smartconf_workload::PhasedWorkload;
+///
+/// let phased = PhasedWorkload::new(vec![
+///     (SimDuration::from_secs(200), "phase-1 config"),
+///     (SimDuration::from_secs(200), "phase-2 config"),
+/// ]);
+/// assert_eq!(*phased.at(SimTime::from_secs(100)), "phase-1 config");
+/// assert_eq!(*phased.at(SimTime::from_secs(250)), "phase-2 config");
+/// assert_eq!(phased.total_duration(), SimDuration::from_secs(400));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedWorkload<W> {
+    phases: Vec<Phase<W>>,
+}
+
+impl<W> PhasedWorkload<W> {
+    /// Builds from `(duration, workload)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any duration is zero.
+    pub fn new(phases: Vec<(SimDuration, W)>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(
+            phases.iter().all(|(d, _)| !d.is_zero()),
+            "phase durations must be positive"
+        );
+        PhasedWorkload {
+            phases: phases
+                .into_iter()
+                .map(|(duration, workload)| Phase { duration, workload })
+                .collect(),
+        }
+    }
+
+    /// A single never-changing phase.
+    pub fn single(duration: SimDuration, workload: W) -> Self {
+        Self::new(vec![(duration, workload)])
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[Phase<W>] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether there are no phases (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Sum of all phase durations.
+    pub fn total_duration(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// Index of the phase active at `t` (the last phase for `t` past the
+    /// end).
+    pub fn index_at(&self, t: SimTime) -> usize {
+        let mut elapsed = SimDuration::ZERO;
+        for (i, p) in self.phases.iter().enumerate() {
+            elapsed += p.duration;
+            if t < SimTime::ZERO + elapsed {
+                return i;
+            }
+        }
+        self.phases.len() - 1
+    }
+
+    /// The workload active at `t`.
+    pub fn at(&self, t: SimTime) -> &W {
+        &self.phases[self.index_at(t)].workload
+    }
+
+    /// The simulated times at which phase transitions occur (one per
+    /// boundary, excluding time zero and the final end).
+    pub fn boundaries(&self) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut elapsed = SimDuration::ZERO;
+        for p in &self.phases[..self.phases.len() - 1] {
+            elapsed += p.duration;
+            out.push(SimTime::ZERO + elapsed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> PhasedWorkload<u32> {
+        PhasedWorkload::new(vec![
+            (SimDuration::from_secs(10), 1),
+            (SimDuration::from_secs(20), 2),
+        ])
+    }
+
+    #[test]
+    fn phase_lookup() {
+        let p = two_phase();
+        assert_eq!(*p.at(SimTime::ZERO), 1);
+        assert_eq!(*p.at(SimTime::from_secs(9)), 1);
+        assert_eq!(*p.at(SimTime::from_secs(10)), 2);
+        assert_eq!(*p.at(SimTime::from_secs(29)), 2);
+        // Past the end: stays in the last phase.
+        assert_eq!(*p.at(SimTime::from_secs(1000)), 2);
+    }
+
+    #[test]
+    fn totals_and_boundaries() {
+        let p = two_phase();
+        assert_eq!(p.total_duration(), SimDuration::from_secs(30));
+        assert_eq!(p.boundaries(), vec![SimTime::from_secs(10)]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn single_phase() {
+        let p = PhasedWorkload::single(SimDuration::from_secs(5), "only");
+        assert_eq!(p.boundaries(), Vec::<SimTime>::new());
+        assert_eq!(*p.at(SimTime::from_secs(100)), "only");
+    }
+
+    #[test]
+    fn index_at_boundaries_exact() {
+        let p = PhasedWorkload::new(vec![
+            (SimDuration::from_secs(1), 0),
+            (SimDuration::from_secs(1), 1),
+            (SimDuration::from_secs(1), 2),
+        ]);
+        assert_eq!(p.index_at(SimTime::from_secs(0)), 0);
+        assert_eq!(p.index_at(SimTime::from_secs(1)), 1);
+        assert_eq!(p.index_at(SimTime::from_secs(2)), 2);
+        assert_eq!(p.index_at(SimTime::from_secs(3)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panics() {
+        let _ = PhasedWorkload::<u32>::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "durations must be positive")]
+    fn zero_duration_panics() {
+        let _ = PhasedWorkload::new(vec![(SimDuration::ZERO, 1)]);
+    }
+}

@@ -1,0 +1,163 @@
+//! TestDFSIO-style distributed file-system workload.
+//!
+//! HD4995's scenario: clients stream block writes into the namenode while
+//! someone runs `du` (content summary) over a large directory. The `du`
+//! traversal holds the namespace lock; `content-summary.limit` bounds how
+//! many inodes it processes per lock acquisition.
+
+use smartconf_simkernel::{SimDuration, SimRng};
+
+use crate::ArrivalProcess;
+
+/// One namenode-visible operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfsOp {
+    /// A client write that needs a (brief) exclusive namespace lock.
+    WriteBlock {
+        /// Client issuing the write.
+        client: u32,
+        /// Bytes in the block (affects datanode time, not lock time).
+        bytes: u64,
+    },
+    /// A `du`/content-summary request over `files` inodes.
+    Du {
+        /// Number of inodes the traversal must visit.
+        files: u64,
+    },
+}
+
+/// TestDFSIO-like workload: `clients` writers at a given rate plus
+/// periodic `du` interrogations over a namespace of `du_files` inodes.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::{SimDuration, SimRng};
+/// use smartconf_workload::TestDfsIoWorkload;
+///
+/// let w = TestDfsIoWorkload::new(4, 200.0, 1_000_000, SimDuration::from_secs(30));
+/// assert_eq!(w.clients(), 4);
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let (client, _gap) = w.next_write(&mut rng);
+/// assert!(client < 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestDfsIoWorkload {
+    clients: u32,
+    arrivals: ArrivalProcess,
+    du_files: u64,
+    du_interval: SimDuration,
+    block_bytes: u64,
+}
+
+impl TestDfsIoWorkload {
+    /// Creates a workload.
+    ///
+    /// * `clients` — number of concurrent writer clients.
+    /// * `write_rate_per_sec` — aggregate block-write rate.
+    /// * `du_files` — inodes per `du` traversal.
+    /// * `du_interval` — time between `du` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero or the rate is not positive.
+    pub fn new(
+        clients: u32,
+        write_rate_per_sec: f64,
+        du_files: u64,
+        du_interval: SimDuration,
+    ) -> Self {
+        assert!(clients > 0, "need at least one client");
+        TestDfsIoWorkload {
+            clients,
+            arrivals: ArrivalProcess::poisson_rate(write_rate_per_sec),
+            du_files,
+            du_interval,
+            block_bytes: 64 * 1024 * 1024,
+        }
+    }
+
+    /// Number of writer clients.
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// The aggregate write-arrival process.
+    pub fn arrivals(&self) -> &ArrivalProcess {
+        &self.arrivals
+    }
+
+    /// Inodes visited by each `du`.
+    pub fn du_files(&self) -> u64 {
+        self.du_files
+    }
+
+    /// Gap between `du` requests.
+    pub fn du_interval(&self) -> SimDuration {
+        self.du_interval
+    }
+
+    /// Block size carried by each write.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Draws the next write: which client issues it and the gap until it
+    /// arrives.
+    pub fn next_write(&self, rng: &mut SimRng) -> (u32, SimDuration) {
+        let client = rng.uniform_u64(0, self.clients as u64) as u32;
+        (client, self.arrivals.next_gap(rng))
+    }
+
+    /// The `du` operation this workload issues.
+    pub fn du_op(&self) -> DfsOp {
+        DfsOp::Du {
+            files: self.du_files,
+        }
+    }
+
+    /// A write operation for the given client.
+    pub fn write_op(&self, client: u32) -> DfsOp {
+        DfsOp::WriteBlock {
+            client,
+            bytes: self.block_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clients_in_range() {
+        let w = TestDfsIoWorkload::new(8, 100.0, 1000, SimDuration::from_secs(10));
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let (c, gap) = w.next_write(&mut rng);
+            assert!(c < 8);
+            assert!(gap.as_micros() > 0 || gap.is_zero());
+        }
+    }
+
+    #[test]
+    fn ops_carry_parameters() {
+        let w = TestDfsIoWorkload::new(2, 100.0, 5000, SimDuration::from_secs(10));
+        assert_eq!(w.du_op(), DfsOp::Du { files: 5000 });
+        assert_eq!(
+            w.write_op(1),
+            DfsOp::WriteBlock {
+                client: 1,
+                bytes: w.block_bytes()
+            }
+        );
+        assert_eq!(w.du_interval(), SimDuration::from_secs(10));
+        assert_eq!(w.du_files(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let _ = TestDfsIoWorkload::new(0, 100.0, 1000, SimDuration::from_secs(1));
+    }
+}

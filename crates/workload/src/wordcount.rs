@@ -1,0 +1,152 @@
+//! WordCount-style MapReduce job description.
+//!
+//! MR2820's scenario: map tasks spill intermediate data to a worker's
+//! local disk; `local.dir.minspacestart` decides whether a worker has
+//! enough free disk to accept a task. Table 6 parameterizes WordCount as
+//! `(input size, split size, parallelism per worker)`.
+
+use smartconf_simkernel::SimRng;
+
+/// One map task of a WordCount job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapTask {
+    /// Task index within the job.
+    pub id: u32,
+    /// Input split size in bytes.
+    pub input_bytes: u64,
+    /// Intermediate (spill) bytes the task writes to local disk.
+    pub spill_bytes: u64,
+}
+
+/// A WordCount job: input size, split size, and per-worker parallelism.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_simkernel::SimRng;
+/// use smartconf_workload::WordCountJob;
+///
+/// // Paper notation "2G, 64MB, 1": 2 GB input, 64 MB splits, 1 slot.
+/// let job = WordCountJob::new(2_000_000_000, 64_000_000, 1);
+/// assert_eq!(job.num_tasks(), 32);
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let tasks = job.map_tasks(&mut rng);
+/// assert_eq!(tasks.len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordCountJob {
+    input_bytes: u64,
+    split_bytes: u64,
+    parallelism: u32,
+}
+
+impl WordCountJob {
+    /// Spill ratio: WordCount's intermediate data is roughly half the
+    /// input after combiner-side aggregation.
+    pub const SPILL_RATIO: f64 = 0.5;
+
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(input_bytes: u64, split_bytes: u64, parallelism: u32) -> Self {
+        assert!(input_bytes > 0, "input must be non-empty");
+        assert!(split_bytes > 0, "split size must be positive");
+        assert!(parallelism > 0, "parallelism must be positive");
+        WordCountJob {
+            input_bytes,
+            split_bytes,
+            parallelism,
+        }
+    }
+
+    /// Total input size in bytes.
+    pub fn input_bytes(&self) -> u64 {
+        self.input_bytes
+    }
+
+    /// Split size in bytes.
+    pub fn split_bytes(&self) -> u64 {
+        self.split_bytes
+    }
+
+    /// Concurrent task slots per worker.
+    pub fn parallelism(&self) -> u32 {
+        self.parallelism
+    }
+
+    /// Number of map tasks (ceiling of input/split).
+    pub fn num_tasks(&self) -> u32 {
+        self.input_bytes.div_ceil(self.split_bytes) as u32
+    }
+
+    /// Materializes the map tasks with per-task spill sizes.
+    ///
+    /// Spill volume varies ±20% around [`Self::SPILL_RATIO`] of the split
+    /// to model data skew across splits.
+    pub fn map_tasks(&self, rng: &mut SimRng) -> Vec<MapTask> {
+        let n = self.num_tasks();
+        let mut remaining = self.input_bytes;
+        (0..n)
+            .map(|id| {
+                let input = remaining.min(self.split_bytes);
+                remaining -= input;
+                let skew = rng.uniform(0.8, 1.2);
+                let spill = (input as f64 * Self::SPILL_RATIO * skew) as u64;
+                MapTask {
+                    id,
+                    input_bytes: input,
+                    spill_bytes: spill,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_count_rounds_up() {
+        assert_eq!(WordCountJob::new(100, 30, 1).num_tasks(), 4);
+        assert_eq!(WordCountJob::new(90, 30, 1).num_tasks(), 3);
+        assert_eq!(WordCountJob::new(1, 30, 1).num_tasks(), 1);
+    }
+
+    #[test]
+    fn tasks_cover_input_exactly() {
+        let job = WordCountJob::new(100, 30, 2);
+        let mut rng = SimRng::seed_from_u64(1);
+        let tasks = job.map_tasks(&mut rng);
+        let total: u64 = tasks.iter().map(|t| t.input_bytes).sum();
+        assert_eq!(total, 100);
+        assert_eq!(tasks.last().unwrap().input_bytes, 10); // remainder split
+    }
+
+    #[test]
+    fn spills_near_half_input() {
+        let job = WordCountJob::new(640_000_000, 64_000_000, 2);
+        let mut rng = SimRng::seed_from_u64(2);
+        let tasks = job.map_tasks(&mut rng);
+        for t in &tasks {
+            let ratio = t.spill_bytes as f64 / t.input_bytes as f64;
+            assert!((0.4..=0.6).contains(&ratio), "spill ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let job = WordCountJob::new(2_000_000_000, 64_000_000, 2);
+        assert_eq!(job.input_bytes(), 2_000_000_000);
+        assert_eq!(job.split_bytes(), 64_000_000);
+        assert_eq!(job.parallelism(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "split size")]
+    fn zero_split_panics() {
+        let _ = WordCountJob::new(1, 0, 1);
+    }
+}

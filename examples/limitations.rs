@@ -1,0 +1,82 @@
+//! SmartConf's own limitations, demonstrated (paper §6.6).
+//!
+//! 1. Non-monotonic responses are rejected at synthesis: MR5420's
+//!    `max_chunks_tolerable` is slow when too small (load imbalance) and
+//!    slow when too big (no batching) — SmartConf detects the V-shaped
+//!    profile and refuses to build a controller.
+//! 2. Unconstrained-optimality goals don't fit: when the user wants "the
+//!    fastest copy", there is no constraint for the controller to track;
+//!    encoding it as a too-ambitious constraint just raises the
+//!    unreachable-goal alert.
+//!
+//! Run with: `cargo run --example limitations`
+
+use smartconf::core::{ControllerBuilder, Error, Goal, ProfileSet, SmartConf};
+use smartconf::simkernel::SimRng;
+
+/// MR5420's distcp copy time vs. chunk count: V-shaped, minimized in the
+/// middle.
+fn copy_time_secs(chunks: f64, rng: &mut SimRng) -> f64 {
+    let imbalance = 4_000.0 / chunks; // few chunks: stragglers dominate
+    let overhead = 0.05 * chunks; // many chunks: per-chunk setup dominates
+    60.0 + imbalance + overhead + rng.normal(0.0, 1.0)
+}
+
+fn main() {
+    let mut rng = SimRng::seed_from_u64(3);
+
+    // --- Limitation 1: non-monotonic configurations -------------------
+    let mut profile = ProfileSet::new();
+    for chunks in [20.0, 100.0, 400.0, 2_000.0] {
+        for _ in 0..10 {
+            profile.add(chunks, copy_time_secs(chunks, &mut rng));
+        }
+    }
+    println!("profiling max_chunks_tolerable (MR5420):");
+    for (setting, stats) in profile.groups() {
+        println!(
+            "  {setting:>6.0} chunks -> copy time {:>6.1} s",
+            stats.mean()
+        );
+    }
+    match ControllerBuilder::new(Goal::new("copy_time_secs", 100.0)).profile(&profile) {
+        Err(Error::NonMonotonicModel { conf }) => {
+            println!("=> synthesis rejected: non-monotonic response of '{conf}'");
+            println!("   (paper 6.6: ML-style tuners fit this problem better)\n");
+        }
+        other => panic!("expected NonMonotonicModel, got {other:?}"),
+    }
+
+    // --- Limitation 2: optimality goals --------------------------------
+    // A monotone plant, but the user "goal" is really optimality: they
+    // ask for a copy time no plant setting can reach. SmartConf makes
+    // its best effort and raises the alert instead of oscillating.
+    let mut mono = ProfileSet::new();
+    for setting in [20.0, 100.0, 400.0, 2_000.0] {
+        for _ in 0..10 {
+            // monotone decreasing: more parallelism, faster copy
+            mono.add(setting, 200.0 - 0.05 * setting + rng.normal(0.0, 1.0));
+        }
+    }
+    let controller = ControllerBuilder::new(Goal::new("copy_time_secs", 10.0))
+        .profile(&mono)
+        .expect("monotone profile synthesizes")
+        .bounds(20.0, 2_000.0)
+        .initial(20.0)
+        .build()
+        .expect("controller builds");
+    let mut conf = SmartConf::new("parallel_copies", controller);
+    let mut setting = 20.0;
+    for _ in 0..30 {
+        let measured = 200.0 - 0.05 * setting + rng.normal(0.0, 1.0);
+        conf.set_perf(measured);
+        setting = conf.conf();
+    }
+    println!("asking for a 10 s copy (best achievable is 100 s):");
+    println!(
+        "  controller parked at the bound ({setting:.0}) and goal_unreachable() = {}",
+        conf.goal_unreachable()
+    );
+    assert!(conf.goal_unreachable());
+    println!("=> the 4.3 alert fires; the user is told the goal cannot be met");
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of the control core, exercised through the
+//! public facade: convergence, overshoot-freedom, and serialization
+//! round-trips under randomized parameters.
+
+use proptest::prelude::*;
+use smartconf::core::{
+    pole_from_delta, ControllerBuilder, Goal, Hardness, ProfileSet, Registry, Sense,
+};
+
+/// Steps `ctl` against the plant `perf = gain·setting` and reports the
+/// final relative error to the target.
+fn closed_loop_error(pole: f64, model_alpha: f64, true_gain: f64, target: f64) -> f64 {
+    let mut ctl = ControllerBuilder::new(Goal::new("m", target))
+        .alpha(model_alpha)
+        .pole(pole)
+        .bounds(-1e12, 1e12)
+        .build()
+        .unwrap();
+    let mut setting = 0.0;
+    for _ in 0..3_000 {
+        setting = ctl.step(true_gain * setting);
+    }
+    (true_gain * setting - target).abs() / target
+}
+
+proptest! {
+    /// Synthesis from any noisy-but-linear profile converges the plant to
+    /// the goal (soft goals, randomized gains/targets/noise).
+    #[test]
+    fn synthesized_controllers_converge(
+        alpha in 0.5f64..6.0,
+        base in 0.0f64..100.0,
+        target in 300.0f64..900.0,
+        noise_amp in 0.0f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = smartconf::simkernel::SimRng::seed_from_u64(seed);
+        let mut profile = ProfileSet::new();
+        for setting in [20.0, 60.0, 100.0, 140.0] {
+            for _ in 0..10 {
+                let noise = if noise_amp > 0.0 { rng.normal(0.0, noise_amp) } else { 0.0 };
+                profile.add(setting, alpha * setting + base + noise);
+            }
+        }
+        let ctl = ControllerBuilder::new(Goal::new("m", target))
+            .profile(&profile)
+            .unwrap()
+            .bounds(0.0, 1e6)
+            .build()
+            .unwrap();
+        let mut ctl = ctl;
+        let mut setting = 0.0;
+        for _ in 0..500 {
+            setting = ctl.step(alpha * setting + base);
+        }
+        let final_perf = alpha * setting + base;
+        prop_assert!(
+            (final_perf - target).abs() < 0.05 * target,
+            "final {} vs target {}", final_perf, target
+        );
+    }
+
+    /// Hard goals never overshoot on noiseless plants, for any profiled
+    /// instability and pole.
+    #[test]
+    fn hard_goals_do_not_overshoot(
+        alpha in 0.5f64..4.0,
+        target in 200.0f64..800.0,
+        lambda in 0.0f64..0.4,
+        pole in 0.0f64..0.95,
+    ) {
+        let goal = Goal::new("m", target).with_hardness(Hardness::Hard).unwrap();
+        let mut ctl = ControllerBuilder::new(goal)
+            .alpha(alpha)
+            .lambda(lambda)
+            .pole(pole)
+            .bounds(0.0, 1e9)
+            .build()
+            .unwrap();
+        let mut setting = 0.0;
+        for _ in 0..400 {
+            let measured = alpha * setting;
+            prop_assert!(measured <= target + 1e-6, "overshoot {} > {}", measured, target);
+            setting = ctl.step(measured);
+        }
+    }
+
+    /// The automatically selected pole is always a valid damping factor
+    /// and is monotone in the model-error bound.
+    #[test]
+    fn pole_selection_is_sound(d1 in 0.0f64..100.0, d2 in 0.0f64..100.0) {
+        let (p1, p2) = (pole_from_delta(d1), pole_from_delta(d2));
+        prop_assert!((0.0..1.0).contains(&p1));
+        prop_assert!((0.0..1.0).contains(&p2));
+        if d1 <= d2 {
+            prop_assert!(p1 <= p2 + 1e-12);
+        }
+    }
+
+    /// Profile serialization round-trips through the on-disk format.
+    #[test]
+    fn profile_sys_round_trip(
+        samples in prop::collection::vec((0.0f64..1e4, -1e4f64..1e4), 1..100)
+    ) {
+        let profile: ProfileSet = samples.into_iter().collect();
+        let text = profile.to_sys_string();
+        let back = ProfileSet::from_sys_string(&text).unwrap();
+        prop_assert_eq!(profile.len(), back.len());
+        prop_assert_eq!(profile.num_settings(), back.num_settings());
+        prop_assert!((profile.lambda() - back.lambda()).abs() < 1e-9);
+    }
+
+    /// The paper's §5.6 stability theorem: with `p = pole_from_delta(Δ)`,
+    /// the loop converges whenever the true gain is within `Δ×` of the
+    /// modeled gain (here tested up to 0.9·Δ to stay clear of the
+    /// marginal-stability boundary).
+    #[test]
+    fn stability_theorem_within_delta(
+        delta in 2.1f64..20.0,
+        ratio_frac in 0.1f64..0.9,
+        model_alpha in 0.5f64..5.0,
+        target in 100.0f64..1000.0,
+    ) {
+        let pole = pole_from_delta(delta);
+        let ratio = ratio_frac * delta; // true gain = ratio x model gain
+        let err = closed_loop_error(pole, model_alpha, model_alpha * ratio, target);
+        prop_assert!(err < 0.01, "did not converge: err {} (delta {}, ratio {})", err, delta, ratio);
+    }
+
+    /// ...and the bound is tight: a true gain well beyond Δ× makes the
+    /// same pole unstable (the loop oscillates instead of settling).
+    #[test]
+    fn stability_bound_is_tight(
+        delta in 2.1f64..10.0,
+        model_alpha in 0.5f64..5.0,
+    ) {
+        let pole = pole_from_delta(delta);
+        let err = closed_loop_error(pole, model_alpha, model_alpha * delta * 1.5, 500.0);
+        prop_assert!(err > 0.05, "should not converge beyond delta: err {}", err);
+    }
+
+    /// Registry round-trip preserves goals of any hardness and sense.
+    #[test]
+    fn registry_round_trip(
+        target in -1e6f64..1e6,
+        hard in 0u8..3,
+        lower in proptest::bool::ANY,
+    ) {
+        let mut goal = Goal::new("metric", target);
+        if lower {
+            goal = goal.with_sense(Sense::LowerBound);
+        }
+        let goal = match hard {
+            1 if target > 0.0 || lower => goal.with_hardness(Hardness::Hard).unwrap(),
+            2 if target > 0.0 || lower => goal.with_hardness(Hardness::SuperHard).unwrap(),
+            _ => goal,
+        };
+        let mut reg = Registry::new();
+        reg.set_goal(goal.clone());
+        let mut reg2 = Registry::new();
+        reg2.parse_app_str(&reg.to_app_string()).unwrap();
+        prop_assert_eq!(reg2.goal("metric"), Some(&goal));
+    }
+
+    /// Interaction splitting: N controllers sharing a super-hard goal
+    /// jointly close the error without overshooting it, for any N.
+    #[test]
+    fn interaction_split_converges_jointly(n in 1u32..6, target in 100.0f64..1000.0) {
+        let goal = Goal::new("m", target).with_hardness(Hardness::SuperHard).unwrap();
+        let mut controllers: Vec<_> = (0..n)
+            .map(|_| {
+                ControllerBuilder::new(goal.clone())
+                    .alpha(1.0)
+                    .interaction(n)
+                    .bounds(0.0, 1e9)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let mut settings = vec![0.0; n as usize];
+        for _ in 0..300 {
+            let total: f64 = settings.iter().sum();
+            prop_assert!(total <= target + 1e-6, "joint overshoot {} > {}", total, target);
+            for (ctl, s) in controllers.iter_mut().zip(&mut settings) {
+                *s = ctl.step(total);
+            }
+        }
+        let total: f64 = settings.iter().sum();
+        prop_assert!((total - target).abs() < 0.05 * target, "total {} vs {}", total, target);
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end test of the SmartConf workflow through the registry: the
+//! developer-facing path of paper §4 — system file, application config,
+//! profiling data on disk, synthesis, run-time adjustment, goal changes,
+//! and the unreachable-goal alert.
+
+use std::fs;
+
+use smartconf::core::{Error, Goal, Hardness, ProfileSet, Registry, Sense};
+use smartconf::simkernel::SimRng;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("smartconf-e2e-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A linear plant with noise: `perf = alpha·setting + base`.
+struct Plant {
+    alpha: f64,
+    base: f64,
+    rng: SimRng,
+}
+
+impl Plant {
+    fn measure(&mut self, setting: f64) -> f64 {
+        self.alpha * setting + self.base + self.rng.normal(0.0, 2.0)
+    }
+}
+
+fn profile_plant(plant: &mut Plant) -> ProfileSet {
+    let mut profile = ProfileSet::new();
+    for setting in [40.0, 80.0, 120.0, 160.0] {
+        for _ in 0..10 {
+            profile.add(setting, plant.measure(setting));
+        }
+    }
+    profile
+}
+
+#[test]
+fn registry_files_to_running_controller() {
+    let dir = tempdir("files");
+    let sys_path = dir.join("SmartConf.sys");
+    let app_path = dir.join("app.conf");
+    let prof_path = dir.join("max.queue.size.SmartConf.sys");
+
+    // The developer writes the system file; the user writes the goal.
+    fs::write(
+        &sys_path,
+        "/* SmartConf.sys */\n\
+         profiling = off\n\
+         max.queue.size @ memory_consumption_max\n\
+         max.queue.size = 50\n\
+         max.queue.size.min = 0\n\
+         max.queue.size.max = 2000\n",
+    )
+    .unwrap();
+    fs::write(
+        &app_path,
+        "memory_consumption_max = 495\n\
+         memory_consumption_max.hard = 1\n",
+    )
+    .unwrap();
+
+    // Profiling samples captured in an earlier run, persisted to disk.
+    let mut plant = Plant {
+        alpha: 2.0,
+        base: 100.0,
+        rng: SimRng::seed_from_u64(1),
+    };
+    fs::write(&prof_path, profile_plant(&mut plant).to_sys_string()).unwrap();
+
+    // The library loads everything and synthesizes the controller.
+    let mut registry = Registry::new();
+    registry.load_sys_file(&sys_path).unwrap();
+    registry.load_app_file(&app_path).unwrap();
+    registry
+        .load_profile_file("max.queue.size", &prof_path)
+        .unwrap();
+    let mut conf = registry.build_indirect("max.queue.size").unwrap();
+
+    // The run-time loop converges below the hard goal.
+    let mut deputy = 0.0;
+    for _ in 0..200 {
+        let measured = plant.measure(deputy);
+        // The sensor itself is noisy (sigma = 2): the controller tracks
+        // the virtual goal, so excursions stay within a few sigma of it
+        // and comfortably inside the constraint's engineering margin.
+        assert!(measured < 506.0, "hard goal must hold, got {measured}");
+        conf.set_perf(measured, deputy);
+        deputy = conf.conf().min(deputy + 20.0); // the queue fills gradually
+    }
+    let final_mem = plant.measure(deputy);
+    let vgoal = conf.controller().effective_target();
+    assert!(
+        (final_mem - vgoal).abs() < 15.0,
+        "converged near the virtual goal: mem {final_mem}, vgoal {vgoal}"
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn run_time_goal_change_takes_effect() {
+    let mut plant = Plant {
+        alpha: 2.0,
+        base: 100.0,
+        rng: SimRng::seed_from_u64(2),
+    };
+    let mut registry = Registry::new();
+    registry.add_conf("c", "latency", 0.0, (0.0, 2_000.0));
+    registry.set_goal(Goal::new("latency", 400.0));
+    registry.add_profile("c", profile_plant(&mut plant));
+    let mut conf = registry.build("c").unwrap();
+
+    let mut setting = 0.0;
+    for _ in 0..100 {
+        conf.set_perf(plant.measure(setting));
+        setting = conf.conf();
+    }
+    let before = plant.measure(setting);
+    assert!((before - 400.0).abs() < 15.0, "tracks first goal: {before}");
+
+    // The administrator tightens the goal at run time (paper's setGoal).
+    conf.set_goal(250.0).unwrap();
+    for _ in 0..100 {
+        conf.set_perf(plant.measure(setting));
+        setting = conf.conf();
+    }
+    let after = plant.measure(setting);
+    assert!((after - 250.0).abs() < 15.0, "tracks new goal: {after}");
+}
+
+#[test]
+fn unreachable_goal_is_alerted_not_fatal() {
+    // Plant floor is 100 even at setting 0; a goal of 50 is unreachable.
+    let mut plant = Plant {
+        alpha: 2.0,
+        base: 100.0,
+        rng: SimRng::seed_from_u64(3),
+    };
+    let mut registry = Registry::new();
+    registry.add_conf("c", "memory", 10.0, (0.0, 2_000.0));
+    registry.set_goal(Goal::new("memory", 50.0));
+    registry.add_profile("c", profile_plant(&mut plant));
+    let mut conf = registry.build("c").unwrap();
+
+    let mut setting = 10.0;
+    for _ in 0..50 {
+        conf.set_perf(plant.measure(setting));
+        setting = conf.conf();
+    }
+    // Best effort: the controller parks at the lower bound and raises
+    // the alert instead of crashing or oscillating.
+    assert_eq!(setting, 0.0);
+    assert!(conf.goal_unreachable(), "the alert of paper 4.3 must fire");
+}
+
+#[test]
+fn lower_bound_goals_work_through_the_registry() {
+    // free = 1000 - 2·setting must stay above 400.
+    let mut rng = SimRng::seed_from_u64(4);
+    let mut profile = ProfileSet::new();
+    for setting in [50.0, 100.0, 150.0, 200.0] {
+        for _ in 0..10 {
+            profile.add(setting, 1000.0 - 2.0 * setting + rng.normal(0.0, 2.0));
+        }
+    }
+    let mut registry = Registry::new();
+    registry.add_conf("c", "free_disk", 0.0, (0.0, 500.0));
+    registry.set_goal(Goal::new("free_disk", 400.0).with_sense(Sense::LowerBound));
+    registry.add_profile("c", profile);
+    let mut conf = registry.build("c").unwrap();
+
+    let mut setting = 0.0;
+    for _ in 0..100 {
+        let free = 1000.0 - 2.0 * setting + rng.normal(0.0, 2.0);
+        conf.set_perf(free);
+        setting = conf.conf();
+    }
+    assert!(
+        (setting - 300.0).abs() < 10.0,
+        "setting {setting} should approach 300"
+    );
+}
+
+#[test]
+fn hard_goal_with_bad_target_is_rejected_up_front() {
+    let err = Goal::new("memory", 0.0).with_hardness(Hardness::Hard);
+    assert!(matches!(err, Err(Error::InvalidGoal { .. })));
+}

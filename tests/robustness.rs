@@ -1,0 +1,200 @@
+//! Failure-injection and robustness tests: what happens when sensors
+//! misbehave, models are wrong beyond the profiled error bound, or the
+//! on-disk state is corrupt. The paper's guarantees are probabilistic
+//! (§5.6); these tests pin down how the implementation degrades.
+
+use smartconf::core::{
+    ControllerBuilder, Error, Goal, Hardness, ProfileSet, ProfilingCapture, Registry, SmartConf,
+    SmartConfIndirect,
+};
+use smartconf::simkernel::SimRng;
+
+fn linear_profile(gain: f64) -> ProfileSet {
+    let mut p = ProfileSet::new();
+    for setting in [40.0, 80.0, 120.0, 160.0] {
+        for k in 0..10 {
+            p.add(setting, gain * setting + 100.0 + (k % 3) as f64);
+        }
+    }
+    p
+}
+
+#[test]
+fn nan_sensor_storm_freezes_instead_of_corrupting() {
+    let ctl = ControllerBuilder::new(Goal::new("m", 400.0))
+        .profile(&linear_profile(2.0))
+        .unwrap()
+        .initial(50.0)
+        .bounds(0.0, 1_000.0)
+        .build()
+        .unwrap();
+    let mut conf = SmartConf::new("c", ctl);
+
+    // Converge normally first.
+    let mut setting = 50.0;
+    for _ in 0..50 {
+        conf.set_perf(2.0 * setting + 100.0);
+        setting = conf.conf();
+    }
+    let converged = setting;
+
+    // A broken sensor floods NaN/inf readings: the setting must not move.
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        for _ in 0..20 {
+            conf.set_perf(bad);
+            assert_eq!(conf.conf(), converged, "setting drifted under {bad} storm");
+        }
+    }
+
+    // Recovery: real measurements resume control.
+    conf.set_perf(2.0 * converged + 100.0 + 50.0); // disturbance appeared
+    assert!(conf.conf() < converged);
+}
+
+#[test]
+fn sensor_dropout_keeps_last_setting() {
+    let ctl = ControllerBuilder::new(Goal::new("m", 300.0))
+        .alpha(1.0)
+        .bounds(0.0, 1_000.0)
+        .build()
+        .unwrap();
+    let mut conf = SmartConf::new("c", ctl);
+    conf.set_perf(100.0);
+    let s1 = conf.conf();
+    // No new measurements: repeated reads must be stable (no double
+    // integration of a stale error).
+    for _ in 0..100 {
+        assert_eq!(conf.conf(), s1);
+    }
+}
+
+#[test]
+fn model_error_beyond_delta_still_bounded_by_virtual_goal_margin() {
+    // Modeled gain 1, true gain 4: model error factor 4 with a deadbeat
+    // pole violates the paper's convergence precondition (Delta <= 2 for
+    // p = 0). The controller may oscillate, but with a hard goal the
+    // two-pole scheme still bounds every *measured* value the plant
+    // produces after the first correction.
+    let goal = Goal::new("m", 400.0).with_hardness(Hardness::Hard).unwrap();
+    let mut ctl = ControllerBuilder::new(goal)
+        .alpha(1.0)
+        .lambda(0.1)
+        .bounds(0.0, 1_000.0)
+        .build()
+        .unwrap();
+    let mut setting = 0.0;
+    let mut worst: f64 = 0.0;
+    for _ in 0..200 {
+        let measured = 4.0 * setting;
+        worst = worst.max(measured);
+        setting = ctl.step(measured);
+    }
+    // First flight overshoots (the model is 4x wrong), but the danger
+    // pole slams the setting back: the overshoot never compounds.
+    assert!(
+        worst <= 4.0 * 360.0 / 1.0 * 1.01,
+        "oscillation grew without bound: worst {worst}"
+    );
+}
+
+#[test]
+fn adversarial_square_wave_disturbance_never_breaks_hard_goal() {
+    // The disturbance flips between 0 and 150 every 10 steps; the
+    // controller sees the combined metric. Drain is instantaneous
+    // (metric is memoryless in the setting), so the two-pole scheme must
+    // keep every post-correction measurement under the goal.
+    let goal = Goal::new("m", 500.0).with_hardness(Hardness::Hard).unwrap();
+    let mut ctl = ControllerBuilder::new(goal)
+        .profile(&linear_profile(2.0))
+        .unwrap()
+        .bounds(0.0, 1_000.0)
+        .build()
+        .unwrap();
+    let mut setting = 0.0;
+    let mut violations = 0;
+    for step in 0..400 {
+        let disturbance = if (step / 10) % 2 == 0 { 0.0 } else { 150.0 };
+        let measured = 2.0 * setting + 100.0 + disturbance;
+        if measured > 500.0 {
+            violations += 1;
+        }
+        setting = ctl.step(measured);
+    }
+    // Only the single step on each rising edge may read high (the
+    // disturbance is instantaneous); it must never persist.
+    assert!(violations <= 20, "violations persisted: {violations}");
+}
+
+#[test]
+fn corrupt_profile_file_is_a_parse_error_not_a_panic() {
+    let dir = std::env::temp_dir().join(format!("sc-robust-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = ProfilingCapture::file_path(&dir, "q");
+    std::fs::write(&path, "sample 1 2\ngarbage line here\n").unwrap();
+    let err = ProfilingCapture::load(&dir, "q").unwrap_err();
+    assert!(matches!(err, Error::Parse { line: 2, .. }), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn registry_with_conflicting_reparse_keeps_last_write() {
+    let mut reg = Registry::new();
+    reg.parse_sys_str("c @ m1\nc = 10\n").unwrap();
+    reg.parse_sys_str("c @ m2\nc = 20\n").unwrap();
+    let e = reg.entry("c").unwrap();
+    assert_eq!(e.metric, "m2");
+    assert_eq!(e.initial, 20.0);
+}
+
+#[test]
+fn indirect_conf_tolerates_wildly_inconsistent_deputy_reports() {
+    // Paper §4.1.2: temporary inconsistency between the config and its
+    // deputy must be tolerated. Feed deputies far outside the bound.
+    let goal = Goal::new("m", 400.0).with_hardness(Hardness::Hard).unwrap();
+    let ctl = ControllerBuilder::new(goal)
+        .alpha(1.0)
+        .lambda(0.05)
+        .bounds(0.0, 500.0)
+        .build()
+        .unwrap();
+    let mut conf = SmartConfIndirect::new("max.q", ctl);
+    let mut rng = SimRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let deputy = rng.uniform(0.0, 2_000.0); // beyond the config bound
+        let measured = deputy.min(600.0);
+        conf.set_perf(measured, deputy);
+        let bound = conf.conf();
+        assert!((0.0..=500.0).contains(&bound), "bound escaped: {bound}");
+        assert!(bound.is_finite());
+    }
+}
+
+#[test]
+fn zero_width_bounds_pin_the_setting() {
+    let ctl = ControllerBuilder::new(Goal::new("m", 100.0))
+        .alpha(1.0)
+        .bounds(42.0, 42.0)
+        .initial(7.0)
+        .build()
+        .unwrap();
+    let mut conf = SmartConf::new("c", ctl);
+    for measured in [0.0, 1_000.0, -50.0] {
+        conf.set_perf(measured);
+        assert_eq!(conf.conf(), 42.0);
+    }
+}
+
+#[test]
+fn capture_into_read_only_location_fails_gracefully() {
+    // Flushing into a nonexistent directory returns Io, and recording
+    // keeps working (the buffer is preserved for a later retry).
+    let mut cap = ProfilingCapture::new("/nonexistent-smartconf-dir", "q", 1_000);
+    cap.record(1.0, 2.0);
+    let err = cap.flush().unwrap_err();
+    assert!(matches!(err, Error::Io { .. }));
+    assert_eq!(cap.pending(), 1, "buffer preserved for retry");
+    cap.record(2.0, 3.0);
+    assert_eq!(cap.recorded(), 2);
+    // Silence the destructor's best-effort flush by dropping explicitly.
+    drop(cap);
+}
