@@ -5,9 +5,9 @@
 //! quantifies them on the simulated substrates and backs the
 //! seed-sensitivity notes in EXPERIMENTS.md.
 
-use crossbeam::thread;
 use smartconf_bench::figure5::all_scenarios;
 use smartconf_harness::TextTable;
+use std::thread;
 
 const SEEDS: [u64; 5] = [7, 23, 42, 77, 2024];
 
@@ -18,14 +18,13 @@ fn main() {
         let results: Vec<(u64, bool)> = thread::scope(|scope| {
             let handles: Vec<_> = SEEDS
                 .iter()
-                .map(|&seed| scope.spawn(move |_| (seed, s.run_smartconf(seed).constraint_ok)))
+                .map(|&seed| scope.spawn(move || (seed, s.run_smartconf(seed).constraint_ok)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker"))
                 .collect()
-        })
-        .expect("scope");
+        });
         let ok = results.iter().filter(|(_, ok)| *ok).count();
         let failures: Vec<String> = results
             .iter()

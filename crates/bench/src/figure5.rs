@@ -6,11 +6,11 @@
 //! exhaustive sweep, as in §6.3). Policies that fail the constraint are
 //! marked with ✗, matching the red crosses in the paper's figure.
 
-use crossbeam::thread;
 use smartconf_dfs::Hd4995;
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TextTable};
+use smartconf_harness::{compare, Baseline, RunResult, Scenario, TextTable};
 use smartconf_kvstore::scenarios::{Ca6059, Hb2149, Hb3813, Hb6728};
 use smartconf_mapred::Mr2820;
+use std::thread;
 
 /// One scenario's Figure 5 numbers.
 #[derive(Debug)]
@@ -36,97 +36,43 @@ pub fn all_scenarios() -> Vec<Box<dyn Scenario + Send + Sync>> {
     ]
 }
 
-/// Runs Figure 5 for one scenario.
+/// The paper's bar order: the oracle pair, then the issue defaults.
+const FIGURE5_BASELINES: [Baseline; 4] = [
+    Baseline::Optimal,
+    Baseline::Nonoptimal,
+    Baseline::PatchDefault,
+    Baseline::BuggyDefault,
+];
+
+/// Runs Figure 5 for one scenario through the shared comparison harness.
 pub fn run_scenario(scenario: &(dyn Scenario + Sync), seed: u64) -> Figure5Row {
-    let smart = scenario.run_smartconf(seed);
-    let sweep = sweep_statics_dyn(scenario, seed);
-
-    let mut bars: Vec<(String, Option<f64>, f64, bool)> = Vec::new();
-    let optimal = sweep
-        .iter()
-        .filter(|(_, r)| r.constraint_ok)
-        .max_by(|a, b| {
-            let (x, y) = (score(scenario, &a.1), score(scenario, &b.1));
-            x.total_cmp(&y)
-        });
-    let nonoptimal = sweep
-        .iter()
-        .filter(|(_, r)| r.constraint_ok)
-        .min_by(|a, b| {
-            let (x, y) = (score(scenario, &a.1), score(scenario, &b.1));
-            x.total_cmp(&y)
-        });
-
-    let baseline = optimal.map(|(_, r)| r.clone());
+    let cmp = compare(scenario, &FIGURE5_BASELINES, seed);
+    let optimal = cmp.run_for(Baseline::Optimal).cloned();
     let speedup = |r: &RunResult| -> f64 {
-        baseline
+        optimal
             .as_ref()
             .map(|b| r.speedup_over(b))
             .unwrap_or(f64::NAN)
     };
 
+    let mut bars: Vec<(String, Option<f64>, f64, bool)> = Vec::new();
     bars.push((
         "SmartConf".into(),
         None,
-        speedup(&smart),
-        smart.constraint_ok,
+        speedup(&cmp.smart),
+        cmp.smart.constraint_ok,
     ));
-    if let Some((setting, r)) = optimal {
-        bars.push((
-            "Static-Optimal".into(),
-            Some(*setting),
-            speedup(r),
-            r.constraint_ok,
-        ));
-    }
-    if let Some((setting, r)) = nonoptimal {
-        bars.push((
-            "Static-Nonoptimal".into(),
-            Some(*setting),
-            speedup(r),
-            r.constraint_ok,
-        ));
-    }
-    for (choice, label) in [
-        (StaticChoice::PatchDefault, "Static-Patch-Default"),
-        (StaticChoice::BuggyDefault, "Static-Buggy-Default"),
-    ] {
-        if let Some(setting) = scenario.static_setting(choice) {
-            let r = scenario.run_static(setting, seed);
-            bars.push((label.into(), Some(setting), speedup(&r), r.constraint_ok));
+    for b in &cmp.baselines {
+        if let Some(r) = &b.run {
+            bars.push((b.baseline.label(), b.setting, speedup(r), r.constraint_ok));
         }
     }
 
     Figure5Row {
-        issue: scenario.id().to_string(),
-        metric: smart.tradeoff_name.clone(),
+        issue: cmp.scenario_id,
+        metric: cmp.smart.tradeoff_name.clone(),
         bars,
     }
-}
-
-fn score(scenario: &dyn Scenario, r: &RunResult) -> f64 {
-    use smartconf_harness::TradeoffDirection;
-    match scenario.tradeoff_direction() {
-        TradeoffDirection::HigherIsBetter => r.tradeoff,
-        TradeoffDirection::LowerIsBetter => -r.tradeoff,
-    }
-}
-
-/// `sweep_statics` is generic over `Sized` scenarios; this is the
-/// object-safe equivalent used when iterating boxed scenarios.
-fn sweep_statics_dyn(scenario: &(dyn Scenario + Sync), seed: u64) -> Vec<(f64, RunResult)> {
-    let candidates = scenario.candidate_settings();
-    thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .iter()
-            .map(|&setting| scope.spawn(move |_| (setting, scenario.run_static(setting, seed))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker"))
-            .collect()
-    })
-    .expect("sweep scope")
 }
 
 /// Runs the whole figure (all scenarios in parallel) and renders it.
@@ -135,14 +81,13 @@ pub fn render(seed: u64) -> String {
     let rows: Vec<Figure5Row> = thread::scope(|scope| {
         let handles: Vec<_> = scenarios
             .iter()
-            .map(|s| scope.spawn(move |_| run_scenario(s.as_ref(), seed)))
+            .map(|s| scope.spawn(move || run_scenario(s.as_ref(), seed)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("figure5 worker"))
             .collect()
-    })
-    .expect("figure5 scope");
+    });
 
     let mut table = TextTable::new(vec![
         "issue",

@@ -3,7 +3,7 @@
 //! Rendered from the live scenario objects so the table always reflects
 //! what the code actually runs.
 
-use smartconf_harness::{StaticChoice, TextTable};
+use smartconf_harness::{Baseline, TextTable};
 
 use crate::figure5::all_scenarios;
 
@@ -21,8 +21,8 @@ pub fn render() -> String {
             s.id().to_string(),
             s.config_name().to_string(),
             s.description().to_string(),
-            fmt_setting(s.static_setting(StaticChoice::BuggyDefault)),
-            fmt_setting(s.static_setting(StaticChoice::PatchDefault)),
+            fmt_setting(s.static_setting(Baseline::BuggyDefault)),
+            fmt_setting(s.static_setting(Baseline::PatchDefault)),
         ]);
     }
     format!(

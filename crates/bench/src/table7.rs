@@ -18,7 +18,7 @@ pub struct IntegrationRow {
     pub issue: &'static str,
     /// Lines implementing the performance sensor.
     pub sensor: usize,
-    /// Lines invoking SmartConf APIs (`set_perf`/`conf`/`set_goal`).
+    /// Lines invoking the control-plane APIs (`decide`/`set_goal`/...).
     pub invoke: usize,
     /// Other adjustment plumbing (dynamic-bound tolerance, master-to-
     /// worker delivery, ...).
@@ -74,13 +74,14 @@ fn fn_lines(src: &str, name: &str) -> usize {
     lines
 }
 
-/// Counts lines containing SmartConf API invocations.
+/// Counts lines invoking the control-plane (or raw SmartConf) APIs.
 fn invoke_lines(src: &str) -> usize {
     src.lines()
         .filter(|l| {
             let l = l.trim();
             !l.starts_with("//")
-                && (l.contains(".set_perf(")
+                && (l.contains(".decide(")
+                    || l.contains(".set_perf(")
                     || l.contains(".conf(")
                     || l.contains(".conf_rounded(")
                     || l.contains(".set_goal("))

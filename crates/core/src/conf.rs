@@ -109,6 +109,12 @@ impl SmartConf {
         &self.controller
     }
 
+    /// Mutable access to the underlying controller (used by the runtime
+    /// control plane for interaction splitting and re-synthesis).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
     /// Whether the controller reports the goal as unreachable (§4.3).
     pub fn goal_unreachable(&self) -> bool {
         self.controller.goal_unreachable()
@@ -231,6 +237,12 @@ impl SmartConfIndirect {
     /// The underlying controller.
     pub fn controller(&self) -> &Controller {
         &self.controller
+    }
+
+    /// Mutable access to the underlying controller (used by the runtime
+    /// control plane for interaction splitting and re-synthesis).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
     }
 
     /// Whether the controller reports the goal as unreachable.

@@ -5,8 +5,6 @@
 //! context-aware poles for hard constraints (§5.2), and the interaction
 //! factor for super-hard goals shared by several configurations (§5.4).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Goal, Hardness, Result, Sense};
 
 /// Consecutive saturated-and-violating steps before the controller flags
@@ -44,7 +42,7 @@ const UNREACHABLE_STREAK: u32 = 5;
 /// assert_eq!(next, 150.0); // (400-100)/2 added
 /// # Ok::<(), smartconf_core::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Controller {
     alpha: f64,
     pole: f64,

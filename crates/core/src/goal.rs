@@ -5,12 +5,10 @@
 //! constraint" (paper Figure 2). This module is the vocabulary for such
 //! statements.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// How strictly a goal must be respected (paper §4.3, §5.2, §5.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Hardness {
     /// Best-effort: transient overshoot is tolerable (e.g. a latency SLA).
     #[default]
@@ -31,7 +29,7 @@ impl Hardness {
 }
 
 /// Which side of the target is "safe".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Sense {
     /// The metric must stay at or below the target (memory, latency).
     #[default]
@@ -55,7 +53,7 @@ pub enum Sense {
 /// assert_eq!(goal.error(400.0), 95.0);
 /// # Ok::<(), smartconf_core::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Goal {
     metric: String,
     target: f64,

@@ -9,8 +9,6 @@
 //! else), and report fit diagnostics so synthesis can reject degenerate
 //! profiles.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// An affine fit `perf ≈ alpha · setting + beta` with diagnostics.
@@ -27,7 +25,7 @@ use crate::{Error, Result};
 /// assert!((fit.r_squared() - 1.0).abs() < 1e-9);
 /// # Ok::<(), smartconf_core::Error>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     alpha: f64,
     beta: f64,

@@ -16,7 +16,6 @@
 
 use std::fmt::Write as _;
 
-use serde::{Deserialize, Serialize};
 use smartconf_metrics::OnlineStats;
 
 use crate::{Error, LinearFit, Result};
@@ -28,7 +27,7 @@ const MONOTONE_TOLERANCE: f64 = 0.05;
 
 /// One profiling observation: the performance measured while the
 /// configuration held a given setting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfilePoint {
     /// Configuration setting in effect.
     pub setting: f64,
@@ -56,7 +55,7 @@ pub struct ProfilePoint {
 /// assert!(profile.lambda() < 0.05);
 /// # Ok::<(), smartconf_core::Error>(())
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProfileSet {
     points: Vec<ProfilePoint>,
     /// Per-setting stats, keyed by the exact bit pattern of the setting.

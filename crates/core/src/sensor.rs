@@ -9,7 +9,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use smartconf_metrics::Histogram;
 
 /// A source of performance measurements.
@@ -81,17 +82,17 @@ impl SharedGauge {
 
     /// Publishes a new value.
     pub fn set(&self, v: f64) {
-        *self.value.lock() = v;
+        *self.value.lock().unwrap() = v;
     }
 
     /// Adds to the current value (e.g. allocation deltas).
     pub fn add(&self, dv: f64) {
-        *self.value.lock() += dv;
+        *self.value.lock().unwrap() += dv;
     }
 
     /// Reads the current value without consuming the sensor.
     pub fn get(&self) -> f64 {
-        *self.value.lock()
+        *self.value.lock().unwrap()
     }
 }
 
@@ -160,12 +161,12 @@ impl LatencyWindow {
 
     /// Records one latency in microseconds.
     pub fn record_us(&self, latency_us: u64) {
-        self.inner.lock().record(latency_us);
+        self.inner.lock().unwrap().record(latency_us);
     }
 
     /// Number of samples currently in the window.
     pub fn len(&self) -> u64 {
-        self.inner.lock().count()
+        self.inner.lock().unwrap().count()
     }
 
     /// Whether the window holds no samples.
@@ -179,7 +180,7 @@ impl Sensor for LatencyWindow {
     /// window; returns `0.0` when no sample arrived since the last
     /// measurement (the controller treats that as "no news").
     fn measure(&mut self) -> f64 {
-        let mut hist = self.inner.lock();
+        let mut hist = self.inner.lock().unwrap();
         let value = hist
             .percentile(self.percentile)
             .map(|us| us as f64 / 1_000.0)

@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 
-use smartconf_core::SmartConfIndirect;
 use smartconf_metrics::{Histogram, TimeSeries};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime};
 
 use crate::namespace::{ContentSummary, Namespace, TraversalCursor};
@@ -22,17 +22,6 @@ pub enum NamenodeEvent {
     YieldEnd,
     /// Periodic series sampling.
     Sample,
-}
-
-/// How the traversal limit is chosen.
-#[derive(Debug)]
-pub enum LimitPolicy {
-    /// Fixed `content-summary.limit`.
-    Static(u64),
-    /// SmartConf: indirect controller whose deputy is the inodes
-    /// traversed in the last quantum and whose metric is the worst
-    /// writer-block duration observed since the last adjustment.
-    Smart(Box<SmartConfIndirect>),
 }
 
 /// One in-flight or queued `du` request.
@@ -57,7 +46,11 @@ pub struct NamenodeModel {
     yield_overhead: SimDuration,
     /// Current `content-summary.limit`.
     limit: u64,
-    policy: LimitPolicy,
+    /// The control plane owning the limit channel. For SmartConf the
+    /// deputy is the inodes traversed in the last quantum and the metric
+    /// is the worst writer-block duration since the last adjustment.
+    pub(crate) plane: ControlPlane,
+    chan: ChannelId,
     /// Mean gap between write arrivals.
     write_gap_mean: SimDuration,
     /// Mean gap between `du` arrivals ([`SimDuration::ZERO`] disables).
@@ -99,18 +92,20 @@ impl NamenodeModel {
     pub fn new(
         per_file: SimDuration,
         yield_overhead: SimDuration,
-        policy: LimitPolicy,
-        initial_limit: u64,
+        decider: Decider,
         write_gap_mean: SimDuration,
         du_gap_mean: SimDuration,
         namespace: Namespace,
         horizon: SimTime,
     ) -> Self {
+        let (mut plane, chan) = ControlPlane::single("content-summary.limit", decider);
+        let initial_limit = plane.setting(chan).max(0.0) as u64;
         NamenodeModel {
             per_file,
             yield_overhead,
             limit: initial_limit,
-            policy,
+            plane,
+            chan,
             write_gap_mean,
             du_gap_mean,
             namespace,
@@ -136,23 +131,25 @@ impl NamenodeModel {
         self.limit
     }
 
-    /// Updates the goal of a SmartConf policy (phase goal change).
+    /// Updates the goal of a SmartConf channel (phase goal change).
     pub fn set_goal(&mut self, goal_secs: f64) {
-        if let LimitPolicy::Smart(sc) = &mut self.policy {
-            sc.set_goal(goal_secs).expect("finite goal");
-        }
+        self.plane
+            .set_goal(self.chan, goal_secs)
+            .expect("finite goal");
     }
 
     /// Adjusts the limit before a quantum: the controller reads the worst
     /// block observed since its last step and the deputy (inodes actually
     /// traversed last quantum).
-    fn control_step(&mut self, last_quantum_files: u64) {
-        if let LimitPolicy::Smart(sc) = &mut self.policy {
-            if self.worst_block_secs > 0.0 && last_quantum_files > 0 {
-                sc.set_perf(self.worst_block_secs, last_quantum_files as f64);
-                self.limit = sc.conf_rounded().max(1_000) as u64;
-                self.worst_block_secs = 0.0;
-            }
+    fn control_step(&mut self, now: SimTime, last_quantum_files: u64) {
+        if self.worst_block_secs > 0.0 && last_quantum_files > 0 {
+            let sensed = Sensed::with_deputy(self.worst_block_secs, last_quantum_files as f64);
+            self.limit = self
+                .plane
+                .decide(self.chan, now.as_micros(), sensed)
+                .round()
+                .max(1_000.0) as u64;
+            self.worst_block_secs = 0.0;
         }
     }
 
@@ -192,7 +189,7 @@ impl Model for NamenodeModel {
                 };
                 if self.active.is_none() {
                     self.active = Some(request);
-                    self.control_step(self.quantum_files);
+                    self.control_step(now, self.quantum_files);
                     self.start_quantum(ctx);
                 } else {
                     self.du_queue.push_back(request);
@@ -238,7 +235,7 @@ impl Model for NamenodeModel {
             }
             NamenodeEvent::YieldEnd => {
                 if self.active.is_some() && !self.in_quantum {
-                    self.control_step(self.quantum_files);
+                    self.control_step(ctx.now(), self.quantum_files);
                     self.start_quantum(ctx);
                 }
             }
@@ -265,8 +262,7 @@ mod tests {
         let model = NamenodeModel::new(
             SimDuration::from_micros(20),
             SimDuration::from_secs(2),
-            LimitPolicy::Static(limit),
-            limit,
+            Decider::Static(limit as f64),
             SimDuration::from_millis(10),
             SimDuration::ZERO,
             namespace,
@@ -321,8 +317,7 @@ mod tests {
         let model = NamenodeModel::new(
             SimDuration::from_micros(20),
             SimDuration::from_secs(2),
-            LimitPolicy::Static(1_000),
-            1_000,
+            Decider::Static(1_000.0),
             SimDuration::from_millis(10),
             SimDuration::ZERO,
             Namespace::new(),

@@ -2,10 +2,11 @@
 //! two-phase evaluation.
 
 use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConfIndirect};
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
+use smartconf_runtime::Decider;
 use smartconf_simkernel::{SimDuration, SimTime, Simulation};
 
-use crate::namenode::{LimitPolicy, NamenodeEvent, NamenodeModel};
+use crate::namenode::{NamenodeEvent, NamenodeModel};
 use crate::namespace::Namespace;
 use smartconf_simkernel::SimRng;
 use smartconf_workload::TestDfsIoWorkload;
@@ -81,8 +82,7 @@ impl Hd4995 {
             let model = NamenodeModel::new(
                 self.per_file,
                 self.yield_overhead,
-                LimitPolicy::Static(setting as u64),
-                setting as u64,
+                Decider::Static(setting),
                 Self::write_gap(w),
                 w.du_interval(),
                 Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
@@ -117,7 +117,7 @@ impl Hd4995 {
             .expect("controller synthesis")
     }
 
-    fn run(&self, policy: LimitPolicy, initial_limit: u64, seed: u64, label: &str) -> RunResult {
+    fn run(&self, decider: Decider, seed: u64, label: &str) -> RunResult {
         let (p1, p2) = self.phase_secs;
         let horizon = SimTime::from_secs(p1 + p2);
         let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
@@ -125,8 +125,7 @@ impl Hd4995 {
         let model = NamenodeModel::new(
             self.per_file,
             self.yield_overhead,
-            policy,
-            initial_limit,
+            decider,
             Self::write_gap(w),
             w.du_interval(),
             Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
@@ -145,17 +144,25 @@ impl Hd4995 {
         sim.run_until(horizon);
 
         let m = sim.into_model();
-        let phase2_worst = m
-            .block_series
-            .points()
-            .iter()
-            .filter(|p| p.t_us >= p1 * 1_000_000)
-            .map(|p| p.value)
-            .fold(0.0_f64, f64::max);
         // Soft goals tolerate marginal overshoot (paper §4.3): a block
         // within 2% of the cap counts as meeting it — the controller
         // steers *to* the cap, so measurement noise straddles it.
         const SOFT_TOLERANCE: f64 = 1.02;
+        // A quantum admitted under the phase-1 goal can still be holding
+        // the lock when the goal tightens; `setGoal` only steers quanta
+        // the controller has yet to size (§4.3). Blocks completing within
+        // one old-goal quantum (plus the yield) of the boundary are
+        // charged to phase 1.
+        let grace_secs =
+            self.phase_goals_secs.0 * SOFT_TOLERANCE + self.yield_overhead.as_secs_f64();
+        let phase2_from_us = ((p1 as f64 + grace_secs) * 1e6) as u64;
+        let phase2_worst = m
+            .block_series
+            .points()
+            .iter()
+            .filter(|p| p.t_us >= phase2_from_us)
+            .map(|p| p.value)
+            .fold(0.0_f64, f64::max);
         let ok = phase1_worst <= self.phase_goals_secs.0 * SOFT_TOLERANCE
             && phase2_worst <= self.phase_goals_secs.1 * SOFT_TOLERANCE;
         let du_latency_secs = if m.du_latency.is_empty() {
@@ -172,6 +179,7 @@ impl Hd4995 {
         )
         .with_series(m.block_series)
         .with_series(m.conf_series)
+        .with_epochs(m.plane.into_log())
     }
 }
 
@@ -199,13 +207,13 @@ impl Scenario for Hd4995 {
         (1..=20).map(|i| (i * 100_000) as f64).collect()
     }
 
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
         match choice {
             // The hard-coded behaviour traversed everything in one lock
             // acquisition; the patch exposed the knob but kept that
             // default (the issue's complaint).
-            StaticChoice::BuggyDefault => Some(5_000_000.0),
-            StaticChoice::PatchDefault => Some(5_000_000.0),
+            Baseline::BuggyDefault => Some(5_000_000.0),
+            Baseline::PatchDefault => Some(5_000_000.0),
             _ => None,
         }
     }
@@ -216,8 +224,7 @@ impl Scenario for Hd4995 {
 
     fn run_static(&self, setting: f64, seed: u64) -> RunResult {
         self.run(
-            LimitPolicy::Static(setting.max(1.0) as u64),
-            setting.max(1.0) as u64,
+            Decider::Static(setting.max(1.0)),
             seed,
             &format!("static-{setting}"),
         )
@@ -227,12 +234,7 @@ impl Scenario for Hd4995 {
         let profile = self.collect_profile(seed ^ 0x5eed);
         let controller = self.build_controller(&profile);
         let conf = SmartConfIndirect::new("content-summary.limit", controller);
-        self.run(
-            LimitPolicy::Smart(Box::new(conf)),
-            100_000,
-            seed,
-            "SmartConf",
-        )
+        self.run(Decider::Deputy(Box::new(conf)), seed, "SmartConf")
     }
 
     fn profile(&self, seed: u64) -> ProfileSet {
@@ -318,8 +320,8 @@ mod tests {
         assert_eq!(s.phase_goals_secs(), (20.0, 10.0));
         assert_eq!(s.tradeoff_direction(), TradeoffDirection::LowerIsBetter);
         assert_eq!(
-            s.static_setting(StaticChoice::BuggyDefault),
-            s.static_setting(StaticChoice::PatchDefault),
+            s.static_setting(Baseline::BuggyDefault),
+            s.static_setting(Baseline::PatchDefault),
         );
     }
 }

@@ -1,0 +1,300 @@
+//! The shared "SmartConf vs named static baselines" comparison.
+//!
+//! Every scenario's evaluation boils down to the same shape: run
+//! SmartConf, run a handful of named static baselines (the buggy
+//! default, the patch default, the swept oracle), and assert that
+//! SmartConf satisfies the constraint while staying competitive on the
+//! trade-off. This module owns that shape once, so scenario crates and
+//! the bench drivers stop re-implementing it.
+
+use smartconf_runtime::Baseline;
+
+#[cfg(test)]
+use crate::TradeoffDirection;
+use crate::{sweep_statics, RunResult, Scenario};
+
+/// One named baseline's resolved run within a [`Comparison`].
+#[derive(Debug)]
+pub struct BaselineRun {
+    /// Which baseline this is.
+    pub baseline: Baseline,
+    /// The static setting it resolved to, when one exists. `Optimal`
+    /// and `Nonoptimal` stay `None` if no candidate satisfied the
+    /// constraint during the sweep.
+    pub setting: Option<f64>,
+    /// The run under that setting (`None` when the baseline could not
+    /// be resolved).
+    pub run: Option<RunResult>,
+}
+
+/// SmartConf and a set of named static baselines, run through one code
+/// path at one seed.
+#[derive(Debug)]
+pub struct Comparison {
+    /// Scenario identifier, e.g. `"HD4995"`.
+    pub scenario_id: String,
+    /// The SmartConf run.
+    pub smart: RunResult,
+    /// The baseline runs, in request order.
+    pub baselines: Vec<BaselineRun>,
+}
+
+impl Comparison {
+    /// The run of a named baseline, when it resolved.
+    pub fn run_for(&self, baseline: Baseline) -> Option<&RunResult> {
+        self.baselines
+            .iter()
+            .find(|b| b.baseline == baseline)
+            .and_then(|b| b.run.as_ref())
+    }
+
+    /// SmartConf's Figure-5 speedup over a named baseline.
+    pub fn speedup_over(&self, baseline: Baseline) -> Option<f64> {
+        self.run_for(baseline).map(|r| self.smart.speedup_over(r))
+    }
+
+    /// Whether SmartConf both satisfied the constraint and kept its
+    /// trade-off within `tolerance` of a named baseline (speedup
+    /// ≥ `1/tolerance`). `true` when the baseline did not resolve —
+    /// there is nothing to lose to.
+    pub fn smart_competitive_with(&self, baseline: Baseline, tolerance: f64) -> bool {
+        if !self.smart.constraint_ok {
+            return false;
+        }
+        match self.speedup_over(baseline) {
+            Some(speedup) => !speedup.is_nan() && speedup >= 1.0 / tolerance,
+            None => true,
+        }
+    }
+
+    /// Panics with a scenario-labelled message unless SmartConf
+    /// satisfied its constraint while every resolved baseline in
+    /// `expected_failing` violated its own. This is the shared
+    /// "SmartConf fixes what the defaults break" assertion.
+    pub fn assert_smart_fixes_defaults(&self, expected_failing: &[Baseline]) {
+        assert!(
+            self.smart.constraint_ok,
+            "{}: SmartConf violated its constraint (crash at {:?})",
+            self.scenario_id, self.smart.crash_time_us
+        );
+        for &b in expected_failing {
+            if let Some(run) = self.run_for(b) {
+                assert!(
+                    !run.constraint_ok,
+                    "{}: expected {} to violate the constraint, but it held",
+                    self.scenario_id,
+                    b.label()
+                );
+            }
+        }
+    }
+}
+
+/// Runs SmartConf and the named `baselines` of `scenario` at one seed.
+///
+/// `Fixed` and the issue defaults resolve directly through
+/// [`Scenario::static_setting`]; `Optimal`/`Nonoptimal` trigger (at most
+/// one) exhaustive static sweep, shared between them.
+pub fn compare(
+    scenario: &(impl Scenario + Sync + ?Sized),
+    baselines: &[Baseline],
+    seed: u64,
+) -> Comparison {
+    let mut sweep = None;
+    let runs = baselines
+        .iter()
+        .map(|&baseline| {
+            let (setting, run) = match baseline {
+                Baseline::Optimal | Baseline::Nonoptimal => {
+                    let sweep = sweep.get_or_insert_with(|| sweep_statics(scenario, seed));
+                    let found = if baseline == Baseline::Optimal {
+                        sweep.optimal_run()
+                    } else {
+                        sweep.nonoptimal_run()
+                    };
+                    match found {
+                        Some((s, r)) => {
+                            let mut r = r.clone();
+                            r.label = baseline.label();
+                            (Some(s), Some(r))
+                        }
+                        None => (None, None),
+                    }
+                }
+                _ => {
+                    let setting = baseline
+                        .fixed_setting()
+                        .or_else(|| scenario.static_setting(baseline));
+                    let run = setting.map(|s| {
+                        let mut r = scenario.run_static(s, seed);
+                        r.label = baseline.label();
+                        r
+                    });
+                    (setting, run)
+                }
+            };
+            BaselineRun {
+                baseline,
+                setting,
+                run,
+            }
+        })
+        .collect();
+    Comparison {
+        scenario_id: scenario.id().to_string(),
+        smart: scenario.run_smartconf(seed),
+        baselines: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartconf_core::ProfileSet;
+
+    /// Constraint: setting <= 100. Trade-off: setting, higher better.
+    struct Toy;
+    impl Scenario for Toy {
+        fn id(&self) -> &str {
+            "TOY"
+        }
+        fn description(&self) -> &str {
+            "toy"
+        }
+        fn config_name(&self) -> &str {
+            "c"
+        }
+        fn candidate_settings(&self) -> Vec<f64> {
+            vec![20.0, 60.0, 100.0, 140.0]
+        }
+        fn static_setting(&self, choice: Baseline) -> Option<f64> {
+            match choice {
+                Baseline::BuggyDefault => Some(140.0),
+                Baseline::PatchDefault => Some(60.0),
+                _ => None,
+            }
+        }
+        fn tradeoff_direction(&self) -> TradeoffDirection {
+            TradeoffDirection::HigherIsBetter
+        }
+        fn run_static(&self, setting: f64, _seed: u64) -> RunResult {
+            RunResult::new(
+                format!("static-{setting}"),
+                setting <= 100.0,
+                setting,
+                "t",
+                TradeoffDirection::HigherIsBetter,
+            )
+        }
+        fn run_smartconf(&self, seed: u64) -> RunResult {
+            let mut r = self.run_static(95.0, seed);
+            r.label = "SmartConf".into();
+            r
+        }
+        fn profile(&self, _seed: u64) -> ProfileSet {
+            ProfileSet::new()
+        }
+    }
+
+    #[test]
+    fn resolves_defaults_oracle_and_fixed() {
+        let c = compare(
+            &Toy,
+            &[
+                Baseline::BuggyDefault,
+                Baseline::PatchDefault,
+                Baseline::Optimal,
+                Baseline::Nonoptimal,
+                Baseline::Fixed(80.0),
+            ],
+            1,
+        );
+        assert_eq!(c.scenario_id, "TOY");
+        assert_eq!(c.smart.label, "SmartConf");
+        assert!(!c.run_for(Baseline::BuggyDefault).unwrap().constraint_ok);
+        assert!(c.run_for(Baseline::PatchDefault).unwrap().constraint_ok);
+        // The sweep resolves the oracle pair to the best/worst satisfiers.
+        let optimal = c
+            .baselines
+            .iter()
+            .find(|b| b.baseline == Baseline::Optimal)
+            .unwrap();
+        assert_eq!(optimal.setting, Some(100.0));
+        let nonopt = c
+            .baselines
+            .iter()
+            .find(|b| b.baseline == Baseline::Nonoptimal)
+            .unwrap();
+        assert_eq!(nonopt.setting, Some(20.0));
+        assert_eq!(c.run_for(Baseline::Fixed(80.0)).unwrap().tradeoff, 80.0);
+        // Labels come from the baseline, not the raw static run.
+        assert_eq!(
+            c.run_for(Baseline::Optimal).unwrap().label,
+            "Static-Optimal"
+        );
+    }
+
+    #[test]
+    fn competitiveness_and_fix_assertions() {
+        let c = compare(&Toy, &[Baseline::BuggyDefault, Baseline::Optimal], 1);
+        // 95 vs optimal 100: within 10 %, not within 1 %.
+        assert!(c.smart_competitive_with(Baseline::Optimal, 1.10));
+        assert!(!c.smart_competitive_with(Baseline::Optimal, 1.01));
+        assert_eq!(c.speedup_over(Baseline::Optimal), Some(0.95));
+        c.assert_smart_fixes_defaults(&[Baseline::BuggyDefault]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Static-PatchDefault to violate")]
+    fn fix_assertion_rejects_satisfying_baseline() {
+        let c = compare(&Toy, &[Baseline::PatchDefault], 1);
+        c.assert_smart_fixes_defaults(&[Baseline::PatchDefault]);
+    }
+
+    #[test]
+    fn unresolved_baseline_is_competitive_by_default() {
+        // `Fixed` settings not in the scenario still run; a baseline the
+        // scenario cannot resolve yields no run and concedes nothing.
+        struct NoDefaults;
+        impl Scenario for NoDefaults {
+            fn id(&self) -> &str {
+                "N"
+            }
+            fn description(&self) -> &str {
+                "n"
+            }
+            fn config_name(&self) -> &str {
+                "c"
+            }
+            fn candidate_settings(&self) -> Vec<f64> {
+                vec![500.0]
+            }
+            fn static_setting(&self, _c: Baseline) -> Option<f64> {
+                None
+            }
+            fn tradeoff_direction(&self) -> TradeoffDirection {
+                TradeoffDirection::HigherIsBetter
+            }
+            fn run_static(&self, setting: f64, _seed: u64) -> RunResult {
+                RunResult::new("x", false, setting, "t", TradeoffDirection::HigherIsBetter)
+            }
+            fn run_smartconf(&self, _seed: u64) -> RunResult {
+                RunResult::new(
+                    "SmartConf",
+                    true,
+                    1.0,
+                    "t",
+                    TradeoffDirection::HigherIsBetter,
+                )
+            }
+            fn profile(&self, _seed: u64) -> ProfileSet {
+                ProfileSet::new()
+            }
+        }
+        let c = compare(&NoDefaults, &[Baseline::BuggyDefault, Baseline::Optimal], 1);
+        assert!(c.run_for(Baseline::BuggyDefault).is_none());
+        assert!(c.run_for(Baseline::Optimal).is_none());
+        assert!(c.smart_competitive_with(Baseline::Optimal, 1.0));
+        c.assert_smart_fixes_defaults(&[Baseline::BuggyDefault]);
+    }
+}

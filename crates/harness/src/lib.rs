@@ -10,13 +10,20 @@
 #![warn(missing_debug_implementations)]
 
 mod chart;
+mod compare;
 mod outcome;
 mod report;
 mod scenario;
 mod sweep;
 
 pub use chart::AsciiChart;
+pub use compare::{compare, BaselineRun, Comparison};
 pub use outcome::{RunResult, TradeoffDirection};
-pub use report::TextTable;
-pub use scenario::{Scenario, StaticChoice};
+pub use report::{epoch_summary, TextTable};
+pub use scenario::Scenario;
 pub use sweep::{sweep_statics, StaticSweep};
+
+// The named static baselines and the per-epoch event log are runtime
+// types; scenario and bench crates reach them through the harness so a
+// comparison run and its structured log travel together.
+pub use smartconf_runtime::{Baseline, EpochEvent, EpochLog};

@@ -2,11 +2,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use smartconf_metrics::TimeSeries;
+use smartconf_runtime::EpochLog;
 
 /// Whether larger or smaller trade-off values are better.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TradeoffDirection {
     /// e.g. throughput — Figure 5 speedup is `new / baseline`.
     HigherIsBetter,
@@ -16,7 +16,7 @@ pub enum TradeoffDirection {
 
 /// The outcome of one simulated run of a scenario under one configuration
 /// policy (a static setting, SmartConf, or an ablated controller).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Human-readable label ("SmartConf", "static-90", ...).
     pub label: String,
@@ -37,6 +37,10 @@ pub struct RunResult {
     /// Named time series recorded during the run (used memory, queue
     /// size, throughput...).
     pub series: BTreeMap<String, TimeSeries>,
+    /// The control plane's structured per-epoch decision log: one
+    /// [`smartconf_runtime::EpochEvent`] per decision per channel.
+    /// Empty for runs that never consulted a control plane.
+    pub epochs: EpochLog,
 }
 
 impl RunResult {
@@ -57,6 +61,7 @@ impl RunResult {
             tradeoff_name: tradeoff_name.into(),
             direction,
             series: BTreeMap::new(),
+            epochs: EpochLog::default(),
         }
     }
 
@@ -71,6 +76,12 @@ impl RunResult {
     /// Attaches a named time series.
     pub fn with_series(mut self, series: TimeSeries) -> Self {
         self.series.insert(series.name().to_string(), series);
+        self
+    }
+
+    /// Attaches the control plane's per-epoch decision log.
+    pub fn with_epochs(mut self, epochs: EpochLog) -> Self {
+        self.epochs = epochs;
         self
     }
 

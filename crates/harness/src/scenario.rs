@@ -1,23 +1,9 @@
 //! The scenario abstraction: one PerfConf case study.
 
 use smartconf_core::ProfileSet;
+use smartconf_runtime::Baseline;
 
 use crate::{RunResult, TradeoffDirection};
-
-/// The static baselines Figure 5 compares against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StaticChoice {
-    /// The default setting users complained about in the original issue.
-    BuggyDefault,
-    /// The default the developers' patch introduced.
-    PatchDefault,
-    /// The best constraint-satisfying static setting, found by exhaustive
-    /// sweep over the scenario's candidate settings.
-    Optimal,
-    /// A plausible-but-poor static setting (the paper's randomly chosen
-    /// static configurations).
-    Nonoptimal,
-}
 
 /// One PerfConf case study from Table 6 (e.g. HB3813), runnable under a
 /// static setting or under SmartConf control.
@@ -40,10 +26,10 @@ pub trait Scenario {
     /// by exhaustively searching all possible PerfConf settings").
     fn candidate_settings(&self) -> Vec<f64>;
 
-    /// The static setting associated with a named baseline choice.
-    /// `Optimal` and `Nonoptimal` are discovered by sweeping and return
-    /// `None` here.
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64>;
+    /// The static setting associated with a named baseline. `Optimal`
+    /// and `Nonoptimal` are discovered by sweeping and return `None`
+    /// here; `Fixed` settings resolve without consulting the scenario.
+    fn static_setting(&self, choice: Baseline) -> Option<f64>;
 
     /// Which direction of the trade-off metric is better.
     fn tradeoff_direction(&self) -> TradeoffDirection;
@@ -80,10 +66,10 @@ mod tests {
         fn candidate_settings(&self) -> Vec<f64> {
             (0..=20).map(|i| i as f64 * 10.0).collect()
         }
-        fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+        fn static_setting(&self, choice: Baseline) -> Option<f64> {
             match choice {
-                StaticChoice::BuggyDefault => Some(200.0),
-                StaticChoice::PatchDefault => Some(150.0),
+                Baseline::BuggyDefault => Some(200.0),
+                Baseline::PatchDefault => Some(150.0),
                 _ => None,
             }
         }
@@ -116,7 +102,7 @@ mod tests {
         assert!(s.run_static(50.0, 1).constraint_ok);
         assert!(!s.run_static(150.0, 1).constraint_ok);
         assert_eq!(s.run_smartconf(1).label, "SmartConf");
-        assert_eq!(s.static_setting(StaticChoice::Optimal), None);
+        assert_eq!(s.static_setting(Baseline::Optimal), None);
         assert_eq!(s.profile(1).num_settings(), 2);
     }
 }

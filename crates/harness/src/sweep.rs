@@ -5,7 +5,7 @@
 //! meet the constraint throughout our two-phase workloads" (§6.3). The
 //! sweep runs every candidate in parallel and classifies the outcomes.
 
-use crossbeam::thread;
+use std::thread;
 
 use crate::{RunResult, Scenario, TradeoffDirection};
 
@@ -40,19 +40,18 @@ impl StaticSweep {
 
 /// Runs every candidate static setting of `scenario` (in parallel) and
 /// classifies the best and worst constraint-satisfying choices.
-pub fn sweep_statics(scenario: &(impl Scenario + Sync), seed: u64) -> StaticSweep {
+pub fn sweep_statics(scenario: &(impl Scenario + Sync + ?Sized), seed: u64) -> StaticSweep {
     let candidates = scenario.candidate_settings();
     let runs: Vec<(f64, RunResult)> = thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .iter()
-            .map(|&setting| scope.spawn(move |_| (setting, scenario.run_static(setting, seed))))
+            .map(|&setting| scope.spawn(move || (setting, scenario.run_static(setting, seed))))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
-    })
-    .expect("sweep scope panicked");
+    });
 
     let direction = scenario.tradeoff_direction();
     let better = |a: f64, b: f64| match direction {
@@ -87,7 +86,7 @@ pub fn sweep_statics(scenario: &(impl Scenario + Sync), seed: u64) -> StaticSwee
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::StaticChoice;
+    use crate::Baseline;
     use smartconf_core::ProfileSet;
 
     /// Constraint: setting <= 100. Trade-off: setting, higher better.
@@ -105,7 +104,7 @@ mod tests {
         fn candidate_settings(&self) -> Vec<f64> {
             vec![20.0, 60.0, 100.0, 140.0]
         }
-        fn static_setting(&self, _c: StaticChoice) -> Option<f64> {
+        fn static_setting(&self, _c: Baseline) -> Option<f64> {
             None
         }
         fn tradeoff_direction(&self) -> TradeoffDirection {
@@ -154,7 +153,7 @@ mod tests {
         fn candidate_settings(&self) -> Vec<f64> {
             vec![1.0, 2.0]
         }
-        fn static_setting(&self, _c: StaticChoice) -> Option<f64> {
+        fn static_setting(&self, _c: Baseline) -> Option<f64> {
             None
         }
         fn tradeoff_direction(&self) -> TradeoffDirection {
@@ -194,7 +193,7 @@ mod tests {
         fn candidate_settings(&self) -> Vec<f64> {
             vec![1.0, 2.0, 3.0]
         }
-        fn static_setting(&self, _c: StaticChoice) -> Option<f64> {
+        fn static_setting(&self, _c: Baseline) -> Option<f64> {
             None
         }
         fn tradeoff_direction(&self) -> TradeoffDirection {

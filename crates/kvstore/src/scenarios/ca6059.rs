@@ -19,8 +19,9 @@
 use smartconf_core::{
     Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConfIndirect,
 };
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{Histogram, TimeSeries};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -88,7 +89,7 @@ impl Ca6059 {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
             let result = self.run_model(
-                Policy::Static((setting_mb * MB as f64) as u64),
+                Decider::Static(setting_mb),
                 &workload,
                 seed.wrapping_add(i as u64 + 1),
                 "profiling",
@@ -126,7 +127,7 @@ impl Ca6059 {
 
     fn run_model(
         &self,
-        policy: Policy,
+        decider: Decider,
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
@@ -134,10 +135,8 @@ impl Ca6059 {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
         heap.set_component("base", self.base_bytes);
-        let initial = match &policy {
-            Policy::Static(b) => *b,
-            Policy::Smart(_) => 8 * MB,
-        };
+        let (mut plane, chan) = ControlPlane::single("memtable_total_space_mb", decider);
+        let initial = (plane.setting(chan).max(1.0) * MB as f64) as u64;
         let model = MemtableModel {
             heap,
             churn: BackgroundChurn::with_spikes(
@@ -155,7 +154,8 @@ impl Ca6059 {
             cache_bytes: 0,
             cache_target: self.cache_target,
             cache_warm_rate: self.cache_warm_rate,
-            policy,
+            plane,
+            chan,
             phased: workload.clone(),
             write_latency: Histogram::new(),
             crashed: None,
@@ -192,6 +192,7 @@ impl Ca6059 {
             .with_series(m.mem_series)
             .with_series(m.conf_series)
             .with_series(m.deputy_series)
+            .with_epochs(m.plane.into_log())
     }
 }
 
@@ -219,13 +220,13 @@ impl Scenario for Ca6059 {
         (1..=25).map(|i| (i * 10) as f64).collect()
     }
 
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
         match choice {
             // One third of the heap, Cassandra's memtable share before
             // the issue was fixed.
-            StaticChoice::BuggyDefault => Some(165.0),
+            Baseline::BuggyDefault => Some(165.0),
             // The patched default: one quarter of the heap.
-            StaticChoice::PatchDefault => Some(124.0),
+            Baseline::PatchDefault => Some(124.0),
             _ => None,
         }
     }
@@ -236,7 +237,7 @@ impl Scenario for Ca6059 {
 
     fn run_static(&self, setting: f64, seed: u64) -> RunResult {
         self.run_model(
-            Policy::Static((setting.max(1.0) * MB as f64) as u64),
+            Decider::Static(setting.max(1.0)),
             &self.eval.clone(),
             seed,
             &format!("static-{setting}MB"),
@@ -248,7 +249,7 @@ impl Scenario for Ca6059 {
         let controller = self.build_controller(&profile);
         let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
         self.run_model(
-            Policy::Smart(Box::new(conf)),
+            Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
             seed,
             "SmartConf",
@@ -258,12 +259,6 @@ impl Scenario for Ca6059 {
     fn profile(&self, seed: u64) -> ProfileSet {
         self.collect_profile(seed)
     }
-}
-
-#[derive(Debug)]
-enum Policy {
-    Static(u64),
-    Smart(Box<SmartConfIndirect>),
 }
 
 #[derive(Debug)]
@@ -282,7 +277,8 @@ struct MemtableModel {
     cache_bytes: u64,
     cache_target: u64,
     cache_warm_rate: f64,
-    policy: Policy,
+    plane: ControlPlane,
+    chan: ChannelId,
     phased: PhasedWorkload<YcsbWorkload>,
     /// In-progress flush: (bytes, start, duration). Flushed bytes drain
     /// linearly over the duration (Cassandra frees memtable memory as
@@ -306,16 +302,18 @@ impl MemtableModel {
     /// Baseline latency of an unstalled write (commit log append).
     const FAST_WRITE_US: u64 = 1_000;
 
+    /// Invoked at the write-arrival use site; the deputy (§5.3) is the
+    /// memtable's resident bytes (active plus still-draining) in MB.
     fn control_step(&mut self, now: SimTime) {
         let deputy_mb =
             (self.memtable.active_bytes() + self.flush_residual(now)) as f64 / MB as f64;
-        let used_mb = self.heap.used_mb();
-        if let Policy::Smart(sc) = &mut self.policy {
-            sc.set_perf(used_mb, deputy_mb);
-            let threshold_mb = sc.conf().max(1.0);
-            self.memtable
-                .set_threshold((threshold_mb * MB as f64) as u64);
-        }
+        let sensed = Sensed::with_deputy(self.heap.used_mb(), deputy_mb);
+        let threshold_mb = self
+            .plane
+            .decide(self.chan, now.as_micros(), sensed)
+            .max(1.0);
+        self.memtable
+            .set_threshold((threshold_mb * MB as f64) as u64);
     }
 
     /// Residency of the draining flush at `now` (linear release).
@@ -498,6 +496,6 @@ mod tests {
         let s = Ca6059::standard();
         assert_eq!(s.id(), "CA6059");
         assert_eq!(s.tradeoff_direction(), TradeoffDirection::LowerIsBetter);
-        assert!(s.static_setting(StaticChoice::BuggyDefault).unwrap() > 150.0);
+        assert!(s.static_setting(Baseline::BuggyDefault).unwrap() > 150.0);
     }
 }

@@ -17,8 +17,9 @@
 //! a blocking flush actually happens.
 
 use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConf};
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
+use smartconf_runtime::{ChannelId, ControlPlane, Decider};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -80,7 +81,7 @@ impl Hb2149 {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(120), self.profile_workload.clone());
             let result = self.run_model(
-                Policy::Static((setting_mb * MB as f64) as u64),
+                Decider::Static(setting_mb),
                 &workload,
                 seed.wrapping_add(i as u64 + 1),
                 "profiling",
@@ -116,7 +117,7 @@ impl Hb2149 {
 
     fn run_model(
         &self,
-        policy: Policy,
+        decider: Decider,
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
@@ -128,10 +129,8 @@ impl Hb2149 {
         } else {
             None
         };
-        let initial_lower = match &policy {
-            Policy::Static(b) => *b,
-            Policy::Smart(sc) => (sc.controller().current() * MB as f64) as u64,
-        };
+        let (mut plane, chan) = ControlPlane::single("memstore.lowerLimit_mb", decider);
+        let initial_lower = (plane.setting(chan).max(0.0) * MB as f64) as u64;
         let model = MemstoreModel {
             memstore: Memstore::new(
                 self.upper,
@@ -139,7 +138,8 @@ impl Hb2149 {
                 self.drain_rate,
                 self.flush_overhead_secs,
             ),
-            policy,
+            plane,
+            chan,
             phased: workload.clone(),
             blocked_until: SimTime::ZERO,
             completed_writes: 0,
@@ -173,6 +173,7 @@ impl Hb2149 {
             .with_series(m.block_series)
             .with_series(m.conf_series)
             .with_series(m.store_series)
+            .with_epochs(m.plane.into_log())
     }
 }
 
@@ -201,14 +202,14 @@ impl Scenario for Hb2149 {
         (0..=19).map(|i| (i * 10) as f64).collect()
     }
 
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
         match choice {
             // Figure 5 annotates HB2149's statics as fractions of heap
             // against an upper watermark of 0.40: the buggy default 0.25
             // flushes so deep it blocks past the tightened 5 s goal,
             // the patched 0.35 is shallow — safe but slow.
-            StaticChoice::BuggyDefault => Some(120.0),
-            StaticChoice::PatchDefault => Some(175.0),
+            Baseline::BuggyDefault => Some(120.0),
+            Baseline::PatchDefault => Some(175.0),
             _ => None,
         }
     }
@@ -219,7 +220,7 @@ impl Scenario for Hb2149 {
 
     fn run_static(&self, setting: f64, seed: u64) -> RunResult {
         self.run_model(
-            Policy::Static((setting.clamp(0.0, 200.0) * MB as f64) as u64),
+            Decider::Static(setting.clamp(0.0, 200.0)),
             &self.eval.clone(),
             seed,
             &format!("static-{setting}MB"),
@@ -232,7 +233,7 @@ impl Scenario for Hb2149 {
         let controller = self.build_controller(&profile);
         let conf = SmartConf::new("global.memstore.lowerLimit", controller);
         self.run_model(
-            Policy::Smart(conf),
+            Decider::Direct(Box::new(conf)),
             &self.eval.clone(),
             seed,
             "SmartConf",
@@ -246,14 +247,6 @@ impl Scenario for Hb2149 {
 }
 
 #[derive(Debug)]
-enum Policy {
-    /// Fixed lowerLimit in bytes.
-    Static(u64),
-    /// Direct SmartConf controller on the lowerLimit (MB).
-    Smart(SmartConf),
-}
-
-#[derive(Debug)]
 enum Ev {
     Arrival,
     Unblock,
@@ -264,7 +257,8 @@ enum Ev {
 #[derive(Debug)]
 struct MemstoreModel {
     memstore: Memstore,
-    policy: Policy,
+    plane: ControlPlane,
+    chan: ChannelId,
     phased: PhasedWorkload<YcsbWorkload>,
     blocked_until: SimTime,
     completed_writes: u64,
@@ -292,16 +286,16 @@ impl Model for MemstoreModel {
                         self.memstore.write(op.size_bytes());
                         self.completed_writes += 1;
                         if self.memstore.at_upper() {
-                            // Blocking flush. The controller is invoked
+                            // Blocking flush. The control plane is invoked
                             // exactly here — when the configuration takes
                             // effect (conditional PerfConf, §4.2).
                             let last_block = self.worst_block_secs.max(0.0);
-                            if let Policy::Smart(sc) = &mut self.policy {
-                                if last_block > 0.0 {
-                                    sc.set_perf(last_block);
-                                    let lower_mb = sc.conf().max(0.0);
-                                    self.memstore.set_lower((lower_mb * MB as f64) as u64);
-                                }
+                            if last_block > 0.0 {
+                                let lower_mb = self
+                                    .plane
+                                    .decide(self.chan, now.as_micros(), last_block)
+                                    .max(0.0);
+                                self.memstore.set_lower((lower_mb * MB as f64) as u64);
                             }
                             let block = self.memstore.blocking_flush();
                             let secs = block.as_secs_f64();
@@ -326,9 +320,9 @@ impl Model for MemstoreModel {
             }
             Ev::GoalChange => {
                 self.current_goal = self.goals.1;
-                if let Policy::Smart(sc) = &mut self.policy {
-                    sc.set_goal(self.goals.1).expect("finite goal");
-                }
+                self.plane
+                    .set_goal(self.chan, self.goals.1)
+                    .expect("finite goal");
             }
             Ev::Sample => {
                 let t = ctx.now().as_micros();

@@ -15,8 +15,9 @@
 use smartconf_core::{
     Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConf, SmartConfIndirect,
 };
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{ArrivalProcess, PhasedWorkload, YcsbWorkload};
 
@@ -157,7 +158,7 @@ impl Hb3813 {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
             let result = self.run_model(
-                Policy::Static(setting as usize),
+                Decider::Static(setting),
                 &workload,
                 seed.wrapping_add(i as u64 + 1),
                 "profiling",
@@ -219,13 +220,18 @@ impl Hb3813 {
     /// overrides without re-deriving the rest of the scenario.
     pub fn run_with_controller(&self, controller: Controller, seed: u64, label: &str) -> RunResult {
         let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
-        self.run_model(Policy::Smart(conf), &self.eval.clone(), seed, label)
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            label,
+        )
     }
 
     /// Runs the evaluation workload with a fixed static setting.
     pub fn run_static_setting(&self, setting: f64, seed: u64) -> RunResult {
         self.run_model(
-            Policy::Static(setting.max(0.0) as usize),
+            Decider::Static(setting.max(0.0)),
             &self.eval.clone(),
             seed,
             &format!("static-{setting}"),
@@ -236,31 +242,37 @@ impl Hb3813 {
     pub fn run_variant(&self, variant: ControllerVariant, seed: u64) -> RunResult {
         let profile = self.collect_profile(seed ^ 0x5eed);
         let controller = self.build_controller(&profile, variant);
-        let (policy, label) = match variant {
+        let (decider, label) = match variant {
             ControllerVariant::SmartConf => (
-                Policy::Smart(SmartConfIndirect::new(
+                Decider::Deputy(Box::new(SmartConfIndirect::new(
                     "ipc.server.max.queue.size",
                     controller,
-                )),
+                ))),
                 "SmartConf",
             ),
             // The alternatives are traditional Eq-2 controllers that
             // integrate on their own output (no deputy re-anchoring).
             ControllerVariant::SinglePole => (
-                Policy::Direct(SmartConf::new("ipc.server.max.queue.size", controller)),
+                Decider::Direct(Box::new(SmartConf::new(
+                    "ipc.server.max.queue.size",
+                    controller,
+                ))),
                 "Single Pole",
             ),
             ControllerVariant::NoVirtualGoal => (
-                Policy::Direct(SmartConf::new("ipc.server.max.queue.size", controller)),
+                Decider::Direct(Box::new(SmartConf::new(
+                    "ipc.server.max.queue.size",
+                    controller,
+                ))),
                 "No Virtual Goal",
             ),
         };
-        self.run_model(policy, &self.eval.clone(), seed, label)
+        self.run_model(decider, &self.eval.clone(), seed, label)
     }
 
     fn run_model(
         &self,
-        policy: Policy,
+        decider: Decider,
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
@@ -268,10 +280,12 @@ impl Hb3813 {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
         heap.set_component("base", self.base_bytes);
-        let initial_max = match &policy {
-            Policy::Static(n) => *n,
-            Policy::Smart(_) | Policy::Direct(_) => 0,
-        };
+        // Figure 7's traditional controllers sample on a fixed period;
+        // SmartConf (and the static baselines) decide at the enqueue
+        // use site.
+        let fixed_period = matches!(decider, Decider::Direct(_));
+        let (mut plane, chan) = ControlPlane::single("max.queue.size", decider);
+        let initial_max = plane.setting(chan).max(0.0) as usize;
         let model = QueueModel {
             heap,
             churn: BackgroundChurn::with_spikes(
@@ -283,7 +297,9 @@ impl Hb3813 {
             )
             .with_reversion(0.02),
             queue: CountBoundedQueue::new(initial_max),
-            policy,
+            plane,
+            chan,
+            fixed_period,
             phased: workload.clone(),
             busy: false,
             paused: false,
@@ -309,7 +325,7 @@ impl Hb3813 {
         sim.schedule_at(SimTime::ZERO, Ev::Arrival);
         sim.schedule_at(SimTime::ZERO, Ev::ChurnTick);
         sim.schedule_at(SimTime::ZERO, Ev::Sample);
-        if matches!(sim.model().policy, Policy::Direct(_)) {
+        if sim.model().fixed_period {
             sim.schedule_at(SimTime::ZERO, Ev::ControlTick);
         }
         if !self.pause_gap_mean.is_zero() {
@@ -336,6 +352,7 @@ impl Hb3813 {
             .with_series(m.churn_series)
             .with_series(m.thr_series)
             .with_series(m.cum_series)
+            .with_epochs(m.plane.into_log())
     }
 }
 
@@ -363,10 +380,10 @@ impl Scenario for Hb3813 {
         (1..=30).map(|i| (i * 10) as f64).collect()
     }
 
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
         match choice {
-            StaticChoice::BuggyDefault => Some(1000.0),
-            StaticChoice::PatchDefault => Some(100.0),
+            Baseline::BuggyDefault => Some(1000.0),
+            Baseline::PatchDefault => Some(100.0),
             _ => None,
         }
     }
@@ -388,20 +405,6 @@ impl Scenario for Hb3813 {
     }
 }
 
-/// How the queue bound is chosen at run time.
-#[derive(Debug)]
-enum Policy {
-    Static(usize),
-    /// Full SmartConf: the controller is re-anchored to the observed
-    /// deputy (queue length) on every step (§5.3).
-    Smart(SmartConfIndirect),
-    /// Traditional Eq-2 control: the controller integrates on its own
-    /// previous output. During slack periods (queue below bound) the
-    /// positive error winds the bound far above need; Figure 7's
-    /// alternatives behave this way.
-    Direct(SmartConf),
-}
-
 #[derive(Debug)]
 enum Ev {
     Arrival,
@@ -418,7 +421,12 @@ struct QueueModel {
     heap: HeapModel,
     churn: BackgroundChurn,
     queue: CountBoundedQueue,
-    policy: Policy,
+    plane: ControlPlane,
+    chan: ChannelId,
+    /// Whether the channel decides on the fixed [`CONTROL_TICK`] period
+    /// (Figure 7's traditional Eq-2 controllers) instead of at every
+    /// enqueue use site.
+    fixed_period: bool,
     phased: PhasedWorkload<YcsbWorkload>,
     busy: bool,
     paused: bool,
@@ -446,23 +454,30 @@ struct QueueModel {
 impl QueueModel {
     /// Invoked at every enqueue, as in the paper: "a performance
     /// measurement is taken every time an RPC request is enqueued".
-    fn control_step(&mut self) {
-        if let Policy::Smart(sc) = &mut self.policy {
-            sc.set_perf(self.heap.used_mb(), self.queue.len() as f64);
-            let bound = sc.conf_rounded().max(0) as usize;
-            self.queue.set_max_items(bound);
+    /// The deputy (§5.3) is the observed queue length.
+    fn control_step(&mut self, now: SimTime) {
+        if self.fixed_period {
+            return;
         }
+        let sensed = Sensed::with_deputy(self.heap.used_mb(), self.queue.len() as f64);
+        let bound = self
+            .plane
+            .decide(self.chan, now.as_micros(), sensed)
+            .round()
+            .max(0.0) as usize;
+        self.queue.set_max_items(bound);
     }
 
     /// Fixed-period step for the traditional Eq-2 controllers of
     /// Figure 7: classic discrete control samples the plant on a fixed
     /// period rather than at every use site.
-    fn direct_control_tick(&mut self) {
-        if let Policy::Direct(sc) = &mut self.policy {
-            sc.set_perf(self.heap.used_mb());
-            let bound = sc.conf_rounded().max(0) as usize;
-            self.queue.set_max_items(bound);
-        }
+    fn direct_control_tick(&mut self, now: SimTime) {
+        let bound = self
+            .plane
+            .decide(self.chan, now.as_micros(), self.heap.used_mb())
+            .round()
+            .max(0.0) as usize;
+        self.queue.set_max_items(bound);
     }
 
     fn sync_heap(&mut self) {
@@ -511,7 +526,7 @@ impl Model for QueueModel {
                 let batch = workload.arrivals().batch_size(ctx.rng());
                 for _ in 0..batch {
                     let op = workload.next_op(ctx.rng());
-                    self.control_step();
+                    self.control_step(now);
                     let item = QueuedRequest {
                         enqueued_at: now,
                         bytes: op.size_bytes(),
@@ -545,7 +560,7 @@ impl Model for QueueModel {
                 ctx.schedule_in(CHURN_TICK, Ev::ChurnTick);
             }
             Ev::ControlTick => {
-                self.direct_control_tick();
+                self.direct_control_tick(ctx.now());
                 ctx.schedule_in(CONTROL_TICK, Ev::ControlTick);
             }
             Ev::Sample => {
@@ -680,9 +695,9 @@ mod tests {
     fn scenario_metadata() {
         let s = Hb3813::standard();
         assert_eq!(s.id(), "HB3813");
-        assert_eq!(s.static_setting(StaticChoice::BuggyDefault), Some(1000.0));
-        assert_eq!(s.static_setting(StaticChoice::PatchDefault), Some(100.0));
-        assert_eq!(s.static_setting(StaticChoice::Optimal), None);
+        assert_eq!(s.static_setting(Baseline::BuggyDefault), Some(1000.0));
+        assert_eq!(s.static_setting(Baseline::PatchDefault), Some(100.0));
+        assert_eq!(s.static_setting(Baseline::Optimal), None);
         assert_eq!(s.tradeoff_direction(), TradeoffDirection::HigherIsBetter);
         assert!(!s.candidate_settings().is_empty());
     }

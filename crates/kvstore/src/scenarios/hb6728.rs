@@ -14,8 +14,9 @@
 use smartconf_core::{
     Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConfIndirect,
 };
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -64,7 +65,10 @@ impl Hb6728 {
                 (SimDuration::from_secs(200), Self::workload("0.0W")),
                 (SimDuration::from_secs(200), Self::workload("0.3W")),
             ]),
-            profile_workload: Self::workload("0.0W"),
+            // Profile under the write mix too: phase 2's memstore
+            // sawtooth is a disturbance the virtual-goal margin (lambda)
+            // must cover, so it has to show up in the profiled variance.
+            profile_workload: Self::workload("0.3W"),
             profile_settings: vec![40.0, 80.0, 120.0, 160.0],
         }
     }
@@ -88,7 +92,7 @@ impl Hb6728 {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
             let result = self.run_model(
-                Policy::Static((setting_mb * MB as f64) as u64),
+                Decider::Static(setting_mb),
                 &workload,
                 seed.wrapping_add(i as u64 + 1),
                 "profiling",
@@ -128,7 +132,7 @@ impl Hb6728 {
 
     fn run_model(
         &self,
-        policy: Policy,
+        decider: Decider,
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
@@ -136,10 +140,8 @@ impl Hb6728 {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
         heap.set_component("base", self.base_bytes);
-        let initial_max = match &policy {
-            Policy::Static(b) => *b,
-            Policy::Smart(_) => 0,
-        };
+        let (mut plane, chan) = ControlPlane::single("response.queue.maxsize_mb", decider);
+        let initial_max = (plane.setting(chan).max(0.0) * MB as f64) as u64;
         let model = ResponseModel {
             heap,
             churn: BackgroundChurn::with_spikes(
@@ -152,7 +154,8 @@ impl Hb6728 {
             .with_reversion(0.02),
             queue: ByteBoundedQueue::new(initial_max),
             memtable: Memtable::new(self.memstore_threshold, self.memstore_flush_rate),
-            policy,
+            plane,
+            chan,
             phased: workload.clone(),
             sending: false,
             send_overhead: self.send_overhead,
@@ -191,6 +194,7 @@ impl Hb6728 {
             .with_series(m.conf_series)
             .with_series(m.queue_series)
             .with_series(m.thr_series)
+            .with_epochs(m.plane.into_log())
     }
 }
 
@@ -219,13 +223,13 @@ impl Scenario for Hb6728 {
         (1..=30).map(|i| (i * 10) as f64).collect()
     }
 
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
         match choice {
             // Originally unbounded; represent "infinity" as well past
             // any plausible heap.
-            StaticChoice::BuggyDefault => Some(100_000.0),
+            Baseline::BuggyDefault => Some(100_000.0),
             // The patch capped it at 1 GB — still twice this heap.
-            StaticChoice::PatchDefault => Some(1_000.0),
+            Baseline::PatchDefault => Some(1_000.0),
             _ => None,
         }
     }
@@ -236,7 +240,7 @@ impl Scenario for Hb6728 {
 
     fn run_static(&self, setting: f64, seed: u64) -> RunResult {
         self.run_model(
-            Policy::Static((setting.max(0.0) * MB as f64) as u64),
+            Decider::Static(setting.max(0.0)),
             &self.eval.clone(),
             seed,
             &format!("static-{setting}MB"),
@@ -248,7 +252,7 @@ impl Scenario for Hb6728 {
         let controller = self.build_controller(&profile);
         let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
         self.run_model(
-            Policy::Smart(Box::new(conf)),
+            Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
             seed,
             "SmartConf",
@@ -258,14 +262,6 @@ impl Scenario for Hb6728 {
     fn profile(&self, seed: u64) -> ProfileSet {
         self.collect_profile(seed)
     }
-}
-
-#[derive(Debug)]
-enum Policy {
-    /// Fixed byte bound.
-    Static(u64),
-    /// SmartConf controller over the deputy (resident MB).
-    Smart(Box<SmartConfIndirect>),
 }
 
 #[derive(Debug)]
@@ -283,7 +279,8 @@ struct ResponseModel {
     churn: BackgroundChurn,
     queue: ByteBoundedQueue,
     memtable: Memtable,
-    policy: Policy,
+    plane: ControlPlane,
+    chan: ChannelId,
     phased: PhasedWorkload<YcsbWorkload>,
     sending: bool,
     send_overhead: SimDuration,
@@ -301,13 +298,16 @@ struct ResponseModel {
 }
 
 impl ResponseModel {
-    fn control_step(&mut self) {
-        if let Policy::Smart(sc) = &mut self.policy {
-            let deputy_mb = self.queue.bytes() as f64 / MB as f64;
-            sc.set_perf(self.heap.used_mb(), deputy_mb);
-            let bound_mb = sc.conf().max(0.0);
-            self.queue.set_max_bytes((bound_mb * MB as f64) as u64);
-        }
+    /// Invoked at the read-enqueue use site; the deputy (§5.3) is the
+    /// resident response bytes in MB.
+    fn control_step(&mut self, now: SimTime) {
+        let deputy_mb = self.queue.bytes() as f64 / MB as f64;
+        let sensed = Sensed::with_deputy(self.heap.used_mb(), deputy_mb);
+        let bound_mb = self
+            .plane
+            .decide(self.chan, now.as_micros(), sensed)
+            .max(0.0);
+        self.queue.set_max_bytes((bound_mb * MB as f64) as u64);
     }
 
     fn sync_heap(&mut self) {
@@ -359,7 +359,7 @@ impl Model for ResponseModel {
                 } else {
                     // Reads are served from cache/disk quickly; the
                     // response then queues for network transmission.
-                    self.control_step();
+                    self.control_step(now);
                     let pushed = self.queue.try_push(QueuedRequest {
                         enqueued_at: now,
                         bytes: op.size_bytes(),
@@ -490,8 +490,8 @@ mod tests {
     fn scenario_metadata() {
         let s = Hb6728::standard();
         assert_eq!(s.id(), "HB6728");
-        assert_eq!(s.static_setting(StaticChoice::PatchDefault), Some(1_000.0));
-        assert!(s.static_setting(StaticChoice::BuggyDefault).unwrap() > 10_000.0);
+        assert_eq!(s.static_setting(Baseline::PatchDefault), Some(1_000.0));
+        assert!(s.static_setting(Baseline::BuggyDefault).unwrap() > 10_000.0);
         assert_eq!(s.tradeoff_direction(), TradeoffDirection::HigherIsBetter);
     }
 }

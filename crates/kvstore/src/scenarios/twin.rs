@@ -12,6 +12,7 @@
 use smartconf_core::{ControllerBuilder, Goal, Hardness, ProfileSet, Registry, SmartConfIndirect};
 use smartconf_harness::{RunResult, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
+use smartconf_runtime::{ChannelId, ControlPlane, ControlPlaneBuilder, Decider, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -91,11 +92,11 @@ impl TwinQueues {
                 // keeps the response queue saturated at its bound.
                 WhichQueue::Response => (300, setting, Self::read_workload()),
             };
-            let r = self.run_policies(
-                Policies::Static {
-                    req_bound,
-                    resp_bound_mb,
-                },
+            let (plane, req_chan, resp_chan) = Self::static_plane(req_bound, resp_bound_mb);
+            let r = self.run_plane(
+                plane,
+                req_chan,
+                resp_chan,
                 PhasedWorkload::single(SimDuration::from_secs(60), workload),
                 seed.wrapping_add(i as u64 + 1),
             );
@@ -116,14 +117,16 @@ impl TwinQueues {
     /// throughput all the time.
     pub fn run_static(&self, req_bound: usize, resp_bound_mb: f64, seed: u64) -> TwinRunResult {
         let phased = self.eval_phases();
-        self.run_policies(
-            Policies::Static {
-                req_bound,
-                resp_bound_mb,
-            },
-            phased,
-            seed,
-        )
+        let (plane, req_chan, resp_chan) = Self::static_plane(req_bound, resp_bound_mb);
+        self.run_plane(plane, req_chan, resp_chan, phased, seed)
+    }
+
+    /// A plane holding both queue bounds fixed.
+    fn static_plane(req_bound: usize, resp_bound_mb: f64) -> (ControlPlane, ChannelId, ChannelId) {
+        let mut b = ControlPlaneBuilder::new();
+        let req_chan = b.channel("max.queue.size", Decider::Static(req_bound as f64));
+        let resp_chan = b.channel("response.queue.maxsize_mb", Decider::Static(resp_bound_mb));
+        (b.build(), req_chan, resp_chan)
     }
 
     fn eval_phases(&self) -> PhasedWorkload<YcsbWorkload> {
@@ -200,7 +203,6 @@ impl TwinQueues {
                 .expect("profile supports synthesis")
                 .bounds(0.0, 2_000.0)
                 .initial(0.0)
-                .interaction(interaction_n)
                 .build()
                 .expect("controller synthesis")
         };
@@ -208,35 +210,40 @@ impl TwinQueues {
         let resp_conf =
             SmartConfIndirect::new("ipc.server.response.queue.maxsize", build(&resp_profile));
 
-        let phased = self.eval_phases();
-        let mut out = self.run_policies(
-            Policies::Smart {
-                req: Box::new(req_conf),
-                resp: Box::new(resp_conf),
-            },
-            phased,
-            seed,
+        // The plane's builder discovers the shared super-hard metric and
+        // splits the error N = 2 ways on its own (§5.4); the ablation
+        // overrides that count after the fact.
+        let mut b = ControlPlaneBuilder::new();
+        let req_chan = b.channel("max.queue.size", Decider::Deputy(Box::new(req_conf)));
+        let resp_chan = b.channel(
+            "response.queue.maxsize_mb",
+            Decider::Deputy(Box::new(resp_conf)),
         );
+        let mut plane = b.build();
+        if let Some(n) = interaction {
+            plane.set_interaction(req_chan, n).expect("positive N");
+            plane.set_interaction(resp_chan, n).expect("positive N");
+        }
+
+        let phased = self.eval_phases();
+        let mut out = self.run_plane(plane, req_chan, resp_chan, phased, seed);
         out.interaction_n = interaction_n;
         out
     }
 
-    fn run_policies(
+    fn run_plane(
         &self,
-        policies: Policies,
+        mut plane: ControlPlane,
+        req_chan: ChannelId,
+        resp_chan: ChannelId,
         workload: PhasedWorkload<YcsbWorkload>,
         seed: u64,
     ) -> TwinRunResult {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
         heap.set_component("base", self.base_bytes);
-        let (req_bound, resp_bound) = match &policies {
-            Policies::Static {
-                req_bound,
-                resp_bound_mb,
-            } => (*req_bound, (*resp_bound_mb * MB as f64) as u64),
-            Policies::Smart { .. } => (0, 0),
-        };
+        let req_bound = plane.setting(req_chan).round().max(0.0) as usize;
+        let resp_bound = (plane.setting(resp_chan).max(0.0) * MB as f64) as u64;
         let model = TwinModel {
             heap,
             churn: BackgroundChurn::with_spikes(
@@ -249,7 +256,9 @@ impl TwinQueues {
             .with_reversion(0.02),
             req_queue: CountBoundedQueue::new(req_bound),
             resp_queue: ByteBoundedQueue::new(resp_bound),
-            policies,
+            plane,
+            req_chan,
+            resp_chan,
             phased: workload.clone(),
             serving: false,
             sending: false,
@@ -290,7 +299,8 @@ impl TwinQueues {
             .with_series(m.req_conf_series)
             .with_series(m.resp_conf_series)
             .with_series(m.req_len_series)
-            .with_series(m.resp_bytes_series);
+            .with_series(m.resp_bytes_series)
+            .with_epochs(m.plane.into_log());
         TwinRunResult {
             result,
             interaction_n: 0,
@@ -311,18 +321,6 @@ enum WhichQueue {
 }
 
 #[derive(Debug)]
-enum Policies {
-    Static {
-        req_bound: usize,
-        resp_bound_mb: f64,
-    },
-    Smart {
-        req: Box<SmartConfIndirect>,
-        resp: Box<SmartConfIndirect>,
-    },
-}
-
-#[derive(Debug)]
 enum Ev {
     Arrival,
     ServiceDone,
@@ -337,7 +335,9 @@ struct TwinModel {
     churn: BackgroundChurn,
     req_queue: CountBoundedQueue,
     resp_queue: ByteBoundedQueue,
-    policies: Policies,
+    plane: ControlPlane,
+    req_chan: ChannelId,
+    resp_chan: ChannelId,
     phased: PhasedWorkload<YcsbWorkload>,
     serving: bool,
     sending: bool,
@@ -361,24 +361,24 @@ impl TwinModel {
         self.heap.used_mb()
     }
 
-    fn control_req(&mut self) {
-        let used = self.used_mb();
-        let len = self.req_queue.len() as f64;
-        if let Policies::Smart { req, .. } = &mut self.policies {
-            req.set_perf(used, len);
-            let bound = req.conf_rounded().max(0) as usize;
-            self.req_queue.set_max_items(bound);
-        }
+    fn control_req(&mut self, now: SimTime) {
+        let sensed = Sensed::with_deputy(self.used_mb(), self.req_queue.len() as f64);
+        let bound = self
+            .plane
+            .decide(self.req_chan, now.as_micros(), sensed)
+            .round()
+            .max(0.0) as usize;
+        self.req_queue.set_max_items(bound);
     }
 
-    fn control_resp(&mut self) {
-        let used = self.used_mb();
+    fn control_resp(&mut self, now: SimTime) {
         let mb = self.resp_queue.bytes() as f64 / MB as f64;
-        if let Policies::Smart { resp, .. } = &mut self.policies {
-            resp.set_perf(used, mb);
-            let bound_mb = resp.conf().max(0.0);
-            self.resp_queue.set_max_bytes((bound_mb * MB as f64) as u64);
-        }
+        let sensed = Sensed::with_deputy(self.used_mb(), mb);
+        let bound_mb = self
+            .plane
+            .decide(self.resp_chan, now.as_micros(), sensed)
+            .max(0.0);
+        self.resp_queue.set_max_bytes((bound_mb * MB as f64) as u64);
     }
 
     fn sync_heap(&mut self) {
@@ -439,7 +439,7 @@ impl Model for TwinModel {
                 } else {
                     self.read_request_bytes
                 };
-                self.control_req();
+                self.control_req(now);
                 let pushed = self.req_queue.try_push(QueuedRequest {
                     enqueued_at: now,
                     bytes,
@@ -461,7 +461,7 @@ impl Model for TwinModel {
                     if !item.is_write {
                         // A served read produces a response awaiting
                         // network transmission.
-                        self.control_resp();
+                        self.control_resp(ctx.now());
                         self.resp_queue.try_push(QueuedRequest {
                             enqueued_at: ctx.now(),
                             bytes: self.read_response_bytes,

@@ -2,25 +2,12 @@
 
 use std::collections::VecDeque;
 
-use smartconf_core::SmartConfIndirect;
 use smartconf_metrics::TimeSeries;
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{BackgroundChurn, Context, Model, SimDuration, SimTime};
 use smartconf_workload::{MapTask, WordCountJob};
 
 use crate::WorkerDisk;
-
-/// How `local.dir.minspacestart` is chosen.
-#[derive(Debug)]
-pub enum SpacePolicy {
-    /// Fixed reserve in bytes.
-    Static(u64),
-    /// SmartConf: an indirect controller on the master. The deputy is
-    /// the worst per-worker committed disk usage (MB); the transducer
-    /// maps the desired usage back to the reserve,
-    /// `minspace = capacity − desired` (paper §5.3's threshold pattern).
-    /// The result is shipped to the workers at assignment time.
-    Smart(Box<SmartConfIndirect>),
-}
 
 /// Events of the cluster model.
 #[derive(Debug)]
@@ -72,7 +59,13 @@ struct Worker {
 pub struct ClusterModel {
     workers: Vec<Worker>,
     slots_per_worker: u32,
-    policy: SpacePolicy,
+    /// The control plane owning the reserve channel. For SmartConf the
+    /// deputy is the worst per-worker committed disk usage (MB); the
+    /// transducer maps the desired usage back to the reserve,
+    /// `minspace = capacity − desired` (paper §5.3's threshold pattern).
+    /// The result is shipped to the workers at assignment time.
+    pub(crate) plane: ControlPlane,
+    chan: ChannelId,
     minspace: u64,
     /// Jobs to run back-to-back.
     jobs: VecDeque<Vec<MapTask>>,
@@ -105,7 +98,7 @@ impl ClusterModel {
         disk_capacity: u64,
         disk_base: u64,
         churn: BackgroundChurn,
-        policy: SpacePolicy,
+        decider: Decider,
         initial_minspace: u64,
         jobs: Vec<Vec<MapTask>>,
         process_rate: f64,
@@ -123,10 +116,12 @@ impl ClusterModel {
         let mut jobs: VecDeque<Vec<MapTask>> = jobs.into_iter().collect();
         let first = jobs.pop_front().unwrap_or_default();
         let tasks_left = first.len();
+        let (plane, chan) = ControlPlane::single("local.dir.minspacestart_mb", decider);
         ClusterModel {
             workers,
             slots_per_worker,
-            policy,
+            plane,
+            chan,
             minspace: initial_minspace,
             jobs,
             pending: first.into_iter().collect(),
@@ -179,16 +174,20 @@ impl ClusterModel {
 
     /// The controller runs on the master at assignment time (conditional
     /// PerfConf: it only takes effect when tasks are being placed).
-    fn control_step(&mut self) {
+    fn control_step(&mut self, now: SimTime) {
+        // Metric and deputy coincide: the constrained quantity *is* the
+        // threshold's deputy (disk usage), so the model gain on the
+        // deputy is exactly 1.
         let worst = self.worst_committed_mb();
-        if let SpacePolicy::Smart(sc) = &mut self.policy {
-            // Metric and deputy coincide: the constrained quantity *is*
-            // the threshold's deputy (disk usage), so the model gain on
-            // the deputy is exactly 1.
-            sc.set_perf(worst, worst);
-            let mb = sc.conf().max(0.0);
-            self.minspace = (mb * 1e6) as u64;
-        }
+        let mb = self
+            .plane
+            .decide(
+                self.chan,
+                now.as_micros(),
+                Sensed::with_deputy(worst, worst),
+            )
+            .max(0.0);
+        self.minspace = (mb * 1e6) as u64;
     }
 
     fn check_ood(&mut self, ctx: &mut Context<'_, ClusterEvent>) {
@@ -207,7 +206,7 @@ impl ClusterModel {
         loop {
             // Re-run the controller per admission: each accepted task
             // changes the committed-spill sensor reading.
-            self.control_step();
+            self.control_step(ctx.now());
             let Some(task) = self.pending.front().copied() else {
                 break;
             };
@@ -217,7 +216,7 @@ impl ClusterModel {
             // committed usage to the controller, which folds that
             // foresight into the threshold it sets; a static threshold
             // must cover in-flight spills by itself.
-            let smart = matches!(self.policy, SpacePolicy::Smart(_));
+            let smart = self.plane.decider(self.chan).is_smart();
             let committed_free = |wi: usize| -> u64 {
                 let pending_spill: u64 = self
                     .running
@@ -391,7 +390,7 @@ mod tests {
             100_000_000,
             BackgroundChurn::with_spikes(churn_mean_mb * 1e6, 1.5e6, 0.002, 4e6, 6e6)
                 .with_reversion(0.02),
-            SpacePolicy::Static(minspace_mb * 1_000_000),
+            Decider::Static(minspace_mb as f64),
             minspace_mb * 1_000_000,
             vec![job1, job2],
             20_000_000.0,

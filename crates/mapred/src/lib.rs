@@ -22,6 +22,6 @@ mod cluster;
 mod disk;
 pub mod scenario;
 
-pub use cluster::{ClusterEvent, ClusterModel, SpacePolicy};
+pub use cluster::{ClusterEvent, ClusterModel};
 pub use disk::WorkerDisk;
 pub use scenario::Mr2820;

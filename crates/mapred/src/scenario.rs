@@ -3,11 +3,12 @@
 use smartconf_core::{
     Controller, ControllerBuilder, FnTransducer, Goal, Hardness, ProfileSet, SmartConfIndirect,
 };
-use smartconf_harness::{RunResult, Scenario, StaticChoice, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
+use smartconf_runtime::Decider;
 use smartconf_simkernel::{BackgroundChurn, SimDuration, SimRng, SimTime, Simulation};
 use smartconf_workload::WordCountJob;
 
-use crate::cluster::{materialize_job, ClusterEvent, ClusterModel, SpacePolicy};
+use crate::cluster::{materialize_job, ClusterEvent, ClusterModel};
 
 const MB: u64 = 1_000_000;
 
@@ -83,7 +84,7 @@ impl Mr2820 {
 
     fn run_cluster(
         &self,
-        policy: SpacePolicy,
+        decider: Decider,
         initial_minspace: u64,
         jobs: Vec<Vec<smartconf_workload::MapTask>>,
         seed: u64,
@@ -95,7 +96,7 @@ impl Mr2820 {
             self.disk_capacity,
             self.disk_base,
             self.churn(),
-            policy,
+            decider,
             initial_minspace,
             jobs,
             self.process_rate,
@@ -125,7 +126,10 @@ impl Mr2820 {
         if let Some(t) = m.crashed {
             result = result.with_crash(t.as_micros());
         }
-        result.with_series(m.used_series).with_series(m.conf_series)
+        result
+            .with_series(m.used_series)
+            .with_series(m.conf_series)
+            .with_epochs(m.plane.into_log())
     }
 
     /// Profiles worst-worker disk usage against the reserve setting using
@@ -136,7 +140,7 @@ impl Mr2820 {
             let mut rng = SimRng::seed_from_u64(seed ^ 0x9a0f);
             let job = materialize_job(&WordCountJob::new(2_048 * MB, 16 * MB, 1), &mut rng);
             let r = self.run_cluster(
-                SpacePolicy::Static((setting_mb * MB as f64) as u64),
+                Decider::Static(setting_mb),
                 (setting_mb * MB as f64) as u64,
                 vec![job],
                 seed.wrapping_add(i as u64 + 1),
@@ -200,12 +204,12 @@ impl Scenario for Mr2820 {
         (0..=14).map(|i| (i * 30) as f64).collect()
     }
 
-    fn static_setting(&self, choice: StaticChoice) -> Option<f64> {
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
         match choice {
             // The original default reserved nothing; the patch reserved
             // a token 1 MB (Figure 5's "0M" and "1M" annotations).
-            StaticChoice::BuggyDefault => Some(0.0),
-            StaticChoice::PatchDefault => Some(1.0),
+            Baseline::BuggyDefault => Some(0.0),
+            Baseline::PatchDefault => Some(1.0),
             _ => None,
         }
     }
@@ -217,7 +221,7 @@ impl Scenario for Mr2820 {
     fn run_static(&self, setting: f64, seed: u64) -> RunResult {
         let bytes = (setting.max(0.0) * MB as f64) as u64;
         self.run_cluster(
-            SpacePolicy::Static(bytes),
+            Decider::Static(setting.max(0.0)),
             bytes,
             self.eval_jobs(seed),
             seed,
@@ -240,7 +244,7 @@ impl Scenario for Mr2820 {
             })),
         );
         self.run_cluster(
-            SpacePolicy::Smart(Box::new(conf)),
+            Decider::Deputy(Box::new(conf)),
             initial,
             self.eval_jobs(seed),
             seed,
@@ -318,8 +322,8 @@ mod tests {
     fn scenario_metadata() {
         let s = Mr2820::standard();
         assert_eq!(s.id(), "MR2820");
-        assert_eq!(s.static_setting(StaticChoice::BuggyDefault), Some(0.0));
-        assert_eq!(s.static_setting(StaticChoice::PatchDefault), Some(1.0));
+        assert_eq!(s.static_setting(Baseline::BuggyDefault), Some(0.0));
+        assert_eq!(s.static_setting(Baseline::PatchDefault), Some(1.0));
         assert_eq!(s.tradeoff_direction(), TradeoffDirection::LowerIsBetter);
     }
 }

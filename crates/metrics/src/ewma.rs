@@ -1,7 +1,5 @@
 //! Exponentially weighted moving average.
 
-use serde::{Deserialize, Serialize};
-
 /// An exponentially weighted moving average over a stream of samples.
 ///
 /// SmartConf sensors feed raw measurements (queue occupancy, heap bytes)
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// e.record(20.0);
 /// assert_eq!(e.value(), 15.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,

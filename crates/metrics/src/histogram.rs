@@ -1,7 +1,5 @@
 //! Log-bucketed histogram with percentile queries.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of linear sub-buckets per power-of-two bucket.
 ///
 /// 16 sub-buckets bound the relative quantization error at ~6%, plenty for
@@ -28,7 +26,7 @@ const SUB_BUCKETS: usize = 16;
 /// let p50 = h.percentile(50.0).unwrap();
 /// assert!((450..=550).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// `buckets[b][s]` counts values whose high bit is `b` and whose next
     /// bits fall in sub-bucket `s`.

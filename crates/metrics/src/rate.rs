@@ -2,8 +2,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 /// Counts events and reports a rate over a sliding time window.
 ///
 /// Time is supplied by the caller in integer microseconds (matching the
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// r.record(500_000, 1);
 /// assert_eq!(r.rate_per_sec(500_000), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RateCounter {
     window_us: u64,
     events: VecDeque<(u64, u64)>,

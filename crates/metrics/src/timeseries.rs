@@ -1,11 +1,9 @@
 //! Append-only time-series recording and resampling.
 
-use serde::{Deserialize, Serialize};
-
 use crate::OnlineStats;
 
 /// One `(time, value)` observation. Time is in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
     /// Timestamp in microseconds since simulation start.
     pub t_us: u64,
@@ -14,7 +12,7 @@ pub struct SeriesPoint {
 }
 
 /// Summary statistics over a [`TimeSeries`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesSummary {
     /// Number of points.
     pub count: usize,
@@ -47,7 +45,7 @@ pub struct SeriesSummary {
 /// assert_eq!(ts.last().unwrap().value, 200.0);
 /// assert_eq!(ts.summary().unwrap().max, 200.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeSeries {
     name: String,
     points: Vec<SeriesPoint>,

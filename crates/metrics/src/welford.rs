@@ -1,7 +1,5 @@
 //! Single-pass (Welford) mean and variance.
 
-use serde::{Deserialize, Serialize};
-
 /// Online mean/variance accumulator using Welford's algorithm.
 ///
 /// Numerically stable in a single pass; also tracks the minimum and maximum
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(stats.mean(), 5.0);
 /// assert_eq!(stats.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,

@@ -1,0 +1,58 @@
+//! The comparison baselines every scenario runs against.
+
+/// A static-setting baseline for the SmartConf-vs-static comparison
+/// (Figure 5). Having one enum — instead of per-scenario ad-hoc run
+/// functions — makes the static and oracle comparison runs a single
+/// code path through the control plane: a baseline resolves to a fixed
+/// setting, which becomes a [`Decider::Static`](crate::Decider::Static)
+/// channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Baseline {
+    /// An explicit fixed setting.
+    Fixed(f64),
+    /// The default setting users complained about in the original issue.
+    BuggyDefault,
+    /// The default the developers' patch introduced.
+    PatchDefault,
+    /// The best constraint-satisfying static setting — the oracle found
+    /// by exhaustively sweeping the scenario's candidate settings.
+    Optimal,
+    /// A plausible-but-poor constraint-satisfying static setting (the
+    /// paper's randomly chosen static configurations).
+    Nonoptimal,
+}
+
+impl Baseline {
+    /// The label used in reports ("static-120", "Static-Optimal", ...).
+    pub fn label(&self) -> String {
+        match self {
+            Baseline::Fixed(v) => format!("static-{v}"),
+            Baseline::BuggyDefault => "Static-BuggyDefault".into(),
+            Baseline::PatchDefault => "Static-PatchDefault".into(),
+            Baseline::Optimal => "Static-Optimal".into(),
+            Baseline::Nonoptimal => "Static-Nonoptimal".into(),
+        }
+    }
+
+    /// The fixed setting, when the baseline carries one directly.
+    /// `Optimal`/`Nonoptimal` need a sweep to resolve and return `None`.
+    pub fn fixed_setting(&self) -> Option<f64> {
+        match self {
+            Baseline::Fixed(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_settings() {
+        assert_eq!(Baseline::Fixed(90.0).label(), "static-90");
+        assert_eq!(Baseline::Fixed(90.0).fixed_setting(), Some(90.0));
+        assert_eq!(Baseline::Optimal.fixed_setting(), None);
+        assert!(Baseline::BuggyDefault.label().contains("Buggy"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Structured per-epoch event log.
+//!
+//! Every time the control plane makes a decision for a channel — whether
+//! the channel is SmartConf-controlled or a static baseline — it records
+//! one [`EpochEvent`]. The log is the single format the harness and
+//! bench crates consume: the configuration trajectory, the measured
+//! metric, the tracking error, the pole in effect (context-aware
+//! two-pole scheme, paper §5.2), and whether the actuator saturated at
+//! its bounds.
+
+use smartconf_metrics::TimeSeries;
+
+/// One control decision for one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochEvent {
+    /// Per-channel epoch counter (0-based).
+    pub epoch: u64,
+    /// Simulated (or wall) time of the decision, microseconds.
+    pub t_us: u64,
+    /// Index of the channel in the owning [`EpochLog`].
+    pub channel: u32,
+    /// The setting in force after this decision.
+    pub setting: f64,
+    /// The sensed metric value that drove the decision.
+    pub measured: f64,
+    /// The effective (possibly virtual) target. `NaN` for static
+    /// channels, which have no controller.
+    pub target: f64,
+    /// Tracking error `target − measured`. `NaN` for static channels.
+    pub error: f64,
+    /// The pole used on this step (0 inside the danger region of a hard
+    /// goal, the synthesized pole otherwise). `NaN` for static channels.
+    pub pole: f64,
+    /// Whether the decided setting was clamped at the controller's
+    /// bounds. Always `false` for static channels.
+    pub saturated: bool,
+}
+
+/// The per-run log of every channel's epochs, in decision order.
+#[derive(Debug, Clone, Default)]
+pub struct EpochLog {
+    channels: Vec<String>,
+    events: Vec<EpochEvent>,
+}
+
+impl EpochLog {
+    /// Creates an empty log over the given channel names.
+    pub fn new(channels: Vec<String>) -> Self {
+        EpochLog {
+            channels,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends one event (the control plane calls this).
+    pub fn push(&mut self, event: EpochEvent) {
+        debug_assert!((event.channel as usize) < self.channels.len());
+        self.events.push(event);
+    }
+
+    /// Channel names, in [`EpochEvent::channel`] index order.
+    pub fn channels(&self) -> &[String] {
+        &self.channels
+    }
+
+    /// All events, in decision order.
+    pub fn events(&self) -> &[EpochEvent] {
+        &self.events
+    }
+
+    /// Total number of events across channels.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no decisions were logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Index of a channel by name.
+    pub fn channel_index(&self, name: &str) -> Option<usize> {
+        self.channels.iter().position(|c| c == name)
+    }
+
+    /// Events of one channel, in decision order.
+    pub fn events_for<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a EpochEvent> + 'a {
+        let idx = self.channel_index(name).map(|i| i as u32);
+        self.events.iter().filter(move |e| Some(e.channel) == idx)
+    }
+
+    /// The last decided setting of a channel, if it ever decided.
+    pub fn last_setting(&self, name: &str) -> Option<f64> {
+        self.events_for(name).last().map(|e| e.setting)
+    }
+
+    /// Fraction of a channel's epochs that saturated at the bounds.
+    /// Returns 0 for a channel with no epochs.
+    pub fn saturation_fraction(&self, name: &str) -> f64 {
+        let (mut total, mut saturated) = (0u64, 0u64);
+        for e in self.events_for(name) {
+            total += 1;
+            saturated += e.saturated as u64;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            saturated as f64 / total as f64
+        }
+    }
+
+    /// Largest absolute tracking error over a channel's epochs (ignores
+    /// the `NaN` errors of static channels).
+    pub fn max_abs_error(&self, name: &str) -> Option<f64> {
+        self.events_for(name)
+            .map(|e| e.error.abs())
+            .filter(|e| e.is_finite())
+            .max_by(f64::total_cmp)
+    }
+
+    /// The setting trajectory as a time series named after the channel
+    /// (this is the "conf" series the figure drivers plot).
+    pub fn setting_series(&self, name: &str) -> TimeSeries {
+        self.series_of(name, name, |e| e.setting)
+    }
+
+    /// The sensed-metric trajectory, named `<channel>.measured`.
+    pub fn measured_series(&self, name: &str) -> TimeSeries {
+        self.series_of(name, &format!("{name}.measured"), |e| e.measured)
+    }
+
+    /// The tracking-error trajectory, named `<channel>.error`.
+    pub fn error_series(&self, name: &str) -> TimeSeries {
+        self.series_of(name, &format!("{name}.error"), |e| e.error)
+    }
+
+    /// The pole-in-effect trajectory, named `<channel>.pole`.
+    pub fn pole_series(&self, name: &str) -> TimeSeries {
+        self.series_of(name, &format!("{name}.pole"), |e| e.pole)
+    }
+
+    fn series_of(&self, channel: &str, series: &str, f: impl Fn(&EpochEvent) -> f64) -> TimeSeries {
+        let mut ts = TimeSeries::new(series);
+        for e in self.events_for(channel) {
+            ts.push(e.t_us, f(e));
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(channel: u32, epoch: u64, t_us: u64, setting: f64) -> EpochEvent {
+        EpochEvent {
+            epoch,
+            t_us,
+            channel,
+            setting,
+            measured: setting * 2.0,
+            target: 100.0,
+            error: 100.0 - setting * 2.0,
+            pole: 0.5,
+            saturated: setting >= 90.0,
+        }
+    }
+
+    fn log() -> EpochLog {
+        let mut log = EpochLog::new(vec!["a".into(), "b".into()]);
+        log.push(event(0, 0, 0, 10.0));
+        log.push(event(1, 0, 500, 50.0));
+        log.push(event(0, 1, 1_000, 95.0));
+        log
+    }
+
+    #[test]
+    fn per_channel_views() {
+        let log = log();
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.channel_index("b"), Some(1));
+        assert_eq!(log.events_for("a").count(), 2);
+        assert_eq!(log.last_setting("a"), Some(95.0));
+        assert_eq!(log.last_setting("b"), Some(50.0));
+        assert_eq!(log.last_setting("missing"), None);
+        assert_eq!(log.saturation_fraction("a"), 0.5);
+        assert_eq!(log.saturation_fraction("missing"), 0.0);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let log = log();
+        let s = log.setting_series("a");
+        assert_eq!(s.name(), "a");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.value_at(1_000), Some(95.0));
+        assert_eq!(log.measured_series("b").name(), "b.measured");
+        assert_eq!(log.error_series("a").len(), 2);
+        assert_eq!(log.pole_series("a").value_at(0), Some(0.5));
+    }
+
+    #[test]
+    fn max_abs_error_skips_nan() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        let mut e = event(0, 0, 0, 10.0);
+        e.error = f64::NAN;
+        log.push(e);
+        assert_eq!(log.max_abs_error("a"), None);
+        log.push(event(0, 1, 1, 40.0));
+        assert_eq!(log.max_abs_error("a"), Some(20.0));
+    }
+}

@@ -1,0 +1,33 @@
+//! # smartconf-runtime — the epoch-driven control-plane runtime
+//!
+//! The paper's central claim is that *one* synthesis recipe serves every
+//! performance-sensitive configuration; this crate is the corresponding
+//! claim about the surrounding loop: one [`ControlPlane`] owns the
+//! sense→decide→actuate epoch for every scenario, so adding a workload
+//! means implementing the [`Plant`] trait (a sensor and an actuator per
+//! channel), not re-implementing control glue.
+//!
+//! - [`Plant`] — the system under control: sense the metric, apply the
+//!   configuration, advance one epoch.
+//! - [`ControlPlane`] — drives one or more controllers over a plant,
+//!   coordinating channels that share a super-hard goal (paper §5.4) and
+//!   recording every decision.
+//! - [`Decider`] — how a channel decides: a static baseline, a direct
+//!   SmartConf, or a deputy-re-anchored indirect SmartConf (§5.3).
+//! - [`Baseline`] — the named static comparison runs of Figure 5.
+//! - [`EpochEvent`]/[`EpochLog`] — the structured per-epoch record
+//!   (setting, measured metric, error, pole in effect, saturation),
+//!   convertible to `smartconf-metrics` time series.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod event;
+mod plane;
+mod plant;
+
+pub use baseline::Baseline;
+pub use event::{EpochEvent, EpochLog};
+pub use plane::{ControlPlane, ControlPlaneBuilder, Decider};
+pub use plant::{ChannelId, Plant, Sensed};

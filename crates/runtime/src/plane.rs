@@ -1,0 +1,480 @@
+//! The control plane: one canonical sense→decide→actuate loop.
+
+use smartconf_core::{Hardness, Result, SmartConf, SmartConfIndirect};
+
+use crate::{ChannelId, EpochEvent, EpochLog, Plant, Sensed};
+
+/// How one channel turns a sensor reading into a setting.
+///
+/// Static baselines and SmartConf controllers flow through the same
+/// epoch path, which is what makes comparison runs a single code path.
+#[derive(Debug)]
+pub enum Decider {
+    /// A fixed setting (the static baselines of Figure 5).
+    Static(f64),
+    /// A directly-acting SmartConf configuration (paper Figure 3).
+    Direct(Box<SmartConf>),
+    /// An indirectly-acting configuration bounding a deputy variable
+    /// (paper Figure 4, §5.3). Requires [`Sensed::deputy`].
+    Deputy(Box<SmartConfIndirect>),
+}
+
+impl Decider {
+    /// The current setting, without consuming a measurement.
+    pub fn setting(&mut self) -> f64 {
+        match self {
+            Decider::Static(v) => *v,
+            Decider::Direct(sc) => sc.conf(),
+            Decider::Deputy(sc) => sc.conf(),
+        }
+    }
+
+    /// Whether this channel carries a live controller (vs. a static
+    /// baseline).
+    pub fn is_smart(&self) -> bool {
+        !matches!(self, Decider::Static(_))
+    }
+
+    fn controller(&self) -> Option<&smartconf_core::Controller> {
+        match self {
+            Decider::Static(_) => None,
+            Decider::Direct(sc) => Some(sc.controller()),
+            Decider::Deputy(sc) => Some(sc.controller()),
+        }
+    }
+
+    fn controller_mut(&mut self) -> Option<&mut smartconf_core::Controller> {
+        match self {
+            Decider::Static(_) => None,
+            Decider::Direct(sc) => Some(sc.controller_mut()),
+            Decider::Deputy(sc) => Some(sc.controller_mut()),
+        }
+    }
+}
+
+/// One named control channel.
+#[derive(Debug)]
+struct Channel {
+    name: String,
+    decider: Decider,
+    epochs: u64,
+}
+
+/// Builds a [`ControlPlane`], handing out [`ChannelId`]s as channels are
+/// declared.
+#[derive(Debug, Default)]
+pub struct ControlPlaneBuilder {
+    channels: Vec<Channel>,
+}
+
+impl ControlPlaneBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a channel; the returned id is how the plant and the
+    /// epoch calls refer to it.
+    pub fn channel(&mut self, name: impl Into<String>, decider: Decider) -> ChannelId {
+        self.channels.push(Channel {
+            name: name.into(),
+            decider,
+            epochs: 0,
+        });
+        ChannelId(self.channels.len() - 1)
+    }
+
+    /// Finishes the plane. Channels whose controllers share a super-hard
+    /// goal metric are coordinated automatically: each one's error share
+    /// is split by the interaction count N (paper §5.4), so the group
+    /// jointly closes the error without overshooting.
+    pub fn build(mut self) -> ControlPlane {
+        // Count controllers per super-hard goal metric...
+        let mut groups: Vec<(String, u32)> = Vec::new();
+        for ch in &self.channels {
+            if let Some(ctl) = ch.decider.controller() {
+                if ctl.goal().hardness() == Hardness::SuperHard {
+                    let metric = ctl.goal().metric().to_string();
+                    match groups.iter_mut().find(|(m, _)| *m == metric) {
+                        Some((_, n)) => *n += 1,
+                        None => groups.push((metric, 1)),
+                    }
+                }
+            }
+        }
+        // ...and split each group's correction N ways.
+        for ch in &mut self.channels {
+            if let Some(ctl) = ch.decider.controller_mut() {
+                let metric = ctl.goal().metric();
+                if let Some((_, n)) = groups.iter().find(|(m, _)| m == metric) {
+                    ctl.set_interaction(*n)
+                        .expect("interaction count is at least 1");
+                }
+            }
+        }
+        let names = self.channels.iter().map(|c| c.name.clone()).collect();
+        ControlPlane {
+            channels: self.channels,
+            log: EpochLog::new(names),
+        }
+    }
+}
+
+/// Drives one or more controllers over a [`Plant`] and records every
+/// decision as an [`EpochEvent`].
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::{Controller, Goal, SmartConf};
+/// use smartconf_runtime::{ChannelId, ControlPlane, Decider, Plant, Sensed};
+///
+/// // Plant: metric = 2 × setting. Goal: metric == 400.
+/// struct Linear { setting: f64, steps: u32, chan: ChannelId }
+/// impl Plant for Linear {
+///     fn now_us(&self) -> u64 { self.steps as u64 * 1_000_000 }
+///     fn sense(&mut self, _: ChannelId) -> Sensed { Sensed::direct(2.0 * self.setting) }
+///     fn apply(&mut self, _: ChannelId, setting: f64) { self.setting = setting; }
+///     fn advance(&mut self) -> bool { self.steps += 1; self.steps <= 50 }
+/// }
+///
+/// let ctl = Controller::new(2.0, 0.0, Goal::new("m", 400.0), 0.0, (0.0, 1e6), 0.0)?;
+/// let mut builder = ControlPlane::builder();
+/// let chan = builder.channel("cache.size", Decider::Direct(Box::new(SmartConf::new("cache.size", ctl))));
+/// let mut plane = builder.build();
+/// let mut plant = Linear { setting: 0.0, steps: 0, chan };
+/// plane.run(&mut plant);
+/// assert!((2.0 * plant.setting - 400.0).abs() < 1.0);
+/// assert_eq!(plane.log().events_for("cache.size").count(), 50);
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ControlPlane {
+    channels: Vec<Channel>,
+    log: EpochLog,
+}
+
+impl ControlPlane {
+    /// Starts declaring channels.
+    pub fn builder() -> ControlPlaneBuilder {
+        ControlPlaneBuilder::new()
+    }
+
+    /// A plane with a single channel (the common case); returns the
+    /// plane with the channel at id 0.
+    pub fn single(name: impl Into<String>, decider: Decider) -> (ControlPlane, ChannelId) {
+        let mut b = ControlPlaneBuilder::new();
+        let id = b.channel(name, decider);
+        (b.build(), id)
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Looks up a channel by name.
+    pub fn channel_id(&self, name: &str) -> Option<ChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(ChannelId)
+    }
+
+    /// One sense→decide→actuate epoch for one channel, at the plant's
+    /// current time. Returns the decided setting (already applied to the
+    /// plant).
+    ///
+    /// Event-driven plants call this at every site where the
+    /// configuration takes effect; [`ControlPlane::run`] calls it once
+    /// per advance for loop-driven plants.
+    pub fn epoch_for<P: Plant + ?Sized>(&mut self, plant: &mut P, id: ChannelId) -> f64 {
+        let sensed = plant.sense(id);
+        let t_us = plant.now_us();
+        let setting = self.decide(id, t_us, sensed);
+        plant.apply(id, setting);
+        setting
+    }
+
+    /// One epoch for every channel, in declaration order.
+    pub fn epoch<P: Plant + ?Sized>(&mut self, plant: &mut P) {
+        for i in 0..self.channels.len() {
+            self.epoch_for(plant, ChannelId(i));
+        }
+    }
+
+    /// Owns the whole loop for plants that implement [`Plant::advance`]:
+    /// advance one epoch, then sense/decide/apply every channel.
+    pub fn run<P: Plant>(&mut self, plant: &mut P) {
+        while plant.advance() {
+            self.epoch(plant);
+        }
+    }
+
+    /// The decide half of an epoch: feeds the measurement, logs the
+    /// [`EpochEvent`], returns the new setting — without touching the
+    /// plant. Useful when the actuation site already holds the sensor
+    /// values.
+    pub fn decide(&mut self, id: ChannelId, t_us: u64, sensed: impl Into<Sensed>) -> f64 {
+        let sensed = sensed.into();
+        let ch = &mut self.channels[id.0];
+        let (setting, target, pole, saturated) = match &mut ch.decider {
+            Decider::Static(v) => (*v, f64::NAN, f64::NAN, false),
+            Decider::Direct(sc) => {
+                sc.set_perf(sensed.measured);
+                let setting = sc.conf();
+                let ctl = sc.controller();
+                let (lo, hi) = ctl.bounds();
+                (
+                    setting,
+                    ctl.effective_target(),
+                    ctl.last_pole_used(),
+                    ctl.current() <= lo || ctl.current() >= hi,
+                )
+            }
+            Decider::Deputy(sc) => {
+                let deputy = sensed.deputy.unwrap_or_else(|| {
+                    panic!(
+                        "channel '{}' is deputy-driven; Sensed::deputy is required",
+                        ch.name
+                    )
+                });
+                sc.set_perf(sensed.measured, deputy);
+                let setting = sc.conf();
+                let ctl = sc.controller();
+                let (lo, hi) = ctl.bounds();
+                (
+                    setting,
+                    ctl.effective_target(),
+                    ctl.last_pole_used(),
+                    ctl.current() <= lo || ctl.current() >= hi,
+                )
+            }
+        };
+        self.log.push(EpochEvent {
+            epoch: ch.epochs,
+            t_us,
+            channel: id.0 as u32,
+            setting,
+            measured: sensed.measured,
+            target,
+            error: target - sensed.measured,
+            pole,
+            saturated,
+        });
+        ch.epochs += 1;
+        setting
+    }
+
+    /// The current setting of a channel (no measurement consumed).
+    pub fn setting(&mut self, id: ChannelId) -> f64 {
+        self.channels[id.0].decider.setting()
+    }
+
+    /// Redirects a channel's goal at run time (paper's `setGoal`).
+    /// No-op on static channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGoal`](smartconf_core::Error::InvalidGoal)
+    /// if the target is not finite.
+    pub fn set_goal(&mut self, id: ChannelId, target: f64) -> Result<()> {
+        match &mut self.channels[id.0].decider {
+            Decider::Static(_) => Ok(()),
+            Decider::Direct(sc) => sc.set_goal(target),
+            Decider::Deputy(sc) => sc.set_goal(target),
+        }
+    }
+
+    /// Overrides a channel's interaction count (Figure 8's N ablation).
+    /// No-op on static channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is zero.
+    pub fn set_interaction(&mut self, id: ChannelId, n: u32) -> Result<()> {
+        match self.channels[id.0].decider.controller_mut() {
+            Some(ctl) => ctl.set_interaction(n),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether a channel's controller reports its goal as unreachable
+    /// (§4.3 alert). Always `false` for static channels.
+    pub fn goal_unreachable(&self, id: ChannelId) -> bool {
+        self.channels[id.0]
+            .decider
+            .controller()
+            .is_some_and(|c| c.goal_unreachable())
+    }
+
+    /// The channel's decider (for controller inspection).
+    pub fn decider(&self, id: ChannelId) -> &Decider {
+        &self.channels[id.0].decider
+    }
+
+    /// Mutable decider access (profiling capture, ablations).
+    pub fn decider_mut(&mut self, id: ChannelId) -> &mut Decider {
+        &mut self.channels[id.0].decider
+    }
+
+    /// The per-epoch event log so far.
+    pub fn log(&self) -> &EpochLog {
+        &self.log
+    }
+
+    /// Consumes the plane, returning the event log (attached to the
+    /// scenario's [`RunResult`] by the harness).
+    pub fn into_log(self) -> EpochLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartconf_core::{Controller, Goal};
+
+    fn controller(alpha: f64, target: f64, hardness: Hardness, bounds: (f64, f64)) -> Controller {
+        let goal = Goal::new("m", target).with_hardness(hardness).unwrap();
+        Controller::new(alpha, 0.0, goal, 0.1, bounds, 0.0).unwrap()
+    }
+
+    /// metric = gain · setting, with per-channel settings.
+    struct LinearPlant {
+        gain: f64,
+        settings: Vec<f64>,
+        t_us: u64,
+    }
+
+    impl Plant for LinearPlant {
+        fn now_us(&self) -> u64 {
+            self.t_us
+        }
+        fn sense(&mut self, chan: ChannelId) -> Sensed {
+            let total: f64 = self.settings.iter().sum();
+            Sensed::with_deputy(self.gain * total, self.settings[chan.index()])
+        }
+        fn apply(&mut self, chan: ChannelId, setting: f64) {
+            self.settings[chan.index()] = setting;
+        }
+        fn advance(&mut self) -> bool {
+            self.t_us += 1_000_000;
+            self.t_us <= 100_000_000
+        }
+    }
+
+    #[test]
+    fn static_and_smart_share_the_epoch_path() {
+        let sc = SmartConf::new("c", controller(1.0, 80.0, Hardness::Soft, (0.0, 1e6)));
+        let mut b = ControlPlane::builder();
+        let smart = b.channel("c", Decider::Direct(Box::new(sc)));
+        let fixed = b.channel("c.static", Decider::Static(30.0));
+        let mut plane = b.build();
+
+        let s = plane.decide(smart, 0, 10.0);
+        assert_eq!(s, 70.0); // 0 + (80 − 10)/1
+        let f = plane.decide(fixed, 0, 10.0);
+        assert_eq!(f, 30.0);
+
+        let log = plane.log();
+        assert_eq!(log.len(), 2);
+        let smart_ev = log.events_for("c").next().unwrap();
+        assert_eq!(smart_ev.setting, 70.0);
+        assert_eq!(smart_ev.measured, 10.0);
+        assert_eq!(smart_ev.error, 70.0);
+        assert!(!smart_ev.saturated);
+        let static_ev = log.events_for("c.static").next().unwrap();
+        assert!(static_ev.pole.is_nan());
+        assert!(static_ev.error.is_nan());
+    }
+
+    #[test]
+    fn run_drives_plant_to_goal_and_logs_epochs() {
+        let sc = SmartConf::new("c", controller(2.0, 400.0, Hardness::Soft, (0.0, 1e6)));
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        let mut plant = LinearPlant {
+            gain: 2.0,
+            settings: vec![0.0],
+            t_us: 0,
+        };
+        plane.run(&mut plant);
+        assert!((2.0 * plant.settings[0] - 400.0).abs() < 1.0);
+        assert_eq!(plane.log().events_for("c").count(), 100);
+        assert_eq!(plane.setting(id), plant.settings[0]);
+        assert!(!plane.goal_unreachable(id));
+    }
+
+    #[test]
+    fn super_hard_goal_split_is_automatic() {
+        let mk = || {
+            let sc = SmartConfIndirect::new(
+                "q",
+                controller(1.0, 300.0, Hardness::SuperHard, (0.0, 1e9)),
+            );
+            Decider::Deputy(Box::new(sc))
+        };
+        let mut b = ControlPlane::builder();
+        let a = b.channel("qa", mk());
+        let c = b.channel("qb", mk());
+        let mut plane = b.build();
+
+        // Both channels see the shared metric; each must take half the
+        // correction (N = 2), so the joint total never overshoots. With
+        // λ = 0.1 the super-hard goal tracks its virtual target 270.
+        let mut settings = [0.0f64, 0.0];
+        for step in 0..200u64 {
+            let total = settings[0] + settings[1];
+            assert!(total <= 300.0 + 1e-9, "joint overshoot {total}");
+            settings[0] = plane.decide(a, step, Sensed::with_deputy(total, settings[0]));
+            settings[1] = plane.decide(c, step, Sensed::with_deputy(total, settings[1]));
+        }
+        let total = settings[0] + settings[1];
+        assert!((total - 270.0).abs() < 15.0, "total {total}");
+
+        // The Figure 8 ablation can force N = 1 back on.
+        plane.set_interaction(a, 1).unwrap();
+        plane.set_interaction(c, 1).unwrap();
+    }
+
+    #[test]
+    fn saturation_is_logged() {
+        // Plant m = setting + 500 with goal m ≤ 100: even at the lower
+        // bound the goal is violated, so the controller pins there and
+        // reports the goal unreachable after the §4.3 streak.
+        let sc = SmartConf::new("c", controller(1.0, 100.0, Hardness::Soft, (0.0, 10.0)));
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        let mut setting = 10.0;
+        for step in 0..10u64 {
+            setting = plane.decide(id, step, setting + 500.0);
+        }
+        assert_eq!(setting, 0.0);
+        assert!(plane.log().saturation_fraction("c") > 0.5);
+        assert!(plane.goal_unreachable(id));
+    }
+
+    #[test]
+    fn goal_change_retargets_channel() {
+        let sc = SmartConf::new("c", controller(1.0, 100.0, Hardness::Soft, (0.0, 1e6)));
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        plane.set_goal(id, 40.0).unwrap();
+        assert_eq!(plane.decide(id, 0, 0.0), 40.0);
+        assert!(plane.set_goal(id, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "deputy-driven")]
+    fn deputy_channel_requires_deputy() {
+        let sc = SmartConfIndirect::new("q", controller(1.0, 100.0, Hardness::Hard, (0.0, 1e6)));
+        let (mut plane, id) = ControlPlane::single("q", Decider::Deputy(Box::new(sc)));
+        let _ = plane.decide(id, 0, 10.0);
+    }
+
+    #[test]
+    fn channel_lookup_by_name() {
+        let (plane, id) = ControlPlane::single("a.b.c", Decider::Static(1.0));
+        assert_eq!(plane.channel_id("a.b.c"), Some(id));
+        assert_eq!(plane.channel_id("nope"), None);
+        assert_eq!(plane.channel_count(), 1);
+    }
+}

@@ -1,17 +1,14 @@
 //! Seeded random source with the distributions the simulators need.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::SimDuration;
 
 /// Deterministic random source for simulations.
 ///
-/// Wraps a seeded PRNG and provides the handful of distributions the
-/// workload generators and disturbance processes use. Keeping the
-/// distribution implementations here (rather than pulling in a
-/// distributions crate) keeps the dependency set to the approved list and
-/// makes the sampling code auditable.
+/// Wraps a seeded xoshiro256** generator and provides the handful of
+/// distributions the workload generators and disturbance processes use.
+/// Keeping both the generator and the distribution implementations here
+/// (rather than pulling in external crates) keeps the workspace
+/// dependency-free and makes the sampling code auditable.
 ///
 /// # Example
 ///
@@ -24,14 +21,23 @@ use crate::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
-    /// Creates a generator from a 64-bit seed.
+    /// Creates a generator from a 64-bit seed (splitmix64 expansion, the
+    /// initialization recommended by the xoshiro authors).
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
         }
     }
 
@@ -41,7 +47,25 @@ impl SimRng {
     /// service times) its own stream so that adding a component does not
     /// perturb the others' draws.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.random::<u64>())
+        SimRng::seed_from_u64(self.next_u64())
+    }
+
+    /// Raw `u64` draw (xoshiro256**; also used for deriving seeds).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` (53 random mantissa bits).
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -51,7 +75,7 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -61,7 +85,17 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform_u64 requires lo < hi, got [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        // Debiased multiply-shift (Lemire); the rejection loop terminates
+        // with overwhelming probability after one draw.
+        let range = hi - lo;
+        let threshold = range.wrapping_neg() % range;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (range as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli draw: `true` with probability `p`.
@@ -79,7 +113,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -93,7 +127,7 @@ impl SimRng {
             mean.is_finite() && mean > 0.0,
             "exponential mean must be positive, got {mean}"
         );
-        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.unit().max(f64::MIN_POSITIVE);
         -mean * u.ln()
     }
 
@@ -107,8 +141,8 @@ impl SimRng {
             mu.is_finite() && sigma.is_finite() && sigma >= 0.0,
             "normal requires finite mu and non-negative sigma, got ({mu}, {sigma})"
         );
-        let u1: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = self.inner.random::<f64>();
+        let u1: f64 = self.unit().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.unit();
         mu + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -131,7 +165,7 @@ impl SimRng {
             x_min.is_finite() && x_min > 0.0 && alpha.is_finite() && alpha > 0.0,
             "pareto requires positive x_min and alpha, got ({x_min}, {alpha})"
         );
-        let u: f64 = self.inner.random::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.unit().max(f64::MIN_POSITIVE);
         x_min / u.powf(1.0 / alpha)
     }
 
@@ -141,11 +175,6 @@ impl SimRng {
             return SimDuration::ZERO;
         }
         SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
-    }
-
-    /// Raw `u64` draw (for deriving seeds).
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
     }
 }
 
@@ -179,6 +208,16 @@ mod tests {
             let n = r.uniform_u64(10, 20);
             assert!((10..20).contains(&n));
         }
+    }
+
+    #[test]
+    fn uniform_u64_hits_all_buckets() {
+        let mut r = SimRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.uniform_u64(0, 8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "buckets {seen:?}");
     }
 
     #[test]

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The four systems of the study suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StudySystem {
     /// Apache Cassandra (distributed key-value store).
     Cassandra,
@@ -50,7 +48,7 @@ impl fmt::Display for StudySystem {
 }
 
 /// Table 2: issues and posts studied per system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SuiteCounts {
     /// The system.
     pub system: StudySystem,
@@ -97,7 +95,7 @@ pub const SUITE: [SuiteCounts; 4] = [
 ];
 
 /// Table 3: what the PerfConf patches did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PatchCounts {
     /// The system.
     pub system: StudySystem,
@@ -145,7 +143,7 @@ pub const PATCHES: [PatchCounts; 4] = [
 
 /// Table 4: how a PerfConf affects performance. One PerfConf can affect
 /// more than one metric, so columns need not sum to the issue counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ImpactCounts {
     /// The system.
     pub system: StudySystem,
@@ -210,7 +208,7 @@ pub const IMPACT: [ImpactCounts; 4] = [
 ];
 
 /// Table 5: configuration value types and deciding factors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SettingCounts {
     /// The system.
     pub system: StudySystem,

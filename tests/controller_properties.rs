@@ -162,6 +162,86 @@ proptest! {
         prop_assert_eq!(reg2.goal("metric"), Some(&goal));
     }
 
+    /// Context-aware pole switching (§5.2): a hard-goal controller damps
+    /// with its regular pole while the measurement sits on the safe side
+    /// of the virtual goal, and snaps to pole 0 the moment it crosses —
+    /// cutting the setting instead of growing it.
+    #[test]
+    fn hard_goal_pole_switches_at_virtual_boundary(
+        alpha in 0.5f64..4.0,
+        target in 200.0f64..800.0,
+        lambda in 0.0f64..0.4,
+        pole in 0.05f64..0.95,
+        eps in 1e-3f64..50.0,
+    ) {
+        let goal = Goal::new("m", target).with_hardness(Hardness::Hard).unwrap();
+        let mut ctl = ControllerBuilder::new(goal)
+            .alpha(alpha)
+            .lambda(lambda)
+            .pole(pole)
+            .bounds(0.0, 1e9)
+            .initial(100.0)
+            .build()
+            .unwrap();
+        let vgoal = ctl.effective_target();
+
+        // Safe side: damped with the configured pole, setting grows.
+        let before = ctl.current();
+        let next = ctl.step((vgoal - eps).max(0.0));
+        prop_assert!((ctl.last_pole_used() - pole).abs() < 1e-12,
+            "safe side used pole {}", ctl.last_pole_used());
+        prop_assert!(next >= before, "safe side should not cut: {next} < {before}");
+
+        // Danger side: pole 0, full-strength cut.
+        let before = ctl.current();
+        let next = ctl.step(vgoal + eps);
+        prop_assert!(ctl.last_pole_used() == 0.0,
+            "danger side used pole {}", ctl.last_pole_used());
+        prop_assert!(next < before, "danger side must cut: {next} >= {before}");
+    }
+
+    /// Saturation: the returned setting never escapes the configured
+    /// bounds however extreme the measurements, and a persistently
+    /// violated goal at a bound raises the §4.3 unreachable alert.
+    #[test]
+    fn saturation_pins_to_bounds_and_flags_unreachable(
+        alpha in 0.5f64..4.0,
+        target in 100.0f64..900.0,
+        lo in 0.0f64..50.0,
+        width in 1.0f64..200.0,
+        overshoot in 1.1f64..10.0,
+    ) {
+        let hi = lo + width;
+        let goal = Goal::new("m", target).with_hardness(Hardness::Hard).unwrap();
+        let mut ctl = ControllerBuilder::new(goal)
+            .alpha(alpha)
+            .pole(0.5)
+            .bounds(lo, hi)
+            .initial(lo)
+            .build()
+            .unwrap();
+
+        // A plant far above the goal drives the setting to the lower
+        // bound and keeps violating: every step stays in bounds and the
+        // unreachable flag trips after the streak threshold.
+        let mut flagged_at = None;
+        for step in 0..12u32 {
+            let s = ctl.step(target * overshoot);
+            prop_assert!((lo..=hi).contains(&s), "setting {s} escaped [{lo}, {hi}]");
+            if flagged_at.is_none() && ctl.goal_unreachable() {
+                flagged_at = Some(step);
+            }
+        }
+        prop_assert!(flagged_at.is_some(), "saturated violation never flagged unreachable");
+        prop_assert!(ctl.current() == lo, "should saturate at the lower bound");
+
+        // Recovery on the safe side clears the alert and releases the
+        // setting from the bound without escaping the other end.
+        let s = ctl.step(0.0);
+        prop_assert!((lo..=hi).contains(&s));
+        prop_assert!(!ctl.goal_unreachable(), "a safe measurement must clear the alert");
+    }
+
     /// Interaction splitting: N controllers sharing a super-hard goal
     /// jointly close the error without overshooting it, for any N.
     #[test]

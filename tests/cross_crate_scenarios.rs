@@ -3,13 +3,13 @@
 //! behaviour on the repository's fixed experiment seed.
 
 use smartconf::dfs::Hd4995;
-use smartconf::harness::{Scenario, StaticChoice, TradeoffDirection};
+use smartconf::harness::{compare, Baseline, Scenario, TradeoffDirection};
 use smartconf::kvstore::scenarios::{Ca6059, Hb2149, Hb3813, Hb6728, TwinQueues};
 use smartconf::mapred::Mr2820;
 
 const SEED: u64 = 42;
 
-fn all() -> Vec<Box<dyn Scenario>> {
+fn all() -> Vec<Box<dyn Scenario + Sync>> {
     vec![
         Box::new(Ca6059::standard()),
         Box::new(Hb2149::standard()),
@@ -31,22 +31,31 @@ fn smartconf_satisfies_every_constraint() {
             r.crash_time_us
         );
         assert!(r.tradeoff.is_finite(), "{}: degenerate trade-off", s.id());
+        // Every scenario now runs through the shared control plane, so
+        // every run carries the per-decision epoch log.
+        assert!(!r.epochs.is_empty(), "{}: no epoch events recorded", s.id());
+        assert_eq!(
+            r.epochs.channels().len(),
+            1,
+            "{}: single-knob scenarios drive one channel",
+            s.id()
+        );
     }
 }
 
 #[test]
 fn buggy_defaults_fail_everywhere() {
-    // "The original default settings in all 6 issues fail" (paper 6.2).
+    // "The original default settings in all 6 issues fail" (paper 6.2),
+    // while SmartConf satisfies — the shared comparison helper owns both
+    // halves of that assertion.
     for s in all() {
-        let setting = s
-            .static_setting(StaticChoice::BuggyDefault)
-            .expect("every case study documents its buggy default");
-        let r = s.run_static(setting, SEED);
+        let cmp = compare(s.as_ref(), &[Baseline::BuggyDefault], SEED);
         assert!(
-            !r.constraint_ok,
-            "{}: buggy default {setting} unexpectedly satisfied the constraint",
+            cmp.run_for(Baseline::BuggyDefault).is_some(),
+            "{}: every case study documents its buggy default",
             s.id()
         );
+        cmp.assert_smart_fixes_defaults(&[Baseline::BuggyDefault]);
     }
 }
 
@@ -118,4 +127,8 @@ fn twin_queues_coordinate_under_one_goal() {
         .unwrap();
     assert!(req.max > 50.0, "request queue max {}", req.max);
     assert!(resp.max > 10.0, "response queue max {}", resp.max);
+    // Both channels decide through one plane and share its epoch log.
+    let epochs = &out.result.epochs;
+    assert!(epochs.events_for("max.queue.size").count() > 0);
+    assert!(epochs.events_for("response.queue.maxsize_mb").count() > 0);
 }

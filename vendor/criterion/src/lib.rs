@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access; this vendored crate
+//! keeps the workspace's `[[bench]]` targets compiling and running with
+//! criterion's macro surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`/`iter_batched`). It
+//! measures wall-clock time with `std::time::Instant` and prints a
+//! per-benchmark mean; it does not do statistical analysis, warm-up
+//! tuning, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_one("", &name.into(), sample_size, &mut f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&self.name, &name.into(), self.sample_size, &mut f);
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, name: &str, sample_size: usize, f: &mut impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        per_sample_iters: 1,
+    };
+    // Calibration sample: find an iteration count that takes ~1 ms so
+    // Instant overhead does not dominate nanosecond-scale bodies.
+    f(&mut b);
+    if b.iters > 0 {
+        let per_iter = b.total.as_nanos() / b.iters as u128;
+        b.per_sample_iters = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+    }
+    b.total = Duration::ZERO;
+    b.iters = 0;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mean_ns = if b.iters == 0 {
+        0
+    } else {
+        b.total.as_nanos() / b.iters as u128
+    };
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {label:<40} {mean_ns:>12} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    per_sample_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a calibrated number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let n = self.per_sample_iters;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += n;
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; only
+    /// the routine is timed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let n = self.per_sample_iters;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iters += n;
+    }
+}
+
+/// Re-export so `use criterion::black_box` also works.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut ran = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| ran += x / 21, BatchSize::SmallInput)
+        });
+        assert!(ran > 0);
+    }
+
+    criterion_group! {
+        name = named_form;
+        config = Criterion::default().sample_size(1);
+        targets = noop
+    }
+    criterion_group!(list_form, noop);
+
+    fn noop(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macros_compile_and_run() {
+        named_form();
+        list_form();
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest's API that the workspace actually
+//! uses: the [`proptest!`] test macro, `prop_assert!`/`prop_assert_eq!`,
+//! range strategies over the primitive numeric types, tuple strategies,
+//! `prop::collection::vec`, `proptest::bool::ANY`, and string strategies
+//! for the two regex shapes the tests rely on (`"[a-z]{1,8}"`-style
+//! character classes and `"\\PC{0,300}"`).
+//!
+//! Differences from real proptest, by design:
+//!
+//! - no shrinking: a failing case panics with the case number and the
+//!   per-test deterministic seed, which is enough to reproduce it;
+//! - sampling is uniform over the strategy's range rather than
+//!   bias-towards-edge-cases;
+//! - the number of cases per property defaults to 64 and can be raised
+//!   with the `PROPTEST_CASES` environment variable.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic splitmix64 generator seeded from the test name, so each
+/// property sees a stable stream across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, n)` for `n > 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// The raw seed state (reported on failure for reproduction).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A source of random values of one type (proptest's core trait, minus
+/// shrinking).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % width;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % width;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ ))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategy from a regex-shaped pattern.
+///
+/// Supports the shapes the workspace tests use: `CLASS{m,n}` where
+/// `CLASS` is either `\PC` (any printable char) or a `[...]` class of
+/// literal chars and `a-z` ranges. Anything else degrades to alphanumeric
+/// strings of length 0..=32 — still "arbitrary input" for parser
+/// totality tests.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_pattern(self).unwrap_or((CharClass::Alnum, 0, 32));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+enum CharClass {
+    /// `\PC`: any non-control character (sampled from printable ASCII
+    /// plus a few multibyte characters to exercise UTF-8 paths).
+    Printable,
+    /// `[...]` ranges and literals.
+    Set(Vec<char>),
+    Alnum,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Printable => {
+                const EXTRA: [char; 6] = ['é', 'Ω', '中', '\u{00a0}', '☃', '¿'];
+                let d = rng.below(100);
+                if d < 94 {
+                    (0x20 + rng.below(0x5f) as u8) as char
+                } else {
+                    EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                }
+            }
+            CharClass::Set(chars) => chars[rng.below(chars.len() as u64) as usize],
+            CharClass::Alnum => {
+                const ALNUM: &[u8] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+                ALNUM[rng.below(ALNUM.len() as u64) as usize] as char
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Option<(CharClass, usize, usize)> {
+    let (class, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+        (CharClass::Printable, rest)
+    } else if let Some(stripped) = pat.strip_prefix('[') {
+        let close = stripped.find(']')?;
+        let mut chars = Vec::new();
+        let body: Vec<char> = stripped[..close].chars().collect();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                for c in body[i]..=body[i + 2] {
+                    chars.push(c);
+                }
+                i += 3;
+            } else {
+                chars.push(body[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        (CharClass::Set(chars), &stripped[close + 1..])
+    } else {
+        return None;
+    };
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((class, lo, hi))
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The `prop::` path alias used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Prints the failing case on panic so a property failure is
+/// reproducible (`PROPTEST_CASES` + the reported seed).
+pub struct CaseReporter<'a> {
+    test: &'a str,
+    case: u32,
+    seed: u64,
+}
+
+impl<'a> CaseReporter<'a> {
+    /// Arms the reporter for one case.
+    pub fn new(test: &'a str, case: u32, seed: u64) -> Self {
+        CaseReporter { test, case, seed }
+    }
+    /// Disarms after the case passes.
+    pub fn passed(self) {
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed at case {} (rng state {:#x})",
+                self.test, self.case, self.seed
+            );
+        }
+    }
+}
+
+/// Defines `#[test]` functions that run their body over many sampled
+/// inputs. Mirrors proptest's macro for the `arg in strategy` form.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..cases {
+                let reporter =
+                    $crate::CaseReporter::new(stringify!($name), case, rng.state());
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+                reporter.passed();
+            }
+        }
+    )*};
+}
+
+/// Assertion inside a property body (panics, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let x = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&x));
+            let f = (-2.0f64..2.0).sample(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-3i32..=3).sample(&mut rng);
+            assert!((-3..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = TestRng::deterministic("vec");
+        let v = prop::collection::vec((0u8..3, 0.0f64..1.0), 2..5).sample(&mut rng);
+        assert!((2..5).contains(&v.len()));
+        for (a, b) in v {
+            assert!(a < 3);
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::deterministic("str");
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "\\PC{0,300}".sample(&mut rng);
+            assert!(t.chars().count() <= 300);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_round_trip(x in 0u64..100, mut v in prop::collection::vec(0u8..2, 1..4)) {
+            v.push(0);
+            prop_assert!(x < 100);
+            prop_assert_eq!(*v.last().unwrap(), 0u8);
+        }
+    }
+}
