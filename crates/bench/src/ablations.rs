@@ -14,24 +14,28 @@
 use smartconf_core::{Controller, ControllerBuilder, Goal, Hardness, ProfileSet};
 use smartconf_harness::TextTable;
 use smartconf_kvstore::scenarios::{ControllerVariant, Hb3813, TwinQueues};
+use smartconf_runtime::FleetExecutor;
 use smartconf_simkernel::SimRng;
 
 /// Ablation A: controller variants on the unstable Figure 7 workload.
 pub fn controller_variants(seed: u64) -> String {
     let scenario = Hb3813::figure7();
-    let mut table = TextTable::new(vec!["variant", "outcome"]);
-    for (name, variant) in [
+    let variants = [
         ("SmartConf (vgoal + 2 poles)", ControllerVariant::SmartConf),
         ("single pole 0.9 + vgoal", ControllerVariant::SinglePole),
         ("two poles, no vgoal", ControllerVariant::NoVirtualGoal),
-    ] {
+    ];
+    let outcomes = FleetExecutor::available_parallelism().execute(&variants, |_, &(_, variant)| {
         let r = scenario.run_variant(variant, seed);
-        let outcome = match r.crash_time_us {
+        match r.crash_time_us {
             Some(t) => format!("OOM at {:.0} s", t as f64 / 1e6),
             None if r.constraint_ok => "constraint met".into(),
             None => "constraint violated".into(),
-        };
-        table.row(vec![name.into(), outcome]);
+        }
+    });
+    let mut table = TextTable::new(vec!["variant", "outcome"]);
+    for ((name, _), outcome) in variants.iter().zip(outcomes) {
+        table.row(vec![(*name).into(), outcome]);
     }
     format!("Ablation A: hard-goal machinery (HB3813, unstable mix, seed {seed})\n\n{table}")
 }
@@ -45,34 +49,38 @@ pub fn virtual_goal_margins(seed: u64) -> String {
     let scenario = Hb3813::standard();
     let profile = scenario.collect_profile(seed ^ 0x5eed);
     let auto_lambda = profile.lambda();
-    let mut table = TextTable::new(vec!["margin lambda", "throughput (ops/s)", "constraint"]);
-    for (label, lambda) in [
+    let margins = [
         ("0 (no margin)".to_string(), 0.0),
         (format!("{auto_lambda:.3} (automated)"), auto_lambda),
         ("0.05".to_string(), 0.05),
         ("0.15 (overcautious)".to_string(), 0.15),
-    ] {
+    ];
+    let rows = FleetExecutor::available_parallelism().execute(&margins, |_, (label, lambda)| {
         let goal = Goal::new("memory_mb", scenario.heap_goal_mb())
             .with_hardness(Hardness::Hard)
             .expect("positive target");
         let controller = ControllerBuilder::new(goal)
             .profile(&profile)
             .expect("profile synthesizes")
-            .lambda(lambda)
+            .lambda(*lambda)
             .bounds(0.0, 2_000.0)
             .initial(0.0)
             .build()
             .expect("controller builds");
         let r = scenario.run_with_controller(controller, seed, &format!("lambda-{lambda:.3}"));
-        table.row(vec![
-            label,
+        vec![
+            label.clone(),
             format!("{:.1}", r.tradeoff),
             if r.constraint_ok {
                 "ok".into()
             } else {
                 "X (fails)".into()
             },
-        ]);
+        ]
+    });
+    let mut table = TextTable::new(vec!["margin lambda", "throughput (ops/s)", "constraint"]);
+    for row in rows {
+        table.row(row);
     }
     format!("Ablation B: virtual-goal margin (HB3813 standard, seed {seed})\n\n{table}")
 }

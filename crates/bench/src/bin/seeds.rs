@@ -3,38 +3,40 @@
 //!
 //! The paper's guarantees are probabilistic (§5.6); this binary
 //! quantifies them on the simulated substrates and backs the
-//! seed-sensitivity notes in EXPERIMENTS.md.
+//! seed-sensitivity notes in EXPERIMENTS.md. The (scenario × seed)
+//! cross product runs as one fleet on the shared executor.
 
-use smartconf_bench::figure5::all_scenarios;
-use smartconf_harness::TextTable;
-use std::thread;
+use smartconf_bench::fleet::fleet_scenarios;
+use smartconf_harness::{run_fleet, Policy, TextTable};
+use smartconf_runtime::FleetExecutor;
 
 const SEEDS: [u64; 5] = [7, 23, 42, 77, 2024];
 
 fn main() {
-    let scenarios = all_scenarios();
+    let scenarios = fleet_scenarios();
+    let report = run_fleet(
+        &scenarios,
+        &SEEDS,
+        &[Policy::Smart],
+        &FleetExecutor::available_parallelism(),
+    );
     let mut table = TextTable::new(vec!["issue", "seeds ok", "rate", "failures"]);
     for s in &scenarios {
-        let results: Vec<(u64, bool)> = thread::scope(|scope| {
-            let handles: Vec<_> = SEEDS
-                .iter()
-                .map(|&seed| scope.spawn(move || (seed, s.run_smartconf(seed).constraint_ok)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker"))
-                .collect()
-        });
-        let ok = results.iter().filter(|(_, ok)| *ok).count();
-        let failures: Vec<String> = results
+        let shards: Vec<_> = report
+            .shards
             .iter()
-            .filter(|(_, ok)| !ok)
-            .map(|(seed, _)| seed.to_string())
+            .filter(|r| r.scenario_id == s.id())
+            .collect();
+        let ok = shards.iter().filter(|r| r.constraint_ok).count();
+        let failures: Vec<String> = shards
+            .iter()
+            .filter(|r| !r.constraint_ok)
+            .map(|r| r.seed.to_string())
             .collect();
         table.row(vec![
             s.id().to_string(),
-            format!("{ok}/{}", SEEDS.len()),
-            format!("{:.0}%", 100.0 * ok as f64 / SEEDS.len() as f64),
+            format!("{ok}/{}", shards.len()),
+            format!("{:.0}%", 100.0 * ok as f64 / shards.len() as f64),
             if failures.is_empty() {
                 "-".into()
             } else {

@@ -10,7 +10,7 @@ use smartconf_dfs::Hd4995;
 use smartconf_harness::{compare, Baseline, RunResult, Scenario, TextTable};
 use smartconf_kvstore::scenarios::{Ca6059, Hb2149, Hb3813, Hb6728};
 use smartconf_mapred::Mr2820;
-use std::thread;
+use smartconf_runtime::FleetExecutor;
 
 /// One scenario's Figure 5 numbers.
 #[derive(Debug)]
@@ -75,19 +75,12 @@ pub fn run_scenario(scenario: &(dyn Scenario + Sync), seed: u64) -> Figure5Row {
     }
 }
 
-/// Runs the whole figure (all scenarios in parallel) and renders it.
+/// Runs the whole figure (all scenarios sharded across the fleet
+/// executor) and renders it.
 pub fn render(seed: u64) -> String {
     let scenarios = all_scenarios();
-    let rows: Vec<Figure5Row> = thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .map(|s| scope.spawn(move || run_scenario(s.as_ref(), seed)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("figure5 worker"))
-            .collect()
-    });
+    let rows: Vec<Figure5Row> = FleetExecutor::available_parallelism()
+        .execute(&scenarios, |_, s| run_scenario(s.as_ref(), seed));
 
     let mut table = TextTable::new(vec![
         "issue",

@@ -1,0 +1,165 @@
+//! The fleet smoke evaluation: all seven scenarios × seeds × policies
+//! on the deterministic multi-threaded [`FleetExecutor`].
+//!
+//! This is the bench-level face of the harness fleet API: a fixed
+//! roster (the six Figure 5 case studies plus the §6.5 twin-queue
+//! experiment), a fixed policy set, and a JSON artifact recording the
+//! wall-clock of each executor phase so CI can watch both correctness
+//! (byte-identical reports at 1 vs. N threads) and the parallel
+//! speedup.
+
+use std::time::{Duration, Instant};
+
+use smartconf_harness::{run_fleet, Baseline, FleetReport, Policy, Scenario};
+use smartconf_kvstore::scenarios::TwinQueues;
+use smartconf_runtime::FleetExecutor;
+
+/// All seven scenarios — the six Figure 5 case studies plus the §6.5
+/// twin-queue experiment — boxed behind the common trait.
+pub fn fleet_scenarios() -> Vec<Box<dyn Scenario + Send + Sync>> {
+    let mut scenarios = crate::figure5::all_scenarios();
+    scenarios.push(Box::new(TwinQueues::standard()));
+    scenarios
+}
+
+/// The smoke policies: SmartConf plus the two issue defaults (which
+/// every scenario in the roster defines, so no shard is unresolved).
+pub const SMOKE_POLICIES: [Policy; 3] = [
+    Policy::Smart,
+    Policy::Static(Baseline::BuggyDefault),
+    Policy::Static(Baseline::PatchDefault),
+];
+
+/// One timed phase of the smoke run.
+#[derive(Debug, Clone)]
+pub struct FleetPhase {
+    /// Phase name, e.g. `"fleet-1-thread"`.
+    pub name: String,
+    /// Worker-thread count the phase ran at.
+    pub threads: usize,
+    /// Wall-clock the phase took.
+    pub wall: Duration,
+}
+
+/// Runs the seven-scenario smoke fleet over `seeds` at `threads`
+/// workers, returning the merged report and the phase's wall-clock.
+pub fn smoke_run(seeds: &[u64], threads: usize) -> (FleetReport, FleetPhase) {
+    let scenarios = fleet_scenarios();
+    let start = Instant::now();
+    let report = run_fleet(
+        &scenarios,
+        seeds,
+        &SMOKE_POLICIES,
+        &FleetExecutor::new(threads),
+    );
+    let phase = FleetPhase {
+        name: format!(
+            "fleet-{threads}-thread{}",
+            if threads == 1 { "" } else { "s" }
+        ),
+        threads,
+        wall: start.elapsed(),
+    };
+    (report, phase)
+}
+
+/// Renders the `BENCH_fleet.json` artifact: the fleet's shape, whether
+/// the 1-thread and N-thread reports were byte-identical, the per-phase
+/// wall-clock, and the parallel speedup.
+pub fn bench_json(
+    seeds: &[u64],
+    report: &FleetReport,
+    reports_identical: bool,
+    phases: &[FleetPhase],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenarios\": {},\n", fleet_scenarios().len()));
+    let seed_list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    out.push_str(&format!("  \"seeds\": [{}],\n", seed_list.join(", ")));
+    let policy_list: Vec<String> = SMOKE_POLICIES
+        .iter()
+        .map(|p| format!("\"{}\"", p.label()))
+        .collect();
+    out.push_str(&format!("  \"policies\": [{}],\n", policy_list.join(", ")));
+    out.push_str(&format!("  \"shards\": {},\n", report.shards.len()));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        FleetExecutor::available_parallelism().threads()
+    ));
+    out.push_str(&format!(
+        "  \"constraint_satisfaction_rate\": {:.4},\n",
+        report.constraint_satisfaction_rate()
+    ));
+    out.push_str(&format!("  \"reports_identical\": {reports_identical},\n"));
+    out.push_str("  \"phases\": [\n");
+    let phase_lines: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"name\": \"{}\", \"threads\": {}, \"wall_clock_secs\": {:.3}}}",
+                p.name,
+                p.threads,
+                p.wall.as_secs_f64()
+            )
+        })
+        .collect();
+    out.push_str(&phase_lines.join(",\n"));
+    out.push_str("\n  ],\n");
+    let serial = phases.iter().find(|p| p.threads == 1);
+    let fastest_parallel = phases
+        .iter()
+        .filter(|p| p.threads > 1)
+        .min_by(|a, b| a.wall.cmp(&b.wall));
+    let speedup = match (serial, fastest_parallel) {
+        (Some(s), Some(p)) if p.wall.as_secs_f64() > 0.0 => {
+            s.wall.as_secs_f64() / p.wall.as_secs_f64()
+        }
+        _ => f64::NAN,
+    };
+    if speedup.is_finite() {
+        out.push_str(&format!("  \"parallel_speedup\": {speedup:.2}\n"));
+    } else {
+        out.push_str("  \"parallel_speedup\": null\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_has_all_seven_scenarios() {
+        let ids: Vec<String> = fleet_scenarios()
+            .iter()
+            .map(|s| s.id().to_string())
+            .collect();
+        assert_eq!(
+            ids,
+            ["CA6059", "HB2149", "HB3813", "HB6728", "HD4995", "MR2820", "TWIN"]
+        );
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let (report, phase) = (
+            FleetReport::default(),
+            FleetPhase {
+                name: "fleet-1-thread".into(),
+                threads: 1,
+                wall: Duration::from_millis(1500),
+            },
+        );
+        let parallel = FleetPhase {
+            name: "fleet-4-threads".into(),
+            threads: 4,
+            wall: Duration::from_millis(500),
+        };
+        let json = bench_json(&[42, 43], &report, true, &[phase, parallel]);
+        assert!(json.contains("\"seeds\": [42, 43]"));
+        assert!(json.contains("\"reports_identical\": true"));
+        assert!(json.contains("\"parallel_speedup\": 3.00"));
+        assert!(json.contains("\"wall_clock_secs\": 1.500"));
+    }
+}

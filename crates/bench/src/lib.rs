@@ -14,6 +14,7 @@
 //! | `table7` | Table 7 (integration effort) |
 //! | `ablations` | outcome ablations of the design choices (DESIGN.md §5) |
 //! | `seeds` | constraint-satisfaction rates across seeds |
+//! | `fleet_smoke` | all 7 scenarios × seeds × policies at 1 and N threads, diffed |
 //!
 //! Criterion microbenchmarks (`cargo bench`) cover controller overhead,
 //! design-choice ablations, and simulator throughput.
@@ -26,6 +27,7 @@ pub mod figure5;
 pub mod figure6;
 pub mod figure7;
 pub mod figure8;
+pub mod fleet;
 pub mod table6;
 pub mod table7;
 

@@ -3,7 +3,7 @@
 
 use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConfIndirect};
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
-use smartconf_runtime::Decider;
+use smartconf_runtime::{Decider, ProfileSchedule, Profiler};
 use smartconf_simkernel::{SimDuration, SimTime, Simulation};
 
 use crate::namenode::{NamenodeEvent, NamenodeModel};
@@ -72,10 +72,10 @@ impl Hd4995 {
     }
 
     /// Profiles the writer-block duration against the traversal limit
-    /// under the single-client profiling workload.
+    /// under the single-client profiling workload, via the shared
+    /// [`Profiler`].
     pub fn collect_profile(&self, seed: u64) -> ProfileSet {
-        let mut profile = ProfileSet::new();
-        for (i, &setting) in self.profile_settings.iter().enumerate() {
+        Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting, s| {
             let horizon = SimTime::from_secs(120);
             let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
             let w = &self.profile_workload;
@@ -88,16 +88,12 @@ impl Hd4995 {
                 Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
                 horizon,
             );
-            let mut sim = Simulation::new(model, seed.wrapping_add(i as u64 + 1));
+            let mut sim = Simulation::new(model, s);
             sim.schedule_at(SimTime::ZERO, NamenodeEvent::WriteArrival);
             sim.schedule_at(SimTime::ZERO, NamenodeEvent::DuArrival);
             sim.run_until(horizon);
-            let m = sim.into_model();
-            for p in m.block_series.points().iter().take(40) {
-                profile.add(setting, p.value);
-            }
-        }
-        profile
+            sim.into_model().block_series
+        })
     }
 
     /// Synthesizes the SmartConf controller for the traversal limit.
@@ -235,6 +231,12 @@ impl Scenario for Hd4995 {
         let controller = self.build_controller(&profile);
         let conf = SmartConfIndirect::new("content-summary.limit", controller);
         self.run(Decider::Deputy(Box::new(conf)), seed, "SmartConf")
+    }
+
+    fn profile_schedule(&self) -> ProfileSchedule {
+        // Writer blocks are event-triggered, so profiling takes the
+        // first 40 recorded block durations at each traversal limit.
+        ProfileSchedule::first_events(self.profile_settings.clone(), 40)
     }
 
     fn profile(&self, seed: u64) -> ProfileSet {

@@ -7,7 +7,7 @@
 //! trade-off. This module owns that shape once, so scenario crates and
 //! the bench drivers stop re-implementing it.
 
-use smartconf_runtime::Baseline;
+use smartconf_runtime::{Baseline, FleetExecutor};
 
 #[cfg(test)]
 use crate::TradeoffDirection;
@@ -94,56 +94,92 @@ impl Comparison {
 ///
 /// `Fixed` and the issue defaults resolve directly through
 /// [`Scenario::static_setting`]; `Optimal`/`Nonoptimal` trigger (at most
-/// one) exhaustive static sweep, shared between them.
+/// one) exhaustive static sweep, shared between them. The SmartConf run
+/// and every fresh baseline run then execute as independent shards on a
+/// machine-sized [`FleetExecutor`] — each run is a pure function of
+/// `(scenario, setting, seed)`, so the parallelism does not change the
+/// result.
 pub fn compare(
     scenario: &(impl Scenario + Sync + ?Sized),
     baselines: &[Baseline],
     seed: u64,
 ) -> Comparison {
-    let mut sweep = None;
-    let runs = baselines
+    let needs_sweep = baselines
         .iter()
-        .map(|&baseline| {
-            let (setting, run) = match baseline {
-                Baseline::Optimal | Baseline::Nonoptimal => {
-                    let sweep = sweep.get_or_insert_with(|| sweep_statics(scenario, seed));
-                    let found = if baseline == Baseline::Optimal {
-                        sweep.optimal_run()
+        .any(|b| matches!(b, Baseline::Optimal | Baseline::Nonoptimal));
+    let sweep = needs_sweep.then(|| sweep_statics(scenario, seed));
+
+    /// A run still to execute: the SmartConf shard or one fresh static
+    /// baseline shard (sweep-resolved baselines reuse their sweep run).
+    #[derive(Clone, Copy)]
+    enum Job {
+        Smart,
+        Static { baseline_idx: usize, setting: f64 },
+    }
+
+    let mut entries: Vec<BaselineRun> = Vec::new();
+    let mut jobs = vec![Job::Smart];
+    for (i, &baseline) in baselines.iter().enumerate() {
+        let (setting, run) = match baseline {
+            Baseline::Optimal | Baseline::Nonoptimal => {
+                let found = sweep.as_ref().and_then(|sw| {
+                    if baseline == Baseline::Optimal {
+                        sw.optimal_run()
                     } else {
-                        sweep.nonoptimal_run()
-                    };
-                    match found {
-                        Some((s, r)) => {
-                            let mut r = r.clone();
-                            r.label = baseline.label();
-                            (Some(s), Some(r))
-                        }
-                        None => (None, None),
+                        sw.nonoptimal_run()
                     }
-                }
-                _ => {
-                    let setting = baseline
-                        .fixed_setting()
-                        .or_else(|| scenario.static_setting(baseline));
-                    let run = setting.map(|s| {
-                        let mut r = scenario.run_static(s, seed);
+                });
+                match found {
+                    Some((s, r)) => {
+                        let mut r = r.clone();
                         r.label = baseline.label();
-                        r
-                    });
-                    (setting, run)
+                        (Some(s), Some(r))
+                    }
+                    None => (None, None),
                 }
-            };
-            BaselineRun {
-                baseline,
-                setting,
-                run,
             }
-        })
-        .collect();
+            _ => {
+                let setting = baseline
+                    .fixed_setting()
+                    .or_else(|| scenario.static_setting(baseline));
+                if let Some(s) = setting {
+                    jobs.push(Job::Static {
+                        baseline_idx: i,
+                        setting: s,
+                    });
+                }
+                (setting, None)
+            }
+        };
+        entries.push(BaselineRun {
+            baseline,
+            setting,
+            run,
+        });
+    }
+
+    let results = FleetExecutor::available_parallelism().execute(&jobs, |_, job| match *job {
+        Job::Smart => scenario.run_smartconf(seed),
+        Job::Static {
+            baseline_idx,
+            setting,
+        } => {
+            let mut r = scenario.run_static(setting, seed);
+            r.label = baselines[baseline_idx].label();
+            r
+        }
+    });
+    let mut results = results.into_iter();
+    let smart = results.next().expect("the SmartConf job always runs");
+    for (job, run) in jobs[1..].iter().zip(results) {
+        if let Job::Static { baseline_idx, .. } = *job {
+            entries[baseline_idx].run = Some(run);
+        }
+    }
     Comparison {
         scenario_id: scenario.id().to_string(),
-        smart: scenario.run_smartconf(seed),
-        baselines: runs,
+        smart,
+        baselines: entries,
     }
 }
 

@@ -11,6 +11,7 @@
 
 mod chart;
 mod compare;
+mod fleet;
 mod outcome;
 mod report;
 mod scenario;
@@ -18,12 +19,17 @@ mod sweep;
 
 pub use chart::AsciiChart;
 pub use compare::{compare, BaselineRun, Comparison};
+pub use fleet::{fleet_work_items, run_fleet, FleetReport, FleetWorkItem, Policy, ShardReport};
 pub use outcome::{RunResult, TradeoffDirection};
 pub use report::{epoch_summary, TextTable};
 pub use scenario::Scenario;
 pub use sweep::{sweep_statics, StaticSweep};
 
-// The named static baselines and the per-epoch event log are runtime
-// types; scenario and bench crates reach them through the harness so a
-// comparison run and its structured log travel together.
-pub use smartconf_runtime::{Baseline, EpochEvent, EpochLog};
+// The named static baselines, the per-epoch event log, and the fleet
+// executor are runtime types; scenario and bench crates reach them
+// through the harness so a comparison run and its structured log travel
+// together.
+pub use smartconf_runtime::{
+    Baseline, EpochEvent, EpochLog, EpochSummary, FleetExecutor, ProfileSchedule, Profiler,
+    SampleMode,
+};

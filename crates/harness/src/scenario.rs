@@ -1,7 +1,7 @@
 //! The scenario abstraction: one PerfConf case study.
 
 use smartconf_core::ProfileSet;
-use smartconf_runtime::Baseline;
+use smartconf_runtime::{Baseline, ProfileSchedule};
 
 use crate::{RunResult, TradeoffDirection};
 
@@ -39,6 +39,15 @@ pub trait Scenario {
 
     /// Runs the two-phase evaluation workload under SmartConf control.
     fn run_smartconf(&self, seed: u64) -> RunResult;
+
+    /// The declarative profiling schedule (paper §6.1: which settings to
+    /// hold, how many measurements per setting, how to sample them). The
+    /// shared `Profiler` in `smartconf-runtime` drives this schedule;
+    /// scenarios no longer hand-roll the loop. Defaults to the paper's
+    /// 10 measurements at each candidate setting.
+    fn profile_schedule(&self) -> ProfileSchedule {
+        ProfileSchedule::first_events(self.candidate_settings(), 10)
+    }
 
     /// Runs the profiling workload (distinct from the evaluation workload,
     /// §6.1) and returns the collected samples.

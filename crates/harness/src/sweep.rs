@@ -3,9 +3,10 @@
 //! Figure 5's "Static-Optimal" bar is "the best static configuration
 //! [found] by exhaustively searching all possible PerfConf settings that
 //! meet the constraint throughout our two-phase workloads" (§6.3). The
-//! sweep runs every candidate in parallel and classifies the outcomes.
+//! sweep runs every candidate as a fleet shard on a machine-sized
+//! [`FleetExecutor`] and classifies the outcomes.
 
-use std::thread;
+use smartconf_runtime::FleetExecutor;
 
 use crate::{RunResult, Scenario, TradeoffDirection};
 
@@ -42,16 +43,10 @@ impl StaticSweep {
 /// classifies the best and worst constraint-satisfying choices.
 pub fn sweep_statics(scenario: &(impl Scenario + Sync + ?Sized), seed: u64) -> StaticSweep {
     let candidates = scenario.candidate_settings();
-    let runs: Vec<(f64, RunResult)> = thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .iter()
-            .map(|&setting| scope.spawn(move || (setting, scenario.run_static(setting, seed))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
+    let runs: Vec<(f64, RunResult)> = FleetExecutor::available_parallelism()
+        .execute(&candidates, |_, &setting| {
+            (setting, scenario.run_static(setting, seed))
+        });
 
     let direction = scenario.tradeoff_direction();
     let better = |a: f64, b: f64| match direction {

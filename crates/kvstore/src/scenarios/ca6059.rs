@@ -21,7 +21,7 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{Histogram, TimeSeries};
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -82,28 +82,17 @@ impl Ca6059 {
         self.heap_goal as f64 / MB as f64
     }
 
-    /// Profiles memory against the memtable threshold.
+    /// Profiles memory against the memtable threshold by driving the
+    /// shared [`Profiler`] through this scenario's schedule.
     pub fn collect_profile(&self, seed: u64) -> ProfileSet {
-        let mut profile = ProfileSet::new();
-        for (i, &setting_mb) in self.profile_settings.iter().enumerate() {
+        Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting_mb, s| {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
-            let result = self.run_model(
-                Decider::Static(setting_mb),
-                &workload,
-                seed.wrapping_add(i as u64 + 1),
-                "profiling",
-            );
-            let mem = result
+            self.run_model(Decider::Static(setting_mb), &workload, s, "profiling")
                 .series("used_memory_mb")
-                .expect("profiling run records memory");
-            for k in 0..48u64 {
-                if let Some(v) = mem.value_at((10 + k) * 1_000_000) {
-                    profile.add(setting_mb, v);
-                }
-            }
-        }
-        profile
+                .expect("profiling run records memory")
+                .clone()
+        })
     }
 
     /// Synthesizes the SmartConf controller; the deputy is the memtable's
@@ -254,6 +243,12 @@ impl Scenario for Ca6059 {
             seed,
             "SmartConf",
         )
+    }
+
+    fn profile_schedule(&self) -> ProfileSchedule {
+        // 48 memory samples on a 1 s grid after 10 s of warmup, at each
+        // of the four profiling thresholds.
+        ProfileSchedule::grid(self.profile_settings.clone(), 48, 10_000_000, 1_000_000)
     }
 
     fn profile(&self, seed: u64) -> ProfileSet {

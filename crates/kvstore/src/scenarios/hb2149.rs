@@ -19,7 +19,7 @@
 use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConf};
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
-use smartconf_runtime::{ChannelId, ControlPlane, Decider};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -76,25 +76,20 @@ impl Hb2149 {
     /// controller is invoked at flush events (conditional PerfConf), so
     /// that is also where profiling measures.
     pub fn collect_profile(&self, seed: u64) -> ProfileSet {
-        let mut profile = ProfileSet::new();
-        for (i, &setting_mb) in self.profile_settings.iter().enumerate() {
+        Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting_mb, s| {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(120), self.profile_workload.clone());
-            let result = self.run_model(
+            self.run_model(
                 Decider::Static(setting_mb),
                 &workload,
-                seed.wrapping_add(i as u64 + 1),
+                s,
                 "profiling",
                 (self.phase_goals_secs.0, self.phase_goals_secs.0),
-            );
-            let blocks = result
-                .series("block_duration_secs")
-                .expect("profiling run records block durations");
-            for p in blocks.points().iter().take(10) {
-                profile.add(setting_mb, p.value);
-            }
-        }
-        profile
+            )
+            .series("block_duration_secs")
+            .expect("profiling run records block durations")
+            .clone()
+        })
     }
 
     /// Synthesizes the SmartConf controller: a direct controller on the
@@ -239,6 +234,13 @@ impl Scenario for Hb2149 {
             "SmartConf",
             self.phase_goals_secs,
         )
+    }
+
+    fn profile_schedule(&self) -> ProfileSchedule {
+        // The controller is invoked at flush events (conditional
+        // PerfConf), so profiling takes the paper's 10 measurements from
+        // the first recorded block events rather than a time grid.
+        ProfileSchedule::first_events(self.profile_settings.clone(), 10)
     }
 
     fn profile(&self, seed: u64) -> ProfileSet {

@@ -17,7 +17,7 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
+use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{ArrivalProcess, PhasedWorkload, YcsbWorkload};
 
@@ -150,33 +150,17 @@ impl Hb3813 {
         self.heap_goal as f64 / MB as f64
     }
 
-    /// Runs the profiling workload at the four sampled settings and
-    /// collects 10 memory measurements per setting (paper §6.1).
+    /// Runs the profiling workload at the four sampled settings through
+    /// the shared [`Profiler`] (paper §6.1 schedule).
     pub fn collect_profile(&self, seed: u64) -> ProfileSet {
-        let mut profile = ProfileSet::new();
-        for (i, &setting) in self.profile_settings.iter().enumerate() {
+        Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting, s| {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
-            let result = self.run_model(
-                Decider::Static(setting),
-                &workload,
-                seed.wrapping_add(i as u64 + 1),
-                "profiling",
-            );
-            let mem = result
+            self.run_model(Decider::Static(setting), &workload, s, "profiling")
                 .series("used_memory_mb")
-                .expect("profiling run records memory");
-            // Sample on a 1 s grid after warm-up: enough samples for the
-            // central limit theorem to apply (paper §5.5), and enough to
-            // catch the occasional churn spike in the per-setting sigma.
-            for k in 0..48u64 {
-                let t_us = (10 + k) * 1_000_000;
-                if let Some(v) = mem.value_at(t_us) {
-                    profile.add(setting, v);
-                }
-            }
-        }
-        profile
+                .expect("profiling run records memory")
+                .clone()
+        })
     }
 
     /// Builds the SmartConf controller (or an ablated variant) from a
@@ -398,6 +382,13 @@ impl Scenario for Hb3813 {
 
     fn run_smartconf(&self, seed: u64) -> RunResult {
         self.run_variant(ControllerVariant::SmartConf, seed)
+    }
+
+    fn profile_schedule(&self) -> ProfileSchedule {
+        // 48 samples on a 1 s grid after warm-up: enough samples for the
+        // central limit theorem to apply (paper §5.5), and enough to
+        // catch the occasional churn spike in the per-setting sigma.
+        ProfileSchedule::grid(self.profile_settings.clone(), 48, 10_000_000, 1_000_000)
     }
 
     fn profile(&self, seed: u64) -> ProfileSet {

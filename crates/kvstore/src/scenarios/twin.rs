@@ -10,9 +10,11 @@
 //! between themselves.
 
 use smartconf_core::{ControllerBuilder, Goal, Hardness, ProfileSet, Registry, SmartConfIndirect};
-use smartconf_harness::{RunResult, TradeoffDirection};
+use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
-use smartconf_runtime::{ChannelId, ControlPlane, ControlPlaneBuilder, Decider, Sensed};
+use smartconf_runtime::{
+    ChannelId, ControlPlane, ControlPlaneBuilder, Decider, ProfileSchedule, Profiler, Sensed,
+};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -80,11 +82,9 @@ impl TwinQueues {
     }
 
     /// Profiles one queue's memory response while the other is held at a
-    /// small fixed bound.
+    /// small fixed bound, via the shared [`Profiler`].
     fn profile_queue(&self, which: WhichQueue, seed: u64) -> ProfileSet {
-        let mut profile = ProfileSet::new();
-        let settings: [f64; 4] = [30.0, 70.0, 110.0, 150.0];
-        for (i, &setting) in settings.iter().enumerate() {
+        Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting, s| {
             let (req_bound, resp_bound_mb, workload) = match which {
                 WhichQueue::Request => (setting as usize, 10.0, Self::write_workload()),
                 // Profiling the response bound needs reads to actually
@@ -93,21 +93,18 @@ impl TwinQueues {
                 WhichQueue::Response => (300, setting, Self::read_workload()),
             };
             let (plane, req_chan, resp_chan) = Self::static_plane(req_bound, resp_bound_mb);
-            let r = self.run_plane(
+            self.run_plane(
                 plane,
                 req_chan,
                 resp_chan,
                 PhasedWorkload::single(SimDuration::from_secs(60), workload),
-                seed.wrapping_add(i as u64 + 1),
-            );
-            let mem = r.result.series("used_memory_mb").expect("memory series");
-            for k in 0..48u64 {
-                if let Some(v) = mem.value_at((10 + k) * 1_000_000) {
-                    profile.add(setting, v);
-                }
-            }
-        }
-        profile
+                s,
+            )
+            .result
+            .series("used_memory_mb")
+            .expect("memory series")
+            .clone()
+        })
     }
 
     /// Runs the §6.5 experiment with *fixed* bounds on both queues — the
@@ -311,6 +308,64 @@ impl TwinQueues {
 impl Default for TwinQueues {
     fn default() -> Self {
         Self::standard()
+    }
+}
+
+/// The fleet-facing face of the twin-queue experiment: one scalar maps
+/// onto *both* bounds (request bound = `setting` items, response bound =
+/// `setting` MB), which is exactly the static alternative the paper
+/// dismisses — a pair sized to survive the worst co-occurrence must be
+/// small for both queues at once.
+impl Scenario for TwinQueues {
+    fn id(&self) -> &str {
+        "TWIN"
+    }
+
+    fn description(&self) -> &str {
+        "two interacting queue bounds sharing one super-hard memory goal (paper §6.5, Figure 8)"
+    }
+
+    fn config_name(&self) -> &str {
+        "max.queue.size + ipc.server.response.queue.maxsize"
+    }
+
+    fn candidate_settings(&self) -> Vec<f64> {
+        (1..=12).map(|i| i as f64 * 25.0).collect()
+    }
+
+    fn static_setting(&self, choice: Baseline) -> Option<f64> {
+        match choice {
+            // Generous bounds that each look fine alone but together
+            // exceed the heap when both queues fill.
+            Baseline::BuggyDefault => Some(250.0),
+            // A conservatively small pair that survives the worst
+            // co-occurrence of both workloads.
+            Baseline::PatchDefault => Some(60.0),
+            _ => None,
+        }
+    }
+
+    fn tradeoff_direction(&self) -> TradeoffDirection {
+        TradeoffDirection::HigherIsBetter
+    }
+
+    fn run_static(&self, setting: f64, seed: u64) -> RunResult {
+        let req_bound = setting.round().max(0.0) as usize;
+        TwinQueues::run_static(self, req_bound, setting, seed).result
+    }
+
+    fn run_smartconf(&self, seed: u64) -> RunResult {
+        TwinQueues::run_smartconf(self, seed).result
+    }
+
+    fn profile_schedule(&self) -> ProfileSchedule {
+        // Each queue is profiled at four bounds, sampling memory on a
+        // 1 s grid after 10 s of warmup (48 samples — see HB3813).
+        ProfileSchedule::grid(vec![30.0, 70.0, 110.0, 150.0], 48, 10_000_000, 1_000_000)
+    }
+
+    fn profile(&self, seed: u64) -> ProfileSet {
+        self.profile_queue(WhichQueue::Request, seed)
     }
 }
 
@@ -577,6 +632,23 @@ mod tests {
             "coordination should beat the small static pair: {} vs {}",
             smart.result.tradeoff,
             static_small.result.tradeoff
+        );
+    }
+
+    #[test]
+    fn scenario_impl_defaults_behave_as_labelled() {
+        let t = quick();
+        let s: &dyn Scenario = &t;
+        assert_eq!(s.id(), "TWIN");
+        let buggy = s.run_static(s.static_setting(Baseline::BuggyDefault).unwrap(), 13);
+        assert!(!buggy.constraint_ok, "the generous pair must violate");
+        let patch = s.run_static(s.static_setting(Baseline::PatchDefault).unwrap(), 13);
+        assert!(patch.constraint_ok, "the conservative pair must survive");
+        let smart = s.run_smartconf(13);
+        assert!(smart.constraint_ok);
+        assert!(
+            smart.tradeoff > patch.tradeoff,
+            "coordination beats the small pair"
         );
     }
 

@@ -4,7 +4,7 @@ use smartconf_core::{
     Controller, ControllerBuilder, FnTransducer, Goal, Hardness, ProfileSet, SmartConfIndirect,
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
-use smartconf_runtime::Decider;
+use smartconf_runtime::{Decider, ProfileSchedule, Profiler};
 use smartconf_simkernel::{BackgroundChurn, SimDuration, SimRng, SimTime, Simulation};
 use smartconf_workload::WordCountJob;
 
@@ -133,27 +133,22 @@ impl Mr2820 {
     }
 
     /// Profiles worst-worker disk usage against the reserve setting using
-    /// the profiling job `(2G, 64MB, 1)`.
+    /// the profiling job `(2G, 64MB, 1)`, via the shared [`Profiler`].
     pub fn collect_profile(&self, seed: u64) -> ProfileSet {
-        let mut profile = ProfileSet::new();
-        for (i, &setting_mb) in self.profile_settings.iter().enumerate() {
+        Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting_mb, s| {
             let mut rng = SimRng::seed_from_u64(seed ^ 0x9a0f);
             let job = materialize_job(&WordCountJob::new(2_048 * MB, 16 * MB, 1), &mut rng);
-            let r = self.run_cluster(
+            self.run_cluster(
                 Decider::Static(setting_mb),
                 (setting_mb * MB as f64) as u64,
                 vec![job],
-                seed.wrapping_add(i as u64 + 1),
+                s,
                 "profiling",
-            );
-            let used = r.series("worst_worker_disk_mb").expect("disk series");
-            for k in 0..48u64 {
-                if let Some(v) = used.value_at((5 + k) * 1_000_000) {
-                    profile.add(setting_mb, v);
-                }
-            }
-        }
-        profile
+            )
+            .series("worst_worker_disk_mb")
+            .expect("disk series")
+            .clone()
+        })
     }
 
     /// Synthesizes the SmartConf controller (direct on the reserve, hard
@@ -250,6 +245,12 @@ impl Scenario for Mr2820 {
             seed,
             "SmartConf",
         )
+    }
+
+    fn profile_schedule(&self) -> ProfileSchedule {
+        // 48 disk samples on a 1 s grid after the job's 5 s ramp-up, at
+        // each profiled reserve setting.
+        ProfileSchedule::grid(self.profile_settings.clone(), 48, 5_000_000, 1_000_000)
     }
 
     fn profile(&self, seed: u64) -> ProfileSet {

@@ -7,8 +7,22 @@
 //! metric, the tracking error, the pole in effect (context-aware
 //! two-pole scheme, paper §5.2), and whether the actuator saturated at
 //! its bounds.
+//!
+//! Fleet runs can last millions of epochs, so the log has two modes:
+//! **unbounded** (the default — every event retained, as PR 1 shipped)
+//! and **bounded** ([`EpochLog::bounded`] — a ring buffer keeps only the
+//! most recent events). In both modes the log maintains streaming
+//! per-channel lifetime aggregates ([`EpochSummary`]: violations,
+//! settling epoch, mean/max error, saturation), so summary statistics
+//! stay exact even after old events are evicted.
+
+use std::collections::VecDeque;
 
 use smartconf_metrics::TimeSeries;
+
+/// Relative settling band: a channel counts as settled once its tracking
+/// error stays within this fraction of the target's magnitude.
+const SETTLING_BAND: f64 = 0.02;
 
 /// One control decision for one channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,26 +50,163 @@ pub struct EpochEvent {
     pub saturated: bool,
 }
 
+/// Streaming lifetime aggregates for one channel, maintained on every
+/// [`EpochLog::push`] — exact even when the bounded log has evicted the
+/// underlying events.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochSummary {
+    /// Total decisions made for this channel (including evicted events).
+    pub epochs: u64,
+    /// Decisions whose setting was clamped at the controller bounds.
+    pub saturated: u64,
+    /// Epochs whose finite tracking error was negative — i.e. the
+    /// measured metric exceeded its (possibly virtual) target.
+    pub violations: u64,
+    /// Epochs until the tracking error last left the ±2% settling band
+    /// around the target (0 when the error never left the band, e.g.
+    /// static channels with no controller).
+    pub settled_after: u64,
+    /// Mean of the finite tracking errors (0 when there were none).
+    pub mean_error: f64,
+    /// Largest absolute finite tracking error, if any epoch had one.
+    pub max_abs_error: Option<f64>,
+    /// The last decided setting, if the channel ever decided.
+    pub last_setting: Option<f64>,
+}
+
+/// Internal accumulator behind [`EpochSummary`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ChannelStats {
+    epochs: u64,
+    saturated: u64,
+    violations: u64,
+    settled_after: u64,
+    error_sum: f64,
+    error_count: u64,
+    max_abs_error: f64,
+    last_setting: f64,
+}
+
+impl ChannelStats {
+    fn update(&mut self, e: &EpochEvent) {
+        self.epochs += 1;
+        self.saturated += e.saturated as u64;
+        self.last_setting = e.setting;
+        if e.error.is_finite() {
+            self.error_count += 1;
+            self.error_sum += e.error;
+            let abs = e.error.abs();
+            if abs > self.max_abs_error {
+                self.max_abs_error = abs;
+            }
+            if e.error < 0.0 {
+                self.violations += 1;
+            }
+            if abs > SETTLING_BAND * e.target.abs() {
+                self.settled_after = e.epoch + 1;
+            }
+        }
+    }
+
+    fn summary(&self) -> EpochSummary {
+        EpochSummary {
+            epochs: self.epochs,
+            saturated: self.saturated,
+            violations: self.violations,
+            settled_after: self.settled_after,
+            mean_error: if self.error_count == 0 {
+                0.0
+            } else {
+                self.error_sum / self.error_count as f64
+            },
+            max_abs_error: (self.error_count > 0).then_some(self.max_abs_error),
+            last_setting: (self.epochs > 0).then_some(self.last_setting),
+        }
+    }
+}
+
 /// The per-run log of every channel's epochs, in decision order.
+///
+/// # Bounded mode
+///
+/// ```
+/// use smartconf_runtime::{EpochEvent, EpochLog};
+///
+/// // Keep only the 100 most recent events, but aggregate all of them.
+/// let mut log = EpochLog::bounded(vec!["conf".into()], 100);
+/// for epoch in 0..1_000u64 {
+///     log.push(EpochEvent {
+///         epoch,
+///         t_us: epoch * 1_000,
+///         channel: 0,
+///         setting: 50.0,
+///         measured: 90.0,
+///         target: 100.0,
+///         error: 10.0,
+///         pole: 0.5,
+///         saturated: epoch % 2 == 0,
+///     });
+/// }
+/// assert_eq!(log.len(), 100);           // raw events: bounded
+/// let s = log.summary("conf").unwrap(); // aggregates: full lifetime
+/// assert_eq!(s.epochs, 1_000);
+/// assert_eq!(s.saturated, 500);
+/// assert_eq!(log.saturation_fraction("conf"), 0.5);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct EpochLog {
     channels: Vec<String>,
-    events: Vec<EpochEvent>,
+    events: VecDeque<EpochEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
+    stats: Vec<ChannelStats>,
 }
 
 impl EpochLog {
-    /// Creates an empty log over the given channel names.
+    /// Creates an empty unbounded log over the given channel names.
     pub fn new(channels: Vec<String>) -> Self {
+        let stats = vec![ChannelStats::default(); channels.len()];
         EpochLog {
             channels,
-            events: Vec::new(),
+            events: VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+            stats,
         }
+    }
+
+    /// Creates an empty log that retains at most `capacity` raw events
+    /// (ring buffer: the oldest event is evicted on overflow), while the
+    /// per-channel [`EpochSummary`] aggregates keep covering every event
+    /// ever pushed. A capacity of 0 keeps aggregates only.
+    pub fn bounded(channels: Vec<String>, capacity: usize) -> Self {
+        let mut log = EpochLog::new(channels);
+        log.capacity = Some(capacity);
+        log
+    }
+
+    /// The raw-event retention limit, if this log is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Appends one event (the control plane calls this).
     pub fn push(&mut self, event: EpochEvent) {
         debug_assert!((event.channel as usize) < self.channels.len());
-        self.events.push(event);
+        if let Some(stats) = self.stats.get_mut(event.channel as usize) {
+            stats.update(&event);
+        }
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
     }
 
     /// Channel names, in [`EpochEvent::channel`] index order.
@@ -63,19 +214,29 @@ impl EpochLog {
         &self.channels
     }
 
-    /// All events, in decision order.
-    pub fn events(&self) -> &[EpochEvent] {
-        &self.events
+    /// The retained events, oldest first (all of them when unbounded).
+    pub fn events(&self) -> impl Iterator<Item = &EpochEvent> {
+        self.events.iter()
     }
 
-    /// Total number of events across channels.
+    /// Number of retained events across channels.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether no decisions were logged.
+    /// Whether no decisions were retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Lifetime event count across channels, including evicted events.
+    pub fn total_events(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// Events evicted (or skipped, at capacity 0) by the ring buffer.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Index of a channel by name.
@@ -83,7 +244,20 @@ impl EpochLog {
         self.channels.iter().position(|c| c == name)
     }
 
-    /// Events of one channel, in decision order.
+    /// Lifetime aggregates for one channel, exact regardless of mode.
+    pub fn summary(&self, name: &str) -> Option<EpochSummary> {
+        self.channel_index(name).map(|i| self.stats[i].summary())
+    }
+
+    /// Lifetime aggregates for every channel, in channel-index order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, EpochSummary)> {
+        self.channels
+            .iter()
+            .zip(&self.stats)
+            .map(|(name, stats)| (name.as_str(), stats.summary()))
+    }
+
+    /// Retained events of one channel, in decision order.
     pub fn events_for<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a EpochEvent> + 'a {
         let idx = self.channel_index(name).map(|i| i as u32);
         self.events.iter().filter(move |e| Some(e.channel) == idx)
@@ -91,35 +265,27 @@ impl EpochLog {
 
     /// The last decided setting of a channel, if it ever decided.
     pub fn last_setting(&self, name: &str) -> Option<f64> {
-        self.events_for(name).last().map(|e| e.setting)
+        self.summary(name).and_then(|s| s.last_setting)
     }
 
-    /// Fraction of a channel's epochs that saturated at the bounds.
-    /// Returns 0 for a channel with no epochs.
+    /// Fraction of a channel's lifetime epochs that saturated at the
+    /// bounds. Returns 0 for a channel with no epochs.
     pub fn saturation_fraction(&self, name: &str) -> f64 {
-        let (mut total, mut saturated) = (0u64, 0u64);
-        for e in self.events_for(name) {
-            total += 1;
-            saturated += e.saturated as u64;
-        }
-        if total == 0 {
-            0.0
-        } else {
-            saturated as f64 / total as f64
+        match self.summary(name) {
+            Some(s) if s.epochs > 0 => s.saturated as f64 / s.epochs as f64,
+            _ => 0.0,
         }
     }
 
-    /// Largest absolute tracking error over a channel's epochs (ignores
-    /// the `NaN` errors of static channels).
+    /// Largest absolute tracking error over a channel's lifetime epochs
+    /// (ignores the `NaN` errors of static channels).
     pub fn max_abs_error(&self, name: &str) -> Option<f64> {
-        self.events_for(name)
-            .map(|e| e.error.abs())
-            .filter(|e| e.is_finite())
-            .max_by(f64::total_cmp)
+        self.summary(name).and_then(|s| s.max_abs_error)
     }
 
     /// The setting trajectory as a time series named after the channel
-    /// (this is the "conf" series the figure drivers plot).
+    /// (this is the "conf" series the figure drivers plot). Covers the
+    /// retained events only.
     pub fn setting_series(&self, name: &str) -> TimeSeries {
         self.series_of(name, name, |e| e.setting)
     }
@@ -209,5 +375,63 @@ mod tests {
         assert_eq!(log.max_abs_error("a"), None);
         log.push(event(0, 1, 1, 40.0));
         assert_eq!(log.max_abs_error("a"), Some(20.0));
+    }
+
+    #[test]
+    fn bounded_evicts_oldest_but_aggregates_everything() {
+        let mut log = EpochLog::bounded(vec!["a".into()], 3);
+        for k in 0..10u64 {
+            log.push(event(0, k, k * 100, k as f64 * 10.0));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_events(), 10);
+        assert_eq!(log.dropped_events(), 7);
+        // Retained window is the most recent three events.
+        let retained: Vec<u64> = log.events().map(|e| e.epoch).collect();
+        assert_eq!(retained, vec![7, 8, 9]);
+        // Aggregates still cover all ten: max |error| is at setting 0
+        // (error = 100 − 0), which was evicted long ago.
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.epochs, 10);
+        assert_eq!(s.max_abs_error, Some(100.0));
+        assert_eq!(s.saturated, 1); // only setting 90 saturates
+        assert_eq!(log.last_setting("a"), Some(90.0));
+    }
+
+    #[test]
+    fn bounded_and_unbounded_summaries_agree() {
+        let mut full = EpochLog::new(vec!["a".into()]);
+        let mut ring = EpochLog::bounded(vec!["a".into()], 2);
+        for k in 0..50u64 {
+            let e = event(0, k, k, (k % 13) as f64 * 9.0);
+            full.push(e);
+            ring.push(e);
+        }
+        assert_eq!(full.summary("a"), ring.summary("a"));
+        assert_eq!(full.saturation_fraction("a"), ring.saturation_fraction("a"));
+        assert_eq!(full.max_abs_error("a"), ring.max_abs_error("a"));
+    }
+
+    #[test]
+    fn capacity_zero_keeps_aggregates_only() {
+        let mut log = EpochLog::bounded(vec!["a".into()], 0);
+        log.push(event(0, 0, 0, 10.0));
+        assert!(log.is_empty());
+        assert_eq!(log.total_events(), 1);
+        assert_eq!(log.summary("a").unwrap().epochs, 1);
+    }
+
+    #[test]
+    fn violations_and_settling() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        // error = 100 − 2·setting: setting 60 ⇒ error −20 (violation);
+        // setting 50 ⇒ error 0 (in band).
+        log.push(event(0, 0, 0, 60.0));
+        log.push(event(0, 1, 1, 50.0));
+        log.push(event(0, 2, 2, 50.0));
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.violations, 1);
+        assert_eq!(s.settled_after, 1); // left the band at epoch 0 only
+        assert!((s.mean_error - (-20.0 / 3.0)).abs() < 1e-12);
     }
 }

@@ -17,17 +17,28 @@
 //! - [`Baseline`] — the named static comparison runs of Figure 5.
 //! - [`EpochEvent`]/[`EpochLog`] — the structured per-epoch record
 //!   (setting, measured metric, error, pole in effect, saturation),
-//!   convertible to `smartconf-metrics` time series.
+//!   convertible to `smartconf-metrics` time series; optionally bounded
+//!   (ring buffer) with streaming per-channel [`EpochSummary`] aggregates.
+//! - [`Profiler`]/[`ProfileSchedule`] — the shared §6.1 profiling loop
+//!   (4 settings × N measurements) that scenarios declare instead of
+//!   re-implementing.
+//! - [`FleetExecutor`] — deterministic multi-threaded sharding of
+//!   (scenario × seed × goal-variant) work items: results merge in
+//!   work-item order, so output is byte-identical at 1 vs N threads.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod baseline;
 mod event;
+mod fleet;
 mod plane;
 mod plant;
+mod profiler;
 
 pub use baseline::Baseline;
-pub use event::{EpochEvent, EpochLog};
+pub use event::{EpochEvent, EpochLog, EpochSummary};
+pub use fleet::{shard_seed, FleetExecutor};
 pub use plane::{ControlPlane, ControlPlaneBuilder, Decider};
 pub use plant::{ChannelId, Plant, Sensed};
+pub use profiler::{ProfileSchedule, Profiler, SampleMode};

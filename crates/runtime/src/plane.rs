@@ -324,7 +324,7 @@ impl ControlPlane {
     }
 
     /// Consumes the plane, returning the event log (attached to the
-    /// scenario's [`RunResult`] by the harness).
+    /// scenario's run result by the harness).
     pub fn into_log(self) -> EpochLog {
         self.log
     }
