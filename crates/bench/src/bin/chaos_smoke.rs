@@ -1,0 +1,113 @@
+//! Chaos smoke check: runs all seven scenarios under every fault class
+//! (plus the clean SmartConf baseline) at 1 worker thread and again at
+//! N, asserts the two [`FleetReport`] renderings are byte-identical,
+//! asserts zero hard-goal violations, and writes `BENCH_chaos.json`.
+//!
+//! Usage: `chaos_smoke [--seeds K] [--threads N] [--out PATH]`
+//!
+//! * `--seeds K` — number of seeds (42, 43, …); default 1. The gate
+//!   requires the *clean* SmartConf baseline to pass too, so only seeds
+//!   whose no-fault run holds every hard goal belong in the default set
+//!   (seed 43's HB6728 baseline is marginal: 495.2 vs the 495.0 goal).
+//! * `--threads N` — parallel phase's worker count; default 4.
+//! * `--out PATH` — where to write the JSON artifact; default
+//!   `BENCH_chaos.json`.
+//!
+//! Exits non-zero if the serial and parallel reports differ, or if any
+//! hard-goal scenario violated its constraint under any fault class.
+//!
+//! [`FleetReport`]: smartconf_harness::FleetReport
+
+use smartconf_bench::chaos::{chaos_json, chaos_run, class_outcomes, HARD_GOAL_SCENARIOS};
+
+fn main() {
+    let mut seeds_n: u64 = 1;
+    let mut threads: usize = 4;
+    let mut out_path = "BENCH_chaos.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => seeds_n = value("--seeds").parse().expect("--seeds takes a count"),
+            "--threads" => threads = value("--threads").parse().expect("--threads takes a count"),
+            "--out" => out_path = value("--out"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let seeds: Vec<u64> = (42..42 + seeds_n.max(1)).collect();
+
+    eprintln!(
+        "chaos smoke: 7 scenarios x {} seeds x 8 policies (SmartConf + 7 fault classes)",
+        seeds.len()
+    );
+    let (serial_report, serial_phase) = chaos_run(&seeds, 1);
+    eprintln!(
+        "  {}: {:.3} s",
+        serial_phase.name,
+        serial_phase.wall.as_secs_f64()
+    );
+    let (parallel_report, parallel_phase) = chaos_run(&seeds, threads);
+    eprintln!(
+        "  {}: {:.3} s",
+        parallel_phase.name,
+        parallel_phase.wall.as_secs_f64()
+    );
+
+    let serial_bytes = serial_report.render();
+    let parallel_bytes = parallel_report.render();
+    let identical = serial_bytes == parallel_bytes;
+
+    let json = chaos_json(
+        &seeds,
+        &serial_report,
+        identical,
+        &[serial_phase, parallel_phase],
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_chaos.json");
+    eprintln!("wrote {out_path}");
+    print!("{serial_bytes}");
+
+    let mut failed = false;
+    if !identical {
+        for (i, (a, b)) in serial_bytes.lines().zip(parallel_bytes.lines()).enumerate() {
+            if a != b {
+                eprintln!(
+                    "first diff at line {}:\n  1-thread: {a}\n  {threads}-thread: {b}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        eprintln!("FAIL: chaos reports differ between 1 and {threads} threads");
+        failed = true;
+    }
+    for outcome in class_outcomes(&serial_report) {
+        eprintln!(
+            "  {}: {} shards, {} violations ({} hard), {} faults, {} guard activations, \
+             {} fallback epochs",
+            outcome.policy,
+            outcome.shards,
+            outcome.violations,
+            outcome.hard_goal_violations,
+            outcome.faults_injected,
+            outcome.guard_activations,
+            outcome.fallback_epochs
+        );
+        if outcome.hard_goal_violations > 0 {
+            eprintln!(
+                "FAIL: {} hard-goal violation(s) under {} (hard scenarios: {:?})",
+                outcome.hard_goal_violations, outcome.policy, HARD_GOAL_SCENARIOS
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK: chaos reports byte-identical at 1 and {threads} threads, zero hard-goal violations"
+    );
+}

@@ -1,0 +1,231 @@
+//! The chaos smoke evaluation: all seven scenarios × every fault class
+//! on the deterministic multi-threaded [`FleetExecutor`].
+//!
+//! [`FleetExecutor`]: smartconf_runtime::FleetExecutor
+//!
+//! This is the bench-level face of the fault-injection plane: the fleet
+//! roster runs once per [`FaultClass`] (plus the clean SmartConf
+//! baseline) and the JSON artifact records, per class, how many faults
+//! were injected, how often the guards fired, and — the hard promise —
+//! how many shards violated their constraint. The report must be
+//! byte-identical at 1 and N worker threads, like the clean fleet.
+
+use std::time::Instant;
+
+use smartconf_harness::{run_fleet, FleetReport, Policy};
+use smartconf_runtime::{FaultClass, FleetExecutor};
+
+use crate::fleet::{fleet_scenarios, FleetPhase};
+
+/// Scenarios whose constraint is a hard goal (crash / outage above it):
+/// the chaos sweep demands *zero* violations from these under every
+/// fault class.
+pub const HARD_GOAL_SCENARIOS: [&str; 3] = ["HB6728", "HD4995", "MR2820"];
+
+/// The chaos policies: the clean SmartConf baseline (guards dormant)
+/// plus one chaos policy per fault class.
+pub fn chaos_policies() -> Vec<Policy> {
+    let mut policies = vec![Policy::Smart];
+    policies.extend(FaultClass::ALL.iter().map(|&c| Policy::Chaos(c)));
+    policies
+}
+
+/// Runs the seven-scenario chaos fleet over `seeds` at `threads`
+/// workers, returning the merged report and the phase's wall-clock.
+pub fn chaos_run(seeds: &[u64], threads: usize) -> (FleetReport, FleetPhase) {
+    let scenarios = fleet_scenarios();
+    let policies = chaos_policies();
+    let start = Instant::now();
+    let report = run_fleet(&scenarios, seeds, &policies, &FleetExecutor::new(threads));
+    let phase = FleetPhase {
+        name: format!(
+            "chaos-{threads}-thread{}",
+            if threads == 1 { "" } else { "s" }
+        ),
+        threads,
+        wall: start.elapsed(),
+    };
+    (report, phase)
+}
+
+/// Per-fault-class aggregates over one chaos fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassOutcome {
+    /// Policy label, e.g. `"Chaos-SensorDropout"` (or `"SmartConf"` for
+    /// the clean baseline).
+    pub policy: String,
+    /// Shards that ran under this policy.
+    pub shards: usize,
+    /// Shards that lost their constraint.
+    pub violations: usize,
+    /// Constraint violations among [`HARD_GOAL_SCENARIOS`] — the number
+    /// the sweep requires to be zero.
+    pub hard_goal_violations: usize,
+    /// Total faults injected across the class's shards.
+    pub faults_injected: u64,
+    /// Total guard activations across the class's shards.
+    pub guard_activations: u64,
+    /// Total epochs spent holding a fallback setting.
+    pub fallback_epochs: u64,
+}
+
+/// Aggregates a chaos fleet report per policy, in policy order.
+pub fn class_outcomes(report: &FleetReport) -> Vec<ClassOutcome> {
+    let mut outcomes: Vec<ClassOutcome> = Vec::new();
+    for shard in &report.shards {
+        if !shard.resolved {
+            continue;
+        }
+        let outcome = match outcomes.iter_mut().find(|o| o.policy == shard.policy) {
+            Some(o) => o,
+            None => {
+                outcomes.push(ClassOutcome {
+                    policy: shard.policy.clone(),
+                    shards: 0,
+                    violations: 0,
+                    hard_goal_violations: 0,
+                    faults_injected: 0,
+                    guard_activations: 0,
+                    fallback_epochs: 0,
+                });
+                outcomes.last_mut().expect("just pushed")
+            }
+        };
+        outcome.shards += 1;
+        if !shard.constraint_ok {
+            outcome.violations += 1;
+            if HARD_GOAL_SCENARIOS.contains(&shard.scenario_id.as_str()) {
+                outcome.hard_goal_violations += 1;
+            }
+        }
+        for (_, summary) in &shard.channels {
+            outcome.faults_injected += summary.faults_injected;
+            outcome.guard_activations += summary.guard_activations;
+            outcome.fallback_epochs += summary.fallback_epochs;
+        }
+    }
+    outcomes
+}
+
+/// Renders the `BENCH_chaos.json` artifact.
+pub fn chaos_json(
+    seeds: &[u64],
+    report: &FleetReport,
+    reports_identical: bool,
+    phases: &[FleetPhase],
+) -> String {
+    let outcomes = class_outcomes(report);
+    let hard_total: usize = outcomes.iter().map(|o| o.hard_goal_violations).sum();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scenarios\": {},\n", fleet_scenarios().len()));
+    let seed_list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    out.push_str(&format!("  \"seeds\": [{}],\n", seed_list.join(", ")));
+    out.push_str(&format!("  \"shards\": {},\n", report.shards.len()));
+    out.push_str(&format!("  \"reports_identical\": {reports_identical},\n"));
+    out.push_str(&format!("  \"hard_goal_violations\": {hard_total},\n"));
+    out.push_str("  \"classes\": [\n");
+    let class_lines: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{\"policy\": \"{}\", \"shards\": {}, \"violations\": {}, \
+                 \"hard_goal_violations\": {}, \"faults_injected\": {}, \
+                 \"guard_activations\": {}, \"fallback_epochs\": {}}}",
+                o.policy,
+                o.shards,
+                o.violations,
+                o.hard_goal_violations,
+                o.faults_injected,
+                o.guard_activations,
+                o.fallback_epochs
+            )
+        })
+        .collect();
+    out.push_str(&class_lines.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"phases\": [\n");
+    let phase_lines: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"name\": \"{}\", \"threads\": {}, \"wall_clock_secs\": {:.3}}}",
+                p.name,
+                p.threads,
+                p.wall.as_secs_f64()
+            )
+        })
+        .collect();
+    out.push_str(&phase_lines.join(",\n"));
+    out.push_str("\n  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_cover_every_fault_class() {
+        let policies = chaos_policies();
+        assert_eq!(policies.len(), 1 + FaultClass::ALL.len());
+        assert_eq!(policies[0], Policy::Smart);
+        for class in FaultClass::ALL {
+            assert!(policies.contains(&Policy::Chaos(class)));
+        }
+    }
+
+    #[test]
+    fn class_outcomes_count_hard_goal_violations() {
+        use smartconf_harness::ShardReport;
+        let shard = |scenario: &str, policy: &str, ok: bool| ShardReport {
+            scenario_id: scenario.into(),
+            seed: 42,
+            policy: policy.into(),
+            resolved: true,
+            constraint_ok: ok,
+            crashed: false,
+            tradeoff: 1.0,
+            tradeoff_name: "t".into(),
+            channels: Vec::new(),
+        };
+        let report = FleetReport {
+            shards: vec![
+                shard("HB6728", "Chaos-SensorDropout", false),
+                shard("HB3813", "Chaos-SensorDropout", false),
+                shard("HB6728", "SmartConf", true),
+            ],
+            workers: 1,
+        };
+        let outcomes = class_outcomes(&report);
+        assert_eq!(outcomes.len(), 2);
+        let chaos = &outcomes[0];
+        assert_eq!(chaos.policy, "Chaos-SensorDropout");
+        assert_eq!(chaos.shards, 2);
+        assert_eq!(chaos.violations, 2);
+        assert_eq!(chaos.hard_goal_violations, 1);
+        let clean = &outcomes[1];
+        assert_eq!(clean.violations, 0);
+    }
+
+    #[test]
+    fn chaos_json_is_well_formed() {
+        let report = FleetReport::default();
+        let phases = [
+            FleetPhase {
+                name: "chaos-1-thread".into(),
+                threads: 1,
+                wall: std::time::Duration::from_millis(800),
+            },
+            FleetPhase {
+                name: "chaos-4-threads".into(),
+                threads: 4,
+                wall: std::time::Duration::from_millis(300),
+            },
+        ];
+        let json = chaos_json(&[42], &report, true, &phases);
+        assert!(json.contains("\"seeds\": [42]"));
+        assert!(json.contains("\"hard_goal_violations\": 0"));
+        assert!(json.contains("\"reports_identical\": true"));
+    }
+}

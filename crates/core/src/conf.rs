@@ -104,6 +104,17 @@ impl SmartConf {
         self.controller.set_goal(goal)
     }
 
+    /// Forces the setting to `value` (clamped into controller bounds),
+    /// discarding any pending measurement, and returns the setting now in
+    /// force. This is the resilience-guard override path (watchdog holds,
+    /// divergence fallback, restart resets); normal adjustment goes
+    /// through [`SmartConf::set_perf`]/[`SmartConf::conf`].
+    pub fn force_setting(&mut self, value: f64) -> f64 {
+        self.pending = None;
+        self.controller.set_current(value);
+        self.controller.current()
+    }
+
     /// The underlying controller (for inspection and experiments).
     pub fn controller(&self) -> &Controller {
         &self.controller
@@ -232,6 +243,24 @@ impl SmartConfIndirect {
     /// target is not finite.
     pub fn set_goal(&mut self, goal: f64) -> Result<()> {
         self.controller.set_goal(goal)
+    }
+
+    /// Forces the controller's deputy target to `value` (clamped into
+    /// bounds), discarding any pending measurement, and returns the
+    /// transduced configuration now in force — the resilience-guard
+    /// override path.
+    pub fn force_setting(&mut self, value: f64) -> f64 {
+        self.pending = None;
+        self.controller.set_current(value);
+        self.last_conf = self.transducer.transduce(self.controller.current());
+        self.last_conf
+    }
+
+    /// Maps a controller-space (deputy) value through the transducer
+    /// without touching controller state — used by the runtime to compute
+    /// what configuration a lagged actuation still holds in force.
+    pub fn transduce(&self, desired_deputy: f64) -> f64 {
+        self.transducer.transduce(desired_deputy)
     }
 
     /// The underlying controller.

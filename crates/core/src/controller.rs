@@ -209,6 +209,20 @@ impl Controller {
         (self.min, self.max)
     }
 
+    /// Resets accumulated control state after a plant restart: the
+    /// setting returns to `initial` (clamped into bounds, non-finite
+    /// ignored), the unreachable streak clears, and the pole history
+    /// reverts to the regular pole. Profiled parameters (`α`, pole,
+    /// `λ`, bounds) are kept — they describe the system model, not the
+    /// run — so the caller decides separately whether to re-profile.
+    pub fn reset(&mut self, initial: f64) {
+        if initial.is_finite() {
+            self.current = initial.clamp(self.min, self.max);
+        }
+        self.unreachable_streak = 0;
+        self.last_pole_used = self.pole;
+    }
+
     /// Whether the controller has been saturated at a bound while the goal
     /// stayed violated for several consecutive steps — the paper's
     /// "alert users that the goal is unreachable" condition (§4.3).
@@ -435,6 +449,25 @@ mod tests {
         // Out-of-bounds deputy values clamp.
         c.set_current(1e9);
         assert_eq!(c.current(), 200.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_and_clears_streak() {
+        let mut c = Controller::new(1.0, 0.7, soft(1000.0), 0.0, (0.0, 50.0), 20.0).unwrap();
+        let mut setting = 20.0;
+        for _ in 0..10 {
+            setting = c.step(setting + 2000.0);
+        }
+        assert!(c.goal_unreachable());
+        c.reset(20.0);
+        assert_eq!(c.current(), 20.0);
+        assert!(!c.goal_unreachable());
+        assert_eq!(c.last_pole_used(), 0.7);
+        // Out-of-bounds initial clamps; non-finite is ignored.
+        c.reset(1e9);
+        assert_eq!(c.current(), 50.0);
+        c.reset(f64::NAN);
+        assert_eq!(c.current(), 50.0);
     }
 
     #[test]

@@ -98,6 +98,6 @@ pub use model::LinearFit;
 pub use pole::{pole_from_delta, pole_from_profile, MAX_POLE};
 pub use profile::{ProfilePoint, ProfileSet};
 pub use registry::{ConfEntry, Registry};
-pub use sensor::{ConstSensor, FnSensor, LatencyWindow, Sensor, SharedGauge};
+pub use sensor::{ConstSensor, FnSensor, LatencyWindow, MedianFilter, Sensor, SharedGauge};
 pub use synth::ControllerBuilder;
 pub use transducer::{FnTransducer, IdentityTransducer, ScaleOffsetTransducer, Transducer};

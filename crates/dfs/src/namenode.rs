@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use smartconf_metrics::{Histogram, TimeSeries};
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
+use smartconf_runtime::{ChannelId, ChaosSpec, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime};
 
 use crate::namespace::{ContentSummary, Namespace, TraversalCursor};
@@ -131,6 +131,11 @@ impl NamenodeModel {
         self.limit
     }
 
+    /// Arms the fault-injection plane (chaos mode) on the limit channel.
+    pub fn enable_chaos(&mut self, spec: ChaosSpec) {
+        self.plane.enable_chaos(spec);
+    }
+
     /// Updates the goal of a SmartConf channel (phase goal change).
     pub fn set_goal(&mut self, goal_secs: f64) {
         self.plane
@@ -149,6 +154,14 @@ impl NamenodeModel {
                 .decide(self.chan, now.as_micros(), sensed)
                 .round()
                 .max(1_000.0) as u64;
+            if self.plane.take_plant_restart(self.chan) {
+                // A namenode restart aborts the in-flight traversal and
+                // drops queued `du`s; blocked writers retry after failover.
+                self.active = None;
+                self.du_queue.clear();
+                self.waiting_writers.clear();
+                self.quantum_files = 0;
+            }
             self.worst_block_secs = 0.0;
         }
     }

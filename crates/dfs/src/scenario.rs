@@ -3,7 +3,10 @@
 
 use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConfIndirect};
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
-use smartconf_runtime::{Decider, ProfileSchedule, Profiler};
+use smartconf_runtime::{
+    shard_seed, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
+    CHAOS_STREAM,
+};
 use smartconf_simkernel::{SimDuration, SimTime, Simulation};
 
 use crate::namenode::{NamenodeEvent, NamenodeModel};
@@ -114,11 +117,21 @@ impl Hd4995 {
     }
 
     fn run(&self, decider: Decider, seed: u64, label: &str) -> RunResult {
+        self.run_model(decider, seed, label, None)
+    }
+
+    fn run_model(
+        &self,
+        decider: Decider,
+        seed: u64,
+        label: &str,
+        chaos: Option<ChaosSpec>,
+    ) -> RunResult {
         let (p1, p2) = self.phase_secs;
         let horizon = SimTime::from_secs(p1 + p2);
         let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
         let w = &self.eval_workload;
-        let model = NamenodeModel::new(
+        let mut model = NamenodeModel::new(
             self.per_file,
             self.yield_overhead,
             decider,
@@ -127,6 +140,9 @@ impl Hd4995 {
             Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
             horizon,
         );
+        if let Some(spec) = chaos {
+            model.enable_chaos(spec);
+        }
         let mut sim = Simulation::new(model, seed);
         sim.schedule_at(SimTime::ZERO, NamenodeEvent::WriteArrival);
         sim.schedule_at(SimTime::ZERO, NamenodeEvent::DuArrival);
@@ -233,6 +249,22 @@ impl Scenario for Hd4995 {
         self.run(Decider::Deputy(Box::new(conf)), seed, "SmartConf")
     }
 
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let conf = SmartConfIndirect::new("content-summary.limit", controller);
+        // The smallest profiled limit is the profiled-safe fallback: it
+        // met the block goal at every profiled load level.
+        let guard = GuardPolicy::new().fallback_setting("content-summary.limit", 100_000.0);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            seed,
+            &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
     fn profile_schedule(&self) -> ProfileSchedule {
         // Writer blocks are event-triggered, so profiling takes the
         // first 40 recorded block durations at each traversal limit.
@@ -305,6 +337,16 @@ mod tests {
                 moderate.tradeoff
             );
         }
+    }
+
+    #[test]
+    fn chaos_run_keeps_hard_goal_and_replays() {
+        let s = quick();
+        let a = s.run_chaos(19, FaultClass::SensorDropout);
+        assert!(a.constraint_ok, "block goal violated under sensor dropout");
+        assert!(a.label.starts_with("Chaos-"));
+        let b = s.run_chaos(19, FaultClass::SensorDropout);
+        assert_eq!(a.tradeoff, b.tradeoff, "chaos run must replay exactly");
     }
 
     #[test]

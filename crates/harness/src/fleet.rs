@@ -8,12 +8,13 @@
 //! [`FleetReport`] whose rendering is byte-identical at any worker
 //! count.
 
-use smartconf_runtime::{Baseline, EpochSummary, FleetExecutor};
+use smartconf_runtime::{Baseline, EpochSummary, FaultClass, FleetExecutor};
 
 use crate::{sweep_statics, RunResult, Scenario};
 
-/// How one shard drives its scenario: under SmartConf control or under
-/// a named static baseline.
+/// How one shard drives its scenario: under SmartConf control, under a
+/// named static baseline, or under SmartConf with the deterministic
+/// fault plane armed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
     /// SmartConf-controlled run.
@@ -21,6 +22,9 @@ pub enum Policy {
     /// A named static baseline ([`Baseline::Optimal`]/
     /// [`Baseline::Nonoptimal`] trigger a per-shard exhaustive sweep).
     Static(Baseline),
+    /// SmartConf-controlled run with the standard fault plan for one
+    /// fault class injected ([`Scenario::run_chaos`]).
+    Chaos(FaultClass),
 }
 
 impl Policy {
@@ -29,6 +33,7 @@ impl Policy {
         match self {
             Policy::Smart => "SmartConf".to_string(),
             Policy::Static(b) => b.label(),
+            Policy::Chaos(c) => format!("Chaos-{}", c.label()),
         }
     }
 }
@@ -133,6 +138,13 @@ impl ShardReport {
 pub struct FleetReport {
     /// Shard reports, in [`fleet_work_items`] order.
     pub shards: Vec<ShardReport>,
+    /// Worker-thread count of the executor that produced this report
+    /// (satellite of the `FleetExecutor::new` clamp fix: surfaced so
+    /// operators can see what parallelism a report came from). This is
+    /// provenance, not payload — [`FleetReport::render`] deliberately
+    /// excludes it so reports from different thread counts still diff
+    /// byte-identical.
+    pub workers: usize,
 }
 
 impl FleetReport {
@@ -178,7 +190,7 @@ impl FleetReport {
             ));
             for (name, c) in &s.channels {
                 out.push_str(&format!(
-                    "  {}: epochs={} saturated={} violations={} settled_after={} mean_err={} max_abs_err={}\n",
+                    "  {}: epochs={} saturated={} violations={} settled_after={} mean_err={} max_abs_err={} faults={} guards={} fallback={}\n",
                     name,
                     c.epochs,
                     c.saturated,
@@ -189,6 +201,9 @@ impl FleetReport {
                         Some(e) => e.to_string(),
                         None => "-".to_string(),
                     },
+                    c.faults_injected,
+                    c.guard_activations,
+                    c.fallback_epochs,
                 ));
             }
         }
@@ -244,7 +259,10 @@ pub fn run_fleet(
     let shards = executor.execute(&items, |_, item| {
         run_shard(scenarios[item.scenario].as_ref(), item)
     });
-    FleetReport { shards }
+    FleetReport {
+        shards,
+        workers: executor.threads(),
+    }
 }
 
 fn run_shard(scenario: &(dyn Scenario + Send + Sync), item: &FleetWorkItem) -> ShardReport {
@@ -252,6 +270,10 @@ fn run_shard(scenario: &(dyn Scenario + Send + Sync), item: &FleetWorkItem) -> S
     match item.policy {
         Policy::Smart => {
             let run = scenario.run_smartconf(item.seed);
+            ShardReport::from_run(&id, item.seed, &item.policy, &run)
+        }
+        Policy::Chaos(class) => {
+            let run = scenario.run_chaos(item.seed, class);
             ShardReport::from_run(&id, item.seed, &item.policy, &run)
         }
         Policy::Static(baseline) => {
@@ -351,7 +373,10 @@ mod tests {
             let reference = run_fleet(&scenarios, &seeds, &policies, &FleetExecutor::new(1));
             for threads in [2, 8] {
                 let report = run_fleet(&scenarios, &seeds, &policies, &FleetExecutor::new(threads));
-                proptest::prop_assert_eq!(&report, &reference);
+                // `workers` is provenance and differs by construction;
+                // the payload (shards + rendering) must not.
+                proptest::prop_assert_eq!(report.workers, threads);
+                proptest::prop_assert_eq!(&report.shards, &reference.shards);
                 proptest::prop_assert_eq!(report.render(), reference.render());
             }
         }
@@ -389,11 +414,28 @@ mod tests {
             Policy::Static(Baseline::Optimal),
         ];
         let reference = run_fleet(&scenarios, &seeds, &policies, &FleetExecutor::new(1));
+        assert_eq!(reference.workers, 1);
         for threads in [2, 8] {
             let report = run_fleet(&scenarios, &seeds, &policies, &FleetExecutor::new(threads));
-            assert_eq!(report, reference);
+            assert_eq!(report.workers, threads);
+            assert_eq!(report.shards, reference.shards);
             assert_eq!(report.render(), reference.render());
         }
+    }
+
+    #[test]
+    fn chaos_policy_dispatches_to_run_chaos() {
+        let scenarios = roster();
+        let report = run_fleet(
+            &scenarios,
+            &[42],
+            &[Policy::Chaos(smartconf_runtime::FaultClass::SensorDropout)],
+            &FleetExecutor::new(2),
+        );
+        // Toy keeps the default run_chaos (clean fallback), but the
+        // shard is labeled as a chaos run.
+        let shard = report.shard("TOY", 42, "Chaos-SensorDropout").unwrap();
+        assert!(shard.resolved && shard.constraint_ok);
     }
 
     #[test]

@@ -103,7 +103,9 @@ pub fn epoch_summary(log: &EpochLog) -> TextTable {
             log.last_setting(name)
                 .map(|v| format!("{v:.1}"))
                 .unwrap_or_else(|| "-".into()),
-            format!("{:.0}%", log.saturation_fraction(name) * 100.0),
+            log.saturation_fraction(name)
+                .map(|f| format!("{:.0}%", f * 100.0))
+                .unwrap_or_else(|| "-".into()),
             log.max_abs_error(name)
                 .map(|v| format!("{v:.2}"))
                 .unwrap_or_else(|| "-".into()),
@@ -130,6 +132,8 @@ mod tests {
             error: 20.0,
             pole: 0.9,
             saturated: true,
+            faults: Default::default(),
+            guards: Default::default(),
         });
         let t = epoch_summary(&log);
         assert_eq!(t.len(), 2);

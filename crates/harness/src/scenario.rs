@@ -1,7 +1,7 @@
 //! The scenario abstraction: one PerfConf case study.
 
 use smartconf_core::ProfileSet;
-use smartconf_runtime::{Baseline, ProfileSchedule};
+use smartconf_runtime::{Baseline, FaultClass, ProfileSchedule};
 
 use crate::{RunResult, TradeoffDirection};
 
@@ -39,6 +39,22 @@ pub trait Scenario {
 
     /// Runs the two-phase evaluation workload under SmartConf control.
     fn run_smartconf(&self, seed: u64) -> RunResult;
+
+    /// Runs the evaluation workload under SmartConf control with the
+    /// deterministic fault plane armed: the standard
+    /// [`FaultPlan`](smartconf_runtime::FaultPlan) for `class` is
+    /// injected and the resilience guards defend the hard goal.
+    ///
+    /// The default ignores the fault class and falls back to the clean
+    /// SmartConf run; case-study crates override it by threading a
+    /// [`ChaosSpec`](smartconf_runtime::ChaosSpec) into their
+    /// control-plane construction. `seed` doubles as the fault-plane
+    /// seed material, so a chaos run replays exactly from
+    /// `(seed, class)`.
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let _ = class;
+        self.run_smartconf(seed)
+    }
 
     /// The declarative profiling schedule (paper §6.1: which settings to
     /// hold, how many measurements per setting, how to sample them). The

@@ -109,6 +109,14 @@ impl Memtable {
     pub fn finish_flush(&mut self) {
         self.flushing_bytes = 0;
     }
+
+    /// Drops the buffered and draining bytes (an injected plant restart:
+    /// heap residency is gone, the commit log replays out of band). The
+    /// threshold survives.
+    pub fn clear(&mut self) {
+        self.active_bytes = 0;
+        self.flushing_bytes = 0;
+    }
 }
 
 /// An HBase-style memstore with upper/lower flush watermarks.
@@ -218,6 +226,12 @@ impl Memstore {
     /// Number of blocking flushes performed.
     pub fn flush_count(&self) -> u64 {
         self.flush_count
+    }
+
+    /// Empties the store (an injected plant restart). Watermarks and the
+    /// flush counter survive.
+    pub fn clear(&mut self) {
+        self.bytes = 0;
     }
 }
 

@@ -103,6 +103,13 @@ impl CountBoundedQueue {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// Drops all queued items (an injected plant restart: in-flight RPCs
+    /// are lost). The bound and the rejection counter survive.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.bytes = 0;
+    }
 }
 
 /// A FIFO queue bounded by *total bytes* — HB6728's
@@ -178,6 +185,13 @@ impl ByteBoundedQueue {
     /// Arrivals refused because the queue was full.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Drops all queued items (an injected plant restart: queued
+    /// responses are lost). The bound and the rejection counter survive.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.bytes = 0;
     }
 }
 

@@ -21,7 +21,10 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{Histogram, TimeSeries};
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler, Sensed};
+use smartconf_runtime::{
+    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -88,7 +91,7 @@ impl Ca6059 {
         Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting_mb, s| {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
-            self.run_model(Decider::Static(setting_mb), &workload, s, "profiling")
+            self.run_model(Decider::Static(setting_mb), &workload, s, "profiling", None)
                 .series("used_memory_mb")
                 .expect("profiling run records memory")
                 .clone()
@@ -120,11 +123,15 @@ impl Ca6059 {
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
+        chaos: Option<ChaosSpec>,
     ) -> RunResult {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
         heap.set_component("base", self.base_bytes);
         let (mut plane, chan) = ControlPlane::single("memtable_total_space_mb", decider);
+        if let Some(spec) = chaos {
+            plane.enable_chaos(spec);
+        }
         let initial = (plane.setting(chan).max(1.0) * MB as f64) as u64;
         let model = MemtableModel {
             heap,
@@ -230,6 +237,7 @@ impl Scenario for Ca6059 {
             &self.eval.clone(),
             seed,
             &format!("static-{setting}MB"),
+            None,
         )
     }
 
@@ -242,6 +250,24 @@ impl Scenario for Ca6059 {
             &self.eval.clone(),
             seed,
             "SmartConf",
+            None,
+        )
+    }
+
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
+        // Profiled-safe fallback: the smallest profiled threshold keeps
+        // memory well clear of the hard goal at higher write latency.
+        let guard = GuardPolicy::new().fallback_setting("memtable_total_space_mb", 40.0);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Chaos-{}", class.label()),
+            Some(spec),
         )
     }
 
@@ -307,6 +333,14 @@ impl MemtableModel {
             .plane
             .decide(self.chan, now.as_micros(), sensed)
             .max(1.0);
+        if self.plane.take_plant_restart(self.chan) {
+            // Injected plant restart: buffered writes and the warm read
+            // cache are gone (commit log replays out of band).
+            self.memtable.clear();
+            self.flush = None;
+            self.cache_bytes = 0;
+            self.sync_heap(now);
+        }
         self.memtable
             .set_threshold((threshold_mb * MB as f64) as u64);
     }

@@ -19,7 +19,10 @@
 use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConf};
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler};
+use smartconf_runtime::{
+    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    ProfileSchedule, Profiler, CHAOS_STREAM,
+};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -85,6 +88,7 @@ impl Hb2149 {
                 s,
                 "profiling",
                 (self.phase_goals_secs.0, self.phase_goals_secs.0),
+                None,
             )
             .series("block_duration_secs")
             .expect("profiling run records block durations")
@@ -117,6 +121,7 @@ impl Hb2149 {
         seed: u64,
         label: &str,
         goals: (f64, f64),
+        chaos: Option<ChaosSpec>,
     ) -> RunResult {
         let horizon = SimTime::ZERO + workload.total_duration();
         let goal_change_at = if workload.len() > 1 {
@@ -125,6 +130,9 @@ impl Hb2149 {
             None
         };
         let (mut plane, chan) = ControlPlane::single("memstore.lowerLimit_mb", decider);
+        if let Some(spec) = chaos {
+            plane.enable_chaos(spec);
+        }
         let initial_lower = (plane.setting(chan).max(0.0) * MB as f64) as u64;
         let model = MemstoreModel {
             memstore: Memstore::new(
@@ -220,6 +228,7 @@ impl Scenario for Hb2149 {
             seed,
             &format!("static-{setting}MB"),
             self.phase_goals_secs,
+            None,
         )
     }
 
@@ -233,6 +242,25 @@ impl Scenario for Hb2149 {
             seed,
             "SmartConf",
             self.phase_goals_secs,
+            None,
+        )
+    }
+
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let conf = SmartConf::new("global.memstore.lowerLimit", controller);
+        // Profiled-safe fallback: the patched shallow lowerLimit keeps
+        // every blocking flush short at the cost of flushing often.
+        let guard = GuardPolicy::new().fallback_setting("memstore.lowerLimit_mb", 175.0);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Direct(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Chaos-{}", class.label()),
+            self.phase_goals_secs,
+            Some(spec),
         )
     }
 
@@ -297,6 +325,11 @@ impl Model for MemstoreModel {
                                     .plane
                                     .decide(self.chan, now.as_micros(), last_block)
                                     .max(0.0);
+                                if self.plane.take_plant_restart(self.chan) {
+                                    // Injected plant restart: the store
+                                    // empties; this flush is a short one.
+                                    self.memstore.clear();
+                                }
                                 self.memstore.set_lower((lower_mb * MB as f64) as u64);
                             }
                             let block = self.memstore.blocking_flush();

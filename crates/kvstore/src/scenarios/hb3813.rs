@@ -17,7 +17,10 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler, Sensed};
+use smartconf_runtime::{
+    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{ArrivalProcess, PhasedWorkload, YcsbWorkload};
 
@@ -156,7 +159,7 @@ impl Hb3813 {
         Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting, s| {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
-            self.run_model(Decider::Static(setting), &workload, s, "profiling")
+            self.run_model(Decider::Static(setting), &workload, s, "profiling", None)
                 .series("used_memory_mb")
                 .expect("profiling run records memory")
                 .clone()
@@ -209,6 +212,7 @@ impl Hb3813 {
             &self.eval.clone(),
             seed,
             label,
+            None,
         )
     }
 
@@ -219,6 +223,7 @@ impl Hb3813 {
             &self.eval.clone(),
             seed,
             &format!("static-{setting}"),
+            None,
         )
     }
 
@@ -251,7 +256,7 @@ impl Hb3813 {
                 "No Virtual Goal",
             ),
         };
-        self.run_model(decider, &self.eval.clone(), seed, label)
+        self.run_model(decider, &self.eval.clone(), seed, label, None)
     }
 
     fn run_model(
@@ -260,6 +265,7 @@ impl Hb3813 {
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
+        chaos: Option<ChaosSpec>,
     ) -> RunResult {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
@@ -269,6 +275,9 @@ impl Hb3813 {
         // use site.
         let fixed_period = matches!(decider, Decider::Direct(_));
         let (mut plane, chan) = ControlPlane::single("max.queue.size", decider);
+        if let Some(spec) = chaos {
+            plane.enable_chaos(spec);
+        }
         let initial_max = plane.setting(chan).max(0.0) as usize;
         let model = QueueModel {
             heap,
@@ -384,6 +393,23 @@ impl Scenario for Hb3813 {
         self.run_variant(ControllerVariant::SmartConf, seed)
     }
 
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile, ControllerVariant::SmartConf);
+        let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
+        // Profiled-safe fallback: a 30-item queue bound (the smallest
+        // profiled setting) keeps the heap far below the hard goal.
+        let guard = GuardPolicy::new().fallback_setting("max.queue.size", 30.0);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
     fn profile_schedule(&self) -> ProfileSchedule {
         // 48 samples on a 1 s grid after warm-up: enough samples for the
         // central limit theorem to apply (paper §5.5), and enough to
@@ -456,6 +482,11 @@ impl QueueModel {
             .decide(self.chan, now.as_micros(), sensed)
             .round()
             .max(0.0) as usize;
+        if self.plane.take_plant_restart(self.chan) {
+            // Injected plant restart: queued RPCs are lost.
+            self.queue.clear();
+            self.sync_heap();
+        }
         self.queue.set_max_items(bound);
     }
 

@@ -16,7 +16,10 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, ProfileSchedule, Profiler, Sensed};
+use smartconf_runtime::{
+    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+};
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
 
@@ -90,7 +93,7 @@ impl Hb6728 {
         Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting_mb, s| {
             let workload =
                 PhasedWorkload::single(SimDuration::from_secs(60), self.profile_workload.clone());
-            self.run_model(Decider::Static(setting_mb), &workload, s, "profiling")
+            self.run_model(Decider::Static(setting_mb), &workload, s, "profiling", None)
                 .series("used_memory_mb")
                 .expect("profiling run records memory")
                 .clone()
@@ -122,11 +125,15 @@ impl Hb6728 {
         workload: &PhasedWorkload<YcsbWorkload>,
         seed: u64,
         label: &str,
+        chaos: Option<ChaosSpec>,
     ) -> RunResult {
         let horizon = SimTime::ZERO + workload.total_duration();
         let mut heap = HeapModel::new(self.oom_limit);
         heap.set_component("base", self.base_bytes);
         let (mut plane, chan) = ControlPlane::single("response.queue.maxsize_mb", decider);
+        if let Some(spec) = chaos {
+            plane.enable_chaos(spec);
+        }
         let initial_max = (plane.setting(chan).max(0.0) * MB as f64) as u64;
         let model = ResponseModel {
             heap,
@@ -230,6 +237,7 @@ impl Scenario for Hb6728 {
             &self.eval.clone(),
             seed,
             &format!("static-{setting}MB"),
+            None,
         )
     }
 
@@ -242,6 +250,24 @@ impl Scenario for Hb6728 {
             &self.eval.clone(),
             seed,
             "SmartConf",
+            None,
+        )
+    }
+
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
+        // Profiled-safe fallback: a 40 MB response-queue bound keeps the
+        // heap far under the 495 MB hard goal even with phase-2 churn.
+        let guard = GuardPolicy::new().fallback_setting("response.queue.maxsize_mb", 40.0);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Chaos-{}", class.label()),
+            Some(spec),
         )
     }
 
@@ -299,6 +325,11 @@ impl ResponseModel {
             .plane
             .decide(self.chan, now.as_micros(), sensed)
             .max(0.0);
+        if self.plane.take_plant_restart(self.chan) {
+            // Injected plant restart: queued responses are lost.
+            self.queue.clear();
+            self.sync_heap();
+        }
         self.queue.set_max_bytes((bound_mb * MB as f64) as u64);
     }
 
@@ -475,6 +506,16 @@ mod tests {
         let s = quick();
         let a = s.run_static(80.0, 5);
         let b = s.run_static(80.0, 5);
+        assert_eq!(a.tradeoff, b.tradeoff);
+    }
+
+    #[test]
+    fn chaos_run_keeps_hard_goal_and_replays() {
+        let s = quick();
+        let a = s.run_chaos(17, FaultClass::SensorDropout);
+        assert!(a.constraint_ok, "chaos run violated the hard goal");
+        assert!(a.epochs.summary("response.queue.maxsize_mb").is_some());
+        let b = s.run_chaos(17, FaultClass::SensorDropout);
         assert_eq!(a.tradeoff, b.tradeoff);
     }
 

@@ -13,7 +13,8 @@ use smartconf_core::{ControllerBuilder, Goal, Hardness, ProfileSet, Registry, Sm
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
-    ChannelId, ControlPlane, ControlPlaneBuilder, Decider, ProfileSchedule, Profiler, Sensed,
+    shard_seed, ChannelId, ChaosSpec, ControlPlane, ControlPlaneBuilder, Decider, FaultClass,
+    GuardPolicy, ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -169,6 +170,15 @@ impl TwinQueues {
         seed: u64,
         interaction: Option<u32>,
     ) -> TwinRunResult {
+        self.run_smart_inner(seed, interaction, None)
+    }
+
+    fn run_smart_inner(
+        &self,
+        seed: u64,
+        interaction: Option<u32>,
+        chaos: Option<ChaosSpec>,
+    ) -> TwinRunResult {
         // Registry drives the coordination: two configurations mapped to
         // one super-hard metric gives each controller N = 2 (§5.4).
         let mut registry = Registry::new();
@@ -220,6 +230,9 @@ impl TwinQueues {
         if let Some(n) = interaction {
             plane.set_interaction(req_chan, n).expect("positive N");
             plane.set_interaction(resp_chan, n).expect("positive N");
+        }
+        if let Some(spec) = chaos {
+            plane.enable_chaos(spec);
         }
 
         let phased = self.eval_phases();
@@ -358,6 +371,18 @@ impl Scenario for TwinQueues {
         TwinQueues::run_smartconf(self, seed).result
     }
 
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        // Profiled-safe fallbacks: the conservative static pair that
+        // survives the worst co-occurrence of both workloads.
+        let guard = GuardPolicy::new()
+            .fallback_setting("max.queue.size", 60.0)
+            .fallback_setting("response.queue.maxsize_mb", 60.0);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let mut out = self.run_smart_inner(seed, None, Some(spec));
+        out.result.label = format!("Chaos-{}", class.label());
+        out.result
+    }
+
     fn profile_schedule(&self) -> ProfileSchedule {
         // Each queue is profiled at four bounds, sampling memory on a
         // 1 s grid after 10 s of warmup (48 samples — see HB3813).
@@ -423,6 +448,11 @@ impl TwinModel {
             .decide(self.req_chan, now.as_micros(), sensed)
             .round()
             .max(0.0) as usize;
+        if self.plane.take_plant_restart(self.req_chan) {
+            // Injected plant restart: queued requests are lost.
+            self.req_queue.clear();
+            self.sync_heap();
+        }
         self.req_queue.set_max_items(bound);
     }
 
@@ -433,6 +463,11 @@ impl TwinModel {
             .plane
             .decide(self.resp_chan, now.as_micros(), sensed)
             .max(0.0);
+        if self.plane.take_plant_restart(self.resp_chan) {
+            // Injected plant restart: queued responses are lost.
+            self.resp_queue.clear();
+            self.sync_heap();
+        }
         self.resp_queue.set_max_bytes((bound_mb * MB as f64) as u64);
     }
 

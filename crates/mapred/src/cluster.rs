@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use smartconf_metrics::TimeSeries;
-use smartconf_runtime::{ChannelId, ControlPlane, Decider, Sensed};
+use smartconf_runtime::{ChannelId, ChaosSpec, ControlPlane, Decider, Sensed};
 use smartconf_simkernel::{BackgroundChurn, Context, Model, SimDuration, SimTime};
 use smartconf_workload::{MapTask, WordCountJob};
 
@@ -40,6 +40,9 @@ pub enum ClusterEvent {
 struct RunningTask {
     key: u64,
     worker: usize,
+    /// The task description, kept so an injected cluster restart can
+    /// requeue the task from scratch.
+    task: MapTask,
     spill_total: u64,
     spill_written: u64,
     duration: SimDuration,
@@ -145,6 +148,11 @@ impl ClusterModel {
         self.minspace
     }
 
+    /// Arms the fault-injection plane (chaos mode) on the reserve channel.
+    pub fn enable_chaos(&mut self, spec: ChaosSpec) {
+        self.plane.enable_chaos(spec);
+    }
+
     fn worst_used_mb(&self) -> f64 {
         self.workers
             .iter()
@@ -188,6 +196,17 @@ impl ClusterModel {
             )
             .max(0.0);
         self.minspace = (mb * 1e6) as u64;
+        if self.plane.take_plant_restart(self.chan) {
+            // A cluster restart kills in-flight tasks: their partial
+            // spills are cleaned off the local dirs and the tasks are
+            // requeued. Spills of finished tasks survive for the shuffle.
+            let killed: Vec<RunningTask> = self.running.drain(..).collect();
+            for t in killed {
+                self.workers[t.worker].disk.release_spill(t.spill_written);
+                self.workers[t.worker].busy_slots -= 1;
+                self.pending.push_front(t.task);
+            }
+        }
     }
 
     fn check_ood(&mut self, ctx: &mut Context<'_, ClusterEvent>) {
@@ -250,6 +269,7 @@ impl ClusterModel {
             self.running.push(RunningTask {
                 key,
                 worker: wi,
+                task,
                 spill_total: task.spill_bytes,
                 spill_written: 0,
                 duration,

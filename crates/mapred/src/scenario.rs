@@ -4,7 +4,10 @@ use smartconf_core::{
     Controller, ControllerBuilder, FnTransducer, Goal, Hardness, ProfileSet, SmartConfIndirect,
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
-use smartconf_runtime::{Decider, ProfileSchedule, Profiler};
+use smartconf_runtime::{
+    shard_seed, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
+    CHAOS_STREAM,
+};
 use smartconf_simkernel::{BackgroundChurn, SimDuration, SimRng, SimTime, Simulation};
 use smartconf_workload::WordCountJob;
 
@@ -90,7 +93,20 @@ impl Mr2820 {
         seed: u64,
         label: &str,
     ) -> RunResult {
-        let model = ClusterModel::new(
+        self.run_cluster_chaos(decider, initial_minspace, jobs, seed, label, None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_cluster_chaos(
+        &self,
+        decider: Decider,
+        initial_minspace: u64,
+        jobs: Vec<Vec<smartconf_workload::MapTask>>,
+        seed: u64,
+        label: &str,
+        chaos: Option<ChaosSpec>,
+    ) -> RunResult {
+        let mut model = ClusterModel::new(
             self.workers,
             self.slots_per_worker,
             self.disk_capacity,
@@ -104,6 +120,9 @@ impl Mr2820 {
             self.disk_goal_mb(),
             self.horizon,
         );
+        if let Some(spec) = chaos {
+            model.enable_chaos(spec);
+        }
         let mut sim = Simulation::new(model, seed);
         sim.schedule_at(SimTime::ZERO, ClusterEvent::Assign);
         sim.schedule_at(SimTime::ZERO, ClusterEvent::SpillTick);
@@ -247,6 +266,33 @@ impl Scenario for Mr2820 {
         )
     }
 
+    fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        let profile = self.collect_profile(seed ^ 0x5eed);
+        let controller = self.build_controller(&profile);
+        let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
+        let cap = self.disk_capacity as f64 / MB as f64;
+        let conf = SmartConfIndirect::with_transducer(
+            "local.dir.minspacestart",
+            controller,
+            Box::new(FnTransducer::new(move |desired: f64| {
+                (cap - desired).max(0.0)
+            })),
+        );
+        // Fallback in controller space: aim for 60% of the usage goal,
+        // the same conservative point the controller starts from.
+        let guard = GuardPolicy::new()
+            .fallback_setting("local.dir.minspacestart_mb", self.disk_goal_mb() * 0.6);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_cluster_chaos(
+            Decider::Deputy(Box::new(conf)),
+            initial,
+            self.eval_jobs(seed),
+            seed,
+            &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
     fn profile_schedule(&self) -> ProfileSchedule {
         // 48 disk samples on a 1 s grid after the job's 5 s ramp-up, at
         // each profiled reserve setting.
@@ -309,6 +355,15 @@ mod tests {
                 big.tradeoff
             );
         }
+    }
+
+    #[test]
+    fn chaos_run_survives_restarts_and_replays() {
+        let s = Mr2820::standard();
+        let a = s.run_chaos(23, FaultClass::PlantRestart);
+        assert!(a.constraint_ok, "OOD or hang under injected restarts");
+        let b = s.run_chaos(23, FaultClass::PlantRestart);
+        assert_eq!(a.tradeoff, b.tradeoff, "chaos run must replay exactly");
     }
 
     #[test]

@@ -20,6 +20,9 @@ use std::collections::VecDeque;
 
 use smartconf_metrics::TimeSeries;
 
+use crate::fault::FaultSet;
+use crate::guard::GuardSet;
+
 /// Relative settling band: a channel counts as settled once its tracking
 /// error stays within this fraction of the target's magnitude.
 const SETTLING_BAND: f64 = 0.02;
@@ -48,6 +51,11 @@ pub struct EpochEvent {
     /// Whether the decided setting was clamped at the controller's
     /// bounds. Always `false` for static channels.
     pub saturated: bool,
+    /// Faults injected on this epoch (empty outside chaos mode).
+    pub faults: FaultSet,
+    /// Resilience guards that activated on this epoch (empty outside
+    /// chaos mode).
+    pub guards: GuardSet,
 }
 
 /// Streaming lifetime aggregates for one channel, maintained on every
@@ -72,6 +80,13 @@ pub struct EpochSummary {
     pub max_abs_error: Option<f64>,
     /// The last decided setting, if the channel ever decided.
     pub last_setting: Option<f64>,
+    /// Epochs on which at least one fault was injected.
+    pub faults_injected: u64,
+    /// Epochs on which at least one resilience guard activated.
+    pub guard_activations: u64,
+    /// Epochs spent in divergence fallback (holding the profiled-safe
+    /// static setting).
+    pub fallback_epochs: u64,
 }
 
 /// Internal accumulator behind [`EpochSummary`].
@@ -85,6 +100,9 @@ struct ChannelStats {
     error_count: u64,
     max_abs_error: f64,
     last_setting: f64,
+    faults_injected: u64,
+    guard_activations: u64,
+    fallback_epochs: u64,
 }
 
 impl ChannelStats {
@@ -92,6 +110,9 @@ impl ChannelStats {
         self.epochs += 1;
         self.saturated += e.saturated as u64;
         self.last_setting = e.setting;
+        self.faults_injected += (!e.faults.is_empty()) as u64;
+        self.guard_activations += (!e.guards.is_empty()) as u64;
+        self.fallback_epochs += e.guards.contains(GuardSet::FALLBACK) as u64;
         if e.error.is_finite() {
             self.error_count += 1;
             self.error_sum += e.error;
@@ -121,6 +142,9 @@ impl ChannelStats {
             },
             max_abs_error: (self.error_count > 0).then_some(self.max_abs_error),
             last_setting: (self.epochs > 0).then_some(self.last_setting),
+            faults_injected: self.faults_injected,
+            guard_activations: self.guard_activations,
+            fallback_epochs: self.fallback_epochs,
         }
     }
 }
@@ -145,13 +169,15 @@ impl ChannelStats {
 ///         error: 10.0,
 ///         pole: 0.5,
 ///         saturated: epoch % 2 == 0,
+///         faults: Default::default(),
+///         guards: Default::default(),
 ///     });
 /// }
 /// assert_eq!(log.len(), 100);           // raw events: bounded
 /// let s = log.summary("conf").unwrap(); // aggregates: full lifetime
 /// assert_eq!(s.epochs, 1_000);
 /// assert_eq!(s.saturated, 500);
-/// assert_eq!(log.saturation_fraction("conf"), 0.5);
+/// assert_eq!(log.saturation_fraction("conf"), Some(0.5));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EpochLog {
@@ -269,18 +295,32 @@ impl EpochLog {
     }
 
     /// Fraction of a channel's lifetime epochs that saturated at the
-    /// bounds. Returns 0 for a channel with no epochs.
-    pub fn saturation_fraction(&self, name: &str) -> f64 {
-        match self.summary(name) {
-            Some(s) if s.epochs > 0 => s.saturated as f64 / s.epochs as f64,
-            _ => 0.0,
-        }
+    /// bounds: `Some(0.0)` for a known channel with no epochs, `None`
+    /// for an unknown channel name (so typos don't read as "never
+    /// saturated").
+    pub fn saturation_fraction(&self, name: &str) -> Option<f64> {
+        self.summary(name).map(|s| {
+            if s.epochs > 0 {
+                s.saturated as f64 / s.epochs as f64
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Largest absolute tracking error over a channel's lifetime epochs
-    /// (ignores the `NaN` errors of static channels).
+    /// (ignores the `NaN` errors of static channels). `None` both for a
+    /// channel with no finite errors and for an unknown name; the debug
+    /// assertion distinguishes the two so misspelled channel names fail
+    /// loudly in tests instead of reading as "no error".
     pub fn max_abs_error(&self, name: &str) -> Option<f64> {
-        self.summary(name).and_then(|s| s.max_abs_error)
+        let summary = self.summary(name);
+        debug_assert!(
+            summary.is_some(),
+            "max_abs_error queried for unknown channel {name:?} (channels: {:?})",
+            self.channels
+        );
+        summary.and_then(|s| s.max_abs_error)
     }
 
     /// The setting trajectory as a time series named after the channel
@@ -329,6 +369,8 @@ mod tests {
             error: 100.0 - setting * 2.0,
             pole: 0.5,
             saturated: setting >= 90.0,
+            faults: FaultSet::default(),
+            guards: GuardSet::default(),
         }
     }
 
@@ -350,8 +392,25 @@ mod tests {
         assert_eq!(log.last_setting("a"), Some(95.0));
         assert_eq!(log.last_setting("b"), Some(50.0));
         assert_eq!(log.last_setting("missing"), None);
-        assert_eq!(log.saturation_fraction("a"), 0.5);
-        assert_eq!(log.saturation_fraction("missing"), 0.0);
+        assert_eq!(log.saturation_fraction("a"), Some(0.5));
+        assert_eq!(log.saturation_fraction("missing"), None);
+    }
+
+    #[test]
+    fn fault_and_guard_aggregates() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        let mut e0 = event(0, 0, 0, 10.0);
+        e0.faults.insert(FaultSet::DROPOUT);
+        e0.guards.insert(GuardSet::MISSED);
+        log.push(e0);
+        let mut e1 = event(0, 1, 1, 10.0);
+        e1.guards.insert(GuardSet::FALLBACK);
+        log.push(e1);
+        log.push(event(0, 2, 2, 10.0));
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.guard_activations, 2);
+        assert_eq!(s.fallback_epochs, 1);
     }
 
     #[test]

@@ -1,0 +1,562 @@
+//! Deterministic fault injection: the chaos half of the resilience plane.
+//!
+//! A [`FaultPlan`] declares *where* faults happen (per-channel,
+//! per-epoch-window, optionally periodic and probabilistic); a
+//! [`FaultInjector`] evaluates the plan as a **pure function** of
+//! `(seed, plan, channel, epoch)` — no mutable RNG state — so a chaos
+//! run is byte-identical at any worker-thread count and replayable from
+//! the `(seed, FaultPlan)` pair alone. The injector seed is derived from
+//! the same [`shard_seed`](crate::shard_seed) material the fleet
+//! executor uses, keeping fleet chaos sweeps deterministic end to end.
+//!
+//! The control plane consumes the injector inside
+//! [`ControlPlane::decide`](crate::ControlPlane::decide) when chaos has
+//! been armed via [`ControlPlane::enable_chaos`](crate::ControlPlane::enable_chaos);
+//! the matching defenses live in [`GuardPolicy`](crate::GuardPolicy).
+
+use std::fmt;
+
+/// One class of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The sensor returns no reading this epoch.
+    SensorDropout,
+    /// The sensor repeats the last reading it delivered instead of a
+    /// fresh one (a frozen metrics pipeline).
+    SensorStale,
+    /// The sensor returns `NaN` (a torn read, a failed RPC decoded as
+    /// garbage).
+    SensorNan,
+    /// The sensor returns the true reading multiplied by `factor` (a
+    /// unit mix-up or counter glitch).
+    SensorSpike {
+        /// Multiplier applied to the true reading.
+        factor: f64,
+    },
+    /// The decided setting reaches the plant `epochs` epochs late; until
+    /// then the previously-applied setting stays in force.
+    ActuatorLag {
+        /// Actuation delay, in epochs.
+        epochs: u64,
+    },
+    /// The actuator cannot move past `frac` of the controller's bounds
+    /// range: the applied setting is capped at `lo + frac·(hi − lo)`.
+    ActuatorSaturate {
+        /// Fraction of the controller's bound range the actuator can
+        /// reach, in `[0, 1]`.
+        frac: f64,
+    },
+    /// The goal target flaps to `base × (1 − frac)` while the window is
+    /// active and back to `base` outside it.
+    GoalFlap {
+        /// Relative tightening of the target while flapped.
+        frac: f64,
+    },
+    /// Full plant restart: the configuration reverts to the controller's
+    /// initial setting, accumulated controller and guard state is
+    /// discarded, and the guard raises a re-profiling request.
+    PlantRestart,
+}
+
+/// Which channels a [`FaultWindow`] applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ChannelFilter {
+    /// Every channel of the plane.
+    #[default]
+    All,
+    /// Only the channel with this name.
+    Named(String),
+}
+
+impl ChannelFilter {
+    fn matches(&self, channel: &str) -> bool {
+        match self {
+            ChannelFilter::All => true,
+            ChannelFilter::Named(n) => n == channel,
+        }
+    }
+}
+
+/// One fault, active over a per-channel epoch window.
+///
+/// The window covers epochs `start..end`; with a non-zero `period` it is
+/// only active for the first `active` epochs of each period (a repeating
+/// burst — e.g. 10 dropped readings every 150 epochs), and `probability`
+/// gates each epoch independently via the injector's deterministic roll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindow {
+    /// Which channels the fault applies to.
+    pub filter: ChannelFilter,
+    /// First epoch (per-channel epoch counter) the window covers.
+    pub start: u64,
+    /// End of the window, exclusive (`u64::MAX` = until the run ends).
+    pub end: u64,
+    /// Burst period in epochs; `0` means continuously active.
+    pub period: u64,
+    /// Epochs active at the start of each period (ignored when
+    /// `period == 0`).
+    pub active: u64,
+    /// Per-epoch activation probability in `[0, 1]`.
+    pub probability: f64,
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    /// A continuous, always-on window over `start..end` for all channels.
+    pub fn new(kind: FaultKind, start: u64, end: u64) -> Self {
+        FaultWindow {
+            filter: ChannelFilter::All,
+            start,
+            end,
+            period: 0,
+            active: 0,
+            probability: 1.0,
+            kind,
+        }
+    }
+
+    /// Restricts the window to one named channel.
+    #[must_use]
+    pub fn on_channel(mut self, name: impl Into<String>) -> Self {
+        self.filter = ChannelFilter::Named(name.into());
+        self
+    }
+
+    /// Makes the window a repeating burst: active for the first `active`
+    /// epochs of every `period` epochs after `start`.
+    #[must_use]
+    pub fn periodic(mut self, period: u64, active: u64) -> Self {
+        self.period = period;
+        self.active = active;
+        self
+    }
+
+    /// Gates each active epoch on a deterministic roll below `p`.
+    #[must_use]
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    fn covers_epoch(&self, epoch: u64) -> bool {
+        if epoch < self.start || epoch >= self.end {
+            return false;
+        }
+        if self.period == 0 {
+            return true;
+        }
+        (epoch - self.start) % self.period < self.active
+    }
+}
+
+/// A declarative list of [`FaultWindow`]s — everything the injector
+/// needs besides its seed, which makes `(seed, FaultPlan)` a complete,
+/// replayable description of a chaos run.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_runtime::{FaultInjector, FaultKind, FaultPlan, FaultWindow};
+///
+/// // Drop 10 consecutive sensor readings every 150 epochs, and corrupt
+/// // 2% of the rest to NaN.
+/// let plan = FaultPlan::new()
+///     .window(FaultWindow::new(FaultKind::SensorDropout, 40, u64::MAX).periodic(150, 10))
+///     .window(FaultWindow::new(FaultKind::SensorNan, 40, u64::MAX).with_probability(0.02));
+/// assert_eq!(plan.windows().len(), 2);
+///
+/// // The injector is a pure function of (seed, plan, channel, epoch):
+/// let a = FaultInjector::new(7, plan.clone());
+/// let b = FaultInjector::new(7, plan);
+/// assert_eq!(a.at("heap", 0, 45), b.at("heap", 0, 45));
+/// assert!(a.at("heap", 0, 45).sensor.is_some()); // inside the burst
+/// assert!(a.at("heap", 0, 30).is_clean()); // before any window starts
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a window (builder style).
+    #[must_use]
+    pub fn window(mut self, w: FaultWindow) -> Self {
+        self.windows.push(w);
+        self
+    }
+
+    /// The declared windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan declares no faults.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+}
+
+/// The named fault classes of the chaos sweep — one per failure mode the
+/// resilience guards defend against. [`FaultClass::standard_plan`] maps
+/// each class to a canonical [`FaultPlan`] so every scenario's chaos run
+/// is comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Periodic bursts of missing sensor readings.
+    SensorDropout,
+    /// Periodic bursts of frozen (exactly repeated) sensor readings.
+    StaleRepeat,
+    /// Background NaN readings plus periodic multiplicative spikes.
+    Corruption,
+    /// Periodic windows where decisions reach the plant epochs late.
+    ActuatorLag,
+    /// Periodic windows where the actuator cannot move past a fraction
+    /// of its range.
+    ActuatorSaturation,
+    /// The goal target flapping down and back.
+    GoalFlap,
+    /// Periodic full plant restarts.
+    PlantRestart,
+}
+
+impl FaultClass {
+    /// Every fault class, in sweep order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::SensorDropout,
+        FaultClass::StaleRepeat,
+        FaultClass::Corruption,
+        FaultClass::ActuatorLag,
+        FaultClass::ActuatorSaturation,
+        FaultClass::GoalFlap,
+        FaultClass::PlantRestart,
+    ];
+
+    /// Stable display label (used in policy names and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::SensorDropout => "SensorDropout",
+            FaultClass::StaleRepeat => "StaleRepeat",
+            FaultClass::Corruption => "Corruption",
+            FaultClass::ActuatorLag => "ActuatorLag",
+            FaultClass::ActuatorSaturation => "ActuatorSaturation",
+            FaultClass::GoalFlap => "GoalFlap",
+            FaultClass::PlantRestart => "PlantRestart",
+        }
+    }
+
+    /// The canonical plan for this class: a short clean warm-up, then
+    /// repeating bursts. The warm-up and periods are sized so scenarios
+    /// with tens of epochs (HD4995 runs ~18 control epochs) still see at
+    /// least one burst of every class, while scenarios with tens of
+    /// thousands see many.
+    pub fn standard_plan(&self) -> FaultPlan {
+        const WARMUP: u64 = 6;
+        let plan = FaultPlan::new();
+        match self {
+            FaultClass::SensorDropout => plan.window(
+                FaultWindow::new(FaultKind::SensorDropout, WARMUP, u64::MAX).periodic(120, 8),
+            ),
+            FaultClass::StaleRepeat => plan.window(
+                FaultWindow::new(FaultKind::SensorStale, WARMUP, u64::MAX).periodic(120, 14),
+            ),
+            FaultClass::Corruption => plan
+                .window(
+                    FaultWindow::new(FaultKind::SensorNan, WARMUP, u64::MAX).with_probability(0.02),
+                )
+                .window(
+                    FaultWindow::new(FaultKind::SensorSpike { factor: 25.0 }, WARMUP, u64::MAX)
+                        .periodic(90, 3),
+                ),
+            FaultClass::ActuatorLag => plan.window(
+                FaultWindow::new(FaultKind::ActuatorLag { epochs: 4 }, WARMUP, u64::MAX)
+                    .periodic(160, 24),
+            ),
+            FaultClass::ActuatorSaturation => plan.window(
+                FaultWindow::new(FaultKind::ActuatorSaturate { frac: 0.10 }, WARMUP, u64::MAX)
+                    .periodic(150, 20),
+            ),
+            FaultClass::GoalFlap => plan.window(
+                FaultWindow::new(FaultKind::GoalFlap { frac: 0.15 }, 2 * WARMUP, u64::MAX)
+                    .periodic(140, 60),
+            ),
+            FaultClass::PlantRestart => plan.window(
+                FaultWindow::new(FaultKind::PlantRestart, 2 * WARMUP, u64::MAX).periodic(300, 1),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Bit set of fault classes injected on one epoch (recorded on
+/// [`EpochEvent`](crate::EpochEvent)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSet(u16);
+
+impl FaultSet {
+    /// Sensor returned nothing.
+    pub const DROPOUT: FaultSet = FaultSet(1 << 0);
+    /// Sensor repeated its previous reading.
+    pub const STALE: FaultSet = FaultSet(1 << 1);
+    /// Sensor returned NaN.
+    pub const NAN: FaultSet = FaultSet(1 << 2);
+    /// Sensor reading multiplied by a spike factor.
+    pub const SPIKE: FaultSet = FaultSet(1 << 3);
+    /// Decision deferred by actuator lag.
+    pub const LAG: FaultSet = FaultSet(1 << 4);
+    /// Applied setting capped by actuator saturation.
+    pub const SATURATE: FaultSet = FaultSet(1 << 5);
+    /// Goal target flapped.
+    pub const GOAL_FLAP: FaultSet = FaultSet(1 << 6);
+    /// Plant restarted.
+    pub const RESTART: FaultSet = FaultSet(1 << 7);
+
+    /// Adds the bits of `other`.
+    pub fn insert(&mut self, other: FaultSet) {
+        self.0 |= other.0;
+    }
+
+    /// Whether every bit of `other` is set.
+    pub fn contains(&self, other: FaultSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no fault was injected.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// What a sensor fault turned the reading into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// No reading this epoch.
+    Drop,
+    /// Repeat the last delivered reading.
+    Stale,
+    /// Deliver `NaN` instead of the true reading.
+    Nan,
+    /// Deliver the true reading multiplied by this factor.
+    Scale(f64),
+}
+
+/// Everything the injector fires for one `(channel, epoch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActiveFaults {
+    /// Sensor-side fault, if any (at most one wins per epoch: dropout
+    /// beats stale beats corruption).
+    pub sensor: Option<SensorFault>,
+    /// Actuation delay in epochs, if a lag window is active.
+    pub lag: Option<u64>,
+    /// Saturation fraction of the bound range, if active.
+    pub saturate: Option<f64>,
+    /// Relative goal tightening, if a flap window is active.
+    pub goal_flap: Option<f64>,
+    /// Whether the plant restarts this epoch.
+    pub restart: bool,
+    /// The injected classes as recorded on the epoch event.
+    pub set: FaultSet,
+}
+
+impl ActiveFaults {
+    /// Whether nothing fires this epoch.
+    pub fn is_clean(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// Stream index for deriving a fault-plane seed from a shard's base
+/// seed via [`shard_seed`](crate::shard_seed). Scenario crates use
+/// `shard_seed(seed, CHAOS_STREAM)` so the injector's rolls stay
+/// decorrelated from the plant's workload RNG, which consumes the base
+/// seed directly.
+pub const CHAOS_STREAM: u64 = 0xC4A0;
+
+/// Evaluates a [`FaultPlan`] deterministically.
+///
+/// Activation rolls are a SplitMix64-style hash of
+/// `(seed, window index, channel index, epoch)`, so the injector carries
+/// no mutable state: two injectors built from the same `(seed, plan)`
+/// agree everywhere, regardless of call order or thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a seed (derive it from the shard seed via
+    /// [`shard_seed`](crate::shard_seed)) and a plan.
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        FaultInjector { seed, plan }
+    }
+
+    /// The plan under evaluation.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The injector seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform roll in `[0, 1)` for `(window, channel, epoch)` — pure.
+    fn roll(&self, window: usize, channel: u32, epoch: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add((window as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+            .wrapping_add((channel as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB))
+            .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The faults active for `channel` (name and plane index) at its
+    /// per-channel `epoch`. Pure: the same arguments always produce the
+    /// same answer.
+    pub fn at(&self, channel_name: &str, channel: u32, epoch: u64) -> ActiveFaults {
+        let mut out = ActiveFaults::default();
+        for (wi, w) in self.plan.windows.iter().enumerate() {
+            if !w.filter.matches(channel_name) || !w.covers_epoch(epoch) {
+                continue;
+            }
+            if w.probability < 1.0 && self.roll(wi, channel, epoch) >= w.probability {
+                continue;
+            }
+            match w.kind {
+                FaultKind::SensorDropout => {
+                    out.sensor = Some(SensorFault::Drop);
+                    out.set.insert(FaultSet::DROPOUT);
+                }
+                FaultKind::SensorStale => {
+                    if !matches!(out.sensor, Some(SensorFault::Drop)) {
+                        out.sensor = Some(SensorFault::Stale);
+                    }
+                    out.set.insert(FaultSet::STALE);
+                }
+                FaultKind::SensorNan => {
+                    if out.sensor.is_none() {
+                        out.sensor = Some(SensorFault::Nan);
+                    }
+                    out.set.insert(FaultSet::NAN);
+                }
+                FaultKind::SensorSpike { factor } => {
+                    if out.sensor.is_none() {
+                        out.sensor = Some(SensorFault::Scale(factor));
+                    }
+                    out.set.insert(FaultSet::SPIKE);
+                }
+                FaultKind::ActuatorLag { epochs } => {
+                    out.lag = Some(epochs.max(1));
+                    out.set.insert(FaultSet::LAG);
+                }
+                FaultKind::ActuatorSaturate { frac } => {
+                    out.saturate = Some(frac.clamp(0.0, 1.0));
+                    out.set.insert(FaultSet::SATURATE);
+                }
+                FaultKind::GoalFlap { frac } => {
+                    out.goal_flap = Some(frac.clamp(0.0, 0.95));
+                    out.set.insert(FaultSet::GOAL_FLAP);
+                }
+                FaultKind::PlantRestart => {
+                    out.restart = true;
+                    out.set.insert(FaultSet::RESTART);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_expected_epochs() {
+        let w = FaultWindow::new(FaultKind::SensorDropout, 40, 400).periodic(100, 10);
+        assert!(!w.covers_epoch(39));
+        assert!(w.covers_epoch(40));
+        assert!(w.covers_epoch(49));
+        assert!(!w.covers_epoch(50));
+        assert!(w.covers_epoch(140));
+        assert!(!w.covers_epoch(400));
+        let cont = FaultWindow::new(FaultKind::SensorNan, 5, u64::MAX);
+        assert!(cont.covers_epoch(5) && cont.covers_epoch(1_000_000));
+    }
+
+    #[test]
+    fn channel_filter_restricts() {
+        let plan = FaultPlan::new()
+            .window(FaultWindow::new(FaultKind::PlantRestart, 0, 10).on_channel("a"));
+        let inj = FaultInjector::new(1, plan);
+        assert!(inj.at("a", 0, 5).restart);
+        assert!(inj.at("b", 1, 5).is_clean());
+    }
+
+    #[test]
+    fn injector_is_pure_and_seed_sensitive() {
+        let plan = FaultPlan::new()
+            .window(FaultWindow::new(FaultKind::SensorNan, 0, 10_000).with_probability(0.5));
+        let a = FaultInjector::new(42, plan.clone());
+        let b = FaultInjector::new(42, plan.clone());
+        let c = FaultInjector::new(43, plan);
+        let hits = |inj: &FaultInjector| -> Vec<bool> {
+            (0..10_000).map(|e| !inj.at("x", 0, e).is_clean()).collect()
+        };
+        assert_eq!(hits(&a), hits(&b));
+        assert_ne!(hits(&a), hits(&c));
+        // The 0.5 gate actually gates: roughly half the epochs fire.
+        let count = hits(&a).iter().filter(|&&h| h).count();
+        assert!((4_000..6_000).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn sensor_fault_priority() {
+        let plan = FaultPlan::new()
+            .window(FaultWindow::new(FaultKind::SensorNan, 0, 10))
+            .window(FaultWindow::new(FaultKind::SensorDropout, 0, 10));
+        let inj = FaultInjector::new(1, plan);
+        let f = inj.at("x", 0, 3);
+        assert_eq!(f.sensor, Some(SensorFault::Drop));
+        assert!(f.set.contains(FaultSet::DROPOUT));
+        assert!(f.set.contains(FaultSet::NAN));
+    }
+
+    #[test]
+    fn every_class_has_a_plan_and_label() {
+        for class in FaultClass::ALL {
+            let plan = class.standard_plan();
+            assert!(!plan.is_empty(), "{class} plan empty");
+            assert!(!class.label().is_empty());
+            // Every plan fires somewhere in the first 600 epochs.
+            let inj = FaultInjector::new(9, plan);
+            let fired = (0..600).any(|e| !inj.at("x", 0, e).is_clean());
+            assert!(fired, "{class} never fires in 600 epochs");
+        }
+    }
+
+    #[test]
+    fn fault_set_bits() {
+        let mut s = FaultSet::default();
+        assert!(s.is_empty());
+        s.insert(FaultSet::LAG);
+        s.insert(FaultSet::RESTART);
+        assert!(s.contains(FaultSet::LAG));
+        assert!(!s.contains(FaultSet::NAN));
+        assert!(!s.is_empty());
+    }
+}

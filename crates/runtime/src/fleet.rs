@@ -39,7 +39,21 @@ pub struct FleetExecutor {
 }
 
 impl FleetExecutor {
-    /// Creates an executor with the given worker count (clamped to ≥ 1).
+    /// Creates an executor with the given worker count.
+    ///
+    /// The count is clamped to ≥ 1: `new(0)` behaves exactly like
+    /// `new(1)` (a serial executor), it does not panic. There is no
+    /// upper clamp — `new(usize::MAX)` is accepted and
+    /// [`FleetExecutor::threads`] reports it verbatim — because
+    /// [`FleetExecutor::execute`] never spawns more workers than there
+    /// are work items, so an oversized executor costs nothing.
+    ///
+    /// ```
+    /// use smartconf_runtime::FleetExecutor;
+    ///
+    /// assert_eq!(FleetExecutor::new(0).threads(), 1); // clamped
+    /// assert_eq!(FleetExecutor::new(usize::MAX).threads(), usize::MAX);
+    /// ```
     pub fn new(threads: usize) -> Self {
         FleetExecutor {
             threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero"),
@@ -179,6 +193,19 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(FleetExecutor::new(0).threads(), 1);
+        assert_eq!(FleetExecutor::new(0), FleetExecutor::new(1));
+    }
+
+    #[test]
+    fn usize_max_threads_is_capped_by_item_count() {
+        // The clamp has no upper bound, but execute() spawns at most one
+        // worker per item — so a usize::MAX executor must not try to
+        // spawn usize::MAX threads (it would abort the process).
+        let exec = FleetExecutor::new(usize::MAX);
+        assert_eq!(exec.threads(), usize::MAX);
+        let items: Vec<u64> = (0..6).collect();
+        let out = exec.execute(&items, |i, &x| x + i as u64);
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
     }
 
     #[test]

@@ -25,20 +25,36 @@
 //! - [`FleetExecutor`] — deterministic multi-threaded sharding of
 //!   (scenario × seed × goal-variant) work items: results merge in
 //!   work-item order, so output is byte-identical at 1 vs N threads.
+//! - [`FaultPlan`]/[`FaultInjector`] — the deterministic fault plane:
+//!   declarative per-channel, per-epoch-window faults (sensor dropout,
+//!   stale repeats, NaN/spike corruption, actuator lag and saturation,
+//!   goal flaps, plant restarts), evaluated as a pure function of
+//!   `(seed, plan, channel, epoch)` so chaos runs replay exactly.
+//! - [`GuardPolicy`]/[`ChaosSpec`] — the matching resilience guards
+//!   (admission filtering, stale watchdog, anti-windup, divergence
+//!   fallback to the profiled-safe setting, restart recovery), armed via
+//!   [`ControlPlane::enable_chaos`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod baseline;
 mod event;
+mod fault;
 mod fleet;
+mod guard;
 mod plane;
 mod plant;
 mod profiler;
 
 pub use baseline::Baseline;
 pub use event::{EpochEvent, EpochLog, EpochSummary};
+pub use fault::{
+    ActiveFaults, ChannelFilter, FaultClass, FaultInjector, FaultKind, FaultPlan, FaultSet,
+    FaultWindow, SensorFault, CHAOS_STREAM,
+};
 pub use fleet::{shard_seed, FleetExecutor};
+pub use guard::{ChaosSpec, GuardPolicy, GuardSet};
 pub use plane::{ControlPlane, ControlPlaneBuilder, Decider};
 pub use plant::{ChannelId, Plant, Sensed};
 pub use profiler::{ProfileSchedule, Profiler, SampleMode};

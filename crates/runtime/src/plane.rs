@@ -1,7 +1,14 @@
 //! The control plane: one canonical sense→decide→actuate loop.
+//!
+//! With chaos mode armed ([`ControlPlane::enable_chaos`]) the loop grows
+//! a deterministic fault-injection stage and a guard stage; without it,
+//! the decide path is exactly the PR 2 code — the chaos branch is a
+//! single `Option` check, so clean runs pay nothing.
 
-use smartconf_core::{Hardness, Result, SmartConf, SmartConfIndirect};
+use smartconf_core::{Hardness, Result, Sense, SmartConf, SmartConfIndirect};
 
+use crate::fault::{ActiveFaults, FaultInjector, SensorFault};
+use crate::guard::{ChannelGuard, ChaosSpec, GuardMode, GuardPolicy, GuardSet};
 use crate::{ChannelId, EpochEvent, EpochLog, Plant, Sensed};
 
 /// How one channel turns a sensor reading into a setting.
@@ -50,6 +57,54 @@ impl Decider {
             Decider::Deputy(sc) => Some(sc.controller_mut()),
         }
     }
+
+    /// Forces the controller to a controller-space setting (guard
+    /// override path); no-op for static channels. Returns the resulting
+    /// output-space configuration.
+    fn force(&mut self, value: f64) -> f64 {
+        match self {
+            Decider::Static(v) => *v,
+            Decider::Direct(sc) => sc.force_setting(value),
+            Decider::Deputy(sc) => sc.force_setting(value),
+        }
+    }
+
+    /// Maps a controller-space value into output (configuration) space
+    /// without touching controller state.
+    fn transduce(&self, value: f64) -> f64 {
+        match self {
+            Decider::Static(v) => *v,
+            Decider::Deputy(sc) => sc.transduce(value),
+            Decider::Direct(_) => value,
+        }
+    }
+
+    /// The normal measurement-driven step (set_perf + conf), shared by
+    /// the clean and chaos decide paths.
+    fn step_measurement(&mut self, name: &str, measured: f64, deputy: Option<f64>) -> f64 {
+        match self {
+            Decider::Static(v) => *v,
+            Decider::Direct(sc) => {
+                sc.set_perf(measured);
+                sc.conf()
+            }
+            Decider::Deputy(sc) => {
+                let deputy = deputy.unwrap_or_else(|| {
+                    panic!("channel '{name}' is deputy-driven; Sensed::deputy is required")
+                });
+                sc.set_perf(measured, deputy);
+                sc.conf()
+            }
+        }
+    }
+}
+
+/// The armed chaos machinery: one injector plus per-channel guards.
+#[derive(Debug)]
+struct ChaosState {
+    injector: FaultInjector,
+    policy: GuardPolicy,
+    guards: Vec<ChannelGuard>,
 }
 
 /// One named control channel.
@@ -116,6 +171,7 @@ impl ControlPlaneBuilder {
         ControlPlane {
             channels: self.channels,
             log: EpochLog::new(names),
+            chaos: None,
         }
     }
 }
@@ -152,6 +208,7 @@ impl ControlPlaneBuilder {
 pub struct ControlPlane {
     channels: Vec<Channel>,
     log: EpochLog,
+    chaos: Option<Box<ChaosState>>,
 }
 
 impl ControlPlane {
@@ -192,6 +249,9 @@ impl ControlPlane {
         let sensed = plant.sense(id);
         let t_us = plant.now_us();
         let setting = self.decide(id, t_us, sensed);
+        if self.chaos.is_some() && self.take_plant_restart(id) {
+            plant.restart(id);
+        }
         plant.apply(id, setting);
         setting
     }
@@ -217,6 +277,9 @@ impl ControlPlane {
     /// values.
     pub fn decide(&mut self, id: ChannelId, t_us: u64, sensed: impl Into<Sensed>) -> f64 {
         let sensed = sensed.into();
+        if self.chaos.is_some() {
+            return self.decide_chaos(id, t_us, sensed);
+        }
         let ch = &mut self.channels[id.0];
         let (setting, target, pole, saturated) = match &mut ch.decider {
             Decider::Static(v) => (*v, f64::NAN, f64::NAN, false),
@@ -261,9 +324,345 @@ impl ControlPlane {
             error: target - sensed.measured,
             pole,
             saturated,
+            faults: Default::default(),
+            guards: Default::default(),
         });
         ch.epochs += 1;
         setting
+    }
+
+    /// The decide path with chaos armed: inject faults, run the guard
+    /// ladder, then (maybe) the normal controller step. See the module
+    /// docs of [`crate::guard`] for the stage ordering.
+    fn decide_chaos(&mut self, id: ChannelId, t_us: u64, sensed: Sensed) -> f64 {
+        let chaos = self.chaos.as_mut().expect("chaos is armed");
+        let ch = &mut self.channels[id.0];
+        let epoch = ch.epochs;
+        let active: ActiveFaults = chaos.injector.at(&ch.name, id.0 as u32, epoch);
+        let policy = &chaos.policy;
+        let g = &mut chaos.guards[id.0];
+        g.last_epoch = epoch;
+        let faults = active.set;
+        let mut guards = GuardSet::default();
+
+        // Static channels have no controller to defend; record the
+        // injected faults and keep the fixed setting.
+        if !ch.decider.is_smart() {
+            if active.restart {
+                g.plant_restart = true;
+                g.restarts += 1;
+            }
+            let setting = ch.decider.setting();
+            self.log.push(EpochEvent {
+                epoch,
+                t_us,
+                channel: id.0 as u32,
+                setting,
+                measured: sensed.measured,
+                target: f64::NAN,
+                error: f64::NAN,
+                pole: f64::NAN,
+                saturated: false,
+                faults,
+                guards,
+            });
+            ch.epochs += 1;
+            return setting;
+        }
+
+        // 1. Plant restart: controller back to its initial setting,
+        //    accumulated guard state discarded, re-profiling requested.
+        if active.restart {
+            let initial = g.initial;
+            let base = g.base_target;
+            g.reset_after_restart();
+            guards.insert(GuardSet::REPROFILE);
+            if let Some(ctl) = ch.decider.controller_mut() {
+                ctl.reset(initial);
+                ctl.set_goal(base).expect("base target was a valid goal");
+            }
+            ch.decider.force(initial);
+        }
+
+        // 2. Goal flap: tighten the target while the window is active,
+        //    restore the scenario's own target when it ends.
+        if let Some(frac) = active.goal_flap {
+            if let Some(ctl) = ch.decider.controller_mut() {
+                if !g.flapped {
+                    g.base_target = ctl.goal().target();
+                    g.flapped = true;
+                }
+                let flapped = match ctl.goal().sense() {
+                    Sense::UpperBound => g.base_target * (1.0 - frac),
+                    Sense::LowerBound => g.base_target * (1.0 + frac),
+                };
+                ctl.set_goal(flapped).expect("flapped target is finite");
+            }
+        } else if g.flapped {
+            g.flapped = false;
+            let base = g.base_target;
+            if let Some(ctl) = ch.decider.controller_mut() {
+                ctl.set_goal(base).expect("base target was a valid goal");
+            }
+        }
+
+        // 3. Sensor fault: transform (or swallow) the true reading.
+        let delivered: Option<f64> = match active.sensor {
+            None => Some(sensed.measured),
+            Some(SensorFault::Drop) => None,
+            Some(SensorFault::Stale) => g.last_raw,
+            Some(SensorFault::Nan) => Some(f64::NAN),
+            Some(SensorFault::Scale(k)) => Some(sensed.measured * k),
+        };
+
+        // 4. Admission: stale detection, then finite/median validation.
+        let target = ch
+            .decider
+            .controller()
+            .map(|c| c.effective_target())
+            .unwrap_or(f64::NAN);
+        let mut admitted: Option<f64> = None;
+        match delivered {
+            None => guards.insert(GuardSet::MISSED),
+            Some(v) => {
+                g.note_delivered(v);
+                let off_target =
+                    (v - target).abs() > policy.stale_error_frac * target.abs().max(1.0);
+                let frozen_under_actuation = g.actuated_stale >= policy.actuated_stale_epochs;
+                if (g.stale_run >= policy.stale_epochs && off_target) || frozen_under_actuation {
+                    guards.insert(GuardSet::STALE_HOLD);
+                    guards.insert(GuardSet::MISSED);
+                    // A freeze the off-target test cannot see (the
+                    // repeated value sits near the target) blinds a
+                    // hard-goal channel exactly when a load burst needs
+                    // it: degrade to the profiled-safe fallback instead
+                    // of holding a setting tuned for the frozen picture.
+                    if frozen_under_actuation && g.mode == GuardMode::Engaged {
+                        let hard = ch
+                            .decider
+                            .controller()
+                            .is_some_and(|c| c.goal().hardness().is_hard());
+                        if hard {
+                            g.mode = GuardMode::Fallback {
+                                until: epoch + policy.cooldown_epochs,
+                            };
+                            guards.insert(GuardSet::FALLBACK_ENTER);
+                        }
+                    }
+                } else if !g.filter.admit(v) {
+                    guards.insert(GuardSet::REJECTED);
+                    guards.insert(GuardSet::MISSED);
+                } else {
+                    admitted = Some(v);
+                }
+            }
+        }
+
+        // Watchdog: after M consecutive missing epochs, revert to the
+        // last setting decided while the channel was healthy. If a goal
+        // retarget invalidated that evidence, revert on the very first
+        // miss — the held setting was only ever safe under the old goal.
+        if admitted.is_none() {
+            g.missed += 1;
+            if g.missed >= policy.watchdog_epochs || !g.evidence_fresh {
+                ch.decider.force(g.last_safe);
+                guards.insert(GuardSet::WATCHDOG);
+            }
+        } else {
+            g.missed = 0;
+        }
+
+        // 5. Decide: fallback hold, re-engage, or the normal step.
+        match g.mode {
+            GuardMode::Fallback { until } if epoch < until => {
+                ch.decider.force(g.fallback);
+                guards.insert(GuardSet::FALLBACK);
+            }
+            mode => {
+                if matches!(mode, GuardMode::Fallback { .. }) {
+                    g.mode = GuardMode::Engaged;
+                    guards.insert(GuardSet::REENGAGE);
+                }
+                if let Some(v) = admitted {
+                    ch.decider.step_measurement(&ch.name, v, sensed.deputy);
+                }
+                // No admitted reading: hold (possibly watchdog-forced).
+            }
+        }
+        let mut decided = ch
+            .decider
+            .controller()
+            .map(|c| c.current())
+            .expect("smart channel has a controller");
+
+        // 6. Divergence detector: |error| growing on the violating side
+        //    of a hard goal for K consecutive admitted epochs degrades
+        //    the channel to its profiled-safe fallback.
+        if let (Some(v), GuardMode::Engaged) = (admitted, g.mode) {
+            let (hard, violation) = {
+                let ctl = ch.decider.controller().expect("smart channel");
+                let err = ctl.goal().error_against(ctl.effective_target(), v);
+                (ctl.goal().hardness().is_hard(), (err < 0.0).then(|| -err))
+            };
+            match (hard, violation) {
+                (true, Some(mag)) => {
+                    if mag > g.prev_violation {
+                        g.worsening += 1;
+                    } else {
+                        g.worsening = 0;
+                    }
+                    g.prev_violation = mag;
+                    if g.worsening >= policy.divergence_streak {
+                        g.mode = GuardMode::Fallback {
+                            until: epoch + policy.cooldown_epochs,
+                        };
+                        g.worsening = 0;
+                        g.prev_violation = 0.0;
+                        ch.decider.force(g.fallback);
+                        decided = ch.decider.controller().expect("smart channel").current();
+                        guards.insert(GuardSet::FALLBACK_ENTER);
+                        guards.insert(GuardSet::FALLBACK);
+                    }
+                }
+                _ => {
+                    g.worsening = 0;
+                    g.prev_violation = 0.0;
+                }
+            }
+        }
+
+        // 7. Actuator faults: saturation (with anti-windup), then lag.
+        if let Some(frac) = active.saturate {
+            let (lo, hi) = ch.decider.controller().expect("smart channel").bounds();
+            let cap = lo + frac * (hi - lo);
+            if decided > cap {
+                decided = cap;
+                if policy.anti_windup {
+                    ch.decider.force(cap);
+                    guards.insert(GuardSet::ANTI_WINDUP);
+                }
+            }
+        }
+        let in_force = if let Some(k) = active.lag {
+            g.pending.push_back((epoch + k, decided));
+            while let Some(&(due, v)) = g.pending.front() {
+                if due <= epoch {
+                    g.in_force = v;
+                    g.pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            g.in_force
+        } else {
+            g.pending.clear();
+            g.in_force = decided;
+            decided
+        };
+        g.setting_moved = in_force != g.prev_in_force;
+        g.prev_in_force = in_force;
+
+        if admitted.is_some() && g.mode == GuardMode::Engaged {
+            g.last_safe = decided;
+            g.evidence_fresh = true;
+        }
+
+        let applied = ch.decider.transduce(in_force);
+        let (target, pole, saturated) = {
+            let ctl = ch.decider.controller().expect("smart channel");
+            let (lo, hi) = ctl.bounds();
+            (
+                ctl.effective_target(),
+                ctl.last_pole_used(),
+                ctl.current() <= lo || ctl.current() >= hi,
+            )
+        };
+        let measured = delivered.unwrap_or(f64::NAN);
+        self.log.push(EpochEvent {
+            epoch,
+            t_us,
+            channel: id.0 as u32,
+            setting: applied,
+            measured,
+            target,
+            error: target - measured,
+            pole,
+            saturated,
+            faults,
+            guards,
+        });
+        ch.epochs += 1;
+        applied
+    }
+
+    /// Arms chaos mode: subsequent [`ControlPlane::decide`] calls run the
+    /// fault-injection and guard stages. Per-channel fallbacks come from
+    /// the spec's [`GuardPolicy`]; channels without a declared fallback
+    /// fall back to their current (initial) setting.
+    pub fn enable_chaos(&mut self, spec: ChaosSpec) {
+        let guards = self
+            .channels
+            .iter()
+            .map(|ch| {
+                let initial = ch
+                    .decider
+                    .controller()
+                    .map(|c| c.current())
+                    .unwrap_or(f64::NAN);
+                let fallback = spec.guard.fallback_for(&ch.name).unwrap_or(initial);
+                let base_target = ch
+                    .decider
+                    .controller()
+                    .map(|c| c.goal().target())
+                    .unwrap_or(f64::NAN);
+                ChannelGuard::new(&spec.guard, fallback, initial, base_target)
+            })
+            .collect();
+        self.chaos = Some(Box::new(ChaosState {
+            injector: FaultInjector::new(spec.seed, spec.plan),
+            policy: spec.guard,
+            guards,
+        }));
+    }
+
+    /// Whether chaos mode is armed.
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Whether a restart raised this channel's re-profiling request
+    /// (chaos mode only; the restart-recovery hook of the degradation
+    /// ladder). Cleared by [`ControlPlane::take_reprofile`].
+    pub fn reprofile_requested(&self, id: ChannelId) -> bool {
+        self.chaos
+            .as_ref()
+            .is_some_and(|c| c.guards[id.0].reprofile)
+    }
+
+    /// Consumes the channel's re-profiling request, returning whether one
+    /// was pending. Embedders poll this after epochs and rerun their
+    /// profiler when it fires.
+    pub fn take_reprofile(&mut self, id: ChannelId) -> bool {
+        match &mut self.chaos {
+            Some(c) => std::mem::take(&mut c.guards[id.0].reprofile),
+            None => false,
+        }
+    }
+
+    /// Consumes the channel's pending plant-restart notification
+    /// ([`ControlPlane::epoch_for`] polls this to call
+    /// [`Plant::restart`]; event-driven plants that call
+    /// [`ControlPlane::decide`] directly poll it themselves).
+    pub fn take_plant_restart(&mut self, id: ChannelId) -> bool {
+        match &mut self.chaos {
+            Some(c) => std::mem::take(&mut c.guards[id.0].plant_restart),
+            None => false,
+        }
+    }
+
+    /// Lifetime injected-restart count for a channel (chaos mode only).
+    pub fn restart_count(&self, id: ChannelId) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.guards[id.0].restarts)
     }
 
     /// The current setting of a channel (no measurement consumed).
@@ -279,6 +678,32 @@ impl ControlPlane {
     /// Returns [`Error::InvalidGoal`](smartconf_core::Error::InvalidGoal)
     /// if the target is not finite.
     pub fn set_goal(&mut self, id: ChannelId, target: f64) -> Result<()> {
+        // Keep the chaos guard's restore point in sync, so a goal-flap
+        // window ending doesn't undo a scenario's own retargeting. The
+        // retarget also invalidates the watchdog's safety evidence: a
+        // setting that met the old goal may violate the new one, so the
+        // revert point drops to the profiled-safe fallback until a
+        // healthy epoch under the new goal records a fresh one.
+        if target.is_finite() {
+            if let Some(chaos) = &mut self.chaos {
+                let cooldown = chaos.policy.cooldown_epochs;
+                let g = &mut chaos.guards[id.0];
+                g.base_target = target;
+                g.last_safe = g.fallback;
+                g.evidence_fresh = false;
+                // A retarget can't wait on a backed-up actuator: decisions
+                // queued under the old goal would stay in force for the
+                // whole lag window. Flush them and actuate the fallback
+                // out of band, holding it through the cooldown.
+                if !g.pending.is_empty() {
+                    g.pending.clear();
+                    g.in_force = g.fallback;
+                    g.mode = GuardMode::Fallback {
+                        until: g.last_epoch + 1 + cooldown,
+                    };
+                }
+            }
+        }
         match &mut self.channels[id.0].decider {
             Decider::Static(_) => Ok(()),
             Decider::Direct(sc) => sc.set_goal(target),
@@ -449,7 +874,7 @@ mod tests {
             setting = plane.decide(id, step, setting + 500.0);
         }
         assert_eq!(setting, 0.0);
-        assert!(plane.log().saturation_fraction("c") > 0.5);
+        assert!(plane.log().saturation_fraction("c").unwrap() > 0.5);
         assert!(plane.goal_unreachable(id));
     }
 
@@ -476,5 +901,356 @@ mod tests {
         assert_eq!(plane.channel_id("a.b.c"), Some(id));
         assert_eq!(plane.channel_id("nope"), None);
         assert_eq!(plane.channel_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultWindow};
+    use crate::guard::GuardSet;
+    use smartconf_core::{Controller, Goal};
+
+    fn hard_controller(bounds: (f64, f64), initial: f64) -> Controller {
+        let goal = Goal::new("m", 100.0).with_hardness(Hardness::Hard).unwrap();
+        Controller::new(1.0, 0.5, goal, 0.1, bounds, initial).unwrap()
+    }
+
+    fn chaos_plane(plan: FaultPlan, guard: GuardPolicy) -> (ControlPlane, ChannelId) {
+        let sc = SmartConf::new("c", hard_controller((0.0, 1000.0), 50.0));
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        plane.enable_chaos(ChaosSpec::new(7, plan).with_guard(guard));
+        (plane, id)
+    }
+
+    fn guard_bits(plane: &ControlPlane, epoch: u64) -> GuardSet {
+        plane
+            .log()
+            .events_for("c")
+            .find(|e| e.epoch == epoch)
+            .map(|e| e.guards)
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_plan_means_dormant_guards() {
+        let (mut plane, id) = chaos_plane(FaultPlan::new(), GuardPolicy::new());
+        // Closed loop: m = setting, converging to the virtual target 90.
+        let mut setting = 50.0;
+        for step in 0..50u64 {
+            setting = plane.decide(id, step, setting);
+        }
+        let s = plane.log().summary("c").unwrap();
+        assert_eq!(s.faults_injected, 0);
+        assert_eq!(s.guard_activations, 0);
+        assert_eq!(s.fallback_epochs, 0);
+        assert!((setting - 90.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn dropout_holds_then_watchdog_reverts() {
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorDropout, 5, u64::MAX));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new().watchdog_epochs(3));
+        let mut last_healthy = 0.0;
+        for step in 0..12u64 {
+            let s = plane.decide(id, step, 40.0);
+            if step == 4 {
+                last_healthy = s;
+            }
+        }
+        // Missing epochs hold, then the watchdog reverts to the last
+        // healthy setting and pins there.
+        assert!(guard_bits(&plane, 5).contains(GuardSet::MISSED));
+        assert!(!guard_bits(&plane, 5).contains(GuardSet::WATCHDOG));
+        let wd = guard_bits(&plane, 7);
+        assert!(wd.contains(GuardSet::WATCHDOG));
+        let last = plane.log().last_setting("c").unwrap();
+        assert_eq!(last, last_healthy);
+    }
+
+    #[test]
+    fn nan_and_spike_readings_are_rejected() {
+        let plan = FaultPlan::new()
+            .window(FaultWindow::new(FaultKind::SensorNan, 6, 7))
+            .window(FaultWindow::new(
+                FaultKind::SensorSpike { factor: 50.0 },
+                8,
+                9,
+            ));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        let mut settings = Vec::new();
+        for step in 0..10u64 {
+            // Vary the reading so natural repeats never accumulate.
+            settings.push(plane.decide(id, step, 40.0 + step as f64));
+        }
+        for bad in [6usize, 8] {
+            let bits = guard_bits(&plane, bad as u64);
+            assert!(bits.contains(GuardSet::REJECTED), "epoch {bad}");
+            // The rejected reading never moved the controller: the
+            // setting holds at the previous epoch's decision.
+            assert_eq!(settings[bad], settings[bad - 1]);
+        }
+        // Clean epochs in between are unaffected.
+        assert!(guard_bits(&plane, 7).is_empty());
+    }
+
+    #[test]
+    fn stale_repeats_trigger_hold_only_when_off_target() {
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorStale, 3, u64::MAX));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new().stale_detection(3, 0.05));
+        for step in 0..12u64 {
+            // Fresh readings vary; from epoch 3 the injected staleness
+            // freezes the delivered value far from the 90 target.
+            plane.decide(id, step, 30.0 + step as f64);
+        }
+        // The repeat run starts at the fault window; the hold engages
+        // once it reaches the 3-repeat threshold, not immediately.
+        assert!(!guard_bits(&plane, 3).contains(GuardSet::STALE_HOLD));
+        assert!(guard_bits(&plane, 8).contains(GuardSet::STALE_HOLD));
+    }
+
+    #[test]
+    fn quantized_on_target_repeats_do_not_false_trigger() {
+        // No faults at all: the plant legitimately repeats a quantized
+        // reading near the target (HD4995's limit×20µs blocks).
+        let (mut plane, id) = chaos_plane(
+            FaultPlan::new(),
+            GuardPolicy::new().stale_detection(3, 0.05),
+        );
+        for step in 0..20u64 {
+            plane.decide(id, step, 90.0); // exactly the virtual target
+        }
+        let s = plane.log().summary("c").unwrap();
+        assert_eq!(s.guard_activations, 0, "no stale hold on quantized repeats");
+    }
+
+    #[test]
+    fn saturation_caps_and_back_calculates() {
+        let plan = FaultPlan::new().window(FaultWindow::new(
+            FaultKind::ActuatorSaturate { frac: 0.1 },
+            0,
+            u64::MAX,
+        ));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        // Measured far below target: the controller keeps growing and
+        // soon wants to pass the 10% cap (0 + 0.1×1000 = 100).
+        let mut s = 0.0;
+        for step in 0..4u64 {
+            s = plane.decide(id, step, step as f64);
+        }
+        assert_eq!(s, 100.0, "applied setting capped at saturation");
+        assert!(guard_bits(&plane, 3).contains(GuardSet::ANTI_WINDUP));
+        // Back-calculation: the controller's integrator sits at the cap,
+        // not at its unconstrained command.
+        match plane.decider(id) {
+            Decider::Direct(sc) => assert_eq!(sc.controller().current(), 100.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn lag_defers_application_by_k_epochs() {
+        let plan = FaultPlan::new().window(FaultWindow::new(
+            FaultKind::ActuatorLag { epochs: 2 },
+            3,
+            u64::MAX,
+        ));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        let mut applied = Vec::new();
+        for step in 0..8u64 {
+            // Keep the measurement moving so each decision differs.
+            applied.push(plane.decide(id, step, 20.0 + step as f64));
+        }
+        // At epoch 3 the lag starts: the applied setting freezes at the
+        // epoch-2 decision while new commands queue.
+        assert_eq!(applied[3], applied[2]);
+        assert_eq!(applied[4], applied[2]);
+        // By epoch 5 the epoch-3 command matures (2 epochs late).
+        assert_ne!(applied[5], applied[2]);
+        assert!(guard_bits(&plane, 3).is_empty()); // lag is a fault, not a guard
+    }
+
+    #[test]
+    fn goal_flap_restores_scenario_target() {
+        let plan =
+            FaultPlan::new().window(FaultWindow::new(FaultKind::GoalFlap { frac: 0.15 }, 2, 5));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        let target_at = |plane: &ControlPlane, epoch: u64| {
+            plane
+                .log()
+                .events_for("c")
+                .find(|e| e.epoch == epoch)
+                .unwrap()
+                .target
+        };
+        for step in 0..8u64 {
+            plane.decide(id, step, 40.0);
+        }
+        // λ 0.1: virtual target 90 normally, 85×0.9 = 76.5 while flapped.
+        assert_eq!(target_at(&plane, 1), 90.0);
+        assert!((target_at(&plane, 3) - 76.5).abs() < 1e-9);
+        assert_eq!(target_at(&plane, 6), 90.0);
+    }
+
+    #[test]
+    fn scenario_set_goal_survives_flap_restore() {
+        let plan =
+            FaultPlan::new().window(FaultWindow::new(FaultKind::GoalFlap { frac: 0.15 }, 2, 5));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        for step in 0..3u64 {
+            plane.decide(id, step, 40.0);
+        }
+        // Mid-flap, the scenario retargets from 100 to 200.
+        plane.set_goal(id, 200.0).unwrap();
+        for step in 3..8u64 {
+            plane.decide(id, step, 40.0);
+        }
+        // After the flap window the channel steers to the NEW target's
+        // virtual goal (180), not back to the stale 90.
+        let last = plane.log().events_for("c").find(|e| e.epoch == 7).unwrap();
+        assert_eq!(last.target, 180.0);
+    }
+
+    #[test]
+    fn restart_resets_controller_and_requests_reprofile() {
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::PlantRestart, 4, 5));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        for step in 0..4u64 {
+            plane.decide(id, step, 0.0); // drives the setting far from 50
+        }
+        assert!(!plane.reprofile_requested(id));
+        plane.decide(id, 4, 0.0);
+        assert!(plane.reprofile_requested(id));
+        assert!(guard_bits(&plane, 4).contains(GuardSet::REPROFILE));
+        assert_eq!(plane.restart_count(id), 1);
+        assert!(plane.take_plant_restart(id));
+        assert!(!plane.take_plant_restart(id), "notification consumed");
+        assert!(plane.take_reprofile(id));
+        assert!(!plane.reprofile_requested(id), "request consumed");
+    }
+
+    #[test]
+    fn divergence_degrades_to_fallback_and_reengages() {
+        let guard = GuardPolicy::new()
+            .divergence(3, 5)
+            .fallback_setting("c", 25.0);
+        let (mut plane, id) = chaos_plane(FaultPlan::new(), guard);
+        // Error grows on the violating side of the hard goal for three
+        // consecutive epochs (measured beyond the virtual target 90).
+        for (step, measured) in [(0u64, 95.0), (1, 105.0), (2, 120.0)] {
+            plane.decide(id, step, measured);
+        }
+        let enter = guard_bits(&plane, 2);
+        assert!(enter.contains(GuardSet::FALLBACK_ENTER));
+        assert_eq!(plane.log().last_setting("c"), Some(25.0));
+        // The fallback holds through the cooldown even as readings recover.
+        for step in 3..7u64 {
+            let s = plane.decide(id, step, 40.0);
+            assert_eq!(s, 25.0, "epoch {step} must hold the fallback");
+            assert!(guard_bits(&plane, step).contains(GuardSet::FALLBACK));
+        }
+        // Cooldown over (entered at 2, until 7): the controller re-engages.
+        let s = plane.decide(id, 7, 40.0);
+        assert!(guard_bits(&plane, 7).contains(GuardSet::REENGAGE));
+        assert_ne!(s, 25.0);
+        let summary = plane.log().summary("c").unwrap();
+        assert_eq!(summary.fallback_epochs, 5);
+    }
+
+    #[test]
+    fn chaos_event_fields_reach_the_log() {
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorDropout, 1, 2));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new());
+        plane.decide(id, 0, 40.0);
+        plane.decide(id, 1, 40.0);
+        let ev = plane.log().events_for("c").find(|e| e.epoch == 1).unwrap();
+        assert!(ev.faults.contains(crate::FaultSet::DROPOUT));
+        assert!(ev.measured.is_nan(), "dropped reading logged as NaN");
+        let s = plane.log().summary("c").unwrap();
+        assert_eq!(s.faults_injected, 1);
+    }
+
+    #[test]
+    fn static_channels_pass_through_chaos() {
+        let (mut plane, id) = ControlPlane::single("s", Decider::Static(30.0));
+        plane.enable_chaos(ChaosSpec::new(
+            1,
+            FaultPlan::new().window(FaultWindow::new(FaultKind::PlantRestart, 1, 2)),
+        ));
+        assert_eq!(plane.decide(id, 0, 10.0), 30.0);
+        assert_eq!(plane.decide(id, 1, 10.0), 30.0);
+        assert_eq!(plane.restart_count(id), 1);
+        assert!(plane.take_plant_restart(id));
+    }
+}
+
+#[cfg(test)]
+mod chaos_proptests {
+    use super::*;
+    use crate::fault::{FaultClass, FaultPlan};
+    use crate::guard::GuardPolicy;
+    use proptest::prelude::*;
+    use smartconf_core::{Controller, Goal};
+
+    fn run_chaos_closed_loop(
+        seed: u64,
+        plan: FaultPlan,
+        fallback: f64,
+        epochs: u64,
+    ) -> Vec<(u64, f64, f64)> {
+        let goal = Goal::new("m", 400.0).with_hardness(Hardness::Hard).unwrap();
+        let ctl = Controller::new(2.0, 0.3, goal, 0.1, (0.0, 180.0), 20.0).unwrap();
+        let sc = SmartConf::new("c", ctl);
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        plane.enable_chaos(
+            ChaosSpec::new(seed, plan).with_guard(
+                GuardPolicy::new()
+                    .divergence(3, 10)
+                    .fallback_setting("c", fallback),
+            ),
+        );
+        let mut setting = 20.0;
+        let mut out = Vec::new();
+        for step in 0..epochs {
+            // Plant: m = 2·setting plus a slow disturbance ramp.
+            let measured = 2.0 * setting + (step as f64 % 37.0);
+            setting = plane.decide(id, step, measured);
+            out.push((step, setting, measured));
+        }
+        out
+    }
+
+    proptest! {
+        /// Satellite property (b): whatever the fault class and seed, the
+        /// guard ladder never emits a setting outside the controller's
+        /// profiled bounds — including the fallback path.
+        #[test]
+        fn chaos_settings_never_leave_controller_bounds(
+            seed in 0u64..1_000,
+            class_idx in 0usize..FaultClass::ALL.len(),
+            fallback in -50.0f64..250.0, // deliberately allows out-of-bounds declarations
+        ) {
+            let plan = FaultClass::ALL[class_idx].standard_plan();
+            for (step, setting, _) in run_chaos_closed_loop(seed, plan, fallback, 400) {
+                prop_assert!(
+                    (0.0..=180.0).contains(&setting),
+                    "epoch {} setting {} outside bounds", step, setting
+                );
+            }
+        }
+
+        /// Satellite property (a): a chaos run is a pure function of
+        /// `(seed, plan)` — replaying it yields identical trajectories,
+        /// and different seeds give the injector different rolls.
+        #[test]
+        fn chaos_runs_replay_exactly(
+            seed in 0u64..10_000,
+            class_idx in 0usize..FaultClass::ALL.len(),
+        ) {
+            let plan = FaultClass::ALL[class_idx].standard_plan();
+            let a = run_chaos_closed_loop(seed, plan.clone(), 30.0, 300);
+            let b = run_chaos_closed_loop(seed, plan, 30.0, 300);
+            prop_assert_eq!(a, b);
+        }
     }
 }

@@ -79,4 +79,12 @@ pub trait Plant {
     fn advance(&mut self) -> bool {
         false
     }
+
+    /// Resets plant-side state for one channel after an injected plant
+    /// restart (chaos mode: queues drain, accumulated state is lost).
+    /// [`ControlPlane::epoch_for`](crate::ControlPlane::epoch_for) calls
+    /// this when the fault plane restarts mid-run; event-driven plants
+    /// poll [`ControlPlane::take_plant_restart`](crate::ControlPlane::take_plant_restart)
+    /// themselves. The default does nothing.
+    fn restart(&mut self, _channel: ChannelId) {}
 }

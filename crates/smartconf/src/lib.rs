@@ -43,6 +43,7 @@ pub use smartconf_harness as harness;
 pub use smartconf_kvstore as kvstore;
 pub use smartconf_mapred as mapred;
 pub use smartconf_metrics as metrics;
+pub use smartconf_runtime as runtime;
 pub use smartconf_simkernel as simkernel;
 pub use smartconf_study as study;
 pub use smartconf_workload as workload;
