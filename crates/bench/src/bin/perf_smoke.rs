@@ -1,0 +1,97 @@
+//! Perf smoke benchmark: per-scenario epoch-loop throughput plus the
+//! end-to-end serial fleet wall-clock, written to `BENCH_perf.json`,
+//! with an optional regression gate against a committed baseline.
+//!
+//! Usage: `perf_smoke [--seeds K] [--out PATH] [--check BASELINE]`
+//!
+//! * `--seeds K` — number of fleet seeds (42, 43, …); default 2.
+//! * `--out PATH` — where to write the JSON artifact; default
+//!   `BENCH_perf.json`.
+//! * `--check BASELINE` — read a previously committed `BENCH_perf.json`
+//!   and exit non-zero when the fresh fleet wall-clock regresses past
+//!   the ±25% tolerance ([`smartconf_bench::perf::TOLERANCE`]). Running
+//!   *faster* than the lower bound is reported as a stale baseline but
+//!   does not fail, so perf improvements land without a lockstep
+//!   baseline bump.
+//!
+//! Epochs/sec per scenario is recorded in the artifact but never gated:
+//! sub-millisecond decide loops jitter by integer factors on shared CI
+//! hosts, while the multi-second fleet wall-clock is stable enough for a
+//! 25% band.
+
+use smartconf_bench::perf::{
+    bench_json, check_fleet_wall, measure_fleet, measure_scenarios, parse_fleet_wall, CheckVerdict,
+    TOLERANCE,
+};
+
+fn main() {
+    let mut seeds_n: u64 = 2;
+    let mut out_path = "BENCH_perf.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => seeds_n = value("--seeds").parse().expect("--seeds takes a count"),
+            "--out" => out_path = value("--out"),
+            "--check" => check_path = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let seeds: Vec<u64> = (42..42 + seeds_n.max(1)).collect();
+
+    eprintln!("perf smoke: per-scenario epoch throughput (profiled SmartConf run, seed 42)");
+    let scenarios = measure_scenarios(42);
+    for s in &scenarios {
+        eprintln!(
+            "  {}: {} epochs in {:.3} ms ({:.0} epochs/s)",
+            s.id,
+            s.epochs,
+            s.wall.as_secs_f64() * 1e3,
+            s.epochs_per_sec()
+        );
+    }
+
+    eprintln!(
+        "perf smoke: serial fleet wall-clock (7 scenarios x {} seeds x 3 policies)",
+        seeds.len()
+    );
+    let fleet = measure_fleet(&seeds);
+    eprintln!("  {}: {:.3} s", fleet.name, fleet.wall.as_secs_f64());
+
+    let json = bench_json(42, &scenarios, &seeds, &fleet);
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+
+    let Some(baseline_path) = check_path else {
+        return;
+    };
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("--check: cannot read {baseline_path}: {e}"));
+    let baseline_secs = parse_fleet_wall(&baseline)
+        .unwrap_or_else(|| panic!("--check: no fleet_wall_clock_secs in {baseline_path}"));
+    let new_secs = fleet.wall.as_secs_f64();
+    let band = format!(
+        "baseline {:.3} s, tolerance ±{:.0}% -> [{:.3}, {:.3}] s, measured {:.3} s",
+        baseline_secs,
+        TOLERANCE * 100.0,
+        baseline_secs * (1.0 - TOLERANCE),
+        baseline_secs * (1.0 + TOLERANCE),
+        new_secs
+    );
+    match check_fleet_wall(baseline_secs, new_secs) {
+        CheckVerdict::Ok => eprintln!("OK: fleet wall-clock within tolerance ({band})"),
+        CheckVerdict::BaselineStale => eprintln!(
+            "OK: fleet wall-clock beats the lower tolerance bound ({band}); \
+             consider regenerating the committed {baseline_path}"
+        ),
+        CheckVerdict::Regression => {
+            eprintln!("FAIL: fleet wall-clock regression ({band})");
+            std::process::exit(1);
+        }
+    }
+}

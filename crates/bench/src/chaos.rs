@@ -121,6 +121,15 @@ pub fn chaos_json(
     let seed_list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
     out.push_str(&format!("  \"seeds\": [{}],\n", seed_list.join(", ")));
     out.push_str(&format!("  \"shards\": {},\n", report.shards.len()));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        FleetExecutor::available_parallelism().threads()
+    ));
+    out.push_str(
+        "  \"note\": \"wall-clock figures are host-dependent; a 1-CPU host \
+         cannot show parallel speedup, so phase timings there only measure \
+         scheduling overhead\",\n",
+    );
     out.push_str(&format!("  \"reports_identical\": {reports_identical},\n"));
     out.push_str(&format!("  \"hard_goal_violations\": {hard_total},\n"));
     out.push_str("  \"classes\": [\n");

@@ -86,6 +86,11 @@ pub fn bench_json(
         "  \"host_cpus\": {},\n",
         FleetExecutor::available_parallelism().threads()
     ));
+    out.push_str(
+        "  \"note\": \"wall-clock figures are host-dependent; a 1-CPU host \
+         cannot show parallel speedup, so parallel_speedup below 1.0 there \
+         only measures scheduling overhead\",\n",
+    );
     out.push_str(&format!(
         "  \"constraint_satisfaction_rate\": {:.4},\n",
         report.constraint_satisfaction_rate()

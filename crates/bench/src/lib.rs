@@ -29,6 +29,7 @@ pub mod figure6;
 pub mod figure7;
 pub mod figure8;
 pub mod fleet;
+pub mod perf;
 pub mod table6;
 pub mod table7;
 

@@ -1,0 +1,218 @@
+//! The perf smoke benchmark: per-scenario epoch-loop throughput plus the
+//! end-to-end fleet wall-clock, with a regression gate against a
+//! committed baseline.
+//!
+//! Two numbers matter for the fleet-scale hot path:
+//!
+//! * **epochs/sec per scenario** — how fast one control plane's decide
+//!   loop turns over once profiling is out of the way (the §6.2 runtime
+//!   overhead story). Measured on a SmartConf run fed pre-collected
+//!   profiles, so the §6.1 profiling loop is excluded from the timing.
+//! * **fleet wall-clock** — the serial end-to-end cost of the standard
+//!   smoke fleet (all seven scenarios × seeds × the three smoke
+//!   policies), profiling included. This is what the CI gate watches.
+//!
+//! Only the fleet wall-clock is hard-gated (±[`TOLERANCE`]): epochs/sec
+//! is recorded for trend-watching but a per-scenario gate would be too
+//! noisy on shared CI hosts, where a sub-millisecond decide loop can
+//! jitter by integer factors.
+
+use std::time::{Duration, Instant};
+
+use smartconf_runtime::FleetExecutor;
+
+use crate::fleet::{fleet_scenarios, smoke_run, FleetPhase, SMOKE_POLICIES};
+
+/// Fractional wall-clock tolerance of the `--check` gate: a new fleet
+/// wall-clock above `baseline * (1 + TOLERANCE)` fails, and one below
+/// `baseline * (1 - TOLERANCE)` asks for a baseline refresh (reported,
+/// not failed — running faster is not a defect).
+pub const TOLERANCE: f64 = 0.25;
+
+/// One scenario's epoch-loop throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ScenarioPerf {
+    /// Scenario identifier, e.g. `"HB3813"`.
+    pub id: String,
+    /// Total decide epochs across the run's channels.
+    pub epochs: u64,
+    /// Wall-clock of the profiled SmartConf run (profiling excluded).
+    pub wall: Duration,
+}
+
+impl ScenarioPerf {
+    /// Epoch-loop throughput; 0 when the wall-clock rounds to zero.
+    pub fn epochs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.epochs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times one profiled SmartConf run per scenario at `seed`: profiles are
+/// collected outside the timed region, so the measurement isolates the
+/// evaluation run's decide loop and plant stepping.
+pub fn measure_scenarios(seed: u64) -> Vec<ScenarioPerf> {
+    fleet_scenarios()
+        .iter()
+        .map(|scenario| {
+            let profiles = scenario.evaluation_profiles(seed);
+            let start = Instant::now();
+            let run = scenario.run_smartconf_profiled(seed, &profiles);
+            let wall = start.elapsed();
+            let epochs = run.epochs.summaries().map(|(_, c)| c.epochs).sum();
+            ScenarioPerf {
+                id: scenario.id().to_string(),
+                epochs,
+                wall,
+            }
+        })
+        .collect()
+}
+
+/// Runs the standard smoke fleet serially over `seeds` and returns the
+/// timed phase — the end-to-end number the CI gate compares.
+pub fn measure_fleet(seeds: &[u64]) -> FleetPhase {
+    smoke_run(seeds, 1).1
+}
+
+/// Renders the `BENCH_perf.json` artifact.
+pub fn bench_json(
+    seed: u64,
+    scenarios: &[ScenarioPerf],
+    seeds: &[u64],
+    fleet: &FleetPhase,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        FleetExecutor::available_parallelism().threads()
+    ));
+    out.push_str(
+        "  \"note\": \"wall-clock figures are host-dependent; on a 1-CPU host \
+         parallel phases cannot show speedup, so only the serial fleet \
+         wall-clock is gated\",\n",
+    );
+    out.push_str(&format!("  \"scenario_seed\": {seed},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    let lines: Vec<String> = scenarios
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"id\": \"{}\", \"epochs\": {}, \"wall_clock_secs\": {:.6}, \"epochs_per_sec\": {:.0}}}",
+                s.id,
+                s.epochs,
+                s.wall.as_secs_f64(),
+                s.epochs_per_sec()
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ],\n");
+    let seed_list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+    out.push_str(&format!("  \"fleet_seeds\": [{}],\n", seed_list.join(", ")));
+    let policy_list: Vec<String> = SMOKE_POLICIES
+        .iter()
+        .map(|p| format!("\"{}\"", p.label()))
+        .collect();
+    out.push_str(&format!(
+        "  \"fleet_policies\": [{}],\n",
+        policy_list.join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"fleet_wall_clock_secs\": {:.3}\n",
+        fleet.wall.as_secs_f64()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"fleet_wall_clock_secs"` from a `BENCH_perf.json` rendering
+/// (the artifact is hand-rolled, so so is the parse).
+pub fn parse_fleet_wall(json: &str) -> Option<f64> {
+    let key = "\"fleet_wall_clock_secs\":";
+    let rest = &json[json.find(key)? + key.len()..];
+    rest.trim_start()
+        .trim_end_matches(char::is_whitespace)
+        .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// The `--check` verdict: how a fresh fleet wall-clock compares to the
+/// committed baseline under [`TOLERANCE`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckVerdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Faster than the lower tolerance bound — not a failure, but the
+    /// committed baseline understates the current code and should be
+    /// regenerated.
+    BaselineStale,
+    /// Slower than the upper tolerance bound — a perf regression.
+    Regression,
+}
+
+/// Gates `new_secs` against `baseline_secs` under [`TOLERANCE`].
+pub fn check_fleet_wall(baseline_secs: f64, new_secs: f64) -> CheckVerdict {
+    if new_secs > baseline_secs * (1.0 + TOLERANCE) {
+        CheckVerdict::Regression
+    } else if new_secs < baseline_secs * (1.0 - TOLERANCE) {
+        CheckVerdict::BaselineStale
+    } else {
+        CheckVerdict::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_is_well_formed_and_round_trips() {
+        let scenarios = vec![ScenarioPerf {
+            id: "TOY".into(),
+            epochs: 1200,
+            wall: Duration::from_millis(60),
+        }];
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        let json = bench_json(42, &scenarios, &[42, 43], &fleet);
+        assert!(json.contains("\"epochs\": 1200"));
+        assert!(json.contains("\"epochs_per_sec\": 20000"));
+        assert!(json.contains("\"fleet_seeds\": [42, 43]"));
+        assert!(json.contains("\"host_cpus\": "));
+        assert_eq!(parse_fleet_wall(&json), Some(2.5));
+    }
+
+    #[test]
+    fn check_gates_on_the_upper_bound_only() {
+        assert_eq!(check_fleet_wall(4.0, 4.0), CheckVerdict::Ok);
+        assert_eq!(check_fleet_wall(4.0, 4.99), CheckVerdict::Ok);
+        assert_eq!(check_fleet_wall(4.0, 5.01), CheckVerdict::Regression);
+        assert_eq!(check_fleet_wall(4.0, 3.01), CheckVerdict::Ok);
+        assert_eq!(check_fleet_wall(4.0, 2.99), CheckVerdict::BaselineStale);
+    }
+
+    #[test]
+    fn epochs_per_sec_handles_zero_wall() {
+        let s = ScenarioPerf {
+            id: "Z".into(),
+            epochs: 10,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(s.epochs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_missing_key() {
+        assert_eq!(parse_fleet_wall("{}"), None);
+    }
+}

@@ -1,6 +1,7 @@
 //! The namenode: namespace lock shared by writers and `du` traversals.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use smartconf_metrics::{Histogram, TimeSeries};
 use smartconf_runtime::{ChannelId, ChaosSpec, ControlPlane, Decider, Sensed};
@@ -55,8 +56,9 @@ pub struct NamenodeModel {
     write_gap_mean: SimDuration,
     /// Mean gap between `du` arrivals ([`SimDuration::ZERO`] disables).
     du_gap_mean: SimDuration,
-    /// The namespace every `du` traverses.
-    namespace: Namespace,
+    /// The namespace every `du` traverses. Shared read-only across
+    /// models so fleet shards reuse one synthesized arena.
+    namespace: Arc<Namespace>,
     /// Active `du`, if any.
     active: Option<DuRequest>,
     /// Queued `du` requests.
@@ -95,7 +97,7 @@ impl NamenodeModel {
         decider: Decider,
         write_gap_mean: SimDuration,
         du_gap_mean: SimDuration,
-        namespace: Namespace,
+        namespace: Arc<Namespace>,
         horizon: SimTime,
     ) -> Self {
         let (mut plane, chan) = ControlPlane::single("content-summary.limit", decider);
@@ -270,8 +272,7 @@ mod tests {
 
     fn run(limit: u64, du_files: u64, secs: u64) -> NamenodeModel {
         let horizon = SimTime::from_secs(secs);
-        let mut rng = smartconf_simkernel::SimRng::seed_from_u64(1);
-        let namespace = Namespace::synthesize(du_files, 100, &mut rng);
+        let namespace = Namespace::synthesize_shared(du_files, 100, 1);
         let model = NamenodeModel::new(
             SimDuration::from_micros(20),
             SimDuration::from_secs(2),
@@ -333,7 +334,7 @@ mod tests {
             Decider::Static(1_000.0),
             SimDuration::from_millis(10),
             SimDuration::ZERO,
-            Namespace::new(),
+            Arc::new(Namespace::new()),
             horizon,
         );
         let mut sim = Simulation::new(model, 7);

@@ -144,6 +144,36 @@ impl Namespace {
         ns
     }
 
+    /// Memoized [`Namespace::synthesize`] for the deterministic seeded
+    /// namespaces the HD4995 harness builds. The 10⁶-inode tree costs
+    /// tens of milliseconds to synthesize, and every profiled setting and
+    /// every evaluation run of every fleet shard wants the *same* tree
+    /// (same `(files, files_per_dir, seed)`), so the arena is built once
+    /// per process and shared behind an [`Arc`]. Traversals only read the
+    /// tree, so sharing cannot change simulation results.
+    pub fn synthesize_shared(files: u64, files_per_dir: u64, seed: u64) -> std::sync::Arc<Self> {
+        use std::sync::{Arc, Mutex};
+        type Key = (u64, u64, u64);
+        static CACHE: Mutex<Vec<(Key, Arc<Namespace>)>> = Mutex::new(Vec::new());
+        let key = (files, files_per_dir, seed);
+        if let Some((_, ns)) = CACHE.lock().unwrap().iter().find(|(k, _)| *k == key) {
+            return Arc::clone(ns);
+        }
+        // Synthesized outside the lock so concurrent shards wanting a
+        // *different* tree are not serialized behind this one.
+        let ns = Arc::new(Namespace::synthesize(
+            files,
+            files_per_dir,
+            &mut SimRng::seed_from_u64(seed),
+        ));
+        let mut cache = CACHE.lock().unwrap();
+        if let Some((_, existing)) = cache.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(existing);
+        }
+        cache.push((key, Arc::clone(&ns)));
+        ns
+    }
+
     /// Computes the content summary of a subtree in one pass (the
     /// unmetered traversal the pre-HD4995 namenode did while holding the
     /// lock for the whole walk).

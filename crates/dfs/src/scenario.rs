@@ -11,8 +11,10 @@ use smartconf_simkernel::{SimDuration, SimTime, Simulation};
 
 use crate::namenode::{NamenodeEvent, NamenodeModel};
 use crate::namespace::Namespace;
-use smartconf_simkernel::SimRng;
 use smartconf_workload::TestDfsIoWorkload;
+
+/// Seed of the deterministic namespace every HD4995 run traverses.
+const NS_SEED: u64 = 0xd1f5;
 
 /// The HD4995 scenario.
 ///
@@ -80,7 +82,6 @@ impl Hd4995 {
     pub fn collect_profile(&self, seed: u64) -> ProfileSet {
         Profiler::new(Scenario::profile_schedule(self)).collect(seed, |setting, s| {
             let horizon = SimTime::from_secs(120);
-            let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
             let w = &self.profile_workload;
             let model = NamenodeModel::new(
                 self.per_file,
@@ -88,7 +89,7 @@ impl Hd4995 {
                 Decider::Static(setting),
                 Self::write_gap(w),
                 w.du_interval(),
-                Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
+                Namespace::synthesize_shared(w.du_files(), 100, NS_SEED),
                 horizon,
             );
             let mut sim = Simulation::new(model, s);
@@ -129,7 +130,6 @@ impl Hd4995 {
     ) -> RunResult {
         let (p1, p2) = self.phase_secs;
         let horizon = SimTime::from_secs(p1 + p2);
-        let mut ns_rng = SimRng::seed_from_u64(0xd1f5);
         let w = &self.eval_workload;
         let mut model = NamenodeModel::new(
             self.per_file,
@@ -137,7 +137,7 @@ impl Hd4995 {
             decider,
             Self::write_gap(w),
             w.du_interval(),
-            Namespace::synthesize(w.du_files(), 100, &mut ns_rng),
+            Namespace::synthesize_shared(w.du_files(), 100, NS_SEED),
             horizon,
         );
         if let Some(spec) = chaos {
@@ -243,15 +243,26 @@ impl Scenario for Hd4995 {
     }
 
     fn run_smartconf(&self, seed: u64) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_smartconf_profiled(seed, &self.evaluation_profiles(seed))
+    }
+
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("content-summary.limit", controller);
         self.run(Decider::Deputy(Box::new(conf)), seed, "SmartConf")
     }
 
     fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_chaos_profiled(seed, class, &self.evaluation_profiles(seed))
+    }
+
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("content-summary.limit", controller);
         // The smallest profiled limit is the profiled-safe fallback: it
         // met the block goal at every profiled load level.

@@ -8,6 +8,9 @@
 //! [`FleetReport`] whose rendering is byte-identical at any worker
 //! count.
 
+use std::sync::OnceLock;
+
+use smartconf_core::ProfileSet;
 use smartconf_runtime::{Baseline, EpochSummary, FaultClass, FleetExecutor};
 
 use crate::{sweep_statics, RunResult, Scenario};
@@ -211,6 +214,64 @@ impl FleetReport {
     }
 }
 
+/// Deterministic per-fleet-run memo of each scenario's evaluation
+/// profiles, shared across every policy shard of the same
+/// `(scenario, seed)` pair.
+///
+/// A fleet run drives each `(scenario, seed)` under several policies —
+/// SmartConf, static baselines, and up to seven chaos classes — and
+/// every smart policy starts with the identical §6.1 profiling loop
+/// ([`Scenario::evaluation_profiles`] is a pure function of
+/// `(scenario, seed)`). The cache computes that loop once, lazily, on
+/// whichever worker gets there first; all later shards of the pair reuse
+/// the result. Static-baseline shards never touch it, so fleets without
+/// smart policies pay nothing.
+///
+/// Determinism: profiles are memoized, not mutated — every reader
+/// observes the same value a serial run would compute, so fleet reports
+/// stay byte-identical at any thread count and with the cache disabled.
+#[derive(Debug)]
+pub struct ProfileCache {
+    seeds: Vec<u64>,
+    /// One lazily-filled slot per (scenario, seed), indexed
+    /// `scenario * seeds.len() + seed_index`.
+    slots: Vec<OnceLock<Vec<ProfileSet>>>,
+}
+
+impl ProfileCache {
+    /// An empty cache for a roster of `n_scenarios` scenarios evaluated
+    /// at `seeds`.
+    pub fn new(n_scenarios: usize, seeds: &[u64]) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(n_scenarios * seeds.len(), OnceLock::new);
+        ProfileCache {
+            seeds: seeds.to_vec(),
+            slots,
+        }
+    }
+
+    /// The evaluation profiles of `(scenario, seed)`, collecting them on
+    /// first use. Falls back to an uncached collection when `seed` was
+    /// not declared up front (callers running ad-hoc seeds).
+    pub fn profiles(
+        &self,
+        scenario_index: usize,
+        scenario: &(dyn Scenario + Send + Sync),
+        seed: u64,
+    ) -> std::borrow::Cow<'_, [ProfileSet]> {
+        let Some(seed_index) = self.seeds.iter().position(|&s| s == seed) else {
+            return std::borrow::Cow::Owned(scenario.evaluation_profiles(seed));
+        };
+        let slot = &self.slots[scenario_index * self.seeds.len() + seed_index];
+        std::borrow::Cow::Borrowed(slot.get_or_init(|| scenario.evaluation_profiles(seed)))
+    }
+
+    /// How many (scenario, seed) slots have been filled so far.
+    pub fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+}
+
 /// Runs the (scenario × seed × policy) cross product on `executor` and
 /// merges the shards into a [`FleetReport`].
 ///
@@ -256,8 +317,9 @@ pub fn run_fleet(
     executor: &FleetExecutor,
 ) -> FleetReport {
     let items = fleet_work_items(scenarios.len(), seeds, policies);
+    let cache = ProfileCache::new(scenarios.len(), seeds);
     let shards = executor.execute(&items, |_, item| {
-        run_shard(scenarios[item.scenario].as_ref(), item)
+        run_shard(scenarios[item.scenario].as_ref(), item, &cache)
     });
     FleetReport {
         shards,
@@ -265,15 +327,21 @@ pub fn run_fleet(
     }
 }
 
-fn run_shard(scenario: &(dyn Scenario + Send + Sync), item: &FleetWorkItem) -> ShardReport {
+fn run_shard(
+    scenario: &(dyn Scenario + Send + Sync),
+    item: &FleetWorkItem,
+    cache: &ProfileCache,
+) -> ShardReport {
     let id = scenario.id().to_string();
     match item.policy {
         Policy::Smart => {
-            let run = scenario.run_smartconf(item.seed);
+            let profiles = cache.profiles(item.scenario, scenario, item.seed);
+            let run = scenario.run_smartconf_profiled(item.seed, &profiles);
             ShardReport::from_run(&id, item.seed, &item.policy, &run)
         }
         Policy::Chaos(class) => {
-            let run = scenario.run_chaos(item.seed, class);
+            let profiles = cache.profiles(item.scenario, scenario, item.seed);
+            let run = scenario.run_chaos_profiled(item.seed, class, &profiles);
             ShardReport::from_run(&id, item.seed, &item.policy, &run)
         }
         Policy::Static(baseline) => {

@@ -19,7 +19,9 @@ mod sweep;
 
 pub use chart::AsciiChart;
 pub use compare::{compare, BaselineRun, Comparison};
-pub use fleet::{fleet_work_items, run_fleet, FleetReport, FleetWorkItem, Policy, ShardReport};
+pub use fleet::{
+    fleet_work_items, run_fleet, FleetReport, FleetWorkItem, Policy, ProfileCache, ShardReport,
+};
 pub use outcome::{RunResult, TradeoffDirection};
 pub use report::{epoch_summary, TextTable};
 pub use scenario::Scenario;

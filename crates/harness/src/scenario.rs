@@ -68,6 +68,43 @@ pub trait Scenario {
     /// Runs the profiling workload (distinct from the evaluation workload,
     /// §6.1) and returns the collected samples.
     fn profile(&self, seed: u64) -> ProfileSet;
+
+    /// Every profile set a SmartConf-controlled (or chaos) evaluation run
+    /// at `seed` collects before it starts, in a stable order. The fleet
+    /// harness memoizes this per `(scenario, seed)` and feeds it back via
+    /// [`Scenario::run_smartconf_profiled`] /
+    /// [`Scenario::run_chaos_profiled`], so the §6.1 profiling loop runs
+    /// once per (scenario, seed) instead of once per policy shard.
+    ///
+    /// The default matches the Table 6 convention of one profile at
+    /// `seed ^ 0x5eed`; scenarios that profile differently (e.g. TWIN's
+    /// two queues) override it together with the `_profiled` entry
+    /// points.
+    fn evaluation_profiles(&self, seed: u64) -> Vec<ProfileSet> {
+        vec![self.profile(seed ^ 0x5eed)]
+    }
+
+    /// [`Scenario::run_smartconf`] with the profiling phase already done:
+    /// `profiles` holds [`Scenario::evaluation_profiles`] for the same
+    /// `seed`, and the result must be byte-identical to an unprofiled
+    /// `run_smartconf(seed)`. The default ignores the cache and
+    /// re-profiles, so unmigrated scenarios stay correct (just slower).
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let _ = profiles;
+        self.run_smartconf(seed)
+    }
+
+    /// [`Scenario::run_chaos`] with the profiling phase already done; the
+    /// same contract as [`Scenario::run_smartconf_profiled`].
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let _ = profiles;
+        self.run_chaos(seed, class)
+    }
 }
 
 #[cfg(test)]

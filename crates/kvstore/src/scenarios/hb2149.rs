@@ -233,8 +233,11 @@ impl Scenario for Hb2149 {
     }
 
     fn run_smartconf(&self, seed: u64) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_smartconf_profiled(seed, &self.evaluation_profiles(seed))
+    }
+
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let conf = SmartConf::new("global.memstore.lowerLimit", controller);
         self.run_model(
             Decider::Direct(Box::new(conf)),
@@ -247,8 +250,16 @@ impl Scenario for Hb2149 {
     }
 
     fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_chaos_profiled(seed, class, &self.evaluation_profiles(seed))
+    }
+
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let conf = SmartConf::new("global.memstore.lowerLimit", controller);
         // Profiled-safe fallback: the patched shallow lowerLimit keeps
         // every blocking flush short at the cost of flushing often.

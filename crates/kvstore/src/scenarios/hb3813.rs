@@ -230,7 +230,18 @@ impl Hb3813 {
     /// Runs the evaluation workload under a controller variant.
     pub fn run_variant(&self, variant: ControllerVariant, seed: u64) -> RunResult {
         let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile, variant);
+        self.run_variant_profiled(variant, seed, &profile)
+    }
+
+    /// [`Hb3813::run_variant`] with the §6.1 profiling phase already
+    /// done: `profile` must be `collect_profile(seed ^ 0x5eed)`.
+    pub fn run_variant_profiled(
+        &self,
+        variant: ControllerVariant,
+        seed: u64,
+        profile: &ProfileSet,
+    ) -> RunResult {
+        let controller = self.build_controller(profile, variant);
         let (decider, label) = match variant {
             ControllerVariant::SmartConf => (
                 Decider::Deputy(Box::new(SmartConfIndirect::new(
@@ -393,9 +404,21 @@ impl Scenario for Hb3813 {
         self.run_variant(ControllerVariant::SmartConf, seed)
     }
 
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        self.run_variant_profiled(ControllerVariant::SmartConf, seed, &profiles[0])
+    }
+
     fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile, ControllerVariant::SmartConf);
+        self.run_chaos_profiled(seed, class, &self.evaluation_profiles(seed))
+    }
+
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0], ControllerVariant::SmartConf);
         let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
         // Profiled-safe fallback: a 30-item queue bound (the smallest
         // profiled setting) keeps the heap far below the hard goal.

@@ -242,8 +242,11 @@ impl Scenario for Hb6728 {
     }
 
     fn run_smartconf(&self, seed: u64) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_smartconf_profiled(seed, &self.evaluation_profiles(seed))
+    }
+
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
         self.run_model(
             Decider::Deputy(Box::new(conf)),
@@ -255,8 +258,16 @@ impl Scenario for Hb6728 {
     }
 
     fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_chaos_profiled(seed, class, &self.evaluation_profiles(seed))
+    }
+
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
         // Profiled-safe fallback: a 40 MB response-queue bound keeps the
         // heap far under the 495 MB hard goal even with phase-2 churn.

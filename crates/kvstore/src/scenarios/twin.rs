@@ -179,6 +179,24 @@ impl TwinQueues {
         interaction: Option<u32>,
         chaos: Option<ChaosSpec>,
     ) -> TwinRunResult {
+        let profiles = [
+            self.profile_queue(WhichQueue::Request, seed ^ 0xaaaa),
+            self.profile_queue(WhichQueue::Response, seed ^ 0xbbbb),
+        ];
+        self.run_smart_inner_profiled(seed, interaction, chaos, &profiles)
+    }
+
+    /// [`TwinQueues::run_smart_inner`] with both queue profiles already
+    /// collected: `profiles[0]` is the request queue at `seed ^ 0xaaaa`,
+    /// `profiles[1]` the response queue at `seed ^ 0xbbbb` (the
+    /// [`Scenario::evaluation_profiles`] order).
+    fn run_smart_inner_profiled(
+        &self,
+        seed: u64,
+        interaction: Option<u32>,
+        chaos: Option<ChaosSpec>,
+        profiles: &[ProfileSet],
+    ) -> TwinRunResult {
         // Registry drives the coordination: two configurations mapped to
         // one super-hard metric gives each controller N = 2 (§5.4).
         let mut registry = Registry::new();
@@ -198,8 +216,7 @@ impl TwinQueues {
         let interaction_n =
             interaction.unwrap_or_else(|| registry.interaction_count("memory_consumption"));
 
-        let req_profile = self.profile_queue(WhichQueue::Request, seed ^ 0xaaaa);
-        let resp_profile = self.profile_queue(WhichQueue::Response, seed ^ 0xbbbb);
+        let (req_profile, resp_profile) = (&profiles[0], &profiles[1]);
         let goal = registry
             .goal("memory_consumption")
             .expect("goal set")
@@ -213,9 +230,9 @@ impl TwinQueues {
                 .build()
                 .expect("controller synthesis")
         };
-        let req_conf = SmartConfIndirect::new("max.queue.size", build(&req_profile));
+        let req_conf = SmartConfIndirect::new("max.queue.size", build(req_profile));
         let resp_conf =
-            SmartConfIndirect::new("ipc.server.response.queue.maxsize", build(&resp_profile));
+            SmartConfIndirect::new("ipc.server.response.queue.maxsize", build(resp_profile));
 
         // The plane's builder discovers the shared super-hard metric and
         // splits the error N = 2 ways on its own (§5.4); the ablation
@@ -371,16 +388,41 @@ impl Scenario for TwinQueues {
         TwinQueues::run_smartconf(self, seed).result
     }
 
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        self.run_smart_inner_profiled(seed, None, None, profiles)
+            .result
+    }
+
     fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
+        self.run_chaos_profiled(seed, class, &self.evaluation_profiles(seed))
+    }
+
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
         // Profiled-safe fallbacks: the conservative static pair that
         // survives the worst co-occurrence of both workloads.
         let guard = GuardPolicy::new()
             .fallback_setting("max.queue.size", 60.0)
             .fallback_setting("response.queue.maxsize_mb", 60.0);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
-        let mut out = self.run_smart_inner(seed, None, Some(spec));
+        let mut out = self.run_smart_inner_profiled(seed, None, Some(spec), profiles);
         out.result.label = format!("Chaos-{}", class.label());
         out.result
+    }
+
+    /// TWIN profiles each queue separately: the request queue at
+    /// `seed ^ 0xaaaa` and the response queue at `seed ^ 0xbbbb`, in
+    /// that order (the order `run_smart_inner` consumed them before the
+    /// profile cache existed, so cached runs replay byte-identically).
+    fn evaluation_profiles(&self, seed: u64) -> Vec<ProfileSet> {
+        vec![
+            self.profile_queue(WhichQueue::Request, seed ^ 0xaaaa),
+            self.profile_queue(WhichQueue::Response, seed ^ 0xbbbb),
+        ]
     }
 
     fn profile_schedule(&self) -> ProfileSchedule {

@@ -244,8 +244,11 @@ impl Scenario for Mr2820 {
     }
 
     fn run_smartconf(&self, seed: u64) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_smartconf_profiled(seed, &self.evaluation_profiles(seed))
+    }
+
+    fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
         // minspace = capacity − desired usage: the §5.3 transducer for a
         // threshold expressed as *free* rather than *used* space.
@@ -267,8 +270,16 @@ impl Scenario for Mr2820 {
     }
 
     fn run_chaos(&self, seed: u64, class: FaultClass) -> RunResult {
-        let profile = self.collect_profile(seed ^ 0x5eed);
-        let controller = self.build_controller(&profile);
+        self.run_chaos_profiled(seed, class, &self.evaluation_profiles(seed))
+    }
+
+    fn run_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
         let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
         let cap = self.disk_capacity as f64 / MB as f64;
         let conf = SmartConfIndirect::with_transducer(

@@ -208,6 +208,9 @@ impl EpochLog {
     pub fn bounded(channels: Vec<String>, capacity: usize) -> Self {
         let mut log = EpochLog::new(channels);
         log.capacity = Some(capacity);
+        // Allocate the ring up front so the steady-state push path never
+        // reallocates (at capacity it is a pop_front + push_back pair).
+        log.events.reserve_exact(capacity);
         log
     }
 

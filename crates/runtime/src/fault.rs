@@ -424,6 +424,22 @@ impl FaultInjector {
         (z >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// The window indices whose [`ChannelFilter`] matches `channel_name`.
+    ///
+    /// The control plane resolves this once per channel when chaos is
+    /// armed and then evaluates epochs via
+    /// [`FaultInjector::at_windows`], keeping string comparison out of
+    /// the per-epoch decide path.
+    pub fn windows_for(&self, channel_name: &str) -> Vec<usize> {
+        self.plan
+            .windows
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.filter.matches(channel_name))
+            .map(|(wi, _)| wi)
+            .collect()
+    }
+
     /// The faults active for `channel` (name and plane index) at its
     /// per-channel `epoch`. Pure: the same arguments always produce the
     /// same answer.
@@ -433,51 +449,72 @@ impl FaultInjector {
             if !w.filter.matches(channel_name) || !w.covers_epoch(epoch) {
                 continue;
             }
-            if w.probability < 1.0 && self.roll(wi, channel, epoch) >= w.probability {
-                continue;
-            }
-            match w.kind {
-                FaultKind::SensorDropout => {
-                    out.sensor = Some(SensorFault::Drop);
-                    out.set.insert(FaultSet::DROPOUT);
-                }
-                FaultKind::SensorStale => {
-                    if !matches!(out.sensor, Some(SensorFault::Drop)) {
-                        out.sensor = Some(SensorFault::Stale);
-                    }
-                    out.set.insert(FaultSet::STALE);
-                }
-                FaultKind::SensorNan => {
-                    if out.sensor.is_none() {
-                        out.sensor = Some(SensorFault::Nan);
-                    }
-                    out.set.insert(FaultSet::NAN);
-                }
-                FaultKind::SensorSpike { factor } => {
-                    if out.sensor.is_none() {
-                        out.sensor = Some(SensorFault::Scale(factor));
-                    }
-                    out.set.insert(FaultSet::SPIKE);
-                }
-                FaultKind::ActuatorLag { epochs } => {
-                    out.lag = Some(epochs.max(1));
-                    out.set.insert(FaultSet::LAG);
-                }
-                FaultKind::ActuatorSaturate { frac } => {
-                    out.saturate = Some(frac.clamp(0.0, 1.0));
-                    out.set.insert(FaultSet::SATURATE);
-                }
-                FaultKind::GoalFlap { frac } => {
-                    out.goal_flap = Some(frac.clamp(0.0, 0.95));
-                    out.set.insert(FaultSet::GOAL_FLAP);
-                }
-                FaultKind::PlantRestart => {
-                    out.restart = true;
-                    out.set.insert(FaultSet::RESTART);
-                }
-            }
+            self.fire(wi, w, channel, epoch, &mut out);
         }
         out
+    }
+
+    /// Like [`FaultInjector::at`], but over a pre-resolved window index
+    /// list (see [`FaultInjector::windows_for`]); equivalent to `at`
+    /// whenever `windows` holds exactly the indices matching the
+    /// channel's name.
+    pub fn at_windows(&self, windows: &[usize], channel: u32, epoch: u64) -> ActiveFaults {
+        let mut out = ActiveFaults::default();
+        for &wi in windows {
+            let w = &self.plan.windows[wi];
+            if !w.covers_epoch(epoch) {
+                continue;
+            }
+            self.fire(wi, w, channel, epoch, &mut out);
+        }
+        out
+    }
+
+    /// Evaluates one already-matched window's probability gate and fault.
+    fn fire(&self, wi: usize, w: &FaultWindow, channel: u32, epoch: u64, out: &mut ActiveFaults) {
+        if w.probability < 1.0 && self.roll(wi, channel, epoch) >= w.probability {
+            return;
+        }
+        match w.kind {
+            FaultKind::SensorDropout => {
+                out.sensor = Some(SensorFault::Drop);
+                out.set.insert(FaultSet::DROPOUT);
+            }
+            FaultKind::SensorStale => {
+                if !matches!(out.sensor, Some(SensorFault::Drop)) {
+                    out.sensor = Some(SensorFault::Stale);
+                }
+                out.set.insert(FaultSet::STALE);
+            }
+            FaultKind::SensorNan => {
+                if out.sensor.is_none() {
+                    out.sensor = Some(SensorFault::Nan);
+                }
+                out.set.insert(FaultSet::NAN);
+            }
+            FaultKind::SensorSpike { factor } => {
+                if out.sensor.is_none() {
+                    out.sensor = Some(SensorFault::Scale(factor));
+                }
+                out.set.insert(FaultSet::SPIKE);
+            }
+            FaultKind::ActuatorLag { epochs } => {
+                out.lag = Some(epochs.max(1));
+                out.set.insert(FaultSet::LAG);
+            }
+            FaultKind::ActuatorSaturate { frac } => {
+                out.saturate = Some(frac.clamp(0.0, 1.0));
+                out.set.insert(FaultSet::SATURATE);
+            }
+            FaultKind::GoalFlap { frac } => {
+                out.goal_flap = Some(frac.clamp(0.0, 0.95));
+                out.set.insert(FaultSet::GOAL_FLAP);
+            }
+            FaultKind::PlantRestart => {
+                out.restart = true;
+                out.set.insert(FaultSet::RESTART);
+            }
+        }
     }
 }
 
@@ -522,6 +559,28 @@ mod tests {
         // The 0.5 gate actually gates: roughly half the epochs fire.
         let count = hits(&a).iter().filter(|&&h| h).count();
         assert!((4_000..6_000).contains(&count), "count {count}");
+    }
+
+    #[test]
+    fn at_windows_matches_at_for_resolved_channels() {
+        // Mixed plan: one all-channel window, one channel-scoped window,
+        // one probabilistic window — the pre-resolved path must agree
+        // with the name-matched path everywhere.
+        let plan = FaultPlan::new()
+            .window(FaultWindow::new(FaultKind::SensorDropout, 3, 50).periodic(10, 2))
+            .window(FaultWindow::new(FaultKind::PlantRestart, 5, 40).on_channel("a"))
+            .window(FaultWindow::new(FaultKind::SensorNan, 0, 60).with_probability(0.3));
+        let inj = FaultInjector::new(11, plan);
+        for (idx, name) in ["a", "b"].iter().enumerate() {
+            let windows = inj.windows_for(name);
+            for epoch in 0..80 {
+                assert_eq!(
+                    inj.at(name, idx as u32, epoch),
+                    inj.at_windows(&windows, idx as u32, epoch),
+                    "channel {name} epoch {epoch}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -80,8 +80,9 @@ impl Decider {
     }
 
     /// The normal measurement-driven step (set_perf + conf), shared by
-    /// the clean and chaos decide paths.
-    fn step_measurement(&mut self, name: &str, measured: f64, deputy: Option<f64>) -> f64 {
+    /// the clean and chaos decide paths. Keyed by [`ChannelId`] so the
+    /// steady-state epoch loop never touches the channel's name string.
+    fn step_measurement(&mut self, id: ChannelId, measured: f64, deputy: Option<f64>) -> f64 {
         match self {
             Decider::Static(v) => *v,
             Decider::Direct(sc) => {
@@ -90,7 +91,10 @@ impl Decider {
             }
             Decider::Deputy(sc) => {
                 let deputy = deputy.unwrap_or_else(|| {
-                    panic!("channel '{name}' is deputy-driven; Sensed::deputy is required")
+                    panic!(
+                        "channel {} is deputy-driven; Sensed::deputy is required",
+                        id.0
+                    )
                 });
                 sc.set_perf(measured, deputy);
                 sc.conf()
@@ -105,6 +109,9 @@ struct ChaosState {
     injector: FaultInjector,
     policy: GuardPolicy,
     guards: Vec<ChannelGuard>,
+    /// Per-channel pre-resolved fault-window indices, so the per-epoch
+    /// injector evaluation never matches channel-name strings.
+    window_map: Vec<Vec<usize>>,
 }
 
 /// One named control channel.
@@ -338,7 +345,10 @@ impl ControlPlane {
         let chaos = self.chaos.as_mut().expect("chaos is armed");
         let ch = &mut self.channels[id.0];
         let epoch = ch.epochs;
-        let active: ActiveFaults = chaos.injector.at(&ch.name, id.0 as u32, epoch);
+        let active: ActiveFaults =
+            chaos
+                .injector
+                .at_windows(&chaos.window_map[id.0], id.0 as u32, epoch);
         let policy = &chaos.policy;
         let g = &mut chaos.guards[id.0];
         g.last_epoch = epoch;
@@ -484,7 +494,7 @@ impl ControlPlane {
                     guards.insert(GuardSet::REENGAGE);
                 }
                 if let Some(v) = admitted {
-                    ch.decider.step_measurement(&ch.name, v, sensed.deputy);
+                    ch.decider.step_measurement(id, v, sensed.deputy);
                 }
                 // No admitted reading: hold (possibly watchdog-forced).
             }
@@ -618,10 +628,19 @@ impl ControlPlane {
                 ChannelGuard::new(&spec.guard, fallback, initial, base_target)
             })
             .collect();
+        let injector = FaultInjector::new(spec.seed, spec.plan);
+        // Resolve each channel's matching fault windows once, here, so
+        // the per-epoch decide path never compares name strings.
+        let window_map = self
+            .channels
+            .iter()
+            .map(|ch| injector.windows_for(&ch.name))
+            .collect();
         self.chaos = Some(Box::new(ChaosState {
-            injector: FaultInjector::new(spec.seed, spec.plan),
+            injector,
             policy: spec.guard,
             guards,
+            window_map,
         }));
     }
 

@@ -22,6 +22,9 @@ pub enum KeyDistribution {
         theta: f64,
         /// Precomputed ζ(n, θ).
         zetan: f64,
+        /// Precomputed η of the Gray et al. generator (a pure function of
+        /// `n`, `theta`, and `zetan`, hoisted out of the per-draw path).
+        eta: f64,
     },
 }
 
@@ -47,8 +50,14 @@ impl KeyDistribution {
             (0.0..1.0).contains(&theta) && theta > 0.0,
             "zipfian theta must be in (0, 1), got {theta}"
         );
-        let zetan = zeta(n, theta);
-        KeyDistribution::Zipfian { n, theta, zetan }
+        let zetan = zeta_memo(n, theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+        KeyDistribution::Zipfian {
+            n,
+            theta,
+            zetan,
+            eta,
+        }
     }
 
     /// The default YCSB zipfian (θ = 0.99).
@@ -67,8 +76,13 @@ impl KeyDistribution {
     pub fn next_key(&self, rng: &mut SimRng) -> u64 {
         match *self {
             KeyDistribution::Uniform { n } => rng.uniform_u64(0, n),
-            KeyDistribution::Zipfian { n, theta, zetan } => {
-                let rank = zipf_rank(rng, n, theta, zetan);
+            KeyDistribution::Zipfian {
+                n,
+                theta,
+                zetan,
+                eta,
+            } => {
+                let rank = zipf_rank(rng, n, theta, zetan, eta);
                 // Scramble so hot ranks are spread over the keyspace.
                 fnv1a(rank) % n
             }
@@ -81,7 +95,12 @@ impl KeyDistribution {
     pub fn next_rank(&self, rng: &mut SimRng) -> u64 {
         match *self {
             KeyDistribution::Uniform { n } => rng.uniform_u64(0, n),
-            KeyDistribution::Zipfian { n, theta, zetan } => zipf_rank(rng, n, theta, zetan),
+            KeyDistribution::Zipfian {
+                n,
+                theta,
+                zetan,
+                eta,
+            } => zipf_rank(rng, n, theta, zetan, eta),
         }
     }
 }
@@ -92,11 +111,34 @@ fn zeta(n: u64, theta: f64) -> f64 {
     (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
 }
 
+/// Memoized ζ(n, θ). The sum costs ~15 ms at the YCSB default n = 10⁶,
+/// and fleet runs construct the same few distributions thousands of
+/// times (every phase of every evaluation run builds its workload), so
+/// the handful of distinct `(n, θ)` pairs is cached process-wide. The
+/// cached value is a pure function of the key, so concurrent fleet
+/// shards always observe the same ζ regardless of interleaving.
+fn zeta_memo(n: u64, theta: f64) -> f64 {
+    use std::sync::Mutex;
+    static CACHE: Mutex<Vec<((u64, u64), f64)>> = Mutex::new(Vec::new());
+    let key = (n, theta.to_bits());
+    if let Some(&(_, z)) = CACHE.lock().unwrap().iter().find(|(k, _)| *k == key) {
+        return z;
+    }
+    // Computed outside the lock: ζ(10⁶) takes milliseconds and other
+    // distributions' lookups should not stall behind it.
+    let z = zeta(n, theta);
+    let mut cache = CACHE.lock().unwrap();
+    if !cache.iter().any(|(k, _)| *k == key) {
+        cache.push((key, z));
+    }
+    z
+}
+
 /// Gray et al. "Quickly generating billion-record synthetic databases"
-/// zipfian rank generator.
-fn zipf_rank(rng: &mut SimRng, n: u64, theta: f64, zetan: f64) -> u64 {
+/// zipfian rank generator. `zetan` and `eta` are precomputed by
+/// [`KeyDistribution::zipfian`].
+fn zipf_rank(rng: &mut SimRng, n: u64, theta: f64, zetan: f64, eta: f64) -> u64 {
     let alpha = 1.0 / (1.0 - theta);
-    let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
     let u = rng.uniform(0.0, 1.0);
     let uz = u * zetan;
     if uz < 1.0 {
