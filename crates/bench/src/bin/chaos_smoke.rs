@@ -6,9 +6,10 @@
 //! Usage: `chaos_smoke [--seeds K] [--threads N] [--out PATH]`
 //!
 //! * `--seeds K` — number of seeds (42, 43, …); default 1. The gate
-//!   requires the *clean* SmartConf baseline to pass too, so only seeds
-//!   whose no-fault run holds every hard goal belong in the default set
-//!   (seed 43's HB6728 baseline is marginal: 495.2 vs the 495.0 goal).
+//!   requires the *clean* SmartConf baseline to pass too. Seed 43's
+//!   HB6728 clean baseline grazes the 495 MB goal (495.2 MB peak) and
+//!   is absorbed by `Hb6728::GOAL_SLACK_MB`, but its *chaos* runs still
+//!   violate under some fault classes, so the default set stays at 1.
 //! * `--threads N` — parallel phase's worker count; default 4.
 //! * `--out PATH` — where to write the JSON artifact; default
 //!   `BENCH_chaos.json`.
@@ -20,12 +21,15 @@
 
 use smartconf_bench::chaos::{chaos_json, chaos_run, class_outcomes, HARD_GOAL_SCENARIOS};
 
-/// First seed of the default set. The gate requires the *clean*
-/// SmartConf baseline to hold every hard goal, which pins both the
-/// start and the default count ([`DEFAULT_SEED_COUNT`]): seed 43's
-/// HB6728 clean baseline is marginal (495.2 MB peak vs the 495.0 MB
-/// hard goal — see the PR 3 known-limits note in CHANGES.md), so the
-/// default set stops at seed 42.
+/// First seed of the default set. The gate requires every seed in the
+/// set to hold every hard goal under every fault class, which pins the
+/// default count ([`DEFAULT_SEED_COUNT`]): seed 43's HB6728 *clean*
+/// baseline is marginal (495.2 MB peak vs the 495.0 MB hard goal) and
+/// is now tolerated by `smartconf_kvstore::scenarios::Hb6728::GOAL_SLACK_MB`
+/// (regression-pinned by `seed_43_clean_baseline_within_goal_slack`),
+/// but some of its chaos runs (SensorDropout, SensorCorruption,
+/// ActuatorLag) still violate — a resilience gap tracked in ROADMAP.md —
+/// so the default set stops at seed 42.
 const BASE_SEED: u64 = 42;
 
 /// Default number of seeds ([`BASE_SEED`], `BASE_SEED + 1`, …).

@@ -14,14 +14,20 @@
 //!   does not fail, so perf improvements land without a lockstep
 //!   baseline bump.
 //!
+//! Alongside the per-scenario epochs/sec the artifact records the event
+//! kernel's events/sec ([`smartconf_bench::perf::measure_kernel`]): a
+//! synthetic heterogeneous-period plane run through `EventPlane`,
+//! isolating the calendar + decide cost per event. Like epochs/sec it
+//! is informational, never gated.
+//!
 //! Epochs/sec per scenario is recorded in the artifact but never gated:
 //! sub-millisecond decide loops jitter by integer factors on shared CI
 //! hosts, while the multi-second fleet wall-clock is stable enough for a
 //! 25% band.
 
 use smartconf_bench::perf::{
-    bench_json, check_fleet_wall, measure_fleet, measure_scenarios, parse_fleet_wall, CheckVerdict,
-    TOLERANCE,
+    bench_json, check_fleet_wall, measure_fleet, measure_kernel, measure_scenarios,
+    parse_fleet_wall, CheckVerdict, TOLERANCE,
 };
 
 fn main() {
@@ -55,6 +61,15 @@ fn main() {
         );
     }
 
+    eprintln!("perf smoke: event-kernel throughput (8 channels, 250 ms - 5 s periods, 1 h sim)");
+    let kernel = measure_kernel();
+    eprintln!(
+        "  kernel: {} events in {:.3} ms ({:.0} events/s)",
+        kernel.events,
+        kernel.wall.as_secs_f64() * 1e3,
+        kernel.events_per_sec()
+    );
+
     eprintln!(
         "perf smoke: serial fleet wall-clock (7 scenarios x {} seeds x 3 policies)",
         seeds.len()
@@ -62,7 +77,7 @@ fn main() {
     let fleet = measure_fleet(&seeds);
     eprintln!("  {}: {:.3} s", fleet.name, fleet.wall.as_secs_f64());
 
-    let json = bench_json(42, &scenarios, &seeds, &fleet);
+    let json = bench_json(42, &scenarios, &kernel, &seeds, &fleet);
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
     eprintln!("wrote {out_path}");
     print!("{json}");

@@ -19,7 +19,10 @@
 
 use std::time::{Duration, Instant};
 
-use smartconf_runtime::FleetExecutor;
+use smartconf_core::{Controller, Goal, Hardness, SmartConf};
+use smartconf_runtime::{
+    ChannelId, ControlPlane, Decider, EventPlane, FleetExecutor, Plant, Sensed,
+};
 
 use crate::fleet::{fleet_scenarios, smoke_run, FleetPhase, SMOKE_POLICIES};
 
@@ -49,6 +52,97 @@ impl ScenarioPerf {
         } else {
             0.0
         }
+    }
+}
+
+/// Simulated horizon of the kernel throughput measurement, microseconds.
+/// One hour keeps the fastest cohort (250 ms) at ~14 k epochs — enough
+/// events for a stable rate, still well under 100 ms of wall-clock.
+const KERNEL_HORIZON_US: u64 = 3_600_000_000;
+
+/// The event kernel's throughput measurement: a synthetic
+/// heterogeneous-period plane driven through [`EventPlane`].
+#[derive(Debug, Clone)]
+pub struct KernelPerf {
+    /// Channels in the synthetic plane.
+    pub channels: usize,
+    /// Calendar events processed over the simulated horizon.
+    pub events: u64,
+    /// Wall-clock of the kernel run.
+    pub wall: Duration,
+}
+
+impl KernelPerf {
+    /// Event throughput; 0 when the wall-clock rounds to zero.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A deterministic first-order plant for the kernel measurement: each
+/// channel's metric relaxes toward `gain × setting` a fraction per
+/// sense, so the controllers keep doing real work (non-zero error every
+/// epoch) without the run converging into a fixed point the optimizer
+/// could fold away.
+#[derive(Debug)]
+struct KernelPlant {
+    settings: Vec<f64>,
+    measured: Vec<f64>,
+}
+
+impl Plant for KernelPlant {
+    fn now_us(&self) -> u64 {
+        0
+    }
+    fn sense(&mut self, channel: ChannelId) -> Sensed {
+        let i = channel.index();
+        self.measured[i] += (1.3 * self.settings[i] - self.measured[i]) * 0.5;
+        Sensed::direct(self.measured[i])
+    }
+    fn apply(&mut self, channel: ChannelId, setting: f64) {
+        self.settings[channel.index()] = setting;
+    }
+}
+
+/// Times the event kernel on a synthetic eight-channel plane spanning
+/// the roster's sensing periods (250 ms … 5 s), returning the processed
+/// event count and wall-clock. Pure decide-loop + calendar cost — no
+/// profiling, no scenario plant — so the number isolates what the
+/// kernel itself adds per event.
+pub fn measure_kernel() -> KernelPerf {
+    let periods: [u64; 8] = [
+        250_000, 250_000, 500_000, 500_000, 1_000_000, 1_000_000, 5_000_000, 5_000_000,
+    ];
+    let mut b = ControlPlane::builder();
+    for (i, period_us) in periods.iter().enumerate() {
+        let goal = Goal::new("m", 200.0)
+            .with_hardness(Hardness::Hard)
+            .expect("positive target");
+        let ctl = Controller::new(1.3, 0.3, goal, 0.1, (0.0, 500.0), 10.0).expect("stable pole");
+        let name = format!("kernel.chan{i}");
+        b.channel_with_period(
+            &name,
+            Decider::Direct(Box::new(SmartConf::new(name.clone(), ctl))),
+            *period_us,
+        );
+    }
+    let plant = KernelPlant {
+        settings: vec![10.0; periods.len()],
+        measured: vec![0.0; periods.len()],
+    };
+    let mut kernel = EventPlane::new(b.build(), plant);
+    let start = Instant::now();
+    kernel.run_until_us(KERNEL_HORIZON_US);
+    let wall = start.elapsed();
+    KernelPerf {
+        channels: periods.len(),
+        events: kernel.events_processed(),
+        wall,
     }
 }
 
@@ -83,6 +177,7 @@ pub fn measure_fleet(seeds: &[u64]) -> FleetPhase {
 pub fn bench_json(
     seed: u64,
     scenarios: &[ScenarioPerf],
+    kernel: &KernelPerf,
     seeds: &[u64],
     fleet: &FleetPhase,
 ) -> String {
@@ -112,6 +207,13 @@ pub fn bench_json(
         .collect();
     out.push_str(&lines.join(",\n"));
     out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"kernel\": {{\"channels\": {}, \"events\": {}, \"wall_clock_secs\": {:.6}, \"events_per_sec\": {:.0}}},\n",
+        kernel.channels,
+        kernel.events,
+        kernel.wall.as_secs_f64(),
+        kernel.events_per_sec()
+    ));
     let seed_list: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
     out.push_str(&format!("  \"fleet_seeds\": [{}],\n", seed_list.join(", ")));
     let policy_list: Vec<String> = SMOKE_POLICIES
@@ -184,12 +286,28 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(2500),
         };
-        let json = bench_json(42, &scenarios, &[42, 43], &fleet);
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let json = bench_json(42, &scenarios, &kernel, &[42, 43], &fleet);
         assert!(json.contains("\"epochs\": 1200"));
         assert!(json.contains("\"epochs_per_sec\": 20000"));
+        assert!(json.contains("\"events\": 100000"));
+        assert!(json.contains("\"events_per_sec\": 2000000"));
         assert!(json.contains("\"fleet_seeds\": [42, 43]"));
         assert!(json.contains("\"host_cpus\": "));
         assert_eq!(parse_fleet_wall(&json), Some(2.5));
+    }
+
+    #[test]
+    fn kernel_measurement_processes_the_expected_calendar() {
+        let k = measure_kernel();
+        assert_eq!(k.channels, 8);
+        // 2 × 14 400 + 2 × 7 200 + 2 × 3 600 + 2 × 720 epochs, two
+        // calendar events (Sense + Actuate) each.
+        assert_eq!(k.events, 2 * 2 * (14_400 + 7_200 + 3_600 + 720));
     }
 
     #[test]

@@ -149,7 +149,7 @@ impl Namespace {
     /// tens of milliseconds to synthesize, and every profiled setting and
     /// every evaluation run of every fleet shard wants the *same* tree
     /// (same `(files, files_per_dir, seed)`), so the arena is built once
-    /// per process and shared behind an [`Arc`]. Traversals only read the
+    /// per process and shared behind an [`Arc`](std::sync::Arc). Traversals only read the
     /// tree, so sharing cannot change simulation results.
     pub fn synthesize_shared(files: u64, files_per_dir: u64, seed: u64) -> std::sync::Arc<Self> {
         use std::sync::{Arc, Mutex};

@@ -277,7 +277,11 @@ impl ProfileCache {
 ///
 /// Every shard is independent: it derives its plant, RNG, and control
 /// plane from its own `(scenario, seed, policy)` triple, so the report
-/// is byte-identical at 1 and N worker threads.
+/// is byte-identical at 1 and N worker threads. That holds regardless
+/// of how a scenario paces its channels — uniform lockstep quanta or
+/// per-channel sensing periods on the event kernel (CA6059's 250 ms
+/// and HD4995's 5 s heterogeneous cadences ride through unchanged,
+/// pinned by a bench-crate test).
 ///
 /// # Example
 ///

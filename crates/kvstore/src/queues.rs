@@ -110,6 +110,22 @@ impl CountBoundedQueue {
         self.items.clear();
         self.bytes = 0;
     }
+
+    /// Drops the *newest* items until the length is back at the bound —
+    /// guard-directed shedding of already-admitted work
+    /// ([`GuardPolicy::shed_admitted`](smartconf_runtime::GuardPolicy::shed_admitted)).
+    /// Newest-first keeps the items that have waited longest, matching
+    /// the FIFO service order. Returns how many items were dropped.
+    pub fn shed_to_bound(&mut self) -> usize {
+        let mut dropped = 0;
+        while self.items.len() > self.max_items {
+            if let Some(item) = self.items.pop_back() {
+                self.bytes -= item.bytes;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
 }
 
 /// A FIFO queue bounded by *total bytes* — HB6728's
@@ -193,6 +209,24 @@ impl ByteBoundedQueue {
         self.items.clear();
         self.bytes = 0;
     }
+
+    /// Drops the *newest* items until resident bytes are back at the
+    /// bound — guard-directed shedding of already-admitted work
+    /// ([`GuardPolicy::shed_admitted`](smartconf_runtime::GuardPolicy::shed_admitted)).
+    /// Returns how many items were dropped.
+    pub fn shed_to_bound(&mut self) -> usize {
+        let mut dropped = 0;
+        while self.bytes > self.max_bytes {
+            match self.items.pop_back() {
+                Some(item) => {
+                    self.bytes -= item.bytes;
+                    dropped += 1;
+                }
+                None => break,
+            }
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +303,35 @@ mod tests {
         assert!(!q.try_push(item(150)));
         assert_eq!(q.len(), 0);
         assert!(q.try_push(item(100)));
+    }
+
+    #[test]
+    fn count_queue_sheds_newest_past_bound() {
+        let mut q = CountBoundedQueue::new(5);
+        for b in 1..=5 {
+            q.try_push(item(b));
+        }
+        q.set_max_items(2);
+        assert_eq!(q.shed_to_bound(), 3);
+        assert_eq!(q.len(), 2);
+        // FIFO survivors are the two oldest items.
+        assert_eq!(q.pop().unwrap().bytes, 1);
+        assert_eq!(q.pop().unwrap().bytes, 2);
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn byte_queue_sheds_newest_past_bound() {
+        let mut q = ByteBoundedQueue::new(200);
+        q.try_push(item(80));
+        q.try_push(item(80));
+        q.try_push(item(40));
+        q.set_max_bytes(100);
+        assert_eq!(q.shed_to_bound(), 2);
+        assert_eq!(q.bytes(), 80);
+        assert_eq!(q.pop().unwrap().bytes, 80);
+        assert!(q.is_empty());
+        assert_eq!(q.shed_to_bound(), 0);
     }
 
     #[test]

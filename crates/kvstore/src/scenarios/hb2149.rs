@@ -46,6 +46,14 @@ pub struct Hb2149 {
     profile_workload: YcsbWorkload,
     /// Profiled lowerLimit settings in MB.
     profile_settings: Vec<f64>,
+    /// When `true`, chaos runs arm
+    /// [`GuardPolicy::shed_admitted`](smartconf_runtime::GuardPolicy::shed_admitted):
+    /// while the watchdog holds a degraded channel, the in-force
+    /// lowerLimit is clamped to the safe (shallow) side of the profiled
+    /// fallback, and the blocking flush drains only to that clamped
+    /// watermark — the store content above it is the admitted work the
+    /// guard sheds.
+    shed_admitted: bool,
 }
 
 impl Hb2149 {
@@ -63,7 +71,18 @@ impl Hb2149 {
             ]),
             profile_workload: Self::workload(),
             profile_settings: vec![40.0, 80.0, 120.0, 160.0],
+            shed_admitted: false,
         }
+    }
+
+    /// Arms admitted-work shedding for chaos runs: a watchdog-degraded
+    /// channel clamps its in-force lowerLimit to the safe (shallow) side
+    /// of the profiled fallback instead of reverting to a setting that
+    /// was only safe under the goal it was decided for.
+    #[must_use]
+    pub fn with_shed_admitted(mut self) -> Self {
+        self.shed_admitted = true;
+        self
     }
 
     fn workload() -> YcsbWorkload {
@@ -129,7 +148,15 @@ impl Hb2149 {
         } else {
             None
         };
-        let (mut plane, chan) = ControlPlane::single("memstore.lowerLimit_mb", decider);
+        // Declared sensing period (metadata for event-driven embeddings):
+        // HB2149 is a *conditional* PerfConf — the lockstep path decides
+        // only at blocking flushes — so the nominal quantum is the
+        // sampling tick.
+        let (mut plane, chan) = ControlPlane::single_with_period(
+            "memstore.lowerLimit_mb",
+            decider,
+            SAMPLE_TICK.as_micros(),
+        );
         if let Some(spec) = chaos {
             plane.enable_chaos(spec);
         }
@@ -263,7 +290,9 @@ impl Scenario for Hb2149 {
         let conf = SmartConf::new("global.memstore.lowerLimit", controller);
         // Profiled-safe fallback: the patched shallow lowerLimit keeps
         // every blocking flush short at the cost of flushing often.
-        let guard = GuardPolicy::new().fallback_setting("memstore.lowerLimit_mb", 175.0);
+        let guard = GuardPolicy::new()
+            .fallback_setting("memstore.lowerLimit_mb", 175.0)
+            .shed_admitted(self.shed_admitted);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_model(
             Decider::Direct(Box::new(conf)),
@@ -342,6 +371,12 @@ impl Model for MemstoreModel {
                                     self.memstore.clear();
                                 }
                                 self.memstore.set_lower((lower_mb * MB as f64) as u64);
+                                // Guard-directed shedding: the imminent
+                                // blocking flush drains exactly to the
+                                // clamped watermark — that drain *is*
+                                // the shed, so only the flag needs
+                                // consuming here.
+                                let _ = self.plane.take_plant_shed(self.chan);
                             }
                             let block = self.memstore.blocking_flush();
                             let secs = block.as_secs_f64();
@@ -395,6 +430,30 @@ mod tests {
             (SimDuration::from_secs(60), Hb2149::workload()),
         ]);
         s
+    }
+
+    #[test]
+    fn shed_admitted_holds_block_goal_under_recoverable_faults() {
+        // With admitted-work shedding armed, every fault class the guard
+        // can recover from must leave the block-duration goal intact.
+        // ActuatorSaturation is excluded: it caps the actuator *below*
+        // the safe shallow watermark, so deep flushes are physically
+        // unavoidable — no controller-side guard can reach a setting the
+        // actuator cannot apply.
+        let t = quick().with_shed_admitted();
+        let profiles = t.evaluation_profiles(13);
+        for class in FaultClass::ALL {
+            if class == FaultClass::ActuatorSaturation {
+                continue;
+            }
+            let out = t.run_chaos_profiled(13, class, &profiles);
+            assert!(
+                out.constraint_ok,
+                "{class:?}: shed-armed chaos run violated the block goal"
+            );
+            let again = t.run_chaos_profiled(13, class, &profiles);
+            assert_eq!(out.tradeoff.to_bits(), again.tradeoff.to_bits());
+        }
     }
 
     #[test]

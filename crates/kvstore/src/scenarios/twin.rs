@@ -50,6 +50,11 @@ pub struct TwinQueues {
     /// Phase 1: writes only; phase 2 adds reads (paper: at 50 s).
     phase1: SimDuration,
     phase2: SimDuration,
+    /// When `true`, chaos runs arm
+    /// [`GuardPolicy::shed_admitted`](smartconf_runtime::GuardPolicy::shed_admitted):
+    /// a guard-degraded channel also drops already-admitted queue items
+    /// beyond the in-force bound, instead of only refusing new ones.
+    shed_admitted: bool,
 }
 
 impl TwinQueues {
@@ -66,7 +71,19 @@ impl TwinQueues {
             read_response_bytes: 2 * MB,
             phase1: SimDuration::from_secs(50),
             phase2: SimDuration::from_secs(190),
+            shed_admitted: false,
         }
+    }
+
+    /// Arms admitted-work shedding for chaos runs: when the guard ladder
+    /// degrades a channel (watchdog or fallback), the corresponding
+    /// queue also drops already-admitted items beyond the in-force
+    /// bound. The admission-only default tolerates that backlog (§4.2),
+    /// which under injected faults can pin memory above the hard goal.
+    #[must_use]
+    pub fn with_shed_admitted(mut self) -> Self {
+        self.shed_admitted = true;
+        self
     }
 
     /// The memory goal in MB.
@@ -122,8 +139,19 @@ impl TwinQueues {
     /// A plane holding both queue bounds fixed.
     fn static_plane(req_bound: usize, resp_bound_mb: f64) -> (ControlPlane, ChannelId, ChannelId) {
         let mut b = ControlPlaneBuilder::new();
-        let req_chan = b.channel("max.queue.size", Decider::Static(req_bound as f64));
-        let resp_chan = b.channel("response.queue.maxsize_mb", Decider::Static(resp_bound_mb));
+        // Declared sensing period: the memory sampling cadence. The
+        // per-use lockstep path decides at arrivals and ignores it; an
+        // event-driven embedding senses on this quantum.
+        let req_chan = b.channel_with_period(
+            "max.queue.size",
+            Decider::Static(req_bound as f64),
+            SAMPLE_TICK.as_micros(),
+        );
+        let resp_chan = b.channel_with_period(
+            "response.queue.maxsize_mb",
+            Decider::Static(resp_bound_mb),
+            SAMPLE_TICK.as_micros(),
+        );
         (b.build(), req_chan, resp_chan)
     }
 
@@ -238,10 +266,17 @@ impl TwinQueues {
         // splits the error N = 2 ways on its own (§5.4); the ablation
         // overrides that count after the fact.
         let mut b = ControlPlaneBuilder::new();
-        let req_chan = b.channel("max.queue.size", Decider::Deputy(Box::new(req_conf)));
-        let resp_chan = b.channel(
+        // Declared sensing period (metadata for event-driven embeddings;
+        // the lockstep path decides per use): the memory sampling tick.
+        let req_chan = b.channel_with_period(
+            "max.queue.size",
+            Decider::Deputy(Box::new(req_conf)),
+            SAMPLE_TICK.as_micros(),
+        );
+        let resp_chan = b.channel_with_period(
             "response.queue.maxsize_mb",
             Decider::Deputy(Box::new(resp_conf)),
+            SAMPLE_TICK.as_micros(),
         );
         let mut plane = b.build();
         if let Some(n) = interaction {
@@ -407,7 +442,8 @@ impl Scenario for TwinQueues {
         // survives the worst co-occurrence of both workloads.
         let guard = GuardPolicy::new()
             .fallback_setting("max.queue.size", 60.0)
-            .fallback_setting("response.queue.maxsize_mb", 60.0);
+            .fallback_setting("response.queue.maxsize_mb", 60.0)
+            .shed_admitted(self.shed_admitted);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         let mut out = self.run_smart_inner_profiled(seed, None, Some(spec), profiles);
         out.result.label = format!("Chaos-{}", class.label());
@@ -496,6 +532,13 @@ impl TwinModel {
             self.sync_heap();
         }
         self.req_queue.set_max_items(bound);
+        if self.plane.take_plant_shed(self.req_chan) {
+            // Guard-directed shedding: a degraded channel drops admitted
+            // requests beyond the in-force bound.
+            if self.req_queue.shed_to_bound() > 0 {
+                self.sync_heap();
+            }
+        }
     }
 
     fn control_resp(&mut self, now: SimTime) {
@@ -511,6 +554,13 @@ impl TwinModel {
             self.sync_heap();
         }
         self.resp_queue.set_max_bytes((bound_mb * MB as f64) as u64);
+        if self.plane.take_plant_shed(self.resp_chan) {
+            // Guard-directed shedding: a degraded channel drops admitted
+            // responses beyond the in-force bound.
+            if self.resp_queue.shed_to_bound() > 0 {
+                self.sync_heap();
+            }
+        }
     }
 
     fn sync_heap(&mut self) {
@@ -652,6 +702,28 @@ mod tests {
         s.phase1 = SimDuration::from_secs(25);
         s.phase2 = SimDuration::from_secs(50);
         s
+    }
+
+    #[test]
+    fn shed_admitted_holds_hard_goal_under_every_fault_class() {
+        // Admission-only guards cannot touch backlog the controller
+        // already let in; with `shed_admitted` armed, a guard-degraded
+        // channel also drops admitted items past the in-force bound, so
+        // no fault class may leave the super-hard memory goal violated.
+        let t = quick().with_shed_admitted();
+        let profiles = t.evaluation_profiles(13);
+        for class in FaultClass::ALL {
+            let out = t.run_chaos_profiled(13, class, &profiles);
+            assert!(
+                out.constraint_ok,
+                "{class:?}: shed-armed chaos run violated the hard goal \
+                 (crash: {:?})",
+                out.crash_time_us
+            );
+            // Same spec, same seed: the chaos run must replay exactly.
+            let again = t.run_chaos_profiled(13, class, &profiles);
+            assert_eq!(out.tradeoff.to_bits(), again.tradeoff.to_bits());
+        }
     }
 
     #[test]

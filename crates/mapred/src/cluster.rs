@@ -119,7 +119,14 @@ impl ClusterModel {
         let mut jobs: VecDeque<Vec<MapTask>> = jobs.into_iter().collect();
         let first = jobs.pop_front().unwrap_or_default();
         let tasks_left = first.len();
-        let (plane, chan) = ControlPlane::single("local.dir.minspacestart_mb", decider);
+        // Declared sensing period (metadata for event-driven embeddings):
+        // the controller runs at assignment time, so the nominal quantum
+        // is the master's assignment tick.
+        let (plane, chan) = ControlPlane::single_with_period(
+            "local.dir.minspacestart_mb",
+            decider,
+            ASSIGN_TICK.as_micros(),
+        );
         ClusterModel {
             workers,
             slots_per_worker,

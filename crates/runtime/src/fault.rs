@@ -148,6 +148,50 @@ impl FaultWindow {
         }
         (epoch - self.start) % self.period < self.active
     }
+
+    /// The first maximal active pulse `[on, off)` of this window whose
+    /// end lies strictly after `epoch`, or `None` when the window never
+    /// activates again. `off == u64::MAX` marks a pulse that outlives
+    /// any run. The event kernel walks pulses with this to schedule
+    /// window-edge events instead of re-testing [`covers_epoch`] every
+    /// epoch: a rising edge at `on` activates the window, a falling edge
+    /// at `off` deactivates it and asks for the next pulse.
+    ///
+    /// Invariants relied on by the kernel (and asserted by tests):
+    /// `on < off`, `off > epoch`, consecutive pulses never abut
+    /// (`next.on > prev.off` for periodic windows with
+    /// `active < period`; windows with `active >= period` are a single
+    /// continuous pulse).
+    pub(crate) fn pulse_after(&self, epoch: u64) -> Option<(u64, u64)> {
+        if epoch >= self.end {
+            return None;
+        }
+        if self.period == 0 || self.active >= self.period {
+            // Continuously active over the whole window.
+            return (self.start < self.end).then_some((self.start, self.end));
+        }
+        if self.active == 0 {
+            return None;
+        }
+        let k = if epoch <= self.start {
+            0
+        } else {
+            (epoch - self.start) / self.period
+        };
+        // Pulse k covers `start + k·period .. + active`; if `epoch` sits
+        // past its end, pulse k+1 is the first candidate.
+        for k in [k, k + 1] {
+            let on = self.start.checked_add(k.checked_mul(self.period)?)?;
+            if on >= self.end {
+                return None;
+            }
+            let off = on.saturating_add(self.active).min(self.end);
+            if off > epoch {
+                return Some((on, off));
+            }
+        }
+        None
+    }
 }
 
 /// A declarative list of [`FaultWindow`]s — everything the injector
@@ -605,6 +649,48 @@ mod tests {
             let inj = FaultInjector::new(9, plan);
             let fired = (0..600).any(|e| !inj.at("x", 0, e).is_clean());
             assert!(fired, "{class} never fires in 600 epochs");
+        }
+    }
+
+    #[test]
+    fn pulse_walk_agrees_with_covers_epoch() {
+        // Walking pulses via pulse_after must reproduce covers_epoch
+        // exactly: every epoch inside a reported pulse is covered, every
+        // epoch between pulses is not.
+        let windows = [
+            FaultWindow::new(FaultKind::SensorDropout, 40, 400).periodic(100, 10),
+            FaultWindow::new(FaultKind::SensorNan, 5, u64::MAX),
+            FaultWindow::new(FaultKind::SensorStale, 6, u64::MAX).periodic(120, 14),
+            FaultWindow::new(FaultKind::PlantRestart, 12, u64::MAX).periodic(300, 1),
+            FaultWindow::new(FaultKind::SensorSpike { factor: 2.0 }, 0, 37).periodic(7, 7),
+            FaultWindow::new(FaultKind::ActuatorLag { epochs: 2 }, 3, 50).periodic(8, 0),
+        ];
+        for w in &windows {
+            let mut active_by_walk = vec![false; 1000];
+            let mut cursor = 0u64;
+            while let Some((on, off)) = w.pulse_after(cursor) {
+                assert!(on < off, "empty pulse {on}..{off}");
+                assert!(off > cursor, "pulse did not advance past {cursor}");
+                for e in on..off.min(1000) {
+                    active_by_walk[e as usize] = true;
+                }
+                if off >= 1000 {
+                    break;
+                }
+                assert!(
+                    w.pulse_after(off).is_none_or(|(n, _)| n > off),
+                    "pulses abut at {off}"
+                );
+                cursor = off;
+            }
+            for e in 0..1000u64 {
+                assert_eq!(
+                    active_by_walk[e as usize],
+                    w.covers_epoch(e),
+                    "{:?} epoch {e}",
+                    w.kind
+                );
+            }
         }
     }
 

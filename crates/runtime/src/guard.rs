@@ -58,6 +58,9 @@ impl GuardSet {
     pub const ANTI_WINDUP: GuardSet = GuardSet(1 << 7);
     /// A restart raised the channel's re-profiling request.
     pub const REPROFILE: GuardSet = GuardSet(1 << 8);
+    /// The guard asked the plant to shed already-admitted work down to
+    /// the in-force bound (see [`GuardPolicy::shed_admitted`]).
+    pub const SHED: GuardSet = GuardSet(1 << 9);
 
     /// Adds the bits of `other`.
     pub fn insert(&mut self, other: GuardSet) {
@@ -124,6 +127,18 @@ pub struct GuardPolicy {
     pub cooldown_epochs: u64,
     /// Whether to back-calculate the integrator on actuator saturation.
     pub anti_windup: bool,
+    /// Whether a degraded channel (watchdog revert or fallback hold) may
+    /// also shed *already-admitted* work: the plane raises a shed
+    /// notification ([`ControlPlane::take_plant_shed`](crate::ControlPlane::take_plant_shed))
+    /// asking the plant to trim queue items admitted before the guard
+    /// engaged down to the in-force bound, and clamps that bound to the
+    /// safe side of the channel's profiled-safe fallback (a watchdog's
+    /// reverted setting was only ever safe against the load it was
+    /// decided under). Without this, the admission filter only bounds
+    /// what the controller admits *next* — work that entered the queue
+    /// under a doomed setting stays there, which is how TWIN/HB2149
+    /// could still violate a hard goal under chaos. Off by default.
+    pub shed_admitted: bool,
     fallbacks: Vec<(String, f64)>,
 }
 
@@ -139,6 +154,7 @@ impl Default for GuardPolicy {
             divergence_streak: 3,
             cooldown_epochs: 60,
             anti_windup: true,
+            shed_admitted: false,
             fallbacks: Vec::new(),
         }
     }
@@ -198,6 +214,16 @@ impl GuardPolicy {
     #[must_use]
     pub fn anti_windup(mut self, on: bool) -> Self {
         self.anti_windup = on;
+        self
+    }
+
+    /// Enables shedding of already-admitted work while a channel is
+    /// degraded (watchdog revert or fallback hold): the plane raises a
+    /// per-channel shed notification that [`Plant::shed`](crate::Plant::shed)
+    /// consumes. See the [`GuardPolicy::shed_admitted`] field docs.
+    #[must_use]
+    pub fn shed_admitted(mut self, on: bool) -> Self {
+        self.shed_admitted = on;
         self
     }
 
@@ -331,6 +357,11 @@ pub(crate) struct ChannelGuard {
     pub reprofile: bool,
     /// Raised by a restart until the embedder polls it (plant-side reset).
     pub plant_restart: bool,
+    /// Raised while a degraded channel asks the plant to shed
+    /// already-admitted work (see [`GuardPolicy::shed_admitted`]); held
+    /// until the embedder polls
+    /// [`take_plant_shed`](crate::ControlPlane::take_plant_shed).
+    pub plant_shed: bool,
     /// Lifetime restart count.
     pub restarts: u64,
 }
@@ -359,6 +390,7 @@ impl ChannelGuard {
             flapped: false,
             reprofile: false,
             plant_restart: false,
+            plant_shed: false,
             restarts: 0,
         }
     }
@@ -383,6 +415,7 @@ impl ChannelGuard {
         self.pending.clear();
         self.reprofile = true;
         self.plant_restart = true;
+        self.plant_shed = false; // the restart itself empties the plant's queues
         self.restarts += 1;
     }
 

@@ -1,0 +1,756 @@
+//! The event kernel: the control plane scheduled on the simkernel heap.
+//!
+//! [`EventPlane`] re-founds the lockstep epoch loop on
+//! [`smartconf_simkernel::Simulation`]: every channel senses on its own
+//! period ([`channel_with_period`](crate::ControlPlaneBuilder::channel_with_period)),
+//! fault windows become scheduled edge events instead of per-epoch
+//! window scans, and idle channels cost nothing between events. The
+//! lockstep API ([`ControlPlane::epoch_for`]/[`ControlPlane::run`])
+//! remains as a synchronous compatibility shim delivering the same
+//! Sense→Actuate sequence; with uniform periods the two produce
+//! byte-identical [`EpochLog`](crate::EpochLog)s (pinned by this
+//! module's property tests).
+//!
+//! # Event taxonomy
+//!
+//! - [`PlaneEvent::Sense`] — read the channel's sensor, run the decide
+//!   path (guard ladder included when chaos is armed), poll the restart
+//!   notification, then schedule the matching `Actuate` at the same
+//!   instant.
+//! - [`PlaneEvent::Actuate`] — apply the decided setting to the plant,
+//!   poll the shed notification, and schedule the next `Sense`.
+//! - [`PlaneEvent::GoalChange`] — retarget a channel mid-run
+//!   ([`EventPlane::schedule_goal_change`]), the scheduled form of
+//!   [`ControlPlane::set_goal`].
+//! - [`PlaneEvent::FaultWindowEdge`] — a fault window's pulse boundary:
+//!   a rising edge inserts the window into the channel's active set, a
+//!   falling edge removes it, and each edge schedules its successor from
+//!   [`FaultWindow::pulse_after`](crate::FaultWindow). Between edges the
+//!   decide path evaluates only the active set.
+//!
+//! # Ordering rules (what makes runs deterministic)
+//!
+//! The kernel inherits the calendar's total order: events fire by time,
+//! ties by scheduling sequence (FIFO). On top of that the kernel
+//! maintains two invariants:
+//!
+//! 1. **Cohort chaining.** Channels sharing a period form a *cohort* in
+//!    declaration order. Within a cohort, `Actuate(k)` schedules
+//!    `Sense(k+1)` at the same instant, and the last member's `Actuate`
+//!    schedules the first member's `Sense` one period later. Coincident
+//!    epochs therefore interleave exactly like the lockstep loop
+//!    (`sense₀, apply₀, sense₁, apply₁, …`), which is what makes the
+//!    uniform-period case byte-identical to [`ControlPlane::run`].
+//! 2. **Edges before senses.** A fault edge for epoch boundary `b` fires
+//!    at the same instant as the `Sense` performing epoch `b` but with a
+//!    strictly smaller sequence number: initial edges are scheduled
+//!    before initial senses, and each subsequent edge is scheduled by an
+//!    edge handler that (inductively) runs before the coincident sense
+//!    chain of its instant. The decide path therefore always sees the
+//!    window set the lockstep per-epoch scan would have computed.
+//!
+//! A channel's epoch `e` senses at time `(e + 1) · period_us` — one full
+//! period of warm-up before the first decision, matching the lockstep
+//! shim's advance-then-sense timing.
+
+use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
+
+use crate::{ChannelId, ControlPlane, EpochLog, Plant};
+
+/// The event alphabet of the control plane's kernel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlaneEvent {
+    /// Sense and decide one channel's epoch.
+    Sense(ChannelId),
+    /// Apply a decided setting to the plant and schedule the next sense.
+    Actuate {
+        /// The channel being actuated.
+        channel: ChannelId,
+        /// The decided setting (output space).
+        setting: f64,
+    },
+    /// Retarget a channel's goal ([`ControlPlane::set_goal`], scheduled).
+    GoalChange {
+        /// The channel to retarget.
+        channel: ChannelId,
+        /// The new goal target (finite; validated when scheduled).
+        target: f64,
+    },
+    /// A fault window's pulse boundary on one channel's epoch axis.
+    FaultWindowEdge {
+        /// The channel whose active-window set toggles.
+        channel: ChannelId,
+        /// Index of the window in the armed fault plan.
+        window: usize,
+        /// `true` activates the window, `false` deactivates it.
+        rising: bool,
+    },
+}
+
+/// The kernel's model: the plane, the plant, and the scheduling state.
+#[derive(Debug)]
+struct KernelModel<P: Plant> {
+    plane: ControlPlane,
+    plant: P,
+    /// Channels grouped by equal sensing period, declaration order
+    /// preserved both across and within cohorts.
+    cohorts: Vec<Vec<ChannelId>>,
+    /// Channel index → (cohort index, position within the cohort).
+    slot: Vec<(usize, usize)>,
+    /// Channel index → sorted indices of currently-active fault windows.
+    active: Vec<Vec<usize>>,
+}
+
+impl<P: Plant> KernelModel<P> {
+    /// When epoch boundary `b` of `channel` takes effect on the
+    /// calendar: the instant of the `Sense` performing epoch `b`.
+    /// `None` on overflow (a boundary no finite run reaches).
+    fn boundary_time(&self, channel: ChannelId, boundary: u64) -> Option<SimTime> {
+        let p = self.plane.period_us(channel);
+        let t = boundary.checked_mul(p)?.checked_add(p)?;
+        Some(SimTime::from_micros(t))
+    }
+}
+
+impl<P: Plant> Model for KernelModel<P> {
+    type Event = PlaneEvent;
+
+    fn handle(&mut self, event: PlaneEvent, ctx: &mut Context<'_, PlaneEvent>) {
+        match event {
+            PlaneEvent::Sense(ch) => {
+                let sensed = self.plant.sense(ch);
+                let t_us = ctx.now().as_micros();
+                let setting = if self.plane.chaos_enabled() {
+                    let faults = self.plane.active_faults(ch, &self.active[ch.index()]);
+                    self.plane.decide_with_faults(ch, t_us, sensed, faults)
+                } else {
+                    self.plane.decide(ch, t_us, sensed)
+                };
+                if self.plane.take_plant_restart(ch) {
+                    self.plant.restart(ch);
+                }
+                ctx.schedule_at(
+                    ctx.now(),
+                    PlaneEvent::Actuate {
+                        channel: ch,
+                        setting,
+                    },
+                );
+            }
+            PlaneEvent::Actuate { channel, setting } => {
+                self.plant.apply(channel, setting);
+                if self.plane.take_plant_shed(channel) {
+                    self.plant.shed(channel);
+                }
+                let (ci, pos) = self.slot[channel.index()];
+                let cohort = &self.cohorts[ci];
+                if pos + 1 < cohort.len() {
+                    // Chain the cohort's next channel at this instant.
+                    ctx.schedule_at(ctx.now(), PlaneEvent::Sense(cohort[pos + 1]));
+                } else {
+                    let first = cohort[0];
+                    let period = SimDuration::from_micros(self.plane.period_us(first));
+                    ctx.schedule_in(period, PlaneEvent::Sense(first));
+                }
+            }
+            PlaneEvent::GoalChange { channel, target } => {
+                self.plane
+                    .set_goal(channel, target)
+                    .expect("goal targets are validated when scheduled");
+            }
+            PlaneEvent::FaultWindowEdge {
+                channel,
+                window,
+                rising,
+            } => {
+                let list = &mut self.active[channel.index()];
+                if rising {
+                    if let Err(i) = list.binary_search(&window) {
+                        list.insert(i, window);
+                    }
+                } else if let Ok(i) = list.binary_search(&window) {
+                    list.remove(i);
+                }
+                // Edges fire before the coincident sense, so the
+                // channel's epoch counter still reads the boundary epoch.
+                let epoch = self.plane.epochs(channel);
+                if let Some((on, off)) = self.plane.window_pulse_after(window, epoch) {
+                    // Rising: schedule this pulse's falling edge (unless
+                    // it outlives any run). Falling: schedule the next
+                    // pulse's rising edge.
+                    let (boundary, next_rising) = if rising { (off, false) } else { (on, true) };
+                    if let Some(at) = self.boundary_time(channel, boundary) {
+                        ctx.schedule_at(
+                            at,
+                            PlaneEvent::FaultWindowEdge {
+                                channel,
+                                window,
+                                rising: next_rising,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`ControlPlane`] and its [`Plant`] scheduled on the simkernel event
+/// heap, with one `Sense` per channel per
+/// [`period_us`](ControlPlane::period_us).
+///
+/// Arm chaos ([`ControlPlane::enable_chaos`]) *before* constructing the
+/// `EventPlane` — fault-window edges are scheduled at construction.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_core::{Controller, Goal, SmartConf};
+/// use smartconf_runtime::{ChannelId, ControlPlane, Decider, EventPlane, Plant, Sensed};
+///
+/// // Plant: metric = 2 × setting. Goal: metric == 400.
+/// struct Linear { setting: f64 }
+/// impl Plant for Linear {
+///     fn now_us(&self) -> u64 { 0 } // the kernel owns the clock
+///     fn sense(&mut self, _: ChannelId) -> Sensed { Sensed::direct(2.0 * self.setting) }
+///     fn apply(&mut self, _: ChannelId, setting: f64) { self.setting = setting; }
+/// }
+///
+/// let ctl = Controller::new(2.0, 0.0, Goal::new("m", 400.0), 0.0, (0.0, 1e6), 0.0)?;
+/// let mut builder = ControlPlane::builder();
+/// let chan = builder.channel_with_period(
+///     "cache.size",
+///     Decider::Direct(Box::new(SmartConf::new("cache.size", ctl))),
+///     250_000, // sense 4× per second
+/// );
+/// let plane = builder.build();
+/// let mut events = EventPlane::new(plane, Linear { setting: 0.0 });
+/// events.run_until_us(10_000_000); // 10 simulated seconds → 40 epochs
+/// assert_eq!(events.plane().log().events_for("cache.size").count(), 40);
+/// assert!((2.0 * events.plant().setting - 400.0).abs() < 1.0);
+/// # Ok::<(), smartconf_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct EventPlane<P: Plant> {
+    sim: Simulation<KernelModel<P>>,
+}
+
+impl<P: Plant> EventPlane<P> {
+    /// Schedules the plane over the plant: fault-window edges first
+    /// (they must precede coincident senses), then each cohort's first
+    /// `Sense` one period in.
+    pub fn new(plane: ControlPlane, plant: P) -> Self {
+        let n = plane.channel_count();
+        let mut cohorts: Vec<(u64, Vec<ChannelId>)> = Vec::new();
+        let mut slot = vec![(0usize, 0usize); n];
+        for (i, s) in slot.iter_mut().enumerate() {
+            let ch = ChannelId(i);
+            let p = plane.period_us(ch);
+            let ci = match cohorts.iter().position(|(cp, _)| *cp == p) {
+                Some(ci) => ci,
+                None => {
+                    cohorts.push((p, Vec::new()));
+                    cohorts.len() - 1
+                }
+            };
+            *s = (ci, cohorts[ci].1.len());
+            cohorts[ci].1.push(ch);
+        }
+        let cohorts: Vec<Vec<ChannelId>> = cohorts.into_iter().map(|(_, c)| c).collect();
+        let model = KernelModel {
+            plane,
+            plant,
+            cohorts: cohorts.clone(),
+            slot,
+            active: vec![Vec::new(); n],
+        };
+        // The kernel model consumes no randomness: every handler is a
+        // pure function of the popped event and the model state.
+        let mut sim = Simulation::new(model, 0);
+        for i in 0..n {
+            let ch = ChannelId(i);
+            let windows = sim.model().plane.chaos_windows(ch).to_vec();
+            for w in windows {
+                if let Some((on, _)) = sim.model().plane.window_pulse_after(w, 0) {
+                    if let Some(at) = sim.model().boundary_time(ch, on) {
+                        sim.schedule_at(
+                            at,
+                            PlaneEvent::FaultWindowEdge {
+                                channel: ch,
+                                window: w,
+                                rising: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        for cohort in &cohorts {
+            let first = cohort[0];
+            let period = sim.model().plane.period_us(first);
+            sim.schedule_at(SimTime::from_micros(period), PlaneEvent::Sense(first));
+        }
+        EventPlane { sim }
+    }
+
+    /// Schedules a goal retarget for a channel at an absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not finite or `at_us` is in the past.
+    pub fn schedule_goal_change(&mut self, at_us: u64, channel: ChannelId, target: f64) {
+        assert!(target.is_finite(), "goal target must be finite: {target}");
+        self.sim.schedule_at(
+            SimTime::from_micros(at_us),
+            PlaneEvent::GoalChange { channel, target },
+        );
+    }
+
+    /// Runs the calendar up to and including `deadline_us`.
+    pub fn run_until_us(&mut self, deadline_us: u64) {
+        self.sim.run_until(SimTime::from_micros(deadline_us));
+    }
+
+    /// Current simulated time, microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.sim.now().as_micros()
+    }
+
+    /// Time of the next scheduled plane event, microseconds. The pacing
+    /// hook for plants that run their own event loop alongside the
+    /// kernel: process workload events up to this instant, then hand
+    /// control back via [`EventPlane::run_until_us`].
+    pub fn next_event_us(&self) -> Option<u64> {
+        self.sim.next_event_time().map(|t| t.as_micros())
+    }
+
+    /// Calendar events processed so far (senses, actuations, goal
+    /// changes, and fault edges all count; the perf gate tracks this as
+    /// events/sec).
+    pub fn events_processed(&self) -> u64 {
+        self.sim.steps()
+    }
+
+    /// The plane (log, settings, chaos state).
+    pub fn plane(&self) -> &ControlPlane {
+        &self.sim.model().plane
+    }
+
+    /// The plant under control.
+    pub fn plant(&self) -> &P {
+        &self.sim.model().plant
+    }
+
+    /// Mutable plant access (e.g. to read out metric recorders).
+    pub fn plant_mut(&mut self) -> &mut P {
+        &mut self.sim.model_mut().plant
+    }
+
+    /// Consumes the kernel, returning the plane and the plant.
+    pub fn into_parts(self) -> (ControlPlane, P) {
+        let model = self.sim.into_model();
+        (model.plane, model.plant)
+    }
+
+    /// Consumes the kernel, returning the epoch log.
+    pub fn into_log(self) -> EpochLog {
+        self.into_parts().0.into_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChaosSpec, Decider, FaultClass, GuardPolicy, Sensed};
+    use smartconf_core::{Controller, Goal, Hardness, SmartConf, SmartConfIndirect};
+
+    const PERIOD: u64 = 1_000_000;
+
+    /// A synthetic plant usable by both the lockstep shim and the event
+    /// kernel: the metric is a pure function of the settings plus noise
+    /// keyed off a per-channel sense counter (so both drivers observe
+    /// identical sequences regardless of who owns the clock).
+    #[derive(Clone)]
+    struct TwinPlant {
+        gain: f64,
+        settings: Vec<f64>,
+        senses: Vec<u64>,
+        noise_seed: u64,
+        t_us: u64,
+        step: u64,
+        horizon: u64,
+        restarts: u64,
+        sheds: u64,
+    }
+
+    impl TwinPlant {
+        fn new(channels: usize, gain: f64, noise_seed: u64, horizon: u64) -> Self {
+            TwinPlant {
+                gain,
+                settings: vec![10.0; channels],
+                senses: vec![0; channels],
+                noise_seed,
+                t_us: 0,
+                step: 0,
+                horizon,
+                restarts: 0,
+                sheds: 0,
+            }
+        }
+
+        fn noise(&self, chan: usize) -> f64 {
+            let mut z = self
+                .noise_seed
+                .wrapping_add((chan as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(self.senses[chan].wrapping_mul(0xBF58_476D_1CE4_E5B9));
+            z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 40) as f64 / (1u64 << 24) as f64 - 0.5) * 6.0
+        }
+    }
+
+    impl Plant for TwinPlant {
+        fn now_us(&self) -> u64 {
+            self.t_us
+        }
+        fn sense(&mut self, chan: ChannelId) -> Sensed {
+            let i = chan.index();
+            let total: f64 = self.settings.iter().sum();
+            let noise = self.noise(i);
+            self.senses[i] += 1;
+            Sensed::with_deputy(self.gain * total + noise, self.settings[i])
+        }
+        fn apply(&mut self, chan: ChannelId, setting: f64) {
+            self.settings[chan.index()] = setting;
+        }
+        fn advance(&mut self) -> bool {
+            self.t_us += PERIOD;
+            self.step += 1;
+            self.step <= self.horizon
+        }
+        fn restart(&mut self, chan: ChannelId) {
+            self.settings[chan.index()] = 10.0;
+            self.restarts += 1;
+        }
+        fn shed(&mut self, chan: ChannelId) {
+            let i = chan.index();
+            self.settings[i] = self.settings[i].min(40.0);
+            self.sheds += 1;
+        }
+    }
+
+    /// Bit-exact event equality: chaos legitimately writes `NaN` into
+    /// `measured`/`target` (corruption faults, static channels), and
+    /// `NaN != NaN` under `PartialEq`, so byte-identity must compare
+    /// float bit patterns.
+    fn same_event(a: &crate::EpochEvent, b: &crate::EpochEvent) -> bool {
+        a.epoch == b.epoch
+            && a.t_us == b.t_us
+            && a.channel == b.channel
+            && a.setting.to_bits() == b.setting.to_bits()
+            && a.measured.to_bits() == b.measured.to_bits()
+            && a.target.to_bits() == b.target.to_bits()
+            && a.error.to_bits() == b.error.to_bits()
+            && a.pole.to_bits() == b.pole.to_bits()
+            && a.saturated == b.saturated
+            && a.faults == b.faults
+            && a.guards == b.guards
+    }
+
+    fn first_divergence(a: &[crate::EpochEvent], b: &[crate::EpochEvent]) -> Option<String> {
+        if a.len() != b.len() {
+            return Some(format!("event counts differ: {} vs {}", a.len(), b.len()));
+        }
+        a.iter().zip(b).enumerate().find_map(|(i, (x, y))| {
+            (!same_event(x, y))
+                .then(|| format!("event {i} diverged:\n  lockstep: {x:?}\n  kernel:   {y:?}"))
+        })
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn controller(target: f64, hardness: Hardness) -> Controller {
+        let goal = Goal::new("m", target).with_hardness(hardness).unwrap();
+        Controller::new(1.0, 0.3, goal, 0.1, (0.0, 500.0), 10.0).unwrap()
+    }
+
+    /// The plane shapes of the scenario roster: single direct (CA6059,
+    /// HB2149, HB3813, HB6728, HD4995, MR2820 style) and dual deputy
+    /// sharing a super-hard metric (TWIN style).
+    fn build_plane(shape: usize, shed: bool) -> ControlPlane {
+        let mut b = ControlPlane::builder();
+        match shape {
+            0 => {
+                b.channel(
+                    "solo",
+                    Decider::Direct(Box::new(SmartConf::new(
+                        "solo",
+                        controller(200.0, Hardness::Hard),
+                    ))),
+                );
+            }
+            1 => {
+                for name in ["qa", "qb"] {
+                    b.channel(
+                        name,
+                        Decider::Deputy(Box::new(SmartConfIndirect::new(
+                            name,
+                            controller(300.0, Hardness::SuperHard),
+                        ))),
+                    );
+                }
+            }
+            _ => {
+                b.channel(
+                    "smart",
+                    Decider::Direct(Box::new(SmartConf::new(
+                        "smart",
+                        controller(250.0, Hardness::Hard),
+                    ))),
+                );
+                b.channel("fixed", Decider::Static(30.0));
+            }
+        }
+        let plane = b.build();
+        let _ = shed;
+        plane
+    }
+
+    fn arm(plane: &mut ControlPlane, class: Option<FaultClass>, seed: u64, shed: bool) {
+        if let Some(class) = class {
+            let mut guard = GuardPolicy::new()
+                .watchdog_epochs(3)
+                .divergence(3, 20)
+                .fallback_setting("solo", 25.0)
+                .fallback_setting("qa", 35.0)
+                .fallback_setting("qb", 35.0)
+                .fallback_setting("smart", 25.0);
+            if shed {
+                guard = guard.shed_admitted(true);
+            }
+            plane.enable_chaos(ChaosSpec::standard(class, seed).with_guard(guard));
+        }
+    }
+
+    fn lockstep_run(
+        shape: usize,
+        class: Option<FaultClass>,
+        seed: u64,
+        horizon: u64,
+        shed: bool,
+    ) -> (Vec<crate::EpochEvent>, TwinPlant) {
+        let mut plane = build_plane(shape, shed);
+        arm(&mut plane, class, seed, shed);
+        let channels = plane.channel_count();
+        let mut plant = TwinPlant::new(channels, 1.0, seed ^ 0xD15C, horizon);
+        plane.run(&mut plant);
+        (plane.into_log().events().copied().collect(), plant)
+    }
+
+    fn kernel_run(
+        shape: usize,
+        class: Option<FaultClass>,
+        seed: u64,
+        horizon: u64,
+        shed: bool,
+    ) -> (Vec<crate::EpochEvent>, TwinPlant) {
+        let mut plane = build_plane(shape, shed);
+        arm(&mut plane, class, seed, shed);
+        let channels = plane.channel_count();
+        let plant = TwinPlant::new(channels, 1.0, seed ^ 0xD15C, horizon);
+        let mut events = EventPlane::new(plane, plant);
+        events.run_until_us(horizon * PERIOD);
+        let (plane, plant) = events.into_parts();
+        (plane.into_log().events().copied().collect(), plant)
+    }
+
+    #[test]
+    fn uniform_periods_match_lockstep_clean() {
+        for shape in 0..3 {
+            let (a, pa) = lockstep_run(shape, None, 7, 120, false);
+            let (b, pb) = kernel_run(shape, None, 7, 120, false);
+            if let Some(d) = first_divergence(&a, &b) {
+                panic!("shape {shape}: {d}");
+            }
+            assert!(!a.is_empty());
+            assert_eq!(bits(&pa.settings), bits(&pb.settings));
+        }
+    }
+
+    #[test]
+    fn uniform_periods_match_lockstep_under_every_fault_class() {
+        for class in FaultClass::ALL {
+            for shape in 0..3 {
+                let (a, pa) = lockstep_run(shape, Some(class), 11, 400, false);
+                let (b, pb) = kernel_run(shape, Some(class), 11, 400, false);
+                if let Some(d) = first_divergence(&a, &b) {
+                    panic!("{class} shape {shape}: {d}");
+                }
+                assert_eq!(pa.restarts, pb.restarts, "{class} restart calls");
+                assert_eq!(bits(&pa.settings), bits(&pb.settings));
+            }
+        }
+    }
+
+    #[test]
+    fn shed_notifications_reach_the_plant_identically() {
+        // SensorDropout trips the watchdog; with shed_admitted the plant
+        // must see the same shed() calls from both drivers.
+        let (a, pa) = lockstep_run(0, Some(FaultClass::SensorDropout), 3, 400, true);
+        let (b, pb) = kernel_run(0, Some(FaultClass::SensorDropout), 3, 400, true);
+        if let Some(d) = first_divergence(&a, &b) {
+            panic!("{d}");
+        }
+        assert!(pa.sheds > 0, "dropout never triggered a shed");
+        assert_eq!(pa.sheds, pb.sheds);
+        assert!(a.iter().any(|e| e.guards.contains(crate::GuardSet::SHED)));
+    }
+
+    #[test]
+    fn heterogeneous_periods_sense_at_their_own_cadence() {
+        let mut b = ControlPlane::builder();
+        let fast = b.channel_with_period(
+            "fast",
+            Decider::Direct(Box::new(SmartConf::new(
+                "fast",
+                controller(200.0, Hardness::Hard),
+            ))),
+            250_000,
+        );
+        let slow = b.channel_with_period(
+            "slow",
+            Decider::Direct(Box::new(SmartConf::new(
+                "slow",
+                controller(200.0, Hardness::Hard),
+            ))),
+            1_000_000,
+        );
+        let plane = b.build();
+        assert_eq!(plane.period_us(fast), 250_000);
+        assert_eq!(plane.period_us(slow), 1_000_000);
+        let plant = TwinPlant::new(2, 1.0, 1, u64::MAX);
+        let mut events = EventPlane::new(plane, plant);
+        events.run_until_us(10_000_000);
+        let log = events.plane().log();
+        assert_eq!(log.events_for("fast").count(), 40);
+        assert_eq!(log.events_for("slow").count(), 10);
+        // Epoch e of a channel senses at (e + 1) · period.
+        let t: Vec<u64> = log.events_for("fast").take(3).map(|e| e.t_us).collect();
+        assert_eq!(t, vec![250_000, 500_000, 750_000]);
+        let t: Vec<u64> = log.events_for("slow").take(2).map(|e| e.t_us).collect();
+        assert_eq!(t, vec![1_000_000, 2_000_000]);
+    }
+
+    #[test]
+    fn heterogeneous_chaos_replays_exactly() {
+        let run = || {
+            let mut b = ControlPlane::builder();
+            b.channel_with_period(
+                "fast",
+                Decider::Direct(Box::new(SmartConf::new(
+                    "fast",
+                    controller(200.0, Hardness::Hard),
+                ))),
+                200_000,
+            );
+            b.channel_with_period(
+                "slow",
+                Decider::Direct(Box::new(SmartConf::new(
+                    "slow",
+                    controller(220.0, Hardness::Hard),
+                ))),
+                700_000,
+            );
+            let mut plane = b.build();
+            plane.enable_chaos(
+                ChaosSpec::standard(FaultClass::SensorDropout, 9)
+                    .with_guard(GuardPolicy::new().watchdog_epochs(3)),
+            );
+            let plant = TwinPlant::new(2, 1.0, 5, u64::MAX);
+            let mut events = EventPlane::new(plane, plant);
+            events.run_until_us(60_000_000);
+            events.into_log().events().copied().collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        if let Some(d) = first_divergence(&a, &b) {
+            panic!("{d}");
+        }
+        assert!(a.iter().any(|e| !e.faults.is_empty()), "no faults fired");
+    }
+
+    #[test]
+    fn goal_change_retargets_on_schedule() {
+        let (plane, chan) = ControlPlane::single(
+            "c",
+            Decider::Direct(Box::new(SmartConf::new(
+                "c",
+                controller(200.0, Hardness::Hard),
+            ))),
+        );
+        let plant = TwinPlant::new(1, 1.0, 2, u64::MAX);
+        let mut events = EventPlane::new(plane, plant);
+        events.schedule_goal_change(5_500_000, chan, 80.0);
+        events.run_until_us(30_000_000);
+        let log = events.plane().log();
+        let before = log.events_for("c").find(|e| e.epoch == 4).unwrap();
+        let after = log.events_for("c").find(|e| e.epoch == 20).unwrap();
+        assert!((before.target - 180.0).abs() < 1e-9, "λ 0.1 virtual goal");
+        assert!(
+            (after.target - 72.0).abs() < 1e-9,
+            "retargeted virtual goal"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn goal_change_rejects_non_finite_targets() {
+        let (plane, chan) = ControlPlane::single("c", Decider::Static(1.0));
+        let plant = TwinPlant::new(1, 1.0, 0, 1);
+        let mut events = EventPlane::new(plane, plant);
+        events.schedule_goal_change(1, chan, f64::NAN);
+    }
+
+    #[test]
+    fn event_counter_reports_calendar_steps() {
+        let (plane, _) = ControlPlane::single("c", Decider::Static(5.0));
+        let plant = TwinPlant::new(1, 1.0, 3, u64::MAX);
+        let mut events = EventPlane::new(plane, plant);
+        // Before any processing the calendar's head is epoch 0's sense,
+        // one warm-up period in — the co-simulation pacing hook.
+        assert_eq!(events.next_event_us(), Some(PERIOD));
+        events.run_until_us(10_000_000);
+        // 10 epochs × (Sense + Actuate), no chaos edges.
+        assert_eq!(events.events_processed(), 20);
+        assert_eq!(events.now_us(), 10_000_000);
+        // The chain keeps itself alive: epoch 10's sense is pending.
+        assert_eq!(events.next_event_us(), Some(11 * PERIOD));
+    }
+
+    proptest::proptest! {
+        /// Tentpole property: an event-driven run with all periods equal
+        /// is byte-identical to the lockstep shim — across the roster's
+        /// plane shapes (single direct, dual super-hard deputy,
+        /// smart+static), every fault class and clean, and arbitrary
+        /// seeds.
+        #[test]
+        fn uniform_event_runs_equal_lockstep(
+            shape in 0usize..3,
+            class_idx in 0usize..=FaultClass::ALL.len(), // == len ⇒ clean
+            seed in 0u64..10_000,
+            horizon in 50u64..300,
+            shed in proptest::bool::ANY,
+        ) {
+            let class = FaultClass::ALL.get(class_idx).copied();
+            let (a, pa) = lockstep_run(shape, class, seed, horizon, shed);
+            let (b, pb) = kernel_run(shape, class, seed, horizon, shed);
+            if let Some(d) = first_divergence(&a, &b) {
+                panic!("{d}");
+            }
+            proptest::prop_assert_eq!(bits(&pa.settings), bits(&pb.settings));
+            proptest::prop_assert_eq!(pa.restarts, pb.restarts);
+            proptest::prop_assert_eq!(pa.sheds, pb.sheds);
+        }
+    }
+}

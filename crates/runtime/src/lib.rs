@@ -32,8 +32,17 @@
 //!   `(seed, plan, channel, epoch)` so chaos runs replay exactly.
 //! - [`GuardPolicy`]/[`ChaosSpec`] — the matching resilience guards
 //!   (admission filtering, stale watchdog, anti-windup, divergence
-//!   fallback to the profiled-safe setting, restart recovery), armed via
+//!   fallback to the profiled-safe setting, restart recovery, optional
+//!   shedding of already-admitted work), armed via
 //!   [`ControlPlane::enable_chaos`].
+//! - [`EventPlane`]/[`PlaneEvent`] — the event kernel: the same plane
+//!   scheduled on the `smartconf-simkernel` calendar, one `Sense` per
+//!   channel per [`period_us`](ControlPlane::period_us)
+//!   ([`channel_with_period`](ControlPlaneBuilder::channel_with_period)),
+//!   fault windows as scheduled edge events. The lockstep
+//!   [`epoch`](ControlPlane::epoch)/[`run`](ControlPlane::run) API is a
+//!   compatibility shim over the same decide path; with uniform periods
+//!   the two produce byte-identical logs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -43,6 +52,7 @@ mod event;
 mod fault;
 mod fleet;
 mod guard;
+mod kernel;
 mod plane;
 mod plant;
 mod profiler;
@@ -55,6 +65,7 @@ pub use fault::{
 };
 pub use fleet::{shard_seed, FleetExecutor};
 pub use guard::{ChaosSpec, GuardPolicy, GuardSet};
-pub use plane::{ControlPlane, ControlPlaneBuilder, Decider};
+pub use kernel::{EventPlane, PlaneEvent};
+pub use plane::{ControlPlane, ControlPlaneBuilder, Decider, DEFAULT_PERIOD_US};
 pub use plant::{ChannelId, Plant, Sensed};
 pub use profiler::{ProfileSchedule, Profiler, SampleMode};

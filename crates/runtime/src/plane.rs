@@ -114,12 +114,25 @@ struct ChaosState {
     window_map: Vec<Vec<usize>>,
 }
 
+/// The sensing period assigned to channels declared without an explicit
+/// one ([`ControlPlaneBuilder::channel`]): one second, the uniform
+/// quantum the lockstep scenarios have always used. Channels that need
+/// their own cadence declare it via
+/// [`ControlPlaneBuilder::channel_with_period`].
+pub const DEFAULT_PERIOD_US: u64 = 1_000_000;
+
 /// One named control channel.
 #[derive(Debug)]
 struct Channel {
     name: String,
     decider: Decider,
     epochs: u64,
+    /// Sensing period of this channel, microseconds. The lockstep shim
+    /// ([`ControlPlane::epoch_for`]) treats it as metadata (the plant
+    /// owns the clock); the event kernel
+    /// ([`EventPlane`](crate::EventPlane)) schedules one Sense event per
+    /// period.
+    period_us: u64,
 }
 
 /// Builds a [`ControlPlane`], handing out [`ChannelId`]s as channels are
@@ -136,12 +149,29 @@ impl ControlPlaneBuilder {
     }
 
     /// Declares a channel; the returned id is how the plant and the
-    /// epoch calls refer to it.
+    /// epoch calls refer to it. The channel senses on the uniform
+    /// [`DEFAULT_PERIOD_US`] quantum.
     pub fn channel(&mut self, name: impl Into<String>, decider: Decider) -> ChannelId {
+        self.channel_with_period(name, decider, DEFAULT_PERIOD_US)
+    }
+
+    /// Declares a channel with its own sensing period in microseconds
+    /// (clamped ≥ 1). Under the event kernel
+    /// ([`EventPlane`](crate::EventPlane)) the channel senses once per
+    /// period; under the lockstep shim the period is advisory metadata a
+    /// scenario can read back via [`ControlPlane::period_us`] to pace
+    /// its own control ticks.
+    pub fn channel_with_period(
+        &mut self,
+        name: impl Into<String>,
+        decider: Decider,
+        period_us: u64,
+    ) -> ChannelId {
         self.channels.push(Channel {
             name: name.into(),
             decider,
             epochs: 0,
+            period_us: period_us.max(1),
         });
         ChannelId(self.channels.len() - 1)
     }
@@ -232,9 +262,31 @@ impl ControlPlane {
         (b.build(), id)
     }
 
+    /// A single-channel plane with an explicit sensing period (see
+    /// [`ControlPlaneBuilder::channel_with_period`]).
+    pub fn single_with_period(
+        name: impl Into<String>,
+        decider: Decider,
+        period_us: u64,
+    ) -> (ControlPlane, ChannelId) {
+        let mut b = ControlPlaneBuilder::new();
+        let id = b.channel_with_period(name, decider, period_us);
+        (b.build(), id)
+    }
+
     /// Number of channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
+    }
+
+    /// The sensing period of a channel, microseconds.
+    pub fn period_us(&self, id: ChannelId) -> u64 {
+        self.channels[id.0].period_us
+    }
+
+    /// Completed epochs (decides) of a channel.
+    pub fn epochs(&self, id: ChannelId) -> u64 {
+        self.channels[id.0].epochs
     }
 
     /// Looks up a channel by name.
@@ -249,9 +301,14 @@ impl ControlPlane {
     /// current time. Returns the decided setting (already applied to the
     /// plant).
     ///
-    /// Event-driven plants call this at every site where the
-    /// configuration takes effect; [`ControlPlane::run`] calls it once
-    /// per advance for loop-driven plants.
+    /// This is the lockstep compatibility shim over the event kernel:
+    /// it delivers, synchronously at the caller's site, exactly the
+    /// Sense→Actuate pair [`EventPlane`](crate::EventPlane) schedules
+    /// through the calendar (sense, decide, restart poll, apply, shed
+    /// poll — in that order). Plants that own their own clock call this
+    /// at every site where the configuration takes effect;
+    /// [`ControlPlane::run`] calls it once per advance for loop-driven
+    /// plants.
     pub fn epoch_for<P: Plant + ?Sized>(&mut self, plant: &mut P, id: ChannelId) -> f64 {
         let sensed = plant.sense(id);
         let t_us = plant.now_us();
@@ -260,10 +317,15 @@ impl ControlPlane {
             plant.restart(id);
         }
         plant.apply(id, setting);
+        if self.chaos.is_some() && self.take_plant_shed(id) {
+            plant.shed(id);
+        }
         setting
     }
 
-    /// One epoch for every channel, in declaration order.
+    /// One epoch for every channel, in declaration order — the lockstep
+    /// equivalent of one uniform-period round of the event kernel's
+    /// calendar.
     pub fn epoch<P: Plant + ?Sized>(&mut self, plant: &mut P) {
         for i in 0..self.channels.len() {
             self.epoch_for(plant, ChannelId(i));
@@ -271,7 +333,12 @@ impl ControlPlane {
     }
 
     /// Owns the whole loop for plants that implement [`Plant::advance`]:
-    /// advance one epoch, then sense/decide/apply every channel.
+    /// advance one epoch, then sense/decide/apply every channel. With
+    /// all channels on the same period this produces byte-identical
+    /// [`EpochLog`] output to driving the same plant through
+    /// [`EventPlane`](crate::EventPlane) (the event kernel's property
+    /// tests pin that equivalence); heterogeneous periods require the
+    /// kernel.
     pub fn run<P: Plant>(&mut self, plant: &mut P) {
         while plant.advance() {
             self.epoch(plant);
@@ -342,13 +409,31 @@ impl ControlPlane {
     /// ladder, then (maybe) the normal controller step. See the module
     /// docs of [`crate::guard`] for the stage ordering.
     fn decide_chaos(&mut self, id: ChannelId, t_us: u64, sensed: Sensed) -> f64 {
+        let chaos = self.chaos.as_ref().expect("chaos is armed");
+        let active: ActiveFaults = chaos.injector.at_windows(
+            &chaos.window_map[id.0],
+            id.0 as u32,
+            self.channels[id.0].epochs,
+        );
+        self.decide_with_faults(id, t_us, sensed, active)
+    }
+
+    /// The guard-ladder half of the chaos decide path, with the injected
+    /// faults already evaluated. [`ControlPlane::decide`] computes them
+    /// by scanning the channel's full window list; the event kernel
+    /// ([`EventPlane`](crate::EventPlane)) computes them from the
+    /// edge-maintained active-window set — both must land here so the
+    /// two paths stay bit-identical.
+    pub(crate) fn decide_with_faults(
+        &mut self,
+        id: ChannelId,
+        t_us: u64,
+        sensed: Sensed,
+        active: ActiveFaults,
+    ) -> f64 {
         let chaos = self.chaos.as_mut().expect("chaos is armed");
         let ch = &mut self.channels[id.0];
         let epoch = ch.epochs;
-        let active: ActiveFaults =
-            chaos
-                .injector
-                .at_windows(&chaos.window_map[id.0], id.0 as u32, epoch);
         let policy = &chaos.policy;
         let g = &mut chaos.guards[id.0];
         g.last_epoch = epoch;
@@ -553,7 +638,7 @@ impl ControlPlane {
                 }
             }
         }
-        let in_force = if let Some(k) = active.lag {
+        let mut in_force = if let Some(k) = active.lag {
             g.pending.push_back((epoch + k, decided));
             while let Some(&(due, v)) = g.pending.front() {
                 if due <= epoch {
@@ -569,6 +654,50 @@ impl ControlPlane {
             g.in_force = decided;
             decided
         };
+        // 8. Admitted-work shedding: while the channel is degraded (a
+        //    watchdog revert or a fallback hold — the guard no longer
+        //    trusts the controller's recent decisions), ask the plant to
+        //    also trim work admitted *before* the guard engaged down to
+        //    the in-force bound. The watchdog's reverted setting was
+        //    only ever safe against the load it was decided under, so
+        //    the bound is additionally clamped to the safe side of the
+        //    profiled-safe fallback — the one setting known to survive
+        //    the goal's worst profiled case — and ratcheted against the
+        //    previous in-force value: a degraded channel must never
+        //    *loosen* its bound (a goal flap can squeeze the engaged
+        //    controller well below the fallback; reverting up to it
+        //    mid-crisis releases a refill spike). Opt-in: admission-only
+        //    guards cannot stop an already-enqueued backlog from
+        //    violating a hard goal (TWIN/HB2149's queues).
+        if policy.shed_admitted
+            && (guards.contains(GuardSet::WATCHDOG)
+                || guards.contains(GuardSet::FALLBACK)
+                || guards.contains(GuardSet::FALLBACK_ENTER))
+        {
+            // Which direction of the *setting* is safe depends on both
+            // the goal sense and the profiled response slope: a queue
+            // bound raises its memory metric (alpha > 0, upper bound →
+            // clamp down), while HB2149's lowerLimit *shortens* its
+            // block-time metric (alpha < 0, upper bound → clamp up).
+            let ctl = ch.decider.controller().expect("smart channel");
+            let toward_violation = match ctl.goal().sense() {
+                Sense::UpperBound => ctl.alpha(),
+                Sense::LowerBound => -ctl.alpha(),
+            };
+            let clamped = if toward_violation > 0.0 {
+                in_force.min(g.fallback).min(g.prev_in_force)
+            } else {
+                in_force.max(g.fallback).max(g.prev_in_force)
+            };
+            if clamped != in_force {
+                in_force = clamped;
+                g.in_force = clamped;
+                ch.decider.force(clamped);
+            }
+            g.plant_shed = true;
+            guards.insert(GuardSet::SHED);
+        }
+
         g.setting_moved = in_force != g.prev_in_force;
         g.prev_in_force = in_force;
 
@@ -679,9 +808,58 @@ impl ControlPlane {
         }
     }
 
+    /// Consumes the channel's pending shed notification: `true` when a
+    /// degraded channel under a [`GuardPolicy::shed_admitted`] policy
+    /// wants the plant to trim already-admitted work to the in-force
+    /// bound ([`ControlPlane::epoch_for`] polls this to call
+    /// [`Plant::shed`]; event-driven plants that call
+    /// [`ControlPlane::decide`] directly poll it themselves).
+    pub fn take_plant_shed(&mut self, id: ChannelId) -> bool {
+        match &mut self.chaos {
+            Some(c) => std::mem::take(&mut c.guards[id.0].plant_shed),
+            None => false,
+        }
+    }
+
     /// Lifetime injected-restart count for a channel (chaos mode only).
     pub fn restart_count(&self, id: ChannelId) -> u64 {
         self.chaos.as_ref().map_or(0, |c| c.guards[id.0].restarts)
+    }
+
+    /// The channel's pre-resolved fault-window indices (chaos mode;
+    /// empty otherwise). The event kernel schedules window-edge events
+    /// from these at construction.
+    pub(crate) fn chaos_windows(&self, id: ChannelId) -> &[usize] {
+        match &self.chaos {
+            Some(c) => &c.window_map[id.0],
+            None => &[],
+        }
+    }
+
+    /// The first active pulse of fault window `window` ending after
+    /// `epoch` (see [`FaultWindow::pulse_after`]). `None` without chaos
+    /// or when the window never activates again.
+    pub(crate) fn window_pulse_after(&self, window: usize, epoch: u64) -> Option<(u64, u64)> {
+        let chaos = self.chaos.as_ref()?;
+        chaos
+            .injector
+            .plan()
+            .windows()
+            .get(window)?
+            .pulse_after(epoch)
+    }
+
+    /// Evaluates the injector over a pre-verified active-window subset
+    /// (the event kernel's edge-maintained set). Equivalent to the full
+    /// scan in [`ControlPlane::decide`] whenever `windows` holds exactly
+    /// the channel's windows whose pulses cover its current epoch.
+    pub(crate) fn active_faults(&self, id: ChannelId, windows: &[usize]) -> ActiveFaults {
+        match &self.chaos {
+            Some(c) => c
+                .injector
+                .at_windows(windows, id.0 as u32, self.channels[id.0].epochs),
+            None => ActiveFaults::default(),
+        }
     }
 
     /// The current setting of a channel (no measurement consumed).

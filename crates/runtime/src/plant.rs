@@ -87,4 +87,15 @@ pub trait Plant {
     /// poll [`ControlPlane::take_plant_restart`](crate::ControlPlane::take_plant_restart)
     /// themselves. The default does nothing.
     fn restart(&mut self, _channel: ChannelId) {}
+
+    /// Sheds already-admitted work for one channel down to the setting
+    /// currently in force, when the guard ladder degrades the channel
+    /// under a [`GuardPolicy`](crate::GuardPolicy) with
+    /// [`shed_admitted`](crate::GuardPolicy::shed_admitted) enabled.
+    /// [`ControlPlane::epoch_for`](crate::ControlPlane::epoch_for) calls
+    /// this after actuation; event-driven plants poll
+    /// [`ControlPlane::take_plant_shed`](crate::ControlPlane::take_plant_shed)
+    /// themselves. The default does nothing (most plants have no
+    /// sheddable queue).
+    fn shed(&mut self, _channel: ChannelId) {}
 }

@@ -192,6 +192,13 @@ impl<M: Model> Simulation<M> {
         &self.trace
     }
 
+    /// Time of the next scheduled event, if any. Lets an embedding
+    /// co-simulation pace its own calendar against this one without
+    /// consuming the event ([`Simulation::step`] still owns delivery).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+
     /// Schedules an event at an absolute time.
     ///
     /// # Panics
@@ -370,12 +377,16 @@ mod tests {
     #[test]
     fn run_until_stops_at_deadline() {
         let mut sim = Simulation::new(recorder(), 1);
+        assert_eq!(sim.next_event_time(), None);
         sim.schedule_at(SimTime::from_micros(10), Ev::Mark(1));
         sim.schedule_at(SimTime::from_micros(50), Ev::Mark(2));
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_micros(10)));
         sim.run_until(SimTime::from_micros(30));
         assert_eq!(sim.model().seen, vec![(10, 1)]);
         // Clock advanced to the deadline even though no event fired there.
         assert_eq!(sim.now(), SimTime::from_micros(30));
+        // Peeking never consumed the pending event.
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_micros(50)));
         // The later event still fires afterwards.
         sim.run();
         assert_eq!(sim.model().seen.len(), 2);
