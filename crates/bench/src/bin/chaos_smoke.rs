@@ -55,7 +55,8 @@ fn main() {
     let seeds: Vec<u64> = (BASE_SEED..BASE_SEED + seeds_n.max(1)).collect();
 
     eprintln!(
-        "chaos smoke: 7 scenarios x {} seeds x 8 policies (SmartConf + 7 fault classes)",
+        "chaos smoke: 7 scenarios x {} seeds x 16 policies \
+         (SmartConf + Adaptive, frozen + adaptive chaos per fault class)",
         seeds.len()
     );
     let (serial_report, serial_phase) = chaos_run(&seeds, 1);

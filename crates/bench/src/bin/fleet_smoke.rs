@@ -36,8 +36,9 @@ fn main() {
     let seeds: Vec<u64> = (42..42 + seeds_n.max(1)).collect();
 
     eprintln!(
-        "fleet smoke: 7 scenarios x {} seeds x 3 policies",
-        seeds.len()
+        "fleet smoke: 7 scenarios x {} seeds x {} policies",
+        seeds.len(),
+        smartconf_bench::fleet::SMOKE_POLICIES.len()
     );
     let (serial_report, serial_phase) = smoke_run(&seeds, 1);
     eprintln!(

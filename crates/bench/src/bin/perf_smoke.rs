@@ -17,8 +17,11 @@
 //! Alongside the per-scenario epochs/sec the artifact records the event
 //! kernel's events/sec ([`smartconf_bench::perf::measure_kernel`]): a
 //! synthetic heterogeneous-period plane run through `EventPlane`,
-//! isolating the calendar + decide cost per event. Like epochs/sec it
-//! is informational, never gated.
+//! isolating the calendar + decide cost per event. Under `--check` the
+//! kernel rate is gated with the same ±25% band as the fleet wall-clock
+//! (directions inverted — a rate regresses by *dropping*); the kernel
+//! processes millions of events per measurement, so its rate is stable
+//! enough to gate where the sub-millisecond per-scenario loops are not.
 //!
 //! Epochs/sec per scenario is recorded in the artifact but never gated:
 //! sub-millisecond decide loops jitter by integer factors on shared CI
@@ -26,8 +29,8 @@
 //! 25% band.
 
 use smartconf_bench::perf::{
-    bench_json, check_fleet_wall, measure_fleet, measure_kernel, measure_scenarios,
-    parse_fleet_wall, CheckVerdict, TOLERANCE,
+    bench_json, check_fleet_wall, check_kernel_rate, measure_fleet, measure_kernel,
+    measure_scenarios, parse_fleet_wall, parse_kernel_rate, CheckVerdict, TOLERANCE,
 };
 
 fn main() {
@@ -71,7 +74,7 @@ fn main() {
     );
 
     eprintln!(
-        "perf smoke: serial fleet wall-clock (7 scenarios x {} seeds x 3 policies)",
+        "perf smoke: serial fleet wall-clock (7 scenarios x {} seeds x 4 policies)",
         seeds.len()
     );
     let fleet = measure_fleet(&seeds);
@@ -98,6 +101,7 @@ fn main() {
         baseline_secs * (1.0 + TOLERANCE),
         new_secs
     );
+    let mut failed = false;
     match check_fleet_wall(baseline_secs, new_secs) {
         CheckVerdict::Ok => eprintln!("OK: fleet wall-clock within tolerance ({band})"),
         CheckVerdict::BaselineStale => eprintln!(
@@ -106,7 +110,33 @@ fn main() {
         ),
         CheckVerdict::Regression => {
             eprintln!("FAIL: fleet wall-clock regression ({band})");
-            std::process::exit(1);
+            failed = true;
         }
+    }
+
+    let baseline_rate = parse_kernel_rate(&baseline)
+        .unwrap_or_else(|| panic!("--check: no kernel events_per_sec in {baseline_path}"));
+    let new_rate = kernel.events_per_sec();
+    let rate_band = format!(
+        "baseline {:.0} events/s, tolerance ±{:.0}% -> [{:.0}, {:.0}] events/s, measured {:.0}",
+        baseline_rate,
+        TOLERANCE * 100.0,
+        baseline_rate * (1.0 - TOLERANCE),
+        baseline_rate * (1.0 + TOLERANCE),
+        new_rate
+    );
+    match check_kernel_rate(baseline_rate, new_rate) {
+        CheckVerdict::Ok => eprintln!("OK: kernel events/sec within tolerance ({rate_band})"),
+        CheckVerdict::BaselineStale => eprintln!(
+            "OK: kernel events/sec beats the upper tolerance bound ({rate_band}); \
+             consider regenerating the committed {baseline_path}"
+        ),
+        CheckVerdict::Regression => {
+            eprintln!("FAIL: kernel events/sec regression ({rate_band})");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -22,11 +22,14 @@ use crate::fleet::{fleet_scenarios, FleetPhase};
 /// fault class.
 pub const HARD_GOAL_SCENARIOS: [&str; 3] = ["HB6728", "HD4995", "MR2820"];
 
-/// The chaos policies: the clean SmartConf baseline (guards dormant)
-/// plus one chaos policy per fault class.
+/// The chaos policies: the clean SmartConf baseline (guards dormant),
+/// its adaptive-model variant, then one frozen and one adaptive chaos
+/// policy per fault class. The frozen policies keep their historical
+/// order so pre-existing report lines stay byte-comparable.
 pub fn chaos_policies() -> Vec<Policy> {
-    let mut policies = vec![Policy::Smart];
+    let mut policies = vec![Policy::Smart, Policy::Adaptive];
     policies.extend(FaultClass::ALL.iter().map(|&c| Policy::Chaos(c)));
+    policies.extend(FaultClass::ALL.iter().map(|&c| Policy::AdaptiveChaos(c)));
     policies
 }
 
@@ -177,10 +180,12 @@ mod tests {
     #[test]
     fn policies_cover_every_fault_class() {
         let policies = chaos_policies();
-        assert_eq!(policies.len(), 1 + FaultClass::ALL.len());
+        assert_eq!(policies.len(), 2 + 2 * FaultClass::ALL.len());
         assert_eq!(policies[0], Policy::Smart);
+        assert_eq!(policies[1], Policy::Adaptive);
         for class in FaultClass::ALL {
             assert!(policies.contains(&Policy::Chaos(class)));
+            assert!(policies.contains(&Policy::AdaptiveChaos(class)));
         }
     }
 

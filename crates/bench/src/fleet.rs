@@ -23,11 +23,14 @@ pub fn fleet_scenarios() -> Vec<Box<dyn Scenario + Send + Sync>> {
 }
 
 /// The smoke policies: SmartConf plus the two issue defaults (which
-/// every scenario in the roster defines, so no shard is unresolved).
-pub const SMOKE_POLICIES: [Policy; 3] = [
+/// every scenario in the roster defines, so no shard is unresolved),
+/// plus the adaptive-model variant of SmartConf. `Adaptive` stays last
+/// so the frozen policies' report lines keep their historical order.
+pub const SMOKE_POLICIES: [Policy; 4] = [
     Policy::Smart,
     Policy::Static(Baseline::BuggyDefault),
     Policy::Static(Baseline::PatchDefault),
+    Policy::Adaptive,
 ];
 
 /// One timed phase of the smoke run.
@@ -166,6 +169,27 @@ mod tests {
             serial.render(),
             threaded.render(),
             "heterogeneous-period fleet reports diverged across thread counts"
+        );
+    }
+
+    #[test]
+    fn adaptive_fleet_byte_identical_across_threads() {
+        // The online estimator must not cost determinism: an
+        // adaptive-only fleet renders byte-identically at 1 and 4
+        // worker threads (the RLS update runs inside the controller
+        // step, which both drivers replay in the same order).
+        use smartconf_dfs::Hd4995;
+        use smartconf_kvstore::scenarios::Hb6728;
+        let scenarios: Vec<Box<dyn Scenario + Send + Sync>> =
+            vec![Box::new(Hb6728::standard()), Box::new(Hd4995::standard())];
+        let seeds = [42, 43];
+        let policies = [Policy::Adaptive];
+        let serial = run_fleet(&scenarios, &seeds, &policies, &FleetExecutor::new(1));
+        let threaded = run_fleet(&scenarios, &seeds, &policies, &FleetExecutor::new(4));
+        assert_eq!(
+            serial.render(),
+            threaded.render(),
+            "adaptive fleet reports diverged across thread counts"
         );
     }
 

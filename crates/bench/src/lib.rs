@@ -23,6 +23,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablations;
+pub mod adaptive;
 pub mod chaos;
 pub mod figure5;
 pub mod figure6;

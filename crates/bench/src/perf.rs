@@ -235,7 +235,17 @@ pub fn bench_json(
 /// Extracts `"fleet_wall_clock_secs"` from a `BENCH_perf.json` rendering
 /// (the artifact is hand-rolled, so so is the parse).
 pub fn parse_fleet_wall(json: &str) -> Option<f64> {
-    let key = "\"fleet_wall_clock_secs\":";
+    parse_number_after(json, "\"fleet_wall_clock_secs\":")
+}
+
+/// Extracts the kernel's `"events_per_sec"` from a `BENCH_perf.json`
+/// rendering (the key only occurs inside the `"kernel"` object; the
+/// per-scenario entries record `epochs_per_sec`).
+pub fn parse_kernel_rate(json: &str) -> Option<f64> {
+    parse_number_after(json, "\"events_per_sec\":")
+}
+
+fn parse_number_after(json: &str, key: &str) -> Option<f64> {
     let rest = &json[json.find(key)? + key.len()..];
     rest.trim_start()
         .trim_end_matches(char::is_whitespace)
@@ -264,6 +274,21 @@ pub fn check_fleet_wall(baseline_secs: f64, new_secs: f64) -> CheckVerdict {
     if new_secs > baseline_secs * (1.0 + TOLERANCE) {
         CheckVerdict::Regression
     } else if new_secs < baseline_secs * (1.0 - TOLERANCE) {
+        CheckVerdict::BaselineStale
+    } else {
+        CheckVerdict::Ok
+    }
+}
+
+/// Gates the kernel's events/sec against a baseline under the same
+/// ±[`TOLERANCE`] band, with the directions inverted relative to
+/// [`check_fleet_wall`]: a *rate* regresses by dropping below
+/// `baseline * (1 − TOLERANCE)`, and beats the baseline (stale) above
+/// `baseline * (1 + TOLERANCE)`.
+pub fn check_kernel_rate(baseline_rate: f64, new_rate: f64) -> CheckVerdict {
+    if new_rate < baseline_rate * (1.0 - TOLERANCE) {
+        CheckVerdict::Regression
+    } else if new_rate > baseline_rate * (1.0 + TOLERANCE) {
         CheckVerdict::BaselineStale
     } else {
         CheckVerdict::Ok
@@ -332,5 +357,31 @@ mod tests {
     #[test]
     fn parse_rejects_missing_key() {
         assert_eq!(parse_fleet_wall("{}"), None);
+        assert_eq!(parse_kernel_rate("{}"), None);
+    }
+
+    #[test]
+    fn kernel_check_gates_on_the_lower_bound_only() {
+        assert_eq!(check_kernel_rate(4e6, 4e6), CheckVerdict::Ok);
+        assert_eq!(check_kernel_rate(4e6, 3.01e6), CheckVerdict::Ok);
+        assert_eq!(check_kernel_rate(4e6, 2.99e6), CheckVerdict::Regression);
+        assert_eq!(check_kernel_rate(4e6, 4.99e6), CheckVerdict::Ok);
+        assert_eq!(check_kernel_rate(4e6, 5.01e6), CheckVerdict::BaselineStale);
+    }
+
+    #[test]
+    fn kernel_rate_parses_from_rendered_json() {
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        let json = bench_json(42, &[], &kernel, &[42], &fleet);
+        assert_eq!(parse_kernel_rate(&json), Some(2_000_000.0));
     }
 }

@@ -5,11 +5,30 @@
 //! context-aware poles for hard constraints (§5.2), and the interaction
 //! factor for super-hard goals shared by several configurations (§5.4).
 
-use crate::{Error, Goal, Hardness, Result, Sense};
+use crate::{adaptive_pole, Error, GainModel, Goal, Hardness, PerfModel, Result, Sense};
 
 /// Consecutive saturated-and-violating steps before the controller flags
 /// the goal as unreachable.
 const UNREACHABLE_STREAK: u32 = 5;
+
+/// Which control law turns the tracking error into the next setting.
+///
+/// The paper's controller is integral (Equation 2): corrections
+/// accumulate on the current setting, so any constant error is
+/// eventually driven out. [`ControlLaw::Proportional`] is the classical
+/// weaker baseline the benches compare against — the setting is the
+/// initial operating point plus a term proportional to the *current*
+/// error, so a constant disturbance leaves a steady-state offset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ControlLaw {
+    /// Integral action (the paper's Equation 2):
+    /// `c_{k+1} = c_k + (1 − p) / (N · α) · e_{k+1}`.
+    #[default]
+    Integral,
+    /// Proportional action around the initial operating point:
+    /// `c_{k+1} = c_0 + (1 − p) / (N · α) · e_{k+1}`.
+    Proportional,
+}
 
 /// An integral controller that adjusts one configuration to keep one
 /// performance metric at its goal.
@@ -44,7 +63,7 @@ const UNREACHABLE_STREAK: u32 = 5;
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Controller {
-    alpha: f64,
+    model: GainModel,
     pole: f64,
     goal: Goal,
     lambda: f64,
@@ -52,6 +71,8 @@ pub struct Controller {
     min: f64,
     max: f64,
     current: f64,
+    base: f64,
+    law: ControlLaw,
     last_pole_used: f64,
     unreachable_streak: u32,
 }
@@ -83,6 +104,34 @@ impl Controller {
         bounds: (f64, f64),
         initial: f64,
     ) -> Result<Self> {
+        Controller::with_model(
+            GainModel::frozen(alpha),
+            pole,
+            goal,
+            lambda,
+            bounds,
+            initial,
+        )
+    }
+
+    /// Creates a controller around an explicit estimator — the frozen
+    /// offline fit or an online [`RlsModel`](crate::RlsModel). Same
+    /// parameters and validation as [`Controller::new`], which is the
+    /// special case of a frozen zero-intercept model.
+    ///
+    /// # Errors
+    ///
+    /// As [`Controller::new`]; the model's gain must be non-zero and
+    /// finite.
+    pub fn with_model(
+        model: GainModel,
+        pole: f64,
+        goal: Goal,
+        lambda: f64,
+        bounds: (f64, f64),
+        initial: f64,
+    ) -> Result<Self> {
+        let alpha = model.alpha();
         if !alpha.is_finite() || alpha == 0.0 {
             return Err(Error::ZeroGain {
                 conf: goal.metric().to_string(),
@@ -110,7 +159,7 @@ impl Controller {
             });
         }
         Ok(Controller {
-            alpha,
+            model,
             pole,
             goal,
             lambda,
@@ -118,6 +167,8 @@ impl Controller {
             min,
             max,
             current: initial.clamp(min, max),
+            base: initial.clamp(min, max),
+            law: ControlLaw::Integral,
             last_pole_used: pole,
             unreachable_streak: 0,
         })
@@ -155,9 +206,43 @@ impl Controller {
         Ok(())
     }
 
-    /// The profiled gain `α`.
+    /// The model gain `α` — the frozen profiled value, or an adaptive
+    /// model's current estimate.
     pub fn alpha(&self) -> f64 {
-        self.alpha
+        self.model.alpha()
+    }
+
+    /// The performance model the controller consults (and, when
+    /// adaptive, teaches on every finite measurement).
+    pub fn model(&self) -> &GainModel {
+        &self.model
+    }
+
+    /// Mutable access to the model — how the runtime resets an adaptive
+    /// estimator's certainty after a plant restart
+    /// ([`PerfModel::relearn`]).
+    pub fn model_mut(&mut self) -> &mut GainModel {
+        &mut self.model
+    }
+
+    /// Whether the controller's estimator refines itself online.
+    pub fn is_adaptive(&self) -> bool {
+        self.model.is_adaptive()
+    }
+
+    /// Selects the control law. [`ControlLaw::Integral`] (the default)
+    /// is the paper's controller; [`ControlLaw::Proportional`] is the
+    /// classical baseline the benches compare against. Switching laws
+    /// re-anchors the proportional operating point at the current
+    /// setting.
+    pub fn set_control_law(&mut self, law: ControlLaw) {
+        self.law = law;
+        self.base = self.current;
+    }
+
+    /// The control law in effect.
+    pub fn control_law(&self) -> ControlLaw {
+        self.law
     }
 
     /// The regular pole.
@@ -218,6 +303,7 @@ impl Controller {
     pub fn reset(&mut self, initial: f64) {
         if initial.is_finite() {
             self.current = initial.clamp(self.min, self.max);
+            self.base = self.current;
         }
         self.unreachable_streak = 0;
         self.last_pole_used = self.pole;
@@ -238,15 +324,32 @@ impl Controller {
     /// back as fast as the model allows (paper §5.2).
     ///
     /// Non-finite measurements leave the setting unchanged.
+    ///
+    /// Adaptive models are taught here: the measurement is paired with
+    /// the setting it was produced under (`current` — which the indirect
+    /// wrapper has already replaced with the deputy's actual value, §5.3)
+    /// and fed to [`PerfModel::observe`] before the gain is read back.
+    /// While an adaptive model's confidence is low, the regular pole is
+    /// floored toward heavier damping ([`adaptive_pole`]) so a
+    /// mid-relearn gain estimate moves the setting cautiously; the
+    /// danger-region pole stays 0 — hard-goal recovery does not wait for
+    /// the estimator.
     pub fn step(&mut self, measured: f64) -> f64 {
         if !measured.is_finite() {
             return self.current;
         }
+        self.model.observe(self.current, measured);
         let target = self.effective_target();
         let error = self.goal.error_against(target, measured);
 
         let in_danger = self.goal.hardness().is_hard() && error < 0.0;
-        let pole = if in_danger { 0.0 } else { self.pole };
+        let pole = if in_danger {
+            0.0
+        } else if self.model.is_adaptive() {
+            adaptive_pole(self.pole, self.model.confidence())
+        } else {
+            self.pole
+        };
         self.last_pole_used = pole;
 
         let n = if self.goal.hardness() == Hardness::SuperHard {
@@ -256,11 +359,16 @@ impl Controller {
         };
         // Normalize to an upper-bound problem: for lower bounds the metric
         // is negated, which negates both the error and the gain.
+        let alpha = self.model.alpha();
         let alpha_signed = match self.goal.sense() {
-            Sense::UpperBound => self.alpha,
-            Sense::LowerBound => -self.alpha,
+            Sense::UpperBound => alpha,
+            Sense::LowerBound => -alpha,
         };
-        let next = self.current + (1.0 - pole) / (n * alpha_signed) * error;
+        let anchor = match self.law {
+            ControlLaw::Integral => self.current,
+            ControlLaw::Proportional => self.base,
+        };
+        let next = anchor + (1.0 - pole) / (n * alpha_signed) * error;
         let clamped = next.clamp(self.min, self.max);
 
         let saturated = clamped != next;
@@ -437,6 +545,28 @@ mod tests {
         // Raising the goal clears the alert path.
         c.set_goal(3000.0).unwrap();
         assert!(!c.goal_unreachable());
+    }
+
+    #[test]
+    fn proportional_law_leaves_steady_state_error() {
+        // Plant s = 2c + 100, goal 500. Integral converges to c* = 200;
+        // proportional from c0 = 0 settles where c = (500 - s)/2, i.e.
+        // c_ss = 100, s_ss = 300 — a 200-unit steady-state error.
+        let mut p = Controller::new(2.0, 0.5, soft(500.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        p.set_control_law(ControlLaw::Proportional);
+        assert_eq!(p.control_law(), ControlLaw::Proportional);
+        let mut i = Controller::new(2.0, 0.5, soft(500.0), 0.0, (0.0, 1e6), 0.0).unwrap();
+        assert_eq!(i.control_law(), ControlLaw::Integral);
+        let (mut cp, mut ci) = (0.0, 0.0);
+        for _ in 0..200 {
+            cp = p.step(2.0 * cp + 100.0);
+            ci = i.step(2.0 * ci + 100.0);
+        }
+        assert!((ci - 200.0).abs() < 1.0, "integral setting {ci}");
+        assert!(
+            (2.0 * cp + 100.0 - 500.0).abs() > 100.0,
+            "proportional should keep steady-state error, setting {cp}"
+        );
     }
 
     #[test]

@@ -70,6 +70,7 @@
 //! | §4.1 system/app files | [`Registry`] |
 //! | §4.1 sensors | [`Sensor`], [`SharedGauge`] |
 //! | §5.5 profiling capture | [`ProfilingCapture`] |
+//! | online adaptation (extension) | [`PerfModel`], [`RlsModel`], [`adaptive_pole`] |
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -90,12 +91,15 @@ mod transducer;
 
 pub use capture::ProfilingCapture;
 pub use conf::{SmartConf, SmartConfIndirect};
-pub use controller::Controller;
+pub use controller::{ControlLaw, Controller};
 pub use error::{Error, Result};
 pub use goal::{Goal, Hardness, Sense};
 pub use manager::{ConfManager, ManagedConf};
-pub use model::LinearFit;
-pub use pole::{pole_from_delta, pole_from_profile, MAX_POLE};
+pub use model::{GainModel, LinearFit, ModelMode, PerfModel, RlsModel};
+pub use pole::{
+    adaptive_pole, pole_from_delta, pole_from_model, pole_from_profile, ADAPTIVE_DOUBT_POLE,
+    MAX_POLE,
+};
 pub use profile::{ProfilePoint, ProfileSet};
 pub use registry::{ConfEntry, Registry};
 pub use sensor::{ConstSensor, FnSensor, LatencyWindow, MedianFilter, Sensor, SharedGauge};

@@ -8,7 +8,7 @@
 //! (else `p = 0`) guarantees convergence as long as the true response is
 //! within `Δ` of the model [Hellerstein et al.; Filieri et al.].
 
-use crate::ProfileSet;
+use crate::{PerfModel, ProfileSet};
 
 /// Computes the pole for a given model-error bound `Δ`.
 ///
@@ -45,6 +45,38 @@ pub fn pole_from_profile(profile: &ProfileSet) -> f64 {
 /// to 1 make convergence take effectively forever (the strawman of §5.2).
 /// Real deployments never need more damping than this.
 pub const MAX_POLE: f64 = 0.999;
+
+/// How heavily a fully-doubted adaptive model is damped: at confidence 0
+/// the effective pole is floored at this value (a 10%-per-step approach),
+/// at confidence 1 the profiled pole is used unchanged.
+pub const ADAPTIVE_DOUBT_POLE: f64 = 0.9;
+
+/// The stability check for an *adaptive* gain estimate: floors the
+/// profiled pole by the model's current doubt.
+///
+/// The §5.1 pole `1 − 2/Δ` tolerates model error up to the profiled `Δ`;
+/// an online estimator mid-relearn can be wrong by more than the profile
+/// ever was, so while its confidence is low the controller damps harder —
+/// the floor rises linearly to [`ADAPTIVE_DOUBT_POLE`] as confidence
+/// falls to 0. At full confidence this is exactly the profiled pole, and
+/// frozen models never pass through here at all.
+pub fn adaptive_pole(base: f64, confidence: f64) -> f64 {
+    let doubt = 1.0 - confidence.clamp(0.0, 1.0);
+    base.max(ADAPTIVE_DOUBT_POLE * doubt).clamp(0.0, MAX_POLE)
+}
+
+/// Computes the synthesis-time pole for a model over profiling data with
+/// error bound `Δ`: frozen models get exactly the §5.1 pole
+/// ([`pole_from_delta`]), adaptive models additionally respect their
+/// seeded confidence via [`adaptive_pole`].
+pub fn pole_from_model(model: &impl PerfModel, delta: f64) -> f64 {
+    let base = pole_from_delta(delta);
+    if model.is_adaptive() {
+        adaptive_pole(base, model.confidence())
+    } else {
+        base
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -112,5 +144,28 @@ mod tests {
     fn noiseless_profile_gives_deadbeat() {
         let profile: ProfileSet = [(1.0, 2.0), (2.0, 4.0)].into_iter().collect();
         assert_eq!(pole_from_profile(&profile), 0.0);
+    }
+
+    #[test]
+    fn adaptive_pole_floors_by_doubt() {
+        // Full confidence: the profiled pole, unchanged.
+        assert_eq!(adaptive_pole(0.5, 1.0), 0.5);
+        assert_eq!(adaptive_pole(0.0, 1.0), 0.0);
+        // Zero confidence: floored at the doubt pole.
+        assert_eq!(adaptive_pole(0.5, 0.0), ADAPTIVE_DOUBT_POLE);
+        // A heavier profiled pole is never *reduced* by confidence.
+        assert_eq!(adaptive_pole(0.95, 0.0), 0.95);
+        // Out-of-range confidence clamps.
+        assert_eq!(adaptive_pole(0.2, 7.0), 0.2);
+        assert_eq!(adaptive_pole(0.2, -3.0), ADAPTIVE_DOUBT_POLE);
+    }
+
+    #[test]
+    fn pole_from_model_matches_delta_pole_for_frozen() {
+        use crate::LinearFit;
+        let fit = LinearFit::from_parts(2.0, 0.0);
+        for delta in [1.0, 2.5, 4.0, 10.0] {
+            assert_eq!(pole_from_model(&fit, delta), pole_from_delta(delta));
+        }
     }
 }

@@ -6,7 +6,10 @@
 //! virtual goal margin from `λ` itself. Developers supply only things they
 //! already know: the profile, the goal, and the valid setting range.
 
-use crate::{pole_from_delta, Controller, Error, Goal, ProfileSet, Result};
+use crate::{
+    pole_from_delta, Controller, Error, GainModel, Goal, LinearFit, ModelMode, ProfileSet, Result,
+    RlsModel,
+};
 
 /// Builder that synthesizes a [`Controller`] from profiling data and a
 /// goal.
@@ -44,6 +47,9 @@ pub struct ControllerBuilder {
     bounds: (f64, f64),
     initial: f64,
     interaction: u32,
+    mode: ModelMode,
+    fit: Option<LinearFit>,
+    setting_scale: Option<f64>,
 }
 
 impl ControllerBuilder {
@@ -57,6 +63,9 @@ impl ControllerBuilder {
             bounds: (0.0, f64::MAX),
             initial: 0.0,
             interaction: 1,
+            mode: ModelMode::Frozen,
+            fit: None,
+            setting_scale: None,
         }
     }
 
@@ -79,13 +88,42 @@ impl ControllerBuilder {
         self.alpha = Some(fit.alpha());
         self.lambda = Some(profile.lambda());
         self.pole = Some(pole_from_delta(profile.delta()));
+        // Remember the full fit and the magnitude of the profiled settings:
+        // an adaptive build seeds its estimator and regressor normalization
+        // from these.
+        self.fit = Some(fit);
+        let (sum, n) = profile.groups().fold((0.0, 0u32), |(s, n), (setting, _)| {
+            (s + setting.abs(), n + 1)
+        });
+        if n > 0 && sum > 0.0 {
+            self.setting_scale = Some(sum / n as f64);
+        }
         Ok(self)
+    }
+
+    /// Selects the model mode: [`ModelMode::Frozen`] (default) keeps the
+    /// profiled gain fixed for the controller's lifetime; [`ModelMode::Adaptive`]
+    /// seeds a recursive-least-squares estimator from the profile and keeps
+    /// refining the gain online from every admitted measurement.
+    pub fn model_mode(mut self, mode: ModelMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`ControllerBuilder::model_mode`] with
+    /// [`ModelMode::Adaptive`].
+    pub fn adaptive(self) -> Self {
+        self.model_mode(ModelMode::Adaptive)
     }
 
     /// Overrides the gain (expert escape hatch; normal use derives it via
     /// [`ControllerBuilder::profile`]).
     pub fn alpha(mut self, alpha: f64) -> Self {
         self.alpha = Some(alpha);
+        // An explicit gain supersedes any profiled fit, including as the
+        // seed for an adaptive estimator (the profile still contributes
+        // the pole, margin, and setting scale).
+        self.fit = None;
         self
     }
 
@@ -131,8 +169,22 @@ impl ControllerBuilder {
             needed: "a profile or an explicit alpha".into(),
             got: "neither".into(),
         })?;
-        let mut controller = Controller::new(
-            alpha,
+        let model = match self.mode {
+            ModelMode::Frozen => GainModel::frozen(alpha),
+            ModelMode::Adaptive => {
+                // Seed from the profiled fit when one exists (carrying its
+                // r² as initial confidence), else from the explicit alpha.
+                let fit = self
+                    .fit
+                    .unwrap_or_else(|| LinearFit::from_parts(alpha, 0.0));
+                let scale = self
+                    .setting_scale
+                    .unwrap_or_else(|| self.initial.abs().max(1.0));
+                GainModel::Rls(RlsModel::from_fit(&fit, scale))
+            }
+        };
+        let mut controller = Controller::with_model(
+            model,
             self.pole.unwrap_or(0.0),
             self.goal,
             self.lambda.unwrap_or(0.0),
@@ -245,6 +297,72 @@ mod tests {
         assert_eq!(c.pole(), 0.5);
         assert_eq!(c.lambda(), 0.2);
         assert_eq!(c.current(), 7.0);
+    }
+
+    #[test]
+    fn adaptive_build_seeds_estimator_from_profile() {
+        use crate::PerfModel;
+        let profile = linear_profile(2.0, &[0.0, 0.0]);
+        let c = ControllerBuilder::new(Goal::new("m", 500.0))
+            .profile(&profile)
+            .unwrap()
+            .bounds(0.0, 1000.0)
+            .adaptive()
+            .build()
+            .unwrap();
+        assert!(c.is_adaptive());
+        assert!((c.alpha() - 2.0).abs() < 1e-9);
+        match c.model() {
+            crate::GainModel::Rls(rls) => {
+                // Scale is the mean |setting| of the profiled sweep.
+                assert!((rls.setting_scale() - 25.0).abs() < 1e-9);
+                // Noiseless profile: full seeded confidence.
+                assert!((rls.confidence() - 1.0).abs() < 1e-9);
+            }
+            other => panic!("expected RLS model, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frozen_build_is_default_and_not_adaptive() {
+        let profile = linear_profile(2.0, &[0.0, 0.0]);
+        let c = ControllerBuilder::new(Goal::new("m", 500.0))
+            .profile(&profile)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(!c.is_adaptive());
+    }
+
+    #[test]
+    fn adaptive_build_from_explicit_alpha() {
+        let c = ControllerBuilder::new(Goal::new("m", 100.0))
+            .alpha(3.0)
+            .initial(7.0)
+            .bounds(0.0, 10.0)
+            .model_mode(crate::ModelMode::Adaptive)
+            .build()
+            .unwrap();
+        assert!(c.is_adaptive());
+        assert_eq!(c.alpha(), 3.0);
+    }
+
+    #[test]
+    fn adaptive_alpha_override_supersedes_profile_fit() {
+        // MR2820 pattern: profile for pole/margin, but the deputy gain is
+        // identically 1 and overrides the fitted slope. The adaptive seed
+        // must honour the override, not the stale fit.
+        let c = ControllerBuilder::new(Goal::new("m", 100.0))
+            .profile(&linear_profile(2.0, &[0.0; 4]))
+            .unwrap()
+            .alpha(1.0)
+            .bounds(0.0, 200.0)
+            .initial(10.0)
+            .adaptive()
+            .build()
+            .unwrap();
+        assert!(c.is_adaptive());
+        assert_eq!(c.alpha(), 1.0);
     }
 
     #[test]

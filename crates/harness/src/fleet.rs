@@ -28,6 +28,12 @@ pub enum Policy {
     /// SmartConf-controlled run with the standard fault plan for one
     /// fault class injected ([`Scenario::run_chaos`]).
     Chaos(FaultClass),
+    /// SmartConf-controlled run with the online (RLS) gain estimator in
+    /// place of the frozen offline fit ([`Scenario::run_adaptive_profiled`]).
+    Adaptive,
+    /// Adaptive run with the standard fault plan for one fault class
+    /// injected ([`Scenario::run_adaptive_chaos_profiled`]).
+    AdaptiveChaos(FaultClass),
 }
 
 impl Policy {
@@ -37,6 +43,8 @@ impl Policy {
             Policy::Smart => "SmartConf".to_string(),
             Policy::Static(b) => b.label(),
             Policy::Chaos(c) => format!("Chaos-{}", c.label()),
+            Policy::Adaptive => "Adaptive".to_string(),
+            Policy::AdaptiveChaos(c) => format!("AdaptiveChaos-{}", c.label()),
         }
     }
 }
@@ -346,6 +354,16 @@ fn run_shard(
         Policy::Chaos(class) => {
             let profiles = cache.profiles(item.scenario, scenario, item.seed);
             let run = scenario.run_chaos_profiled(item.seed, class, &profiles);
+            ShardReport::from_run(&id, item.seed, &item.policy, &run)
+        }
+        Policy::Adaptive => {
+            let profiles = cache.profiles(item.scenario, scenario, item.seed);
+            let run = scenario.run_adaptive_profiled(item.seed, &profiles);
+            ShardReport::from_run(&id, item.seed, &item.policy, &run)
+        }
+        Policy::AdaptiveChaos(class) => {
+            let profiles = cache.profiles(item.scenario, scenario, item.seed);
+            let run = scenario.run_adaptive_chaos_profiled(item.seed, class, &profiles);
             ShardReport::from_run(&id, item.seed, &item.policy, &run)
         }
         Policy::Static(baseline) => {

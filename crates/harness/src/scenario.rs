@@ -105,6 +105,28 @@ pub trait Scenario {
         let _ = profiles;
         self.run_chaos(seed, class)
     }
+
+    /// [`Scenario::run_smartconf_profiled`] with the online (RLS) gain
+    /// estimator in place of the frozen offline fit: controllers are
+    /// built with [`ModelMode::Adaptive`](smartconf_core::ModelMode) and
+    /// keep refining `α`/`β` from live epoch measurements. The default
+    /// falls back to the frozen run, so unmigrated scenarios stay
+    /// runnable (just not adaptive); the seven case-study scenarios all
+    /// override it.
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        self.run_smartconf_profiled(seed, profiles)
+    }
+
+    /// [`Scenario::run_chaos_profiled`] under the adaptive model; the
+    /// same fallback contract as [`Scenario::run_adaptive_profiled`].
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        self.run_chaos_profiled(seed, class, profiles)
+    }
 }
 
 #[cfg(test)]

@@ -17,13 +17,13 @@
 //! (`N-N-Y`): the deputy is the memtable's resident bytes.
 
 use smartconf_core::{
-    Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConfIndirect,
+    Controller, ControllerBuilder, Goal, Hardness, ModelMode, ProfileSet, SmartConfIndirect,
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{Histogram, TimeSeries};
 use smartconf_runtime::{
     shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+    ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -122,6 +122,13 @@ impl Ca6059 {
     ///
     /// Panics if synthesis fails (the standard profile is well-formed).
     pub fn build_controller(&self, profile: &ProfileSet) -> Controller {
+        self.build_controller_with_mode(profile, ModelMode::Frozen)
+    }
+
+    /// [`Ca6059::build_controller`] with an explicit model mode:
+    /// [`ModelMode::Adaptive`] seeds an online RLS estimator from the
+    /// profile instead of freezing the offline fit.
+    pub fn build_controller_with_mode(&self, profile: &ProfileSet, mode: ModelMode) -> Controller {
         let goal = Goal::new("memory_mb", self.heap_goal_mb())
             .with_hardness(Hardness::Hard)
             .expect("positive target");
@@ -130,6 +137,7 @@ impl Ca6059 {
             .expect("profiling data supports synthesis")
             .bounds(8.0, 2_000.0)
             .initial(8.0)
+            .model_mode(mode)
             .build()
             .expect("controller synthesis")
     }
@@ -305,6 +313,41 @@ impl Scenario for Ca6059 {
             &self.eval.clone(),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "Adaptive",
+            None,
+        )
+    }
+
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
+        // Same profiled-safe fallback as the frozen chaos run, plus the
+        // model-doubt safety net for estimator collapse.
+        let guard = GuardPolicy::new()
+            .fallback_setting("memtable_total_space_mb", 40.0)
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveChaos-{}", class.label()),
             Some(spec),
         )
     }

@@ -16,12 +16,12 @@
 //! controller acts on the configuration itself and is only invoked when
 //! a blocking flush actually happens.
 
-use smartconf_core::{Controller, ControllerBuilder, Goal, ProfileSet, SmartConf};
+use smartconf_core::{Controller, ControllerBuilder, Goal, ModelMode, ProfileSet, SmartConf};
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
     shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, CHAOS_STREAM,
+    ProfileSchedule, Profiler, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -123,12 +123,20 @@ impl Hb2149 {
     /// Panics if synthesis fails (the standard profile is well-formed —
     /// block duration is exactly affine in the setting).
     pub fn build_controller(&self, profile: &ProfileSet) -> Controller {
+        self.build_controller_with_mode(profile, ModelMode::Frozen)
+    }
+
+    /// [`Hb2149::build_controller`] with an explicit model mode:
+    /// [`ModelMode::Adaptive`] seeds an online RLS estimator from the
+    /// profile instead of freezing the offline fit.
+    pub fn build_controller_with_mode(&self, profile: &ProfileSet, mode: ModelMode) -> Controller {
         let goal = Goal::new("write_block_secs", self.phase_goals_secs.0);
         ControllerBuilder::new(goal)
             .profile(profile)
             .expect("profiling data supports synthesis")
             .bounds(0.0, self.upper as f64 / MB as f64)
             .initial(self.upper as f64 / MB as f64 * 0.7)
+            .model_mode(mode)
             .build()
             .expect("controller synthesis")
     }
@@ -299,6 +307,44 @@ impl Scenario for Hb2149 {
             &self.eval.clone(),
             seed,
             &format!("Chaos-{}", class.label()),
+            self.phase_goals_secs,
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConf::new("global.memstore.lowerLimit", controller);
+        self.run_model(
+            Decider::Direct(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "Adaptive",
+            self.phase_goals_secs,
+            None,
+        )
+    }
+
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConf::new("global.memstore.lowerLimit", controller);
+        // Same profiled-safe fallback as the frozen chaos run, plus the
+        // model-doubt safety net for estimator collapse.
+        let guard = GuardPolicy::new()
+            .fallback_setting("memstore.lowerLimit_mb", 175.0)
+            .shed_admitted(self.shed_admitted)
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Direct(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveChaos-{}", class.label()),
             self.phase_goals_secs,
             Some(spec),
         )

@@ -13,13 +13,14 @@
 //! length (an **indirect, hard** PerfConf — `N-N-Y` in Table 6).
 
 use smartconf_core::{
-    Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConf, SmartConfIndirect,
+    Controller, ControllerBuilder, Goal, Hardness, ModelMode, ProfileSet, SmartConf,
+    SmartConfIndirect,
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
 use smartconf_runtime::{
     shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+    ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{ArrivalProcess, PhasedWorkload, YcsbWorkload};
@@ -174,6 +175,18 @@ impl Hb3813 {
     /// Panics if synthesis fails — the standard profiling workload always
     /// yields a monotone, non-degenerate profile.
     pub fn build_controller(&self, profile: &ProfileSet, variant: ControllerVariant) -> Controller {
+        self.build_controller_with_mode(profile, variant, ModelMode::Frozen)
+    }
+
+    /// [`Hb3813::build_controller`] with an explicit model mode:
+    /// [`ModelMode::Adaptive`] seeds an online RLS estimator from the
+    /// profile instead of freezing the offline fit.
+    pub fn build_controller_with_mode(
+        &self,
+        profile: &ProfileSet,
+        variant: ControllerVariant,
+        mode: ModelMode,
+    ) -> Controller {
         let target = self.heap_goal_mb();
         let lambda = profile.lambda();
         let goal = match variant {
@@ -199,7 +212,10 @@ impl Hb3813 {
             // Figure 7 uses 0.9 for both controllers' regular pole.
             builder = builder.pole(0.9);
         }
-        builder.build().expect("controller synthesis")
+        builder
+            .model_mode(mode)
+            .build()
+            .expect("controller synthesis")
     }
 
     /// Runs the standard evaluation under a caller-supplied controller —
@@ -433,6 +449,49 @@ impl Scenario for Hb3813 {
             &self.eval.clone(),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller_with_mode(
+            &profiles[0],
+            ControllerVariant::SmartConf,
+            ModelMode::Adaptive,
+        );
+        let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "Adaptive",
+            None,
+        )
+    }
+
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(
+            &profiles[0],
+            ControllerVariant::SmartConf,
+            ModelMode::Adaptive,
+        );
+        let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
+        // Same profiled-safe fallback as the frozen chaos run, plus the
+        // model-doubt safety net for estimator collapse.
+        let guard = GuardPolicy::new()
+            .fallback_setting("max.queue.size", 30.0)
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveChaos-{}", class.label()),
             Some(spec),
         )
     }

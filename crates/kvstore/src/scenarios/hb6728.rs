@@ -12,13 +12,13 @@
 //! hard** PerfConf (`N-N-Y`).
 
 use smartconf_core::{
-    Controller, ControllerBuilder, Goal, Hardness, ProfileSet, SmartConfIndirect,
+    Controller, ControllerBuilder, Goal, Hardness, ModelMode, ProfileSet, SmartConfIndirect,
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
 use smartconf_runtime::{
     shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+    ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -118,6 +118,13 @@ impl Hb6728 {
     ///
     /// Panics if synthesis fails (the standard profile is well-formed).
     pub fn build_controller(&self, profile: &ProfileSet) -> Controller {
+        self.build_controller_with_mode(profile, ModelMode::Frozen)
+    }
+
+    /// [`Hb6728::build_controller`] with an explicit model mode:
+    /// [`ModelMode::Adaptive`] seeds an online RLS estimator from the
+    /// profile instead of freezing the offline fit.
+    pub fn build_controller_with_mode(&self, profile: &ProfileSet, mode: ModelMode) -> Controller {
         let goal = Goal::new("memory_mb", self.heap_goal_mb())
             .with_hardness(Hardness::Hard)
             .expect("positive target");
@@ -126,6 +133,7 @@ impl Hb6728 {
             .expect("profiling data supports synthesis")
             .bounds(0.0, 2_000.0)
             .initial(0.0)
+            .model_mode(mode)
             .build()
             .expect("controller synthesis")
     }
@@ -296,6 +304,41 @@ impl Scenario for Hb6728 {
             &self.eval.clone(),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "Adaptive",
+            None,
+        )
+    }
+
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
+        // Same profiled-safe fallback as the frozen chaos run, plus the
+        // model-doubt safety net for estimator collapse.
+        let guard = GuardPolicy::new()
+            .fallback_setting("response.queue.maxsize_mb", 40.0)
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveChaos-{}", class.label()),
             Some(spec),
         )
     }
@@ -536,6 +579,38 @@ mod tests {
         let a = s.run_static(80.0, 5);
         let b = s.run_static(80.0, 5);
         assert_eq!(a.tradeoff, b.tradeoff);
+    }
+
+    #[test]
+    fn seed_43_chaos_gaps_are_documented_not_closed() {
+        // Seed 43's HB6728 chaos runs under SensorDropout, Corruption,
+        // and ActuatorLag violate the heap goal with the frozen model —
+        // the resilience gap tracked in ROADMAP.md — and the adaptive
+        // estimator does not close them either (its doubt net trades
+        // throughput for smaller excursions, but the peak still grazes
+        // past the slack). This pin keeps the documentation honest: if
+        // either model starts holding the goal here, update ROADMAP.md
+        // and flip the corresponding assertion.
+        let s = Hb6728::standard();
+        let profiles = s.evaluation_profiles(43);
+        for class in [
+            FaultClass::SensorDropout,
+            FaultClass::Corruption,
+            FaultClass::ActuatorLag,
+        ] {
+            let frozen = s.run_chaos_profiled(43, class, &profiles);
+            assert!(
+                !frozen.constraint_ok,
+                "frozen seed-43 {} gap closed; update this pin and ROADMAP.md",
+                class.label()
+            );
+            let adaptive = s.run_adaptive_chaos_profiled(43, class, &profiles);
+            assert!(
+                !adaptive.constraint_ok,
+                "adaptive closed the seed-43 {} gap; update this pin and ROADMAP.md",
+                class.label()
+            );
+        }
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! never violates the constraint while the two bounds trade the budget
 //! between themselves.
 
-use smartconf_core::{ControllerBuilder, Goal, Hardness, ProfileSet, Registry, SmartConfIndirect};
+use smartconf_core::{
+    ControllerBuilder, Goal, Hardness, ModelMode, ProfileSet, Registry, SmartConfIndirect,
+};
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
     shard_seed, ChannelId, ChaosSpec, ControlPlane, ControlPlaneBuilder, Decider, FaultClass,
-    GuardPolicy, ProfileSchedule, Profiler, Sensed, CHAOS_STREAM,
+    GuardPolicy, ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -211,7 +213,7 @@ impl TwinQueues {
             self.profile_queue(WhichQueue::Request, seed ^ 0xaaaa),
             self.profile_queue(WhichQueue::Response, seed ^ 0xbbbb),
         ];
-        self.run_smart_inner_profiled(seed, interaction, chaos, &profiles)
+        self.run_smart_inner_profiled(seed, interaction, chaos, &profiles, ModelMode::Frozen)
     }
 
     /// [`TwinQueues::run_smart_inner`] with both queue profiles already
@@ -224,6 +226,7 @@ impl TwinQueues {
         interaction: Option<u32>,
         chaos: Option<ChaosSpec>,
         profiles: &[ProfileSet],
+        mode: ModelMode,
     ) -> TwinRunResult {
         // Registry drives the coordination: two configurations mapped to
         // one super-hard metric gives each controller N = 2 (§5.4).
@@ -255,6 +258,7 @@ impl TwinQueues {
                 .expect("profile supports synthesis")
                 .bounds(0.0, 2_000.0)
                 .initial(0.0)
+                .model_mode(mode)
                 .build()
                 .expect("controller synthesis")
         };
@@ -424,7 +428,7 @@ impl Scenario for TwinQueues {
     }
 
     fn run_smartconf_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
-        self.run_smart_inner_profiled(seed, None, None, profiles)
+        self.run_smart_inner_profiled(seed, None, None, profiles, ModelMode::Frozen)
             .result
     }
 
@@ -445,8 +449,36 @@ impl Scenario for TwinQueues {
             .fallback_setting("response.queue.maxsize_mb", 60.0)
             .shed_admitted(self.shed_admitted);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
-        let mut out = self.run_smart_inner_profiled(seed, None, Some(spec), profiles);
+        let mut out =
+            self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Frozen);
         out.result.label = format!("Chaos-{}", class.label());
+        out.result
+    }
+
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let mut out =
+            self.run_smart_inner_profiled(seed, None, None, profiles, ModelMode::Adaptive);
+        out.result.label = "Adaptive".to_string();
+        out.result
+    }
+
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        // Same profiled-safe fallback pair as the frozen chaos run, plus
+        // the model-doubt safety net for estimator collapse.
+        let guard = GuardPolicy::new()
+            .fallback_setting("max.queue.size", 60.0)
+            .fallback_setting("response.queue.maxsize_mb", 60.0)
+            .shed_admitted(self.shed_admitted)
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let mut out =
+            self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Adaptive);
+        out.result.label = format!("AdaptiveChaos-{}", class.label());
         out.result
     }
 

@@ -1,12 +1,13 @@
 //! The MR2820 scenario wiring.
 
 use smartconf_core::{
-    Controller, ControllerBuilder, FnTransducer, Goal, Hardness, ProfileSet, SmartConfIndirect,
+    Controller, ControllerBuilder, FnTransducer, Goal, Hardness, ModelMode, ProfileSet,
+    SmartConfIndirect,
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_runtime::{
     shard_seed, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
-    CHAOS_STREAM,
+    ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{BackgroundChurn, SimDuration, SimRng, SimTime, Simulation};
 use smartconf_workload::WordCountJob;
@@ -177,6 +178,17 @@ impl Mr2820 {
     ///
     /// Panics if synthesis fails (the standard profile is well-formed).
     pub fn build_controller(&self, profile: &ProfileSet) -> Controller {
+        self.build_controller_with_mode(profile, ModelMode::Frozen)
+    }
+
+    /// [`Mr2820::build_controller`] with an explicit model mode:
+    /// [`ModelMode::Adaptive`] seeds an online RLS estimator (from the
+    /// overridden unit gain, not the profiled fit) instead of freezing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails (the standard profile is well-formed).
+    pub fn build_controller_with_mode(&self, profile: &ProfileSet, mode: ModelMode) -> Controller {
         let goal = Goal::new("worker_disk_mb", self.disk_goal_mb())
             .with_hardness(Hardness::Hard)
             .expect("positive target");
@@ -189,6 +201,7 @@ impl Mr2820 {
             .alpha(1.0)
             .bounds(0.0, self.disk_goal_mb())
             .initial(self.disk_goal_mb() * 0.6)
+            .model_mode(mode)
             .build()
             .expect("controller synthesis")
     }
@@ -300,6 +313,58 @@ impl Scenario for Mr2820 {
             self.eval_jobs(seed),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_profiled(&self, seed: u64, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
+        let cap = self.disk_capacity as f64 / MB as f64;
+        let conf = SmartConfIndirect::with_transducer(
+            "local.dir.minspacestart",
+            controller,
+            Box::new(FnTransducer::new(move |desired: f64| {
+                (cap - desired).max(0.0)
+            })),
+        );
+        self.run_cluster(
+            Decider::Deputy(Box::new(conf)),
+            initial,
+            self.eval_jobs(seed),
+            seed,
+            "Adaptive",
+        )
+    }
+
+    fn run_adaptive_chaos_profiled(
+        &self,
+        seed: u64,
+        class: FaultClass,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
+        let cap = self.disk_capacity as f64 / MB as f64;
+        let conf = SmartConfIndirect::with_transducer(
+            "local.dir.minspacestart",
+            controller,
+            Box::new(FnTransducer::new(move |desired: f64| {
+                (cap - desired).max(0.0)
+            })),
+        );
+        // Same profiled-safe fallback as the frozen chaos run, plus the
+        // model-doubt safety net for estimator collapse.
+        let guard = GuardPolicy::new()
+            .fallback_setting("local.dir.minspacestart_mb", self.disk_goal_mb() * 0.6)
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_cluster_chaos(
+            Decider::Deputy(Box::new(conf)),
+            initial,
+            self.eval_jobs(seed),
+            seed,
+            &format!("AdaptiveChaos-{}", class.label()),
             Some(spec),
         )
     }

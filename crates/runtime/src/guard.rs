@@ -61,6 +61,13 @@ impl GuardSet {
     /// The guard asked the plant to shed already-admitted work down to
     /// the in-force bound (see [`GuardPolicy::shed_admitted`]).
     pub const SHED: GuardSet = GuardSet(1 << 9);
+    /// A restart reset an adaptive channel's estimator covariance for
+    /// in-place relearning (instead of raising [`GuardSet::REPROFILE`]).
+    pub const RELEARN: GuardSet = GuardSet(1 << 10);
+    /// The adaptive model's confidence fell below
+    /// [`GuardPolicy::confidence_floor`]; the channel degraded to its
+    /// profiled-safe fallback until the estimator recovers.
+    pub const MODEL_DOUBT: GuardSet = GuardSet(1 << 11);
 
     /// Adds the bits of `other`.
     pub fn insert(&mut self, other: GuardSet) {
@@ -77,6 +84,13 @@ impl GuardSet {
         self.0 == 0
     }
 }
+
+/// The confidence floor the case-study scenarios arm on adaptive chaos
+/// runs ([`GuardPolicy::confidence_floor`]): low enough that a healthy
+/// estimator (seeded near its profile, residuals small) never trips it,
+/// high enough that a corrupted-feedback collapse degrades the channel
+/// to its profiled-safe fallback within a few epochs.
+pub const ADAPTIVE_CONFIDENCE_FLOOR: f64 = 0.15;
 
 /// Tuning of the resilience guards, one policy per plane.
 ///
@@ -139,6 +153,13 @@ pub struct GuardPolicy {
     /// under a doomed setting stays there, which is how TWIN/HB2149
     /// could still violate a hard goal under chaos. Off by default.
     pub shed_admitted: bool,
+    /// Adaptive channels only: when the online estimator's confidence
+    /// falls below this floor, the channel degrades to its profiled-safe
+    /// fallback (one divergence-style cooldown) and re-engages once the
+    /// estimator recovers above the floor — the safety net for model
+    /// drift. `0.0` (the default) never fires, so frozen-model planes
+    /// are untouched bit for bit.
+    pub confidence_floor: f64,
     fallbacks: Vec<(String, f64)>,
 }
 
@@ -155,6 +176,7 @@ impl Default for GuardPolicy {
             cooldown_epochs: 60,
             anti_windup: true,
             shed_admitted: false,
+            confidence_floor: 0.0,
             fallbacks: Vec::new(),
         }
     }
@@ -224,6 +246,19 @@ impl GuardPolicy {
     #[must_use]
     pub fn shed_admitted(mut self, on: bool) -> Self {
         self.shed_admitted = on;
+        self
+    }
+
+    /// Sets the confidence floor below which an adaptive channel
+    /// degrades to its profiled-safe fallback (clamped to `[0, 1)`; see
+    /// the [`GuardPolicy::confidence_floor`] field docs).
+    #[must_use]
+    pub fn confidence_floor(mut self, floor: f64) -> Self {
+        self.confidence_floor = if floor.is_finite() {
+            floor.clamp(0.0, 0.999)
+        } else {
+            0.0
+        };
         self
     }
 
@@ -395,10 +430,23 @@ impl ChannelGuard {
         }
     }
 
-    /// Clears accumulated run state after a plant restart. The fallback,
-    /// initial, and base-target configuration survive — they describe
-    /// the scenario, not the run.
+    /// Clears accumulated run state after a plant restart and raises the
+    /// re-profiling request (frozen-model channels cannot relearn in
+    /// place). The fallback, initial, and base-target configuration
+    /// survive — they describe the scenario, not the run.
     pub(crate) fn reset_after_restart(&mut self) {
+        self.reset_run_state();
+        self.reprofile = true;
+    }
+
+    /// Clears accumulated run state after a plant restart *without*
+    /// raising the re-profiling request: an adaptive channel resets its
+    /// estimator covariance and relearns the post-restart plant in place.
+    pub(crate) fn reset_after_restart_in_place(&mut self) {
+        self.reset_run_state();
+    }
+
+    fn reset_run_state(&mut self) {
         self.filter.clear();
         self.missed = 0;
         self.last_raw = None;
@@ -413,7 +461,6 @@ impl ChannelGuard {
         self.evidence_fresh = true;
         self.in_force = self.initial;
         self.pending.clear();
-        self.reprofile = true;
         self.plant_restart = true;
         self.plant_shed = false; // the restart itself empties the plant's queues
         self.restarts += 1;
@@ -520,5 +567,45 @@ mod tests {
         assert_eq!(g.restarts, 1);
         assert_eq!(g.fallback, 40.0);
         assert_eq!(g.in_force, 80.0);
+    }
+
+    #[test]
+    fn in_place_restart_reset_skips_reprofile() {
+        let mut g = ChannelGuard::new(&GuardPolicy::default(), 40.0, 80.0, 495.0);
+        g.missed = 3;
+        g.mode = GuardMode::Fallback { until: 99 };
+        g.reset_after_restart_in_place();
+        assert_eq!(g.missed, 0);
+        assert_eq!(g.mode, GuardMode::Engaged);
+        assert!(
+            !g.reprofile,
+            "adaptive restart must not request re-profiling"
+        );
+        assert!(g.plant_restart);
+        assert_eq!(g.restarts, 1);
+    }
+
+    #[test]
+    fn confidence_floor_clamps() {
+        assert_eq!(
+            GuardPolicy::new().confidence_floor(0.5).confidence_floor,
+            0.5
+        );
+        assert_eq!(
+            GuardPolicy::new().confidence_floor(2.0).confidence_floor,
+            0.999
+        );
+        assert_eq!(
+            GuardPolicy::new().confidence_floor(-1.0).confidence_floor,
+            0.0
+        );
+        assert_eq!(
+            GuardPolicy::new()
+                .confidence_floor(f64::NAN)
+                .confidence_floor,
+            0.0
+        );
+        // The default never fires.
+        assert_eq!(GuardPolicy::default().confidence_floor, 0.0);
     }
 }

@@ -64,7 +64,7 @@ pub use fault::{
     FaultWindow, SensorFault, CHAOS_STREAM,
 };
 pub use fleet::{shard_seed, FleetExecutor};
-pub use guard::{ChaosSpec, GuardPolicy, GuardSet};
+pub use guard::{ChaosSpec, GuardPolicy, GuardSet, ADAPTIVE_CONFIDENCE_FLOOR};
 pub use kernel::{EventPlane, PlaneEvent};
 pub use plane::{ControlPlane, ControlPlaneBuilder, Decider, DEFAULT_PERIOD_US};
 pub use plant::{ChannelId, Plant, Sensed};

@@ -5,7 +5,7 @@
 //! the decide path is exactly the PR 2 code — the chaos branch is a
 //! single `Option` check, so clean runs pay nothing.
 
-use smartconf_core::{Hardness, Result, Sense, SmartConf, SmartConfIndirect};
+use smartconf_core::{Hardness, PerfModel, Result, Sense, SmartConf, SmartConfIndirect};
 
 use crate::fault::{ActiveFaults, FaultInjector, SensorFault};
 use crate::guard::{ChannelGuard, ChaosSpec, GuardMode, GuardPolicy, GuardSet};
@@ -466,15 +466,28 @@ impl ControlPlane {
         }
 
         // 1. Plant restart: controller back to its initial setting,
-        //    accumulated guard state discarded, re-profiling requested.
+        //    accumulated guard state discarded. Frozen channels raise the
+        //    re-profiling request (their model cannot change without a
+        //    fresh profile); adaptive channels instead reset their
+        //    estimator covariance and relearn the post-restart plant in
+        //    place — no re-profiling call.
         if active.restart {
             let initial = g.initial;
             let base = g.base_target;
-            g.reset_after_restart();
-            guards.insert(GuardSet::REPROFILE);
+            let adaptive = ch.decider.controller().is_some_and(|c| c.is_adaptive());
+            if adaptive {
+                g.reset_after_restart_in_place();
+                guards.insert(GuardSet::RELEARN);
+            } else {
+                g.reset_after_restart();
+                guards.insert(GuardSet::REPROFILE);
+            }
             if let Some(ctl) = ch.decider.controller_mut() {
                 ctl.reset(initial);
                 ctl.set_goal(base).expect("base target was a valid goal");
+                if adaptive {
+                    ctl.model_mut().relearn();
+                }
             }
             ch.decider.force(initial);
         }
@@ -572,6 +585,18 @@ impl ControlPlane {
             GuardMode::Fallback { until } if epoch < until => {
                 ch.decider.force(g.fallback);
                 guards.insert(GuardSet::FALLBACK);
+                // Adaptive channels keep learning through the hold: an
+                // admitted reading still pairs with the in-force
+                // operating point (the deputy for indirect channels), so
+                // the estimator can rebuild confidence before re-engage.
+                if let Some(v) = admitted {
+                    if let Some(ctl) = ch.decider.controller_mut() {
+                        if ctl.is_adaptive() {
+                            let x = sensed.deputy.unwrap_or_else(|| ctl.current());
+                            ctl.model_mut().observe(x, v);
+                        }
+                    }
+                }
             }
             mode => {
                 if matches!(mode, GuardMode::Fallback { .. }) {
@@ -623,6 +648,30 @@ impl ControlPlane {
                     g.worsening = 0;
                     g.prev_violation = 0.0;
                 }
+            }
+        }
+
+        // 6b. Model doubt (adaptive channels): when the online
+        //     estimator's confidence collapses below the policy floor,
+        //     its recent gains are suspect — degrade to the profiled-safe
+        //     fallback for one cooldown. The fallback hold above keeps
+        //     feeding the estimator, so confidence recovers before
+        //     re-engage (a still-doubted model just re-enters).
+        if policy.confidence_floor > 0.0 && g.mode == GuardMode::Engaged {
+            let doubted = ch.decider.controller().is_some_and(|c| {
+                c.is_adaptive() && c.model().confidence() < policy.confidence_floor
+            });
+            if doubted {
+                g.mode = GuardMode::Fallback {
+                    until: epoch + policy.cooldown_epochs,
+                };
+                g.worsening = 0;
+                g.prev_violation = 0.0;
+                ch.decider.force(g.fallback);
+                decided = ch.decider.controller().expect("smart channel").current();
+                guards.insert(GuardSet::MODEL_DOUBT);
+                guards.insert(GuardSet::FALLBACK_ENTER);
+                guards.insert(GuardSet::FALLBACK);
             }
         }
 
@@ -1324,6 +1373,109 @@ mod chaos_tests {
         assert!(!plane.take_plant_restart(id), "notification consumed");
         assert!(plane.take_reprofile(id));
         assert!(!plane.reprofile_requested(id), "request consumed");
+    }
+
+    #[test]
+    fn adaptive_restart_relearns_in_place_without_reprofile() {
+        // The frozen path's restart recovery asks for re-profiling
+        // (`restart_resets_controller_and_requests_reprofile` above);
+        // an adaptive channel instead resets its estimator's certainty
+        // in place and keeps running — no REPROFILE request may ever be
+        // raised, and the log must carry RELEARN instead.
+        use smartconf_core::{ControllerBuilder, GainModel, PerfModel};
+        let goal = Goal::new("m", 100.0).with_hardness(Hardness::Hard).unwrap();
+        let ctl = ControllerBuilder::new(goal)
+            .alpha(1.0)
+            .pole(0.5)
+            .lambda(0.1)
+            .bounds(0.0, 1000.0)
+            .initial(50.0)
+            .adaptive()
+            .build()
+            .unwrap();
+        let sc = SmartConf::new("c", ctl);
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::PlantRestart, 4, 5));
+        plane.enable_chaos(ChaosSpec::new(7, plan).with_guard(GuardPolicy::new()));
+        for step in 0..4u64 {
+            plane.decide(id, step, 40.0);
+        }
+        let observed_before = match plane.decider(id) {
+            Decider::Direct(c) => c.controller().model().observations(),
+            _ => unreachable!(),
+        };
+        assert!(observed_before > 0, "estimator learned before the restart");
+        plane.decide(id, 4, 0.0);
+        assert!(
+            !plane.reprofile_requested(id),
+            "adaptive must not re-profile"
+        );
+        let bits = guard_bits(&plane, 4);
+        assert!(bits.contains(GuardSet::RELEARN));
+        assert!(!bits.contains(GuardSet::REPROFILE));
+        assert!(plane.take_plant_restart(id));
+        match plane.decider(id) {
+            Decider::Direct(c) => {
+                let model = c.controller().model();
+                assert!(matches!(model, GainModel::Rls(_)));
+                // The restart epoch's own measurement already taught
+                // the freshly reset estimator one sample.
+                assert!(
+                    model.observations() <= 1,
+                    "relearn must reset the estimator's observation count, got {}",
+                    model.observations()
+                );
+            }
+            _ => unreachable!(),
+        }
+        // The channel keeps deciding — and the estimator re-converges —
+        // with no profiling pass in between.
+        for step in 5..12u64 {
+            plane.decide(id, step, 40.0);
+        }
+        match plane.decider(id) {
+            Decider::Direct(c) => {
+                assert!(c.controller().model().observations() >= 4);
+            }
+            _ => unreachable!(),
+        }
+        assert!(!plane.reprofile_requested(id));
+    }
+
+    #[test]
+    fn model_doubt_parks_low_confidence_adaptive_channel_on_fallback() {
+        use smartconf_core::{ControllerBuilder, PerfModel};
+        let goal = Goal::new("m", 100.0).with_hardness(Hardness::Hard).unwrap();
+        let ctl = ControllerBuilder::new(goal)
+            .alpha(1.0)
+            .pole(0.5)
+            .lambda(0.1)
+            .bounds(0.0, 1000.0)
+            .initial(50.0)
+            .adaptive()
+            .build()
+            .unwrap();
+        let sc = SmartConf::new("c", ctl);
+        let (mut plane, id) = ControlPlane::single("c", Decider::Direct(Box::new(sc)));
+        let guard = GuardPolicy::new()
+            .fallback_setting("c", 25.0)
+            .confidence_floor(0.9);
+        plane.enable_chaos(ChaosSpec::new(7, FaultPlan::new()).with_guard(guard));
+        // Wildly inconsistent measurements crash the estimator's
+        // confidence below the (deliberately high) floor.
+        for (step, measured) in [(0u64, 40.0), (1, 5.0), (2, 80.0), (3, 3.0), (4, 70.0)] {
+            plane.decide(id, step, measured);
+        }
+        let confidence = match plane.decider(id) {
+            Decider::Direct(c) => c.controller().model().confidence(),
+            _ => unreachable!(),
+        };
+        assert!(confidence < 0.9, "confidence {confidence} not collapsed");
+        let doubted = (0..5u64)
+            .find(|&e| guard_bits(&plane, e).contains(GuardSet::MODEL_DOUBT))
+            .expect("model doubt fired");
+        assert!(guard_bits(&plane, doubted).contains(GuardSet::FALLBACK_ENTER));
+        assert_eq!(plane.log().last_setting("c"), Some(25.0));
     }
 
     #[test]
