@@ -21,13 +21,16 @@
 //!
 //! Reading the table: on the clean row the adaptive estimator wins on
 //! both columns (it relearns the drifted gain; the frozen loop
-//! limit-cycles). Under fault injection the adaptive guard ladder
-//! *trades tracking error for violations*: the model-doubt net parks
-//! the channel on the conservative fallback whenever estimator
-//! confidence collapses, which inflates `mean|err|` (the fallback sits
-//! far below the goal) while driving the violation count down — under
-//! `ActuatorSaturation` and `PlantRestart` to near zero. Both columns
-//! are reported so the trade is visible instead of averaged away.
+//! limit-cycles). Under fault injection the model-doubt net parks the
+//! channel on the conservative fallback whenever estimator confidence
+//! collapses; with the default admitted-work shedding clamping a
+//! degraded channel to the safe side of that fallback, the adaptive
+//! rows beat the frozen model on *both* columns — lower `mean|err|`
+//! everywhere, and violations driven to ≤1 under `SensorDropout`,
+//! `StaleRepeat`, `ActuatorSaturation`, and `PlantRestart`. The
+//! dwell on the fallback still costs tracking error relative to a
+//! fault-free run (the fallback sits far below the goal); both columns
+//! are reported so that cost stays visible instead of averaged away.
 
 use smartconf_core::{ControlLaw, Controller, ControllerBuilder, Goal, SmartConf};
 use smartconf_runtime::{

@@ -46,7 +46,7 @@ pub struct Hb2149 {
     profile_workload: YcsbWorkload,
     /// Profiled lowerLimit settings in MB.
     profile_settings: Vec<f64>,
-    /// When `true`, chaos runs arm
+    /// When `true` (the default), chaos runs arm
     /// [`GuardPolicy::shed_admitted`](smartconf_runtime::GuardPolicy::shed_admitted):
     /// while the watchdog holds a degraded channel, the in-force
     /// lowerLimit is clamped to the safe (shallow) side of the profiled
@@ -71,11 +71,13 @@ impl Hb2149 {
             ]),
             profile_workload: Self::workload(),
             profile_settings: vec![40.0, 80.0, 120.0, 160.0],
-            shed_admitted: false,
+            shed_admitted: true,
         }
     }
 
-    /// Arms admitted-work shedding for chaos runs: a watchdog-degraded
+    /// Arms admitted-work shedding for chaos runs (already the
+    /// [`Hb2149::standard`] default; this keeps call sites explicit):
+    /// a watchdog-degraded
     /// channel clamps its in-force lowerLimit to the safe (shallow) side
     /// of the profiled fallback instead of reverting to a setting that
     /// was only safe under the goal it was decided for.

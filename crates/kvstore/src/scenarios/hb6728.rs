@@ -585,12 +585,13 @@ mod tests {
     fn seed_43_chaos_gaps_are_documented_not_closed() {
         // Seed 43's HB6728 chaos runs under SensorDropout, Corruption,
         // and ActuatorLag violate the heap goal with the frozen model —
-        // the resilience gap tracked in ROADMAP.md — and the adaptive
-        // estimator does not close them either (its doubt net trades
-        // throughput for smaller excursions, but the peak still grazes
-        // past the slack). This pin keeps the documentation honest: if
-        // either model starts holding the goal here, update ROADMAP.md
-        // and flip the corresponding assertion.
+        // the resilience gap tracked in ROADMAP.md. The adaptive
+        // estimator (with the default admitted-work shedding) closes
+        // the SensorDropout gap but not Corruption or ActuatorLag (its
+        // doubt net trades throughput for smaller excursions, but under
+        // those classes the peak still grazes past the slack). This pin
+        // keeps the documentation honest: if any assertion here flips,
+        // update it and ROADMAP.md together.
         let s = Hb6728::standard();
         let profiles = s.evaluation_profiles(43);
         for class in [
@@ -605,10 +606,14 @@ mod tests {
                 class.label()
             );
             let adaptive = s.run_adaptive_chaos_profiled(43, class, &profiles);
-            assert!(
-                !adaptive.constraint_ok,
-                "adaptive closed the seed-43 {} gap; update this pin and ROADMAP.md",
-                class.label()
+            let expect_closed = class == FaultClass::SensorDropout;
+            assert_eq!(
+                adaptive.constraint_ok,
+                expect_closed,
+                "adaptive seed-43 {} status changed (constraint_ok={}); \
+                 update this pin and ROADMAP.md",
+                class.label(),
+                adaptive.constraint_ok
             );
         }
     }

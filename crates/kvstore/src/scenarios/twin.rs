@@ -52,10 +52,11 @@ pub struct TwinQueues {
     /// Phase 1: writes only; phase 2 adds reads (paper: at 50 s).
     phase1: SimDuration,
     phase2: SimDuration,
-    /// When `true`, chaos runs arm
+    /// When `true` (the default), chaos runs arm
     /// [`GuardPolicy::shed_admitted`](smartconf_runtime::GuardPolicy::shed_admitted):
     /// a guard-degraded channel also drops already-admitted queue items
     /// beyond the in-force bound, instead of only refusing new ones.
+    /// With it TWIN holds its memory goal under all seven fault classes.
     shed_admitted: bool,
 }
 
@@ -73,15 +74,17 @@ impl TwinQueues {
             read_response_bytes: 2 * MB,
             phase1: SimDuration::from_secs(50),
             phase2: SimDuration::from_secs(190),
-            shed_admitted: false,
+            shed_admitted: true,
         }
     }
 
-    /// Arms admitted-work shedding for chaos runs: when the guard ladder
-    /// degrades a channel (watchdog or fallback), the corresponding
-    /// queue also drops already-admitted items beyond the in-force
-    /// bound. The admission-only default tolerates that backlog (§4.2),
-    /// which under injected faults can pin memory above the hard goal.
+    /// Arms admitted-work shedding for chaos runs (already the
+    /// [`TwinQueues::standard`] default; this keeps call sites explicit):
+    /// when the guard ladder degrades a channel (watchdog or fallback),
+    /// the corresponding queue also drops already-admitted items beyond
+    /// the in-force bound. Admission-only guarding tolerates that
+    /// backlog (§4.2), which under injected faults can pin memory above
+    /// the hard goal.
     #[must_use]
     pub fn with_shed_admitted(mut self) -> Self {
         self.shed_admitted = true;

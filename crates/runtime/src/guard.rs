@@ -151,7 +151,11 @@ pub struct GuardPolicy {
     /// decided under). Without this, the admission filter only bounds
     /// what the controller admits *next* — work that entered the queue
     /// under a doomed setting stays there, which is how TWIN/HB2149
-    /// could still violate a hard goal under chaos. Off by default.
+    /// could still violate a hard goal under chaos. On by default (the
+    /// initial opt-in default was flipped once its chaos-report
+    /// trajectory change was worth the baseline refresh); pass
+    /// `shed_admitted(false)` for plants whose admitted work must never
+    /// be dropped.
     pub shed_admitted: bool,
     /// Adaptive channels only: when the online estimator's confidence
     /// falls below this floor, the channel degrades to its profiled-safe
@@ -175,7 +179,7 @@ impl Default for GuardPolicy {
             divergence_streak: 3,
             cooldown_epochs: 60,
             anti_windup: true,
-            shed_admitted: false,
+            shed_admitted: true,
             confidence_floor: 0.0,
             fallbacks: Vec::new(),
         }

@@ -739,9 +739,12 @@ impl ControlPlane {
                 in_force.max(g.fallback).max(g.prev_in_force)
             };
             if clamped != in_force {
-                in_force = clamped;
-                g.in_force = clamped;
-                ch.decider.force(clamped);
+                // `force` clamps to the controller's profiled bounds; a
+                // declared fallback may sit outside them, and the
+                // in-force setting must never leave bounds.
+                let forced = ch.decider.force(clamped);
+                in_force = forced;
+                g.in_force = forced;
             }
             g.plant_shed = true;
             guards.insert(GuardSet::SHED);
