@@ -42,7 +42,7 @@ use smartconf_runtime::{
 pub const GAIN_BEFORE: f64 = 2.0;
 
 /// True plant gain after the mid-run drift. The ratio 5 is past the
-/// frozen loop's stability edge at [`POLE`] (`(1 − p) · Δ ≥ 2` needs
+/// frozen loop's stability edge at the bench pole 0.5 (`(1 − p) · Δ ≥ 2` needs
 /// `Δ ≥ 4`), so the frozen integral controller limit-cycles after the
 /// drift; the adaptive estimator relearns the gain and restabilizes.
 pub const GAIN_AFTER: f64 = 10.0;

@@ -14,6 +14,11 @@
 //!   does not fail, so perf improvements land without a lockstep
 //!   baseline bump.
 //!
+//! When the output file already exists, its headline numbers are
+//! appended to a `"history"` array in the fresh artifact (capped at
+//! [`smartconf_bench::perf::HISTORY_CAP`] entries) instead of being
+//! overwritten, so repeated `--check` cycles accumulate a trend record.
+//!
 //! Alongside the per-scenario epochs/sec the artifact records the event
 //! kernel's events/sec ([`smartconf_bench::perf::measure_kernel`]): a
 //! synthetic heterogeneous-period plane run through `EventPlane`,
@@ -29,7 +34,7 @@
 //! 25% band.
 
 use smartconf_bench::perf::{
-    bench_json, check_fleet_wall, check_kernel_rate, measure_fleet, measure_kernel,
+    bench_json, carry_history, check_fleet_wall, check_kernel_rate, measure_fleet, measure_kernel,
     measure_scenarios, parse_fleet_wall, parse_kernel_rate, CheckVerdict, TOLERANCE,
 };
 
@@ -80,7 +85,14 @@ fn main() {
     let fleet = measure_fleet(&seeds);
     eprintln!("  {}: {:.3} s", fleet.name, fleet.wall.as_secs_f64());
 
-    let json = bench_json(42, &scenarios, &kernel, &seeds, &fleet);
+    // Rewriting the artifact appends the previous run to its `history`
+    // array instead of discarding it, so `--check` cycles accumulate a
+    // trend record rather than overwriting each other.
+    let history = match std::fs::read_to_string(&out_path) {
+        Ok(previous) => carry_history(&previous),
+        Err(_) => Vec::new(),
+    };
+    let json = bench_json(42, &scenarios, &kernel, &seeds, &fleet, &history);
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
     eprintln!("wrote {out_path}");
     print!("{json}");

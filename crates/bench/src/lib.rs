@@ -15,6 +15,9 @@
 //! | `ablations` | outcome ablations of the design choices (DESIGN.md §5) |
 //! | `seeds` | constraint-satisfaction rates across seeds |
 //! | `fleet_smoke` | all 7 scenarios × seeds × policies at 1 and N threads, diffed |
+//! | `chaos_smoke` | all 7 scenarios × every fault class, hard-goal gated |
+//! | `resilience_smoke` | all 7 scenarios × every compound-fault campaign, recovery-SLO gated |
+//! | `perf_smoke` | epoch throughput + fleet wall-clock, baseline gated |
 //!
 //! Criterion microbenchmarks (`cargo bench`) cover controller overhead,
 //! design-choice ablations, and simulator throughput.
@@ -31,6 +34,7 @@ pub mod figure7;
 pub mod figure8;
 pub mod fleet;
 pub mod perf;
+pub mod resilience;
 pub mod table6;
 pub mod table7;
 

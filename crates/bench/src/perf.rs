@@ -173,13 +173,50 @@ pub fn measure_fleet(seeds: &[u64]) -> FleetPhase {
     smoke_run(seeds, 1).1
 }
 
-/// Renders the `BENCH_perf.json` artifact.
+/// Maximum prior runs retained in the artifact's `"history"` array.
+pub const HISTORY_CAP: usize = 32;
+
+/// Carries the run history forward when rewriting `BENCH_perf.json`:
+/// extracts the previous artifact's `"history"` entries, appends the
+/// previous run's own headline numbers as the newest entry, and clamps
+/// to the most recent [`HISTORY_CAP`]. The entries use the keys
+/// `fleet_secs` / `kernel_rate` (not the top-level key names) so the
+/// headline parsers keep finding the *current* run first.
+pub fn carry_history(previous: &str) -> Vec<String> {
+    let mut entries: Vec<String> = Vec::new();
+    if let Some(start) = previous.find("\"history\": [") {
+        let rest = &previous[start + "\"history\": [".len()..];
+        if let Some(end) = rest.find(']') {
+            entries.extend(
+                rest[..end]
+                    .lines()
+                    .map(str::trim)
+                    .filter(|l| l.starts_with('{'))
+                    .map(|l| l.trim_end_matches(',').to_string()),
+            );
+        }
+    }
+    if let (Some(fleet), Some(rate)) = (parse_fleet_wall(previous), parse_kernel_rate(previous)) {
+        entries.push(format!(
+            "{{\"fleet_secs\": {fleet:.3}, \"kernel_rate\": {rate:.0}}}"
+        ));
+    }
+    if entries.len() > HISTORY_CAP {
+        entries.drain(..entries.len() - HISTORY_CAP);
+    }
+    entries
+}
+
+/// Renders the `BENCH_perf.json` artifact. `history` holds prior runs'
+/// compact entries (see [`carry_history`]); pass `&[]` for a fresh
+/// artifact with no predecessors.
 pub fn bench_json(
     seed: u64,
     scenarios: &[ScenarioPerf],
     kernel: &KernelPerf,
     seeds: &[u64],
     fleet: &FleetPhase,
+    history: &[String],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
@@ -225,9 +262,19 @@ pub fn bench_json(
         policy_list.join(", ")
     ));
     out.push_str(&format!(
-        "  \"fleet_wall_clock_secs\": {:.3}\n",
+        "  \"fleet_wall_clock_secs\": {:.3},\n",
         fleet.wall.as_secs_f64()
     ));
+    // History goes last so the headline parsers above (which take the
+    // first occurrence of their key) always read the current run.
+    if history.is_empty() {
+        out.push_str("  \"history\": []\n");
+    } else {
+        out.push_str("  \"history\": [\n");
+        let lines: Vec<String> = history.iter().map(|h| format!("    {h}")).collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ]\n");
+    }
     out.push_str("}\n");
     out
 }
@@ -316,7 +363,7 @@ mod tests {
             events: 100_000,
             wall: Duration::from_millis(50),
         };
-        let json = bench_json(42, &scenarios, &kernel, &[42, 43], &fleet);
+        let json = bench_json(42, &scenarios, &kernel, &[42, 43], &fleet, &[]);
         assert!(json.contains("\"epochs\": 1200"));
         assert!(json.contains("\"epochs_per_sec\": 20000"));
         assert!(json.contains("\"events\": 100000"));
@@ -381,7 +428,60 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(2500),
         };
-        let json = bench_json(42, &[], &kernel, &[42], &fleet);
+        let json = bench_json(42, &[], &kernel, &[42], &fleet, &[]);
         assert_eq!(parse_kernel_rate(&json), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn history_accumulates_across_rewrites() {
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        // First write: no predecessor, empty history.
+        let first = bench_json(42, &[], &kernel, &[42], &fleet, &[]);
+        assert!(first.contains("\"history\": []"));
+        // Second write: the first run's headline numbers become history.
+        let second = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&first));
+        assert!(second.contains("{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000}"));
+        // Third write: both prior runs are retained, in order.
+        let third = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&second));
+        assert_eq!(third.matches("\"fleet_secs\"").count(), 2);
+        // The headline parsers still read the current run, not history.
+        assert_eq!(parse_fleet_wall(&third), Some(2.5));
+        assert_eq!(parse_kernel_rate(&third), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn history_clamps_at_the_cap() {
+        let seeded: Vec<String> = (0..HISTORY_CAP + 5)
+            .map(|i| format!("{{\"fleet_secs\": {i}.000, \"kernel_rate\": 1}}"))
+            .collect();
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        let json = bench_json(42, &[], &kernel, &[42], &fleet, &seeded);
+        let carried = carry_history(&json);
+        assert_eq!(carried.len(), HISTORY_CAP);
+        // The newest entry is the artifact's own headline run; the
+        // oldest seeded entries were dropped.
+        assert_eq!(
+            carried.last().unwrap(),
+            "{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000}"
+        );
+        assert!(!carried.iter().any(|e| e.contains("\"fleet_secs\": 0.000")));
     }
 }

@@ -6,7 +6,7 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_runtime::{
-    shard_seed, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
+    shard_seed, Campaign, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
     ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{SimDuration, SimTime, Simulation};
@@ -144,6 +144,14 @@ impl Hd4995 {
 
     fn run(&self, decider: Decider, seed: u64, label: &str) -> RunResult {
         self.run_model(decider, seed, label, None)
+    }
+
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// The smallest profiled limit is the profiled-safe fallback: it
+    /// met the block goal at every profiled load level.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new().fallback_setting("content-summary.limit", 100_000.0)
     }
 
     fn run_model(
@@ -297,10 +305,8 @@ impl Scenario for Hd4995 {
     ) -> RunResult {
         let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("content-summary.limit", controller);
-        // The smallest profiled limit is the profiled-safe fallback: it
-        // met the block goal at every profiled load level.
-        let guard = GuardPolicy::new().fallback_setting("content-summary.limit", 100_000.0);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             seed,
@@ -325,14 +331,51 @@ impl Scenario for Hd4995 {
         let conf = SmartConfIndirect::new("content-summary.limit", controller);
         // Same profiled-safe fallback as the frozen chaos run, plus the
         // model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("content-summary.limit", 100_000.0)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             seed,
             &format!("AdaptiveChaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let conf = SmartConfIndirect::new("content-summary.limit", controller);
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            seed,
+            &format!("Campaign-{}", campaign.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("content-summary.limit", controller);
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            seed,
+            &format!("AdaptiveCampaign-{}", campaign.label()),
             Some(spec),
         )
     }

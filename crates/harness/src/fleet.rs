@@ -11,7 +11,7 @@
 use std::sync::OnceLock;
 
 use smartconf_core::ProfileSet;
-use smartconf_runtime::{Baseline, EpochSummary, FaultClass, FleetExecutor};
+use smartconf_runtime::{Baseline, Campaign, EpochSummary, FaultClass, FaultSet, FleetExecutor};
 
 use crate::{sweep_statics, RunResult, Scenario};
 
@@ -34,6 +34,12 @@ pub enum Policy {
     /// Adaptive run with the standard fault plan for one fault class
     /// injected ([`Scenario::run_adaptive_chaos_profiled`]).
     AdaptiveChaos(FaultClass),
+    /// SmartConf-controlled run with a compound-fault campaign armed
+    /// ([`Scenario::run_campaign_profiled`]).
+    Campaign(Campaign),
+    /// Adaptive run with a compound-fault campaign armed
+    /// ([`Scenario::run_adaptive_campaign_profiled`]).
+    AdaptiveCampaign(Campaign),
 }
 
 impl Policy {
@@ -45,6 +51,8 @@ impl Policy {
             Policy::Chaos(c) => format!("Chaos-{}", c.label()),
             Policy::Adaptive => "Adaptive".to_string(),
             Policy::AdaptiveChaos(c) => format!("AdaptiveChaos-{}", c.label()),
+            Policy::Campaign(c) => format!("Campaign-{}", c.label()),
+            Policy::AdaptiveCampaign(c) => format!("AdaptiveCampaign-{}", c.label()),
         }
     }
 }
@@ -200,8 +208,18 @@ impl FleetReport {
                 s.tradeoff,
             ));
             for (name, c) in &s.channels {
+                // MTTR per fault class, only classes that recovered.
+                let mttr: Vec<String> = (0..8)
+                    .filter(|&i| c.recoveries[i] > 0)
+                    .map(|i| format!("{}:{}", FaultSet::BIT_LABELS[i], c.mttr[i]))
+                    .collect();
+                let mttr = if mttr.is_empty() {
+                    "-".to_string()
+                } else {
+                    mttr.join(",")
+                };
                 out.push_str(&format!(
-                    "  {}: epochs={} saturated={} violations={} settled_after={} mean_err={} max_abs_err={} faults={} guards={} fallback={}\n",
+                    "  {}: epochs={} saturated={} violations={} settled_after={} mean_err={} max_abs_err={} faults={} guards={} fallback={} reengage={}/{}/{} bursts={}/{}/{} mttr={} unrecovered={}\n",
                     name,
                     c.epochs,
                     c.saturated,
@@ -215,6 +233,16 @@ impl FleetReport {
                     c.faults_injected,
                     c.guard_activations,
                     c.fallback_epochs,
+                    // count / mean dwell / max dwell (epochs to re-engage)
+                    c.reengages,
+                    c.mean_epochs_to_reengage,
+                    c.max_epochs_to_reengage,
+                    // count / max length / p99 length (violation bursts)
+                    c.violation_bursts,
+                    c.violation_burst_max,
+                    c.violation_burst_p99,
+                    mttr,
+                    c.unrecovered,
                 ));
             }
         }
@@ -364,6 +392,16 @@ fn run_shard(
         Policy::AdaptiveChaos(class) => {
             let profiles = cache.profiles(item.scenario, scenario, item.seed);
             let run = scenario.run_adaptive_chaos_profiled(item.seed, class, &profiles);
+            ShardReport::from_run(&id, item.seed, &item.policy, &run)
+        }
+        Policy::Campaign(campaign) => {
+            let profiles = cache.profiles(item.scenario, scenario, item.seed);
+            let run = scenario.run_campaign_profiled(item.seed, campaign, &profiles);
+            ShardReport::from_run(&id, item.seed, &item.policy, &run)
+        }
+        Policy::AdaptiveCampaign(campaign) => {
+            let profiles = cache.profiles(item.scenario, scenario, item.seed);
+            let run = scenario.run_adaptive_campaign_profiled(item.seed, campaign, &profiles);
             ShardReport::from_run(&id, item.seed, &item.policy, &run)
         }
         Policy::Static(baseline) => {
@@ -525,6 +563,30 @@ mod tests {
         // Toy keeps the default run_chaos (clean fallback), but the
         // shard is labeled as a chaos run.
         let shard = report.shard("TOY", 42, "Chaos-SensorDropout").unwrap();
+        assert!(shard.resolved && shard.constraint_ok);
+    }
+
+    #[test]
+    fn campaign_policies_dispatch_and_label() {
+        let scenarios = roster();
+        let report = run_fleet(
+            &scenarios,
+            &[42],
+            &[
+                Policy::Campaign(Campaign::RestartUnderCorruption),
+                Policy::AdaptiveCampaign(Campaign::BurstEverything),
+            ],
+            &FleetExecutor::new(2),
+        );
+        // Toy keeps the default run_campaign_profiled (clean fallback),
+        // but the shards are labeled as campaign runs.
+        let shard = report
+            .shard("TOY", 42, "Campaign-restart-under-corruption")
+            .unwrap();
+        assert!(shard.resolved && shard.constraint_ok);
+        let shard = report
+            .shard("TOY", 42, "AdaptiveCampaign-burst-everything")
+            .unwrap();
         assert!(shard.resolved && shard.constraint_ok);
     }
 

@@ -32,6 +32,6 @@ pub use sweep::{sweep_statics, StaticSweep};
 // through the harness so a comparison run and its structured log travel
 // together.
 pub use smartconf_runtime::{
-    Baseline, ChaosSpec, EpochEvent, EpochLog, EpochSummary, FaultClass, FaultPlan, FaultSet,
-    FleetExecutor, GuardPolicy, GuardSet, ProfileSchedule, Profiler, SampleMode,
+    Baseline, Campaign, ChaosSpec, EpochEvent, EpochLog, EpochSummary, FaultClass, FaultPlan,
+    FaultSet, FleetExecutor, GuardPolicy, GuardSet, ProfileSchedule, Profiler, SampleMode,
 };

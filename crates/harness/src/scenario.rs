@@ -1,7 +1,7 @@
 //! The scenario abstraction: one PerfConf case study.
 
 use smartconf_core::ProfileSet;
-use smartconf_runtime::{Baseline, FaultClass, ProfileSchedule};
+use smartconf_runtime::{Baseline, Campaign, FaultClass, ProfileSchedule};
 
 use crate::{RunResult, TradeoffDirection};
 
@@ -126,6 +126,39 @@ pub trait Scenario {
         profiles: &[ProfileSet],
     ) -> RunResult {
         self.run_chaos_profiled(seed, class, profiles)
+    }
+
+    /// Runs the evaluation workload under SmartConf control with a
+    /// compound-fault [`Campaign`] armed: the campaign's composed
+    /// multi-window [`FaultPlan`](smartconf_runtime::FaultPlan) is
+    /// injected and the guards run campaign-hardened
+    /// ([`GuardPolicy::campaign_hardened`](smartconf_runtime::GuardPolicy::campaign_hardened):
+    /// sensor voting + re-engage backoff on top of the scenario's chaos
+    /// tuning). `(seed, campaign)` fully determines the injected faults,
+    /// so campaign fleets replay exactly.
+    ///
+    /// The default ignores the campaign and falls back to the clean
+    /// profiled run, keeping unmigrated scenarios runnable; the seven
+    /// case-study scenarios all override it.
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let _ = campaign;
+        self.run_smartconf_profiled(seed, profiles)
+    }
+
+    /// [`Scenario::run_campaign_profiled`] under the adaptive model; the
+    /// same fallback contract as [`Scenario::run_adaptive_profiled`].
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        self.run_campaign_profiled(seed, campaign, profiles)
     }
 }
 

@@ -22,7 +22,7 @@ use smartconf_core::{
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{Histogram, TimeSeries};
 use smartconf_runtime::{
-    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
     ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
@@ -140,6 +140,14 @@ impl Ca6059 {
             .model_mode(mode)
             .build()
             .expect("controller synthesis")
+    }
+
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// Profiled-safe fallback: the smallest profiled threshold keeps
+    /// memory well clear of the hard goal at higher write latency.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new().fallback_setting("memtable_total_space_mb", 40.0)
     }
 
     fn run_model(
@@ -304,10 +312,8 @@ impl Scenario for Ca6059 {
     ) -> RunResult {
         let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
-        // Profiled-safe fallback: the smallest profiled threshold keeps
-        // memory well clear of the hard goal at higher write latency.
-        let guard = GuardPolicy::new().fallback_setting("memtable_total_space_mb", 40.0);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
@@ -339,15 +345,54 @@ impl Scenario for Ca6059 {
         let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
         // Same profiled-safe fallback as the frozen chaos run, plus the
         // model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("memtable_total_space_mb", 40.0)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
             seed,
             &format!("AdaptiveChaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Campaign-{}", campaign.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("memtable_total_space_in_mb", controller);
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveCampaign-{}", campaign.label()),
             Some(spec),
         )
     }

@@ -20,7 +20,7 @@ use smartconf_core::{Controller, ControllerBuilder, Goal, ModelMode, ProfileSet,
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
-    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
     ProfileSchedule, Profiler, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
@@ -141,6 +141,16 @@ impl Hb2149 {
             .model_mode(mode)
             .build()
             .expect("controller synthesis")
+    }
+
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// Profiled-safe fallback: the patched shallow lowerLimit keeps
+    /// every blocking flush short at the cost of flushing often.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new()
+            .fallback_setting("memstore.lowerLimit_mb", 175.0)
+            .shed_admitted(self.shed_admitted)
     }
 
     fn run_model(
@@ -298,12 +308,8 @@ impl Scenario for Hb2149 {
     ) -> RunResult {
         let controller = self.build_controller(&profiles[0]);
         let conf = SmartConf::new("global.memstore.lowerLimit", controller);
-        // Profiled-safe fallback: the patched shallow lowerLimit keeps
-        // every blocking flush short at the cost of flushing often.
-        let guard = GuardPolicy::new()
-            .fallback_setting("memstore.lowerLimit_mb", 175.0)
-            .shed_admitted(self.shed_admitted);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         self.run_model(
             Decider::Direct(Box::new(conf)),
             &self.eval.clone(),
@@ -337,16 +343,56 @@ impl Scenario for Hb2149 {
         let conf = SmartConf::new("global.memstore.lowerLimit", controller);
         // Same profiled-safe fallback as the frozen chaos run, plus the
         // model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("memstore.lowerLimit_mb", 175.0)
-            .shed_admitted(self.shed_admitted)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_model(
             Decider::Direct(Box::new(conf)),
             &self.eval.clone(),
             seed,
             &format!("AdaptiveChaos-{}", class.label()),
+            self.phase_goals_secs,
+            Some(spec),
+        )
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let conf = SmartConf::new("global.memstore.lowerLimit", controller);
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        self.run_model(
+            Decider::Direct(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Campaign-{}", campaign.label()),
+            self.phase_goals_secs,
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConf::new("global.memstore.lowerLimit", controller);
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Direct(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveCampaign-{}", campaign.label()),
             self.phase_goals_secs,
             Some(spec),
         )

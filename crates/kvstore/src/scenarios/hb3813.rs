@@ -19,7 +19,7 @@ use smartconf_core::{
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
 use smartconf_runtime::{
-    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
     ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
@@ -286,6 +286,14 @@ impl Hb3813 {
         self.run_model(decider, &self.eval.clone(), seed, label, None)
     }
 
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// Profiled-safe fallback: a 30-item queue bound (the smallest
+    /// profiled setting) keeps the heap far below the hard goal.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new().fallback_setting("max.queue.size", 30.0)
+    }
+
     fn run_model(
         &self,
         decider: Decider,
@@ -440,10 +448,8 @@ impl Scenario for Hb3813 {
     ) -> RunResult {
         let controller = self.build_controller(&profiles[0], ControllerVariant::SmartConf);
         let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
-        // Profiled-safe fallback: a 30-item queue bound (the smallest
-        // profiled setting) keeps the heap far below the hard goal.
-        let guard = GuardPolicy::new().fallback_setting("max.queue.size", 30.0);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
@@ -483,15 +489,58 @@ impl Scenario for Hb3813 {
         let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
         // Same profiled-safe fallback as the frozen chaos run, plus the
         // model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("max.queue.size", 30.0)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
             seed,
             &format!("AdaptiveChaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0], ControllerVariant::SmartConf);
+        let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Campaign-{}", campaign.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(
+            &profiles[0],
+            ControllerVariant::SmartConf,
+            ModelMode::Adaptive,
+        );
+        let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveCampaign-{}", campaign.label()),
             Some(spec),
         )
     }

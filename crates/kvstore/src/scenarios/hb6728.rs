@@ -17,8 +17,9 @@ use smartconf_core::{
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
 use smartconf_runtime::{
-    shard_seed, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
+    ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CAMPAIGN_VOTE_WINDOW,
+    CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -136,6 +137,21 @@ impl Hb6728 {
             .model_mode(mode)
             .build()
             .expect("controller synthesis")
+    }
+
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// Profiled-safe fallback: a 40 MB response-queue bound keeps the
+    /// heap far under the 495 MB hard goal even with phase-2 churn. The
+    /// median-of-window sensor vote keeps the controller actuated
+    /// through corruption bursts instead of freezing on the last safe
+    /// setting while rejected readings stream past (seed 43's Corruption
+    /// run drops from 1049 blind epochs to ~20). It does *not* flip the
+    /// seed-43 verdicts — see the seed-43 pin test for why.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new()
+            .fallback_setting("response.queue.maxsize_mb", 40.0)
+            .sensor_vote(CAMPAIGN_VOTE_WINDOW)
     }
 
     fn run_model(
@@ -295,10 +311,8 @@ impl Scenario for Hb6728 {
     ) -> RunResult {
         let controller = self.build_controller(&profiles[0]);
         let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
-        // Profiled-safe fallback: a 40 MB response-queue bound keeps the
-        // heap far under the 495 MB hard goal even with phase-2 churn.
-        let guard = GuardPolicy::new().fallback_setting("response.queue.maxsize_mb", 40.0);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
@@ -328,17 +342,56 @@ impl Scenario for Hb6728 {
     ) -> RunResult {
         let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
         let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
-        // Same profiled-safe fallback as the frozen chaos run, plus the
+        // Same guard ladder as the frozen chaos run, plus the
         // model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("response.queue.maxsize_mb", 40.0)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_model(
             Decider::Deputy(Box::new(conf)),
             &self.eval.clone(),
             seed,
             &format!("AdaptiveChaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("Campaign-{}", campaign.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let conf = SmartConfIndirect::new("ipc.server.response.queue.maxsize", controller);
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            &format!("AdaptiveCampaign-{}", campaign.label()),
             Some(spec),
         )
     }
@@ -592,6 +645,20 @@ mod tests {
         // those classes the peak still grazes past the slack). This pin
         // keeps the documentation honest: if any assertion here flips,
         // update it and ROADMAP.md together.
+        //
+        // Sensor voting (armed on this scenario's chaos guard) was the
+        // candidate fix for the Corruption gap. It eliminates the blind
+        // stretches (1049 rejected-means-missed epochs become ~20) but
+        // the verdicts hold, because the violating excursions happen on
+        // *clean admitted* epochs: a background churn spike lands while
+        // the queue refills after a divergence hold, and the sampled
+        // peak grazes 0.14 MB past GOAL_SLACK_MB — one 2 MB response
+        // quantum above the clean baseline's own 495.2 MB graze. No
+        // sensor-path filter can move that; the peaks are identical to
+        // six decimals with voting on or off. (Naive voting actually
+        // made it *worse* — re-engaging on a drained-era median peaked
+        // at 497.2 MB — which is why voting is gated to engaged mode
+        // and the window is invalidated on every fallback entry.)
         let s = Hb6728::standard();
         let profiles = s.evaluation_profiles(43);
         for class in [
@@ -626,6 +693,24 @@ mod tests {
         assert!(a.epochs.summary("response.queue.maxsize_mb").is_some());
         let b = s.run_chaos(17, FaultClass::SensorDropout);
         assert_eq!(a.tradeoff, b.tradeoff);
+    }
+
+    #[test]
+    fn campaign_run_replays_and_tracks_recovery() {
+        let s = quick();
+        let profiles = s.evaluation_profiles(17);
+        let a = s.run_campaign_profiled(17, Campaign::RestartUnderCorruption, &profiles);
+        assert_eq!(a.label, "Campaign-restart-under-corruption");
+        let sum = a.epochs.summary("response.queue.maxsize_mb").unwrap();
+        assert!(sum.faults_injected > 0, "campaign injected no faults");
+        let b = s.run_campaign_profiled(17, Campaign::RestartUnderCorruption, &profiles);
+        assert_eq!(a.tradeoff, b.tradeoff, "campaign run failed to replay");
+        let ad = s.run_adaptive_campaign_profiled(17, Campaign::CascadingDropout, &profiles);
+        assert_eq!(ad.label, "AdaptiveCampaign-cascading-dropout");
+        assert!(ad
+            .epochs
+            .summary("response.queue.maxsize_mb")
+            .is_some_and(|s| s.faults_injected > 0));
     }
 
     #[test]

@@ -15,8 +15,9 @@ use smartconf_core::{
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
-    shard_seed, ChannelId, ChaosSpec, ControlPlane, ControlPlaneBuilder, Decider, FaultClass,
-    GuardPolicy, ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, ControlPlaneBuilder, Decider,
+    FaultClass, GuardPolicy, ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR,
+    CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -217,6 +218,17 @@ impl TwinQueues {
             self.profile_queue(WhichQueue::Response, seed ^ 0xbbbb),
         ];
         self.run_smart_inner_profiled(seed, interaction, chaos, &profiles, ModelMode::Frozen)
+    }
+
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// Profiled-safe fallbacks: the conservative static pair that
+    /// survives the worst co-occurrence of both workloads.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new()
+            .fallback_setting("max.queue.size", 60.0)
+            .fallback_setting("response.queue.maxsize_mb", 60.0)
+            .shed_admitted(self.shed_admitted)
     }
 
     /// [`TwinQueues::run_smart_inner`] with both queue profiles already
@@ -445,13 +457,8 @@ impl Scenario for TwinQueues {
         class: FaultClass,
         profiles: &[ProfileSet],
     ) -> RunResult {
-        // Profiled-safe fallbacks: the conservative static pair that
-        // survives the worst co-occurrence of both workloads.
-        let guard = GuardPolicy::new()
-            .fallback_setting("max.queue.size", 60.0)
-            .fallback_setting("response.queue.maxsize_mb", 60.0)
-            .shed_admitted(self.shed_admitted);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         let mut out =
             self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Frozen);
         out.result.label = format!("Chaos-{}", class.label());
@@ -473,15 +480,42 @@ impl Scenario for TwinQueues {
     ) -> RunResult {
         // Same profiled-safe fallback pair as the frozen chaos run, plus
         // the model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("max.queue.size", 60.0)
-            .fallback_setting("response.queue.maxsize_mb", 60.0)
-            .shed_admitted(self.shed_admitted)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         let mut out =
             self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Adaptive);
         out.result.label = format!("AdaptiveChaos-{}", class.label());
+        out.result
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        let mut out =
+            self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Frozen);
+        out.result.label = format!("Campaign-{}", campaign.label());
+        out.result
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let mut out =
+            self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Adaptive);
+        out.result.label = format!("AdaptiveCampaign-{}", campaign.label());
         out.result
     }
 

@@ -6,7 +6,7 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_runtime::{
-    shard_seed, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
+    shard_seed, Campaign, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
     ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{BackgroundChurn, SimDuration, SimRng, SimTime, Simulation};
@@ -95,6 +95,14 @@ impl Mr2820 {
         label: &str,
     ) -> RunResult {
         self.run_cluster_chaos(decider, initial_minspace, jobs, seed, label, None)
+    }
+
+    /// The guard ladder shared by every chaos and campaign run.
+    ///
+    /// Fallback in controller space: aim for 60% of the usage goal,
+    /// the same conservative point the controller starts from.
+    fn guard(&self) -> GuardPolicy {
+        GuardPolicy::new().fallback_setting("local.dir.minspacestart_mb", self.disk_goal_mb() * 0.6)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -302,11 +310,8 @@ impl Scenario for Mr2820 {
                 (cap - desired).max(0.0)
             })),
         );
-        // Fallback in controller space: aim for 60% of the usage goal,
-        // the same conservative point the controller starts from.
-        let guard = GuardPolicy::new()
-            .fallback_setting("local.dir.minspacestart_mb", self.disk_goal_mb() * 0.6);
-        let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        let spec =
+            ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(self.guard());
         self.run_cluster_chaos(
             Decider::Deputy(Box::new(conf)),
             initial,
@@ -355,9 +360,7 @@ impl Scenario for Mr2820 {
         );
         // Same profiled-safe fallback as the frozen chaos run, plus the
         // model-doubt safety net for estimator collapse.
-        let guard = GuardPolicy::new()
-            .fallback_setting("local.dir.minspacestart_mb", self.disk_goal_mb() * 0.6)
-            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
+        let guard = self.guard().confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR);
         let spec = ChaosSpec::standard(class, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
         self.run_cluster_chaos(
             Decider::Deputy(Box::new(conf)),
@@ -365,6 +368,65 @@ impl Scenario for Mr2820 {
             self.eval_jobs(seed),
             seed,
             &format!("AdaptiveChaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
+        let cap = self.disk_capacity as f64 / MB as f64;
+        let conf = SmartConfIndirect::with_transducer(
+            "local.dir.minspacestart",
+            controller,
+            Box::new(FnTransducer::new(move |desired: f64| {
+                (cap - desired).max(0.0)
+            })),
+        );
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM))
+            .with_guard(self.guard().campaign_hardened());
+        self.run_cluster_chaos(
+            Decider::Deputy(Box::new(conf)),
+            initial,
+            self.eval_jobs(seed),
+            seed,
+            &format!("Campaign-{}", campaign.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_adaptive_campaign_profiled(
+        &self,
+        seed: u64,
+        campaign: Campaign,
+        profiles: &[ProfileSet],
+    ) -> RunResult {
+        let controller = self.build_controller_with_mode(&profiles[0], ModelMode::Adaptive);
+        let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
+        let cap = self.disk_capacity as f64 / MB as f64;
+        let conf = SmartConfIndirect::with_transducer(
+            "local.dir.minspacestart",
+            controller,
+            Box::new(FnTransducer::new(move |desired: f64| {
+                (cap - desired).max(0.0)
+            })),
+        );
+        let guard = self
+            .guard()
+            .confidence_floor(ADAPTIVE_CONFIDENCE_FLOOR)
+            .campaign_hardened();
+        let spec = ChaosSpec::campaign(campaign, shard_seed(seed, CHAOS_STREAM)).with_guard(guard);
+        self.run_cluster_chaos(
+            Decider::Deputy(Box::new(conf)),
+            initial,
+            self.eval_jobs(seed),
+            seed,
+            &format!("AdaptiveCampaign-{}", campaign.label()),
             Some(spec),
         )
     }

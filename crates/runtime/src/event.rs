@@ -87,7 +87,47 @@ pub struct EpochSummary {
     /// Epochs spent in divergence fallback (holding the profiled-safe
     /// static setting).
     pub fallback_epochs: u64,
+    /// Controller re-engagements after a fallback cooldown
+    /// ([`GuardSet::REENGAGE`] epochs).
+    pub reengages: u64,
+    /// Mean epochs from a fallback entry to its re-engage (0 when the
+    /// channel never re-engaged) — the "time to re-arm the controller"
+    /// half of the recovery SLO.
+    pub mean_epochs_to_reengage: f64,
+    /// Longest fallback dwell that ended in a re-engage, epochs.
+    pub max_epochs_to_reengage: u64,
+    /// Number of violation bursts: maximal runs of consecutive epochs
+    /// whose finite tracking error was negative (an epoch without a
+    /// finite violation — including a missed reading — ends the run).
+    pub violation_bursts: u64,
+    /// Longest violation burst, epochs.
+    pub violation_burst_max: u64,
+    /// 99th-percentile violation-burst length, epochs, from a histogram
+    /// whose top bin clamps at [`BURST_BINS`] (so values ≥ that read
+    /// "at least"); the true maximum is in
+    /// [`violation_burst_max`](Self::violation_burst_max).
+    pub violation_burst_p99: u64,
+    /// Per-fault-class recoveries, indexed by [`FaultSet`] bit (see
+    /// [`FaultSet::BIT_LABELS`]): how many faulty stretches involving
+    /// that class ended in a settled clean epoch.
+    pub recoveries: [u64; 8],
+    /// Per-fault-class mean time to recover, epochs, indexed like
+    /// [`recoveries`](Self::recoveries): from the first epoch of a
+    /// contiguous faulty stretch to the first following clean epoch
+    /// whose error is back inside the ±2% settling band (0 when the
+    /// class never recovered). A stretch under several classes counts
+    /// toward each.
+    pub mttr: [f64; 8],
+    /// Whether a faulty stretch was still unrecovered (no settled clean
+    /// epoch after it) when the run ended.
+    pub unrecovered: bool,
 }
+
+/// Top bin of the violation-burst histogram: burst lengths at or beyond
+/// this clamp into the last bin, so
+/// [`EpochSummary::violation_burst_p99`] saturates here while
+/// [`EpochSummary::violation_burst_max`] stays exact.
+pub const BURST_BINS: u64 = 32;
 
 /// Internal accumulator behind [`EpochSummary`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -103,6 +143,25 @@ struct ChannelStats {
     faults_injected: u64,
     guard_activations: u64,
     fallback_epochs: u64,
+    /// Epoch of the last unmatched FALLBACK_ENTER, while in fallback.
+    fallback_entered_at: Option<u64>,
+    reengages: u64,
+    reengage_sum: u64,
+    reengage_max: u64,
+    /// Length of the violation burst currently being extended.
+    current_burst: u64,
+    /// Burst-length histogram: index `i` counts bursts of length `i+1`,
+    /// lengths ≥ [`BURST_BINS`] clamp into the last bin. Always covers
+    /// every burst including the one in progress.
+    burst_hist: [u32; BURST_BINS as usize],
+    burst_count: u64,
+    burst_max: u64,
+    /// First epoch of the contiguous faulty stretch awaiting recovery.
+    outage_start: Option<u64>,
+    /// Union of fault classes injected during that stretch.
+    outage_classes: FaultSet,
+    recovery_sum: [u64; 8],
+    recovery_count: [u64; 8],
 }
 
 impl ChannelStats {
@@ -113,6 +172,46 @@ impl ChannelStats {
         self.faults_injected += (!e.faults.is_empty()) as u64;
         self.guard_activations += (!e.guards.is_empty()) as u64;
         self.fallback_epochs += e.guards.contains(GuardSet::FALLBACK) as u64;
+
+        // Epochs-to-reengage: pair each fallback entry with the next
+        // re-engage. A single epoch can carry both (re-engage, then a
+        // fresh divergence re-enters), so the close runs before the open.
+        if e.guards.contains(GuardSet::REENGAGE) {
+            if let Some(entered) = self.fallback_entered_at.take() {
+                let dwell = e.epoch.saturating_sub(entered);
+                self.reengages += 1;
+                self.reengage_sum += dwell;
+                self.reengage_max = self.reengage_max.max(dwell);
+            }
+        }
+        if e.guards.contains(GuardSet::FALLBACK_ENTER) {
+            self.fallback_entered_at = Some(e.epoch);
+        }
+
+        let settled = e.error.is_finite() && e.error.abs() <= SETTLING_BAND * e.target.abs();
+        // MTTR: a contiguous faulty stretch opens on its first fault
+        // epoch and recovers at the first *clean* epoch back inside the
+        // settling band; the elapsed epochs count toward every fault
+        // class injected during the stretch.
+        if !e.faults.is_empty() {
+            if self.outage_start.is_none() {
+                self.outage_start = Some(e.epoch);
+                self.outage_classes = FaultSet::default();
+            }
+            self.outage_classes.insert(e.faults);
+        } else if settled {
+            if let Some(start) = self.outage_start.take() {
+                let epochs = e.epoch.saturating_sub(start);
+                let bits = self.outage_classes.bits();
+                for class in 0..8 {
+                    if bits & (1 << class) != 0 {
+                        self.recovery_sum[class] += epochs;
+                        self.recovery_count[class] += 1;
+                    }
+                }
+            }
+        }
+
         if e.error.is_finite() {
             self.error_count += 1;
             self.error_sum += e.error;
@@ -122,14 +221,56 @@ impl ChannelStats {
             }
             if e.error < 0.0 {
                 self.violations += 1;
+                // Extend (or open) the current burst, moving its
+                // histogram entry so the histogram always covers the
+                // burst in progress.
+                if self.current_burst > 0 {
+                    self.burst_hist[Self::burst_bin(self.current_burst)] -= 1;
+                } else {
+                    self.burst_count += 1;
+                }
+                self.current_burst += 1;
+                self.burst_hist[Self::burst_bin(self.current_burst)] += 1;
+                self.burst_max = self.burst_max.max(self.current_burst);
+            } else {
+                self.current_burst = 0;
             }
             if abs > SETTLING_BAND * e.target.abs() {
                 self.settled_after = e.epoch + 1;
             }
+        } else {
+            self.current_burst = 0;
         }
     }
 
+    fn burst_bin(len: u64) -> usize {
+        (len.min(BURST_BINS) - 1) as usize
+    }
+
+    /// Smallest burst length whose upper tail holds at least 1% of the
+    /// bursts (the top bin saturates at [`BURST_BINS`]).
+    fn burst_p99(&self) -> u64 {
+        if self.burst_count == 0 {
+            return 0;
+        }
+        let tail_target = self.burst_count.div_ceil(100);
+        let mut tail = 0u64;
+        for bin in (0..BURST_BINS as usize).rev() {
+            tail += u64::from(self.burst_hist[bin]);
+            if tail >= tail_target {
+                return bin as u64 + 1;
+            }
+        }
+        1
+    }
+
     fn summary(&self) -> EpochSummary {
+        let mut mttr = [0.0f64; 8];
+        for (class, slot) in mttr.iter_mut().enumerate() {
+            if self.recovery_count[class] > 0 {
+                *slot = self.recovery_sum[class] as f64 / self.recovery_count[class] as f64;
+            }
+        }
         EpochSummary {
             epochs: self.epochs,
             saturated: self.saturated,
@@ -145,6 +286,19 @@ impl ChannelStats {
             faults_injected: self.faults_injected,
             guard_activations: self.guard_activations,
             fallback_epochs: self.fallback_epochs,
+            reengages: self.reengages,
+            mean_epochs_to_reengage: if self.reengages == 0 {
+                0.0
+            } else {
+                self.reengage_sum as f64 / self.reengages as f64
+            },
+            max_epochs_to_reengage: self.reengage_max,
+            violation_bursts: self.burst_count,
+            violation_burst_max: self.burst_max,
+            violation_burst_p99: self.burst_p99(),
+            recoveries: self.recovery_count,
+            mttr,
+            unrecovered: self.outage_start.is_some(),
         }
     }
 }
@@ -481,6 +635,151 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.total_events(), 1);
         assert_eq!(log.summary("a").unwrap().epochs, 1);
+    }
+
+    #[test]
+    fn reengage_dwell_is_tracked_per_entry() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        let mut push = |epoch: u64, bits: &[GuardSet]| {
+            let mut e = event(0, epoch, epoch, 50.0);
+            for b in bits {
+                e.guards.insert(*b);
+            }
+            log.push(e);
+        };
+        // Entry at 2, re-engage at 7 (dwell 5); entry at 10, re-engage
+        // at 20 (dwell 10) — the backed-off second entry.
+        push(2, &[GuardSet::FALLBACK_ENTER]);
+        for epoch in 3..7 {
+            push(epoch, &[GuardSet::FALLBACK]);
+        }
+        push(7, &[GuardSet::REENGAGE]);
+        push(10, &[GuardSet::FALLBACK_ENTER]);
+        push(20, &[GuardSet::REENGAGE]);
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.reengages, 2);
+        assert_eq!(s.mean_epochs_to_reengage, 7.5);
+        assert_eq!(s.max_epochs_to_reengage, 10);
+    }
+
+    #[test]
+    fn reengage_and_reenter_on_one_epoch_pair_correctly() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        let mut e = event(0, 5, 5, 50.0);
+        e.guards.insert(GuardSet::FALLBACK_ENTER);
+        log.push(e);
+        // Epoch 9 both re-engages the old hold and re-enters a new one.
+        let mut e = event(0, 9, 9, 50.0);
+        e.guards.insert(GuardSet::REENGAGE);
+        e.guards.insert(GuardSet::FALLBACK_ENTER);
+        log.push(e);
+        let mut e = event(0, 12, 12, 50.0);
+        e.guards.insert(GuardSet::REENGAGE);
+        log.push(e);
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.reengages, 2);
+        assert_eq!(s.max_epochs_to_reengage, 4);
+        assert_eq!(s.mean_epochs_to_reengage, 3.5);
+    }
+
+    #[test]
+    fn violation_bursts_histogram_max_and_p99() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        let mut epoch = 0u64;
+        // error = 100 − 2·setting: setting 60 violates, setting 50 is in
+        // band. 99 one-epoch bursts and one four-epoch burst: p99 must
+        // reach into the single long burst.
+        for _ in 0..99 {
+            log.push(event(0, epoch, epoch, 60.0));
+            epoch += 1;
+            log.push(event(0, epoch, epoch, 50.0));
+            epoch += 1;
+        }
+        for _ in 0..4 {
+            log.push(event(0, epoch, epoch, 60.0));
+            epoch += 1;
+        }
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.violation_bursts, 100);
+        assert_eq!(s.violation_burst_max, 4);
+        assert_eq!(s.violation_burst_p99, 4);
+        assert_eq!(s.violations, 99 + 4);
+    }
+
+    #[test]
+    fn open_burst_and_long_burst_clamp() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        // One still-open 40-epoch burst: counted, max exact, p99 clamped
+        // at the top histogram bin.
+        for epoch in 0..40u64 {
+            log.push(event(0, epoch, epoch, 60.0));
+        }
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.violation_bursts, 1);
+        assert_eq!(s.violation_burst_max, 40);
+        assert_eq!(s.violation_burst_p99, BURST_BINS);
+    }
+
+    #[test]
+    fn nan_error_ends_a_burst() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        log.push(event(0, 0, 0, 60.0));
+        let mut e = event(0, 1, 1, 60.0);
+        e.error = f64::NAN;
+        log.push(e);
+        log.push(event(0, 2, 2, 60.0));
+        let s = log.summary("a").unwrap();
+        assert_eq!(s.violation_bursts, 2);
+        assert_eq!(s.violation_burst_max, 1);
+    }
+
+    #[test]
+    fn mttr_attributes_recovery_to_every_class_in_the_stretch() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        // Clean settled epoch (setting 50 ⇒ error 0).
+        log.push(event(0, 0, 0, 50.0));
+        // Faulty stretch 1..4: dropout, then dropout+lag.
+        let mut e = event(0, 1, 1, 60.0);
+        e.faults.insert(FaultSet::DROPOUT);
+        log.push(e);
+        let mut e = event(0, 2, 2, 60.0);
+        e.faults.insert(FaultSet::DROPOUT);
+        e.faults.insert(FaultSet::LAG);
+        log.push(e);
+        let mut e = event(0, 3, 3, 60.0);
+        e.faults.insert(FaultSet::LAG);
+        log.push(e);
+        // Clean but NOT settled (setting 60 ⇒ error −20): recovery waits.
+        log.push(event(0, 4, 4, 60.0));
+        // Clean and settled: the stretch recovers, 5 − 1 = 4 epochs.
+        log.push(event(0, 5, 5, 50.0));
+        let s = log.summary("a").unwrap();
+        let dropout = 0usize; // FaultSet bit order
+        let lag = 4usize;
+        assert_eq!(s.recoveries[dropout], 1);
+        assert_eq!(s.recoveries[lag], 1);
+        assert_eq!(s.mttr[dropout], 4.0);
+        assert_eq!(s.mttr[lag], 4.0);
+        assert_eq!(s.recoveries[1], 0, "stale never fired");
+        assert!(!s.unrecovered);
+    }
+
+    #[test]
+    fn open_outage_reads_unrecovered() {
+        let mut log = EpochLog::new(vec!["a".into()]);
+        log.push(event(0, 0, 0, 50.0));
+        let mut e = event(0, 1, 1, 60.0);
+        e.faults.insert(FaultSet::NAN);
+        log.push(e);
+        let s = log.summary("a").unwrap();
+        assert!(s.unrecovered);
+        assert_eq!(s.recoveries[2], 0);
+        // A later settled clean epoch flips it.
+        log.push(event(0, 2, 2, 50.0));
+        let s = log.summary("a").unwrap();
+        assert!(!s.unrecovered);
+        assert_eq!(s.recoveries[2], 1);
+        assert_eq!(s.mttr[2], 1.0);
     }
 
     #[test]

@@ -98,6 +98,11 @@ pub struct FaultWindow {
     pub active: u64,
     /// Per-epoch activation probability in `[0, 1]`.
     pub probability: f64,
+    /// Cross-channel phase stagger in epochs: channel `c` (plane index)
+    /// sees the window shifted `c × stagger` epochs later, so a burst
+    /// rolls across a multi-channel plane in declaration order instead
+    /// of striking every channel at once (`0` = simultaneous).
+    pub stagger: u64,
     /// The fault to inject.
     pub kind: FaultKind,
 }
@@ -112,6 +117,7 @@ impl FaultWindow {
             period: 0,
             active: 0,
             probability: 1.0,
+            stagger: 0,
             kind,
         }
     }
@@ -139,18 +145,45 @@ impl FaultWindow {
         self
     }
 
-    fn covers_epoch(&self, epoch: u64) -> bool {
-        if epoch < self.start || epoch >= self.end {
+    /// Staggers the window across channels: channel `c` sees it shifted
+    /// `c × epochs` later (see the [`FaultWindow::stagger`] field docs).
+    #[must_use]
+    pub fn staggered(mut self, epochs: u64) -> Self {
+        self.stagger = epochs;
+        self
+    }
+
+    /// The effective `(start, end)` for one channel: `stagger` shifts
+    /// both edges by `channel × stagger` (an unbounded end stays
+    /// unbounded). Pure, so the staggered schedule is as replayable as
+    /// the unstaggered one.
+    fn range_for(&self, channel: u32) -> (u64, u64) {
+        if self.stagger == 0 {
+            return (self.start, self.end);
+        }
+        let delta = (channel as u64).saturating_mul(self.stagger);
+        let end = if self.end == u64::MAX {
+            u64::MAX
+        } else {
+            self.end.saturating_add(delta)
+        };
+        (self.start.saturating_add(delta), end)
+    }
+
+    fn covers_epoch(&self, channel: u32, epoch: u64) -> bool {
+        let (start, end) = self.range_for(channel);
+        if epoch < start || epoch >= end {
             return false;
         }
         if self.period == 0 {
             return true;
         }
-        (epoch - self.start) % self.period < self.active
+        (epoch - start) % self.period < self.active
     }
 
-    /// The first maximal active pulse `[on, off)` of this window whose
-    /// end lies strictly after `epoch`, or `None` when the window never
+    /// The first maximal active pulse `[on, off)` of this window, on
+    /// `channel`'s (possibly staggered) epoch axis, whose end lies
+    /// strictly after `epoch` — or `None` when the window never
     /// activates again. `off == u64::MAX` marks a pulse that outlives
     /// any run. The event kernel walks pulses with this to schedule
     /// window-edge events instead of re-testing [`covers_epoch`] every
@@ -162,30 +195,31 @@ impl FaultWindow {
     /// (`next.on > prev.off` for periodic windows with
     /// `active < period`; windows with `active >= period` are a single
     /// continuous pulse).
-    pub(crate) fn pulse_after(&self, epoch: u64) -> Option<(u64, u64)> {
-        if epoch >= self.end {
+    pub(crate) fn pulse_after(&self, channel: u32, epoch: u64) -> Option<(u64, u64)> {
+        let (start, end) = self.range_for(channel);
+        if epoch >= end {
             return None;
         }
         if self.period == 0 || self.active >= self.period {
             // Continuously active over the whole window.
-            return (self.start < self.end).then_some((self.start, self.end));
+            return (start < end).then_some((start, end));
         }
         if self.active == 0 {
             return None;
         }
-        let k = if epoch <= self.start {
+        let k = if epoch <= start {
             0
         } else {
-            (epoch - self.start) / self.period
+            (epoch - start) / self.period
         };
         // Pulse k covers `start + k·period .. + active`; if `epoch` sits
         // past its end, pulse k+1 is the first candidate.
         for k in [k, k + 1] {
-            let on = self.start.checked_add(k.checked_mul(self.period)?)?;
-            if on >= self.end {
+            let on = start.checked_add(k.checked_mul(self.period)?)?;
+            if on >= end {
                 return None;
             }
-            let off = on.saturating_add(self.active).min(self.end);
+            let off = on.saturating_add(self.active).min(end);
             if off > epoch {
                 return Some((on, off));
             }
@@ -243,6 +277,17 @@ impl FaultPlan {
     /// Whether the plan declares no faults.
     pub fn is_empty(&self) -> bool {
         self.windows.is_empty()
+    }
+
+    /// Appends every window of `other` after this plan's own — the
+    /// composition primitive behind compound-fault [`Campaign`]s. Window
+    /// indices (and therefore the injector's per-window rolls) follow
+    /// concatenation order, so `a.merge(b)` and `b.merge(a)` are
+    /// distinct, replayable plans.
+    #[must_use]
+    pub fn merge(mut self, other: FaultPlan) -> Self {
+        self.windows.extend(other.windows);
+        self
     }
 }
 
@@ -342,6 +387,102 @@ impl fmt::Display for FaultClass {
     }
 }
 
+/// A named compound-fault campaign: several [`FaultClass`]es striking
+/// one run concurrently, with correlated timing — the failure shapes
+/// real deployments see (a restart *while* sensors are corrupted,
+/// actuator lag *during* a goal flap) that single-class chaos sweeps
+/// never exercise. Like the classes, each campaign maps to a canonical
+/// [`FaultPlan`] ([`Campaign::plan`]) evaluated by the same stateless
+/// per-`(seed, window, channel, epoch)` injector hash, so campaign
+/// fleets stay byte-identical at any worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Campaign {
+    /// Periodic plant restarts landing on top of the Corruption class's
+    /// background NaN readings and multiplicative spikes: the controller
+    /// must relearn (or re-profile) from a sensor it cannot fully trust.
+    RestartUnderCorruption,
+    /// Actuator-lag bursts aligned with the opening epochs of each
+    /// goal-flap window: every retarget happens exactly while decisions
+    /// reach the plant late.
+    LagDuringGoalFlap,
+    /// Sensor-dropout bursts rolling across the plane's channels in
+    /// declaration order (4-epoch stagger), over a background of rare
+    /// NaN corruption — a metrics pipeline failing shard by shard.
+    CascadingDropout,
+    /// Every fault class at once: all seven canonical plans merged into
+    /// one, overlapping freely. The kitchen-sink worst case the guard
+    /// ladder must survive without a hard-goal violation.
+    BurstEverything,
+}
+
+impl Campaign {
+    /// Every campaign, in sweep order.
+    pub const ALL: [Campaign; 4] = [
+        Campaign::RestartUnderCorruption,
+        Campaign::LagDuringGoalFlap,
+        Campaign::CascadingDropout,
+        Campaign::BurstEverything,
+    ];
+
+    /// Stable kebab-case label (used in policy names and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Campaign::RestartUnderCorruption => "restart-under-corruption",
+            Campaign::LagDuringGoalFlap => "lag-during-goal-flap",
+            Campaign::CascadingDropout => "cascading-dropout",
+            Campaign::BurstEverything => "burst-everything",
+        }
+    }
+
+    /// The campaign with the given [`Campaign::label`], if any.
+    pub fn from_label(label: &str) -> Option<Campaign> {
+        Campaign::ALL.into_iter().find(|c| c.label() == label)
+    }
+
+    /// The canonical compound plan for this campaign. Warm-ups and
+    /// periods follow the single-class plans ([`FaultClass::standard_plan`])
+    /// so short scenarios still see at least one compound burst.
+    pub fn plan(&self) -> FaultPlan {
+        const WARMUP: u64 = 6;
+        match self {
+            Campaign::RestartUnderCorruption => FaultClass::Corruption
+                .standard_plan()
+                .merge(FaultClass::PlantRestart.standard_plan()),
+            Campaign::LagDuringGoalFlap => FaultPlan::new()
+                .window(
+                    FaultWindow::new(FaultKind::GoalFlap { frac: 0.15 }, 2 * WARMUP, u64::MAX)
+                        .periodic(140, 60),
+                )
+                .window(
+                    // Same period and phase as the flap: the lag burst is
+                    // the first 24 epochs of every 60-epoch flap window.
+                    FaultWindow::new(FaultKind::ActuatorLag { epochs: 4 }, 2 * WARMUP, u64::MAX)
+                        .periodic(140, 24),
+                ),
+            Campaign::CascadingDropout => FaultPlan::new()
+                .window(
+                    FaultWindow::new(FaultKind::SensorDropout, WARMUP, u64::MAX)
+                        .periodic(120, 8)
+                        .staggered(4),
+                )
+                .window(
+                    FaultWindow::new(FaultKind::SensorNan, WARMUP, u64::MAX).with_probability(0.01),
+                ),
+            Campaign::BurstEverything => FaultClass::ALL
+                .into_iter()
+                .fold(FaultPlan::new(), |plan, class| {
+                    plan.merge(class.standard_plan())
+                }),
+        }
+    }
+}
+
+impl fmt::Display for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Bit set of fault classes injected on one epoch (recorded on
 /// [`EpochEvent`](crate::EpochEvent)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -364,6 +505,27 @@ impl FaultSet {
     pub const GOAL_FLAP: FaultSet = FaultSet(1 << 6);
     /// Plant restarted.
     pub const RESTART: FaultSet = FaultSet(1 << 7);
+
+    /// Display labels for the eight fault bits, index-aligned with the
+    /// bit positions (index 0 = [`FaultSet::DROPOUT`] … index 7 =
+    /// [`FaultSet::RESTART`]). The per-class MTTR accumulators in
+    /// [`EpochSummary`](crate::EpochSummary) use the same indexing.
+    pub const BIT_LABELS: [&'static str; 8] = [
+        "dropout",
+        "stale",
+        "nan",
+        "spike",
+        "lag",
+        "saturate",
+        "goal_flap",
+        "restart",
+    ];
+
+    /// The raw bits (bit `i` is the class labelled
+    /// [`FaultSet::BIT_LABELS`]`[i]`).
+    pub fn bits(&self) -> u16 {
+        self.0
+    }
 
     /// Adds the bits of `other`.
     pub fn insert(&mut self, other: FaultSet) {
@@ -490,7 +652,7 @@ impl FaultInjector {
     pub fn at(&self, channel_name: &str, channel: u32, epoch: u64) -> ActiveFaults {
         let mut out = ActiveFaults::default();
         for (wi, w) in self.plan.windows.iter().enumerate() {
-            if !w.filter.matches(channel_name) || !w.covers_epoch(epoch) {
+            if !w.filter.matches(channel_name) || !w.covers_epoch(channel, epoch) {
                 continue;
             }
             self.fire(wi, w, channel, epoch, &mut out);
@@ -506,7 +668,7 @@ impl FaultInjector {
         let mut out = ActiveFaults::default();
         for &wi in windows {
             let w = &self.plan.windows[wi];
-            if !w.covers_epoch(epoch) {
+            if !w.covers_epoch(channel, epoch) {
                 continue;
             }
             self.fire(wi, w, channel, epoch, &mut out);
@@ -569,14 +731,34 @@ mod tests {
     #[test]
     fn windows_cover_expected_epochs() {
         let w = FaultWindow::new(FaultKind::SensorDropout, 40, 400).periodic(100, 10);
-        assert!(!w.covers_epoch(39));
-        assert!(w.covers_epoch(40));
-        assert!(w.covers_epoch(49));
-        assert!(!w.covers_epoch(50));
-        assert!(w.covers_epoch(140));
-        assert!(!w.covers_epoch(400));
+        assert!(!w.covers_epoch(0, 39));
+        assert!(w.covers_epoch(0, 40));
+        assert!(w.covers_epoch(0, 49));
+        assert!(!w.covers_epoch(0, 50));
+        assert!(w.covers_epoch(0, 140));
+        assert!(!w.covers_epoch(0, 400));
         let cont = FaultWindow::new(FaultKind::SensorNan, 5, u64::MAX);
-        assert!(cont.covers_epoch(5) && cont.covers_epoch(1_000_000));
+        assert!(cont.covers_epoch(0, 5) && cont.covers_epoch(0, 1_000_000));
+    }
+
+    #[test]
+    fn stagger_shifts_per_channel() {
+        let w = FaultWindow::new(FaultKind::SensorDropout, 40, 400)
+            .periodic(100, 10)
+            .staggered(4);
+        // Channel 0 is unshifted; channel 2 sees everything 8 later.
+        for e in 0..500u64 {
+            assert_eq!(
+                w.covers_epoch(2, e + 8),
+                w.covers_epoch(0, e),
+                "epoch {e} channel-2 shift"
+            );
+        }
+        assert!(!w.covers_epoch(2, 40) && w.covers_epoch(2, 48));
+        // An unbounded end stays unbounded under the shift.
+        let open = FaultWindow::new(FaultKind::SensorNan, 5, u64::MAX).staggered(7);
+        assert!(open.covers_epoch(3, 1_000_000));
+        assert_eq!(open.pulse_after(3, 0), Some((26, u64::MAX)));
     }
 
     #[test]
@@ -665,31 +847,40 @@ mod tests {
             FaultWindow::new(FaultKind::SensorSpike { factor: 2.0 }, 0, 37).periodic(7, 7),
             FaultWindow::new(FaultKind::ActuatorLag { epochs: 2 }, 3, 50).periodic(8, 0),
         ];
-        for w in &windows {
-            let mut active_by_walk = vec![false; 1000];
-            let mut cursor = 0u64;
-            while let Some((on, off)) = w.pulse_after(cursor) {
-                assert!(on < off, "empty pulse {on}..{off}");
-                assert!(off > cursor, "pulse did not advance past {cursor}");
-                for e in on..off.min(1000) {
-                    active_by_walk[e as usize] = true;
+        // Channel 0 is the unstaggered axis; channel 3 exercises the
+        // staggered one (every window re-checked with a 5-epoch stagger).
+        for channel in [0u32, 3] {
+            for w in &windows {
+                let w = if channel == 0 {
+                    w.clone()
+                } else {
+                    w.clone().staggered(5)
+                };
+                let mut active_by_walk = vec![false; 1000];
+                let mut cursor = 0u64;
+                while let Some((on, off)) = w.pulse_after(channel, cursor) {
+                    assert!(on < off, "empty pulse {on}..{off}");
+                    assert!(off > cursor, "pulse did not advance past {cursor}");
+                    for e in on..off.min(1000) {
+                        active_by_walk[e as usize] = true;
+                    }
+                    if off >= 1000 {
+                        break;
+                    }
+                    assert!(
+                        w.pulse_after(channel, off).is_none_or(|(n, _)| n > off),
+                        "pulses abut at {off}"
+                    );
+                    cursor = off;
                 }
-                if off >= 1000 {
-                    break;
+                for e in 0..1000u64 {
+                    assert_eq!(
+                        active_by_walk[e as usize],
+                        w.covers_epoch(channel, e),
+                        "{:?} channel {channel} epoch {e}",
+                        w.kind
+                    );
                 }
-                assert!(
-                    w.pulse_after(off).is_none_or(|(n, _)| n > off),
-                    "pulses abut at {off}"
-                );
-                cursor = off;
-            }
-            for e in 0..1000u64 {
-                assert_eq!(
-                    active_by_walk[e as usize],
-                    w.covers_epoch(e),
-                    "{:?} epoch {e}",
-                    w.kind
-                );
             }
         }
     }
@@ -703,5 +894,89 @@ mod tests {
         assert!(s.contains(FaultSet::LAG));
         assert!(!s.contains(FaultSet::NAN));
         assert!(!s.is_empty());
+        assert_eq!(s.bits(), (1 << 4) | (1 << 7));
+        assert_eq!(FaultSet::BIT_LABELS[4], "lag");
+        assert_eq!(FaultSet::BIT_LABELS[7], "restart");
+    }
+
+    #[test]
+    fn plan_merge_concatenates_in_order() {
+        let a = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorDropout, 0, 10));
+        let b = FaultPlan::new()
+            .window(FaultWindow::new(FaultKind::PlantRestart, 5, 6))
+            .window(FaultWindow::new(FaultKind::SensorNan, 0, 20));
+        let merged = a.clone().merge(b.clone());
+        assert_eq!(merged.windows().len(), 3);
+        assert_eq!(merged.windows()[0], a.windows()[0]);
+        assert_eq!(merged.windows()[1], b.windows()[0]);
+        assert_eq!(merged.windows()[2], b.windows()[1]);
+    }
+
+    #[test]
+    fn every_campaign_has_a_compound_plan_and_label() {
+        for campaign in Campaign::ALL {
+            let plan = campaign.plan();
+            assert!(
+                plan.windows().len() >= 2,
+                "{campaign} is not compound ({} windows)",
+                plan.windows().len()
+            );
+            assert_eq!(Campaign::from_label(campaign.label()), Some(campaign));
+            // Every campaign fires at least two distinct fault classes
+            // somewhere in the first 600 epochs.
+            let inj = FaultInjector::new(9, plan);
+            let mut seen = FaultSet::default();
+            for e in 0..600 {
+                seen.insert(inj.at("x", 0, e).set);
+            }
+            let classes = seen.bits().count_ones();
+            assert!(classes >= 2, "{campaign} fired {classes} classes");
+        }
+        assert_eq!(Campaign::from_label("nope"), None);
+    }
+
+    #[test]
+    fn lag_during_goal_flap_overlaps_its_classes() {
+        // The campaign's point: some epoch carries BOTH the flap and the
+        // lag (single-class sweeps never produce that).
+        let inj = FaultInjector::new(3, Campaign::LagDuringGoalFlap.plan());
+        let overlapped = (0..600).any(|e| {
+            let f = inj.at("x", 0, e);
+            f.goal_flap.is_some() && f.lag.is_some()
+        });
+        assert!(overlapped, "lag never coincided with a goal flap");
+    }
+
+    #[test]
+    fn cascading_dropout_staggers_channels() {
+        let inj = FaultInjector::new(5, Campaign::CascadingDropout.plan());
+        let first_drop = |ch: u32| {
+            (0..200u64)
+                .find(|&e| {
+                    inj.at("x", ch, e)
+                        .sensor
+                        .is_some_and(|s| matches!(s, SensorFault::Drop))
+                })
+                .expect("dropout burst fires")
+        };
+        // Plane-index order: each later channel's first dropout burst
+        // starts exactly one stagger (4 epochs) after the previous one.
+        assert_eq!(first_drop(1), first_drop(0) + 4);
+        assert_eq!(first_drop(2), first_drop(0) + 8);
+    }
+
+    #[test]
+    fn burst_everything_covers_all_classes() {
+        let inj = FaultInjector::new(11, Campaign::BurstEverything.plan());
+        let mut seen = FaultSet::default();
+        for e in 0..700 {
+            seen.insert(inj.at("x", 0, e).set);
+        }
+        for (bit, label) in FaultSet::BIT_LABELS.iter().enumerate() {
+            assert!(
+                seen.bits() & (1 << bit) != 0,
+                "burst-everything never fired {label}"
+            );
+        }
     }
 }

@@ -68,6 +68,11 @@ impl GuardSet {
     /// [`GuardPolicy::confidence_floor`]; the channel degraded to its
     /// profiled-safe fallback until the estimator recovers.
     pub const MODEL_DOUBT: GuardSet = GuardSet(1 << 11);
+    /// The sensor-voting filter substituted the median of recent
+    /// admitted readings for a rejected one (see
+    /// [`GuardPolicy::sensor_vote`]), keeping the controller fed instead
+    /// of blind.
+    pub const VOTED: GuardSet = GuardSet(1 << 12);
 
     /// Adds the bits of `other`.
     pub fn insert(&mut self, other: GuardSet) {
@@ -91,6 +96,17 @@ impl GuardSet {
 /// high enough that a corrupted-feedback collapse degrades the channel
 /// to its profiled-safe fallback within a few epochs.
 pub const ADAPTIVE_CONFIDENCE_FLOOR: f64 = 0.15;
+
+/// The sensor-vote window the scenarios arm on compound-fault campaign
+/// runs ([`GuardPolicy::campaign_hardened`]): wide enough that one
+/// corrupted burst cannot dominate the median, narrow enough that the
+/// substituted consensus still tracks a moving plant.
+pub const CAMPAIGN_VOTE_WINDOW: usize = 5;
+
+/// The re-engage backoff cap the scenarios arm on campaign runs
+/// ([`GuardPolicy::campaign_hardened`]): at most 4 doublings, i.e. a
+/// 16× longest cooldown before the schedule saturates.
+pub const CAMPAIGN_BACKOFF_DOUBLINGS: u32 = 4;
 
 /// Tuning of the resilience guards, one policy per plane.
 ///
@@ -164,6 +180,24 @@ pub struct GuardPolicy {
     /// drift. `0.0` (the default) never fires, so frozen-model planes
     /// are untouched bit for bit.
     pub confidence_floor: f64,
+    /// Sensor-voting window: when the admission filter rejects a
+    /// delivered reading (non-finite or spike) and at least this many
+    /// readings have been admitted since the last gap, the guard
+    /// substitutes their median instead of marking the epoch missed —
+    /// the controller stays fed through corruption bursts rather than
+    /// going blind into the watchdog. `0` (the default) disables voting,
+    /// leaving existing single-fault chaos trajectories untouched bit
+    /// for bit. Recorded as [`GuardSet::VOTED`] (alongside
+    /// [`GuardSet::REJECTED`] for the raw reading).
+    pub vote_window: usize,
+    /// Re-engage backoff cap, in doublings: every fallback entry after
+    /// the first doubles the cooldown dwell (jitter-free — the schedule
+    /// is a pure function of the entry count), saturating after this
+    /// many doublings; a clean stretch of [`cooldown_epochs`](Self::cooldown_epochs)
+    /// healthy engaged epochs resets the schedule to the base cooldown.
+    /// `0` (the default) disables backoff: every entry dwells exactly
+    /// `cooldown_epochs`, as before.
+    pub reengage_backoff: u32,
     fallbacks: Vec<(String, f64)>,
 }
 
@@ -181,6 +215,8 @@ impl Default for GuardPolicy {
             anti_windup: true,
             shed_admitted: true,
             confidence_floor: 0.0,
+            vote_window: 0,
+            reengage_backoff: 0,
             fallbacks: Vec::new(),
         }
     }
@@ -266,6 +302,43 @@ impl GuardPolicy {
         self
     }
 
+    /// Arms the sensor-voting filter: rejected readings are replaced by
+    /// the median of the last `window` admitted ones once the window has
+    /// warmed up (see the [`GuardPolicy::vote_window`] field docs;
+    /// `0` disables, larger windows are clamped to 33).
+    #[must_use]
+    pub fn sensor_vote(mut self, window: usize) -> Self {
+        self.vote_window = window.min(33);
+        self
+    }
+
+    /// Arms deterministic re-engage backoff with the given doubling cap
+    /// (see the [`GuardPolicy::reengage_backoff`] field docs; `0`
+    /// disables, caps beyond 32 are clamped — `2³²` cooldowns outlive
+    /// any run).
+    #[must_use]
+    pub fn reengage_backoff(mut self, doublings: u32) -> Self {
+        self.reengage_backoff = doublings.min(32);
+        self
+    }
+
+    /// The compound-campaign hardening bundle: arms sensor voting
+    /// ([`CAMPAIGN_VOTE_WINDOW`]) and re-engage backoff
+    /// ([`CAMPAIGN_BACKOFF_DOUBLINGS`]) on top of whatever the policy
+    /// already configures, leaving either untouched if a scenario armed
+    /// its own value. Scenario crates call this when building the guard
+    /// for a [`Campaign`](crate::Campaign) run.
+    #[must_use]
+    pub fn campaign_hardened(mut self) -> Self {
+        if self.vote_window == 0 {
+            self.vote_window = CAMPAIGN_VOTE_WINDOW;
+        }
+        if self.reengage_backoff == 0 {
+            self.reengage_backoff = CAMPAIGN_BACKOFF_DOUBLINGS;
+        }
+        self
+    }
+
     /// Declares the profiled-safe static fallback for one channel, in
     /// controller-variable space (the plane maps it through the
     /// transducer for indirect configurations). Channels without a
@@ -323,6 +396,15 @@ impl ChaosSpec {
     /// The canonical spec for one fault class of the chaos sweep.
     pub fn standard(class: crate::FaultClass, seed: u64) -> Self {
         Self::new(seed, class.standard_plan())
+    }
+
+    /// The canonical spec for one compound-fault campaign: the
+    /// campaign's composed plan with the default guards — scenario
+    /// crates then swap in their tuned policy via
+    /// [`with_guard`](Self::with_guard), typically after
+    /// [`GuardPolicy::campaign_hardened`].
+    pub fn campaign(campaign: crate::Campaign, seed: u64) -> Self {
+        Self::new(seed, campaign.plan())
     }
 
     /// Replaces the guard policy.
@@ -403,6 +485,15 @@ pub(crate) struct ChannelGuard {
     pub plant_shed: bool,
     /// Lifetime restart count.
     pub restarts: u64,
+    /// Recently *admitted* readings feeding the sensor-voting median
+    /// (see [`GuardPolicy::vote_window`]); bounded at the window length.
+    pub votes: VecDeque<f64>,
+    /// Current position on the re-engage backoff schedule: the next
+    /// fallback entry dwells `cooldown_epochs × 2^min(backoff_exp, cap)`.
+    pub backoff_exp: u32,
+    /// Consecutive healthy engaged epochs since the last fallback entry;
+    /// reaching [`GuardPolicy::cooldown_epochs`] resets `backoff_exp`.
+    pub clean_streak: u64,
 }
 
 impl ChannelGuard {
@@ -431,6 +522,9 @@ impl ChannelGuard {
             plant_restart: false,
             plant_shed: false,
             restarts: 0,
+            votes: VecDeque::new(),
+            backoff_exp: 0,
+            clean_streak: 0,
         }
     }
 
@@ -468,6 +562,54 @@ impl ChannelGuard {
         self.plant_restart = true;
         self.plant_shed = false; // the restart itself empties the plant's queues
         self.restarts += 1;
+        self.votes.clear();
+        self.backoff_exp = 0;
+        self.clean_streak = 0;
+    }
+
+    /// Records a genuinely admitted reading into the voting window
+    /// (no-op when voting is disabled).
+    pub(crate) fn push_vote(&mut self, v: f64, window: usize) {
+        if window == 0 {
+            return;
+        }
+        if self.votes.len() == window {
+            self.votes.pop_front();
+        }
+        self.votes.push_back(v);
+    }
+
+    /// The voting median — `Some` only once the window has fully warmed
+    /// up (a partial window would let one early outlier speak for the
+    /// channel). Upper median for even windows.
+    pub(crate) fn vote_median(&self, window: usize) -> Option<f64> {
+        if window == 0 || self.votes.len() < window {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.votes.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        Some(sorted[sorted.len() / 2])
+    }
+
+    /// The cooldown dwell for a fallback entered *now*, advancing the
+    /// deterministic backoff schedule: the returned dwell reflects the
+    /// entries so far, then the exponent steps (saturating at the
+    /// policy's cap) so the *next* entry dwells twice as long. With
+    /// backoff disabled this is exactly `cooldown_epochs`, bit for bit.
+    ///
+    /// Entering fallback also invalidates the sensor-vote window: the
+    /// hold actively drains the plant, so pre-entry consensus no longer
+    /// describes it at re-engage (acting on a drained-era median there
+    /// reopens the actuator against a picture that is minutes stale).
+    pub(crate) fn enter_cooldown(&mut self, policy: &GuardPolicy) -> u64 {
+        let shift = self.backoff_exp.min(policy.reengage_backoff).min(63);
+        let dwell = policy.cooldown_epochs.saturating_mul(1u64 << shift);
+        if policy.reengage_backoff > 0 && self.backoff_exp < policy.reengage_backoff {
+            self.backoff_exp += 1;
+        }
+        self.clean_streak = 0;
+        self.votes.clear();
+        dwell
     }
 
     /// Tracks the exact-repeat run of delivered readings. Returns
@@ -611,5 +753,104 @@ mod tests {
         );
         // The default never fires.
         assert_eq!(GuardPolicy::default().confidence_floor, 0.0);
+    }
+
+    #[test]
+    fn campaign_hardening_arms_vote_and_backoff() {
+        let p = GuardPolicy::new().campaign_hardened();
+        assert_eq!(p.vote_window, CAMPAIGN_VOTE_WINDOW);
+        assert_eq!(p.reengage_backoff, CAMPAIGN_BACKOFF_DOUBLINGS);
+        // Scenario-armed values survive the bundle.
+        let p = GuardPolicy::new()
+            .sensor_vote(7)
+            .reengage_backoff(2)
+            .campaign_hardened();
+        assert_eq!(p.vote_window, 7);
+        assert_eq!(p.reengage_backoff, 2);
+        // Both are off by default — existing chaos runs are untouched.
+        assert_eq!(GuardPolicy::default().vote_window, 0);
+        assert_eq!(GuardPolicy::default().reengage_backoff, 0);
+    }
+
+    #[test]
+    fn vote_median_needs_a_full_window() {
+        let policy = GuardPolicy::new().sensor_vote(3);
+        let mut g = ChannelGuard::new(&policy, 1.0, 1.0, 10.0);
+        g.push_vote(5.0, policy.vote_window);
+        g.push_vote(9.0, policy.vote_window);
+        assert_eq!(g.vote_median(policy.vote_window), None);
+        g.push_vote(7.0, policy.vote_window);
+        assert_eq!(g.vote_median(policy.vote_window), Some(7.0));
+        // The window is bounded: a fourth push evicts the oldest.
+        g.push_vote(100.0, policy.vote_window);
+        assert_eq!(g.votes.len(), 3);
+        assert_eq!(g.vote_median(policy.vote_window), Some(9.0));
+        // Disabled voting never yields a median and never buffers.
+        let mut off = ChannelGuard::new(&GuardPolicy::default(), 1.0, 1.0, 10.0);
+        off.push_vote(5.0, 0);
+        assert!(off.votes.is_empty());
+        assert_eq!(off.vote_median(0), None);
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_caps_and_resets() {
+        let policy = GuardPolicy::new().divergence(3, 10).reengage_backoff(2);
+        let mut g = ChannelGuard::new(&policy, 1.0, 1.0, 10.0);
+        assert_eq!(g.enter_cooldown(&policy), 10);
+        assert_eq!(g.enter_cooldown(&policy), 20);
+        assert_eq!(g.enter_cooldown(&policy), 40);
+        // Saturates at the cap: 2 doublings -> 4x, forever after.
+        assert_eq!(g.enter_cooldown(&policy), 40);
+        assert_eq!(g.backoff_exp, 2);
+        // A clean recovery resets the schedule to the base cooldown.
+        g.backoff_exp = 0;
+        assert_eq!(g.enter_cooldown(&policy), 10);
+    }
+
+    #[test]
+    fn backoff_disabled_is_plain_cooldown() {
+        let policy = GuardPolicy::new().divergence(3, 60);
+        let mut g = ChannelGuard::new(&policy, 1.0, 1.0, 10.0);
+        for _ in 0..5 {
+            assert_eq!(g.enter_cooldown(&policy), 60);
+        }
+        assert_eq!(g.backoff_exp, 0, "disabled backoff must not advance");
+    }
+
+    #[test]
+    fn fallback_entry_invalidates_the_vote_window() {
+        // Consensus gathered before a fallback hold describes a plant
+        // the hold then actively drains; re-engaging on it would reopen
+        // the actuator against a stale picture. Every entry flushes it.
+        let policy = GuardPolicy::new().sensor_vote(3).divergence(3, 10);
+        let mut g = ChannelGuard::new(&policy, 1.0, 1.0, 10.0);
+        for v in [5.0, 6.0, 7.0] {
+            g.push_vote(v, policy.vote_window);
+        }
+        assert_eq!(g.vote_median(policy.vote_window), Some(6.0));
+        g.enter_cooldown(&policy);
+        assert!(g.votes.is_empty());
+        assert_eq!(g.vote_median(policy.vote_window), None);
+    }
+
+    #[test]
+    fn restart_clears_votes_and_backoff() {
+        let policy = GuardPolicy::new().sensor_vote(3).reengage_backoff(4);
+        let mut g = ChannelGuard::new(&policy, 40.0, 80.0, 495.0);
+        g.push_vote(5.0, policy.vote_window);
+        g.enter_cooldown(&policy);
+        g.clean_streak = 7;
+        g.reset_after_restart();
+        assert!(g.votes.is_empty());
+        assert_eq!(g.backoff_exp, 0);
+        assert_eq!(g.clean_streak, 0);
+    }
+
+    #[test]
+    fn chaos_spec_campaign_replayable() {
+        let a = ChaosSpec::campaign(crate::Campaign::RestartUnderCorruption, 7);
+        let b = ChaosSpec::campaign(crate::Campaign::RestartUnderCorruption, 7);
+        assert_eq!(a, b);
+        assert!(a.plan.windows().len() >= 2, "campaigns compose windows");
     }
 }

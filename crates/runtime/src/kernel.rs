@@ -174,7 +174,7 @@ impl<P: Plant> Model for KernelModel<P> {
                 // Edges fire before the coincident sense, so the
                 // channel's epoch counter still reads the boundary epoch.
                 let epoch = self.plane.epochs(channel);
-                if let Some((on, off)) = self.plane.window_pulse_after(window, epoch) {
+                if let Some((on, off)) = self.plane.window_pulse_after(window, channel, epoch) {
                     // Rising: schedule this pulse's falling edge (unless
                     // it outlives any run). Falling: schedule the next
                     // pulse's rising edge.
@@ -271,7 +271,7 @@ impl<P: Plant> EventPlane<P> {
             let ch = ChannelId(i);
             let windows = sim.model().plane.chaos_windows(ch).to_vec();
             for w in windows {
-                if let Some((on, _)) = sim.model().plane.window_pulse_after(w, 0) {
+                if let Some((on, _)) = sim.model().plane.window_pulse_after(w, ch, 0) {
                     if let Some(at) = sim.model().boundary_time(ch, on) {
                         sim.schedule_at(
                             at,
@@ -563,6 +563,64 @@ mod tests {
         events.run_until_us(horizon * PERIOD);
         let (plane, plant) = events.into_parts();
         (plane.into_log().events().copied().collect(), plant)
+    }
+
+    fn arm_campaign(plane: &mut ControlPlane, campaign: crate::Campaign, seed: u64) {
+        let guard = GuardPolicy::new()
+            .watchdog_epochs(3)
+            .divergence(3, 20)
+            .fallback_setting("solo", 25.0)
+            .fallback_setting("qa", 35.0)
+            .fallback_setting("qb", 35.0)
+            .fallback_setting("smart", 25.0)
+            .campaign_hardened();
+        plane.enable_chaos(ChaosSpec::campaign(campaign, seed).with_guard(guard));
+    }
+
+    fn campaign_run(
+        kernel: bool,
+        shape: usize,
+        campaign: crate::Campaign,
+        seed: u64,
+        horizon: u64,
+    ) -> (Vec<crate::EpochEvent>, TwinPlant) {
+        let mut plane = build_plane(shape, false);
+        arm_campaign(&mut plane, campaign, seed);
+        let channels = plane.channel_count();
+        let mut plant = TwinPlant::new(channels, 1.0, seed ^ 0xD15C, horizon);
+        if kernel {
+            let mut events = EventPlane::new(plane, plant);
+            events.run_until_us(horizon * PERIOD);
+            let (plane, plant) = events.into_parts();
+            (plane.into_log().events().copied().collect(), plant)
+        } else {
+            plane.run(&mut plant);
+            (plane.into_log().events().copied().collect(), plant)
+        }
+    }
+
+    #[test]
+    fn uniform_periods_match_lockstep_under_every_campaign() {
+        // Compound campaigns drive overlapping windows — including the
+        // per-channel staggered ones of cascading-dropout, which shape 1
+        // (two channels) exercises through both the lockstep per-epoch
+        // scan and the kernel's edge scheduler.
+        for campaign in crate::Campaign::ALL {
+            for shape in 0..3 {
+                let (a, pa) = campaign_run(false, shape, campaign, 11, 400);
+                let (b, pb) = campaign_run(true, shape, campaign, 11, 400);
+                if let Some(d) = first_divergence(&a, &b) {
+                    panic!("{campaign} shape {shape}: {d}");
+                }
+                assert!(
+                    a.iter().any(|e| !e.faults.is_empty()),
+                    "{campaign} shape {shape}: no faults fired"
+                );
+                assert_eq!(pa.restarts, pb.restarts, "{campaign} restart calls");
+                assert_eq!(pa.sheds, pb.sheds, "{campaign} shed calls");
+                assert_eq!(bits(&pa.settings), bits(&pb.settings));
+            }
+        }
     }
 
     #[test]

@@ -58,13 +58,16 @@ mod plant;
 mod profiler;
 
 pub use baseline::Baseline;
-pub use event::{EpochEvent, EpochLog, EpochSummary};
+pub use event::{EpochEvent, EpochLog, EpochSummary, BURST_BINS};
 pub use fault::{
-    ActiveFaults, ChannelFilter, FaultClass, FaultInjector, FaultKind, FaultPlan, FaultSet,
-    FaultWindow, SensorFault, CHAOS_STREAM,
+    ActiveFaults, Campaign, ChannelFilter, FaultClass, FaultInjector, FaultKind, FaultPlan,
+    FaultSet, FaultWindow, SensorFault, CHAOS_STREAM,
 };
 pub use fleet::{shard_seed, FleetExecutor};
-pub use guard::{ChaosSpec, GuardPolicy, GuardSet, ADAPTIVE_CONFIDENCE_FLOOR};
+pub use guard::{
+    ChaosSpec, GuardPolicy, GuardSet, ADAPTIVE_CONFIDENCE_FLOOR, CAMPAIGN_BACKOFF_DOUBLINGS,
+    CAMPAIGN_VOTE_WINDOW,
+};
 pub use kernel::{EventPlane, PlaneEvent};
 pub use plane::{ControlPlane, ControlPlaneBuilder, Decider, DEFAULT_PERIOD_US};
 pub use plant::{ChannelId, Plant, Sensed};

@@ -552,15 +552,35 @@ impl ControlPlane {
                             .is_some_and(|c| c.goal().hardness().is_hard());
                         if hard {
                             g.mode = GuardMode::Fallback {
-                                until: epoch + policy.cooldown_epochs,
+                                until: epoch + g.enter_cooldown(policy),
                             };
                             guards.insert(GuardSet::FALLBACK_ENTER);
                         }
                     }
                 } else if !g.filter.admit(v) {
                     guards.insert(GuardSet::REJECTED);
-                    guards.insert(GuardSet::MISSED);
+                    // Sensor voting: instead of going blind on a
+                    // corrupted burst, feed the controller the median of
+                    // the recent genuinely-admitted readings (which a
+                    // burst cannot have polluted). Off (window 0) this is
+                    // the historical rejected-means-missed path. Voting
+                    // is an engaged-mode device only: a fallback hold is
+                    // actively draining the plant, so consensus there
+                    // goes stale by construction — during (and right out
+                    // of) a hold, rejected still means missed.
+                    let consensus = (g.mode == GuardMode::Engaged)
+                        .then(|| g.vote_median(policy.vote_window))
+                        .flatten();
+                    if let Some(consensus) = consensus {
+                        guards.insert(GuardSet::VOTED);
+                        admitted = Some(consensus);
+                    } else {
+                        guards.insert(GuardSet::MISSED);
+                    }
                 } else {
+                    if g.mode == GuardMode::Engaged {
+                        g.push_vote(v, policy.vote_window);
+                    }
                     admitted = Some(v);
                 }
             }
@@ -634,7 +654,7 @@ impl ControlPlane {
                     g.prev_violation = mag;
                     if g.worsening >= policy.divergence_streak {
                         g.mode = GuardMode::Fallback {
-                            until: epoch + policy.cooldown_epochs,
+                            until: epoch + g.enter_cooldown(policy),
                         };
                         g.worsening = 0;
                         g.prev_violation = 0.0;
@@ -663,7 +683,7 @@ impl ControlPlane {
             });
             if doubted {
                 g.mode = GuardMode::Fallback {
-                    until: epoch + policy.cooldown_epochs,
+                    until: epoch + g.enter_cooldown(policy),
                 };
                 g.worsening = 0;
                 g.prev_violation = 0.0;
@@ -756,6 +776,12 @@ impl ControlPlane {
         if admitted.is_some() && g.mode == GuardMode::Engaged {
             g.last_safe = decided;
             g.evidence_fresh = true;
+            // A sustained healthy engaged stretch earns the backoff
+            // schedule back down to the base cooldown.
+            g.clean_streak += 1;
+            if g.clean_streak >= policy.cooldown_epochs {
+                g.backoff_exp = 0;
+            }
         }
 
         let applied = ch.decider.transduce(in_force);
@@ -888,17 +914,23 @@ impl ControlPlane {
         }
     }
 
-    /// The first active pulse of fault window `window` ending after
-    /// `epoch` (see [`FaultWindow::pulse_after`]). `None` without chaos
-    /// or when the window never activates again.
-    pub(crate) fn window_pulse_after(&self, window: usize, epoch: u64) -> Option<(u64, u64)> {
+    /// The first active pulse of fault window `window` on `channel`'s
+    /// epoch axis ending after `epoch` (see [`FaultWindow::pulse_after`];
+    /// staggered windows shift per channel). `None` without chaos or
+    /// when the window never activates again.
+    pub(crate) fn window_pulse_after(
+        &self,
+        window: usize,
+        channel: ChannelId,
+        epoch: u64,
+    ) -> Option<(u64, u64)> {
         let chaos = self.chaos.as_ref()?;
         chaos
             .injector
             .plan()
             .windows()
             .get(window)?
-            .pulse_after(epoch)
+            .pulse_after(channel.0 as u32, epoch)
     }
 
     /// Evaluates the injector over a pre-verified active-window subset
@@ -1507,6 +1539,133 @@ mod chaos_tests {
         assert_ne!(s, 25.0);
         let summary = plane.log().summary("c").unwrap();
         assert_eq!(summary.fallback_epochs, 5);
+    }
+
+    #[test]
+    fn sensor_voting_feeds_the_controller_through_corruption() {
+        // A NaN burst from epoch 6: without voting every burst epoch is
+        // MISSED; with a 3-wide vote the guard substitutes the median of
+        // the recent admitted readings and the controller stays fed.
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorNan, 6, 10));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new().sensor_vote(3));
+        for step in 0..12u64 {
+            // Vary the reading so natural repeats never accumulate.
+            plane.decide(id, step, 40.0 + step as f64);
+        }
+        for bad in 6u64..10 {
+            let bits = guard_bits(&plane, bad);
+            assert!(bits.contains(GuardSet::REJECTED), "epoch {bad}");
+            assert!(bits.contains(GuardSet::VOTED), "epoch {bad}");
+            assert!(
+                !bits.contains(GuardSet::MISSED),
+                "epoch {bad}: voted epochs are fed, not missed"
+            );
+        }
+        // The controller was fed a finite consensus and kept stepping
+        // toward the goal straight through the burst (a missed epoch
+        // would have held the previous setting).
+        let setting_at = |epoch: u64| {
+            plane
+                .log()
+                .events_for("c")
+                .find(|e| e.epoch == epoch)
+                .unwrap()
+                .setting
+        };
+        assert_ne!(setting_at(7), setting_at(6));
+        assert_ne!(setting_at(8), setting_at(7));
+        // The delivered (corrupt) reading still reaches the log raw.
+        let ev = plane.log().events_for("c").find(|e| e.epoch == 8).unwrap();
+        assert!(ev.measured.is_nan());
+    }
+
+    #[test]
+    fn voting_with_cold_window_still_goes_missed() {
+        // Corruption before the vote window ever warms up: no consensus
+        // exists, so the guard falls back to the historical missed path.
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorNan, 1, 3));
+        let (mut plane, id) = chaos_plane(plan, GuardPolicy::new().sensor_vote(5));
+        for step in 0..4u64 {
+            plane.decide(id, step, 40.0 + step as f64);
+        }
+        let bits = guard_bits(&plane, 1);
+        assert!(bits.contains(GuardSet::REJECTED));
+        assert!(bits.contains(GuardSet::MISSED));
+        assert!(!bits.contains(GuardSet::VOTED));
+    }
+
+    #[test]
+    fn voting_is_suspended_through_a_fallback_hold() {
+        // Warm the vote window, drive the channel into divergence
+        // fallback, then corrupt a reading mid-hold: the pre-entry
+        // consensus was flushed at entry and hold epochs never buffer,
+        // so the rejection goes missed — a hold actively drains the
+        // plant, and a drained-era median must never steer re-engage.
+        let plan = FaultPlan::new().window(FaultWindow::new(FaultKind::SensorNan, 5, 6));
+        let guard = GuardPolicy::new()
+            .sensor_vote(2)
+            .divergence(2, 8)
+            .fallback_setting("c", 25.0);
+        let (mut plane, id) = chaos_plane(plan, guard);
+        plane.decide(id, 0, 40.0);
+        plane.decide(id, 1, 41.0);
+        // Worsening hard-goal violations (target 100 from chaos_plane's
+        // controller would not violate at 40) — push over the target.
+        plane.decide(id, 2, 105.0);
+        plane.decide(id, 3, 110.0);
+        plane.decide(id, 4, 115.0);
+        let entered = (0..=4u64).find(|&e| guard_bits(&plane, e).contains(GuardSet::FALLBACK));
+        let entered = entered.expect("divergence must enter fallback");
+        // Epoch 5's injected NaN lands inside the hold.
+        plane.decide(id, 5, 50.0);
+        let bits = guard_bits(&plane, 5);
+        assert!(bits.contains(GuardSet::FALLBACK), "epoch 5 still holds");
+        assert!(bits.contains(GuardSet::REJECTED), "NaN still rejected");
+        assert!(
+            bits.contains(GuardSet::MISSED) && !bits.contains(GuardSet::VOTED),
+            "hold epochs must not vote (entered at {entered})"
+        );
+    }
+
+    #[test]
+    fn repeated_divergence_backs_off_deterministically() {
+        // Satellite: the re-engage backoff ladder in the full decide
+        // path. First divergence dwells the base cooldown (5), the
+        // second dwells double (10) — and a jitter-free schedule means
+        // these edges land on exact epochs.
+        let guard = GuardPolicy::new()
+            .divergence(3, 5)
+            .reengage_backoff(2)
+            .fallback_setting("c", 25.0);
+        let (mut plane, id) = chaos_plane(FaultPlan::new(), guard);
+        let diverge = [95.0, 105.0, 120.0];
+        // First divergence: enters at epoch 2, dwells 5, re-engages at 7.
+        for (step, m) in diverge.iter().enumerate() {
+            plane.decide(id, step as u64, *m);
+        }
+        assert!(guard_bits(&plane, 2).contains(GuardSet::FALLBACK_ENTER));
+        for step in 3..7u64 {
+            plane.decide(id, step, 40.0);
+            assert!(guard_bits(&plane, step).contains(GuardSet::FALLBACK));
+        }
+        plane.decide(id, 7, 40.0);
+        assert!(guard_bits(&plane, 7).contains(GuardSet::REENGAGE));
+        // Second divergence: enters at epoch 10, dwells 10 (doubled), so
+        // epoch 15 — past where the base cooldown would have re-engaged —
+        // still holds the fallback, and re-engage lands at epoch 20.
+        for (i, m) in diverge.iter().enumerate() {
+            plane.decide(id, 8 + i as u64, *m);
+        }
+        assert!(guard_bits(&plane, 10).contains(GuardSet::FALLBACK_ENTER));
+        for step in 11..20u64 {
+            plane.decide(id, step, 40.0);
+            assert!(
+                guard_bits(&plane, step).contains(GuardSet::FALLBACK),
+                "epoch {step} must still dwell under the doubled cooldown"
+            );
+        }
+        plane.decide(id, 20, 40.0);
+        assert!(guard_bits(&plane, 20).contains(GuardSet::REENGAGE));
     }
 
     #[test]
