@@ -8,11 +8,15 @@
 //! * `--out PATH` — where to write the JSON artifact; default
 //!   `BENCH_perf.json`.
 //! * `--check BASELINE` — read a previously committed `BENCH_perf.json`
-//!   and exit non-zero when the fresh fleet wall-clock regresses past
-//!   the ±25% tolerance ([`smartconf_bench::perf::TOLERANCE`]). Running
-//!   *faster* than the lower bound is reported as a stale baseline but
-//!   does not fail, so perf improvements land without a lockstep
-//!   baseline bump.
+//!   and exit non-zero when the fresh fleet wall-clock (or kernel rate)
+//!   regresses. While the baseline's `"history"` trend is short the
+//!   gate is the raw ±25% band ([`smartconf_bench::perf::TOLERANCE`])
+//!   around the committed headline; once the trend holds
+//!   [`smartconf_bench::perf::STAT_MIN_HISTORY`] runs it becomes the
+//!   robust median ± k·MAD band over the whole series
+//!   ([`smartconf_bench::perf::stat_gate`]). Running *faster* than the
+//!   lower bound is reported as a stale baseline but does not fail, so
+//!   perf improvements land without a lockstep baseline bump.
 //!
 //! When the output file already exists, its headline numbers are
 //! appended to a `"history"` array in the fresh artifact (capped at
@@ -34,8 +38,10 @@
 //! 25% band.
 
 use smartconf_bench::perf::{
-    bench_json, carry_history, check_fleet_wall, check_kernel_rate, measure_fleet, measure_kernel,
-    measure_scenarios, parse_fleet_wall, parse_kernel_rate, CheckVerdict, TOLERANCE,
+    bench_json, carry_history, check_fleet_wall, check_fleet_wall_stat, check_kernel_rate,
+    check_kernel_rate_stat, fleet_wall_series, kernel_rate_series, measure_fleet, measure_kernel,
+    measure_scenarios, parse_fleet_wall, parse_kernel_rate, stat_gate, CheckVerdict, STAT_K,
+    TOLERANCE,
 };
 
 fn main() {
@@ -102,19 +108,40 @@ fn main() {
     };
     let baseline = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("--check: cannot read {baseline_path}: {e}"));
-    let baseline_secs = parse_fleet_wall(&baseline)
-        .unwrap_or_else(|| panic!("--check: no fleet_wall_clock_secs in {baseline_path}"));
     let new_secs = fleet.wall.as_secs_f64();
-    let band = format!(
-        "baseline {:.3} s, tolerance ±{:.0}% -> [{:.3}, {:.3}] s, measured {:.3} s",
-        baseline_secs,
-        TOLERANCE * 100.0,
-        baseline_secs * (1.0 - TOLERANCE),
-        baseline_secs * (1.0 + TOLERANCE),
-        new_secs
-    );
     let mut failed = false;
-    match check_fleet_wall(baseline_secs, new_secs) {
+
+    // Fleet wall-clock: statistical gate over the recorded trend when
+    // the baseline carries enough history, else the raw ±25% band.
+    let (wall_verdict, band) = match stat_gate(&fleet_wall_series(&baseline)) {
+        Some(gate) => (
+            check_fleet_wall_stat(&gate, new_secs),
+            format!(
+                "history median {:.3} s over {} runs, ±{STAT_K}·MAD -> [{:.3}, {:.3}] s, \
+                 measured {new_secs:.3} s",
+                gate.median,
+                gate.n,
+                gate.lo(),
+                gate.hi()
+            ),
+        ),
+        None => {
+            let baseline_secs = parse_fleet_wall(&baseline)
+                .unwrap_or_else(|| panic!("--check: no fleet_wall_clock_secs in {baseline_path}"));
+            (
+                check_fleet_wall(baseline_secs, new_secs),
+                format!(
+                    "baseline {:.3} s, tolerance ±{:.0}% -> [{:.3}, {:.3}] s, measured {:.3} s",
+                    baseline_secs,
+                    TOLERANCE * 100.0,
+                    baseline_secs * (1.0 - TOLERANCE),
+                    baseline_secs * (1.0 + TOLERANCE),
+                    new_secs
+                ),
+            )
+        }
+    };
+    match wall_verdict {
         CheckVerdict::Ok => eprintln!("OK: fleet wall-clock within tolerance ({band})"),
         CheckVerdict::BaselineStale => eprintln!(
             "OK: fleet wall-clock beats the lower tolerance bound ({band}); \
@@ -126,18 +153,37 @@ fn main() {
         }
     }
 
-    let baseline_rate = parse_kernel_rate(&baseline)
-        .unwrap_or_else(|| panic!("--check: no kernel events_per_sec in {baseline_path}"));
     let new_rate = kernel.events_per_sec();
-    let rate_band = format!(
-        "baseline {:.0} events/s, tolerance ±{:.0}% -> [{:.0}, {:.0}] events/s, measured {:.0}",
-        baseline_rate,
-        TOLERANCE * 100.0,
-        baseline_rate * (1.0 - TOLERANCE),
-        baseline_rate * (1.0 + TOLERANCE),
-        new_rate
-    );
-    match check_kernel_rate(baseline_rate, new_rate) {
+    let (rate_verdict, rate_band) = match stat_gate(&kernel_rate_series(&baseline)) {
+        Some(gate) => (
+            check_kernel_rate_stat(&gate, new_rate),
+            format!(
+                "history median {:.0} events/s over {} runs, ±{STAT_K}·MAD -> [{:.0}, {:.0}] \
+                 events/s, measured {new_rate:.0}",
+                gate.median,
+                gate.n,
+                gate.lo(),
+                gate.hi()
+            ),
+        ),
+        None => {
+            let baseline_rate = parse_kernel_rate(&baseline)
+                .unwrap_or_else(|| panic!("--check: no kernel events_per_sec in {baseline_path}"));
+            (
+                check_kernel_rate(baseline_rate, new_rate),
+                format!(
+                    "baseline {:.0} events/s, tolerance ±{:.0}% -> [{:.0}, {:.0}] events/s, \
+                     measured {:.0}",
+                    baseline_rate,
+                    TOLERANCE * 100.0,
+                    baseline_rate * (1.0 - TOLERANCE),
+                    baseline_rate * (1.0 + TOLERANCE),
+                    new_rate
+                ),
+            )
+        }
+    };
+    match rate_verdict {
         CheckVerdict::Ok => eprintln!("OK: kernel events/sec within tolerance ({rate_band})"),
         CheckVerdict::BaselineStale => eprintln!(
             "OK: kernel events/sec beats the upper tolerance bound ({rate_band}); \

@@ -1,0 +1,153 @@
+//! Soak smoke check: instantiates `--tenants` lightweight tenant plants
+//! per scenario (default 100 000 × 7 scenarios) on the cohort calendar,
+//! drives them through 24 simulated hours of diurnal + flash-crowd +
+//! churn traffic at 1 worker thread and again at N, asserts the two
+//! [`SoakReport`] renderings are byte-identical, asserts zero hard-goal
+//! cohort breaches, and writes `BENCH_soak.json`.
+//!
+//! Usage: `soak_smoke [--tenants N] [--threads T] [--out PATH] [--check BASELINE]`
+//!
+//! * `--tenants N` — tenants per scenario; default 100 000.
+//! * `--threads T` — parallel phase's worker count; default 4.
+//! * `--out PATH` — where to write the JSON artifact; default
+//!   `BENCH_soak.json`.
+//! * `--check BASELINE` — also gate cohort p99/p999 and tenants/sec
+//!   against a committed baseline ([`check_soak`]).
+//!
+//! Exits non-zero if the serial and parallel reports differ, any hard
+//! cohort's p99 overshoot exceeds its Δ budget, or the baseline check
+//! fails.
+//!
+//! [`SoakReport`]: smartconf_harness::SoakReport
+//! [`check_soak`]: smartconf_bench::soak::check_soak
+
+use std::time::Instant;
+
+use smartconf_bench::fleet::FleetPhase;
+use smartconf_bench::soak::{build_templates, check_soak, soak_json, soak_run, SoakConfig};
+use smartconf_runtime::FleetExecutor;
+
+fn main() {
+    let mut tenants: u64 = 100_000;
+    let mut threads: usize = 4;
+    let mut out_path = "BENCH_soak.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--tenants" => tenants = value("--tenants").parse().expect("--tenants takes a count"),
+            "--threads" => threads = value("--threads").parse().expect("--threads takes a count"),
+            "--out" => out_path = value("--out"),
+            "--check" => check_path = Some(value("--check")),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let config = SoakConfig::standard(tenants);
+    eprintln!(
+        "soak smoke: {} tenants x 7 scenarios, {} cohorts, {} h horizon",
+        tenants,
+        config.periods_us.len(),
+        config.horizon_us / 3_600_000_000
+    );
+
+    let setup_start = Instant::now();
+    let scenarios = build_templates(config.seed);
+    eprintln!(
+        "  templates: {} scenarios profiled once in {:.3} s (slowest {})",
+        scenarios.len(),
+        setup_start.elapsed().as_secs_f64(),
+        scenarios
+            .iter()
+            .max_by(|a, b| a.setup_secs.total_cmp(&b.setup_secs))
+            .map(|s| format!("{} {:.3} s", s.template.scenario, s.setup_secs))
+            .unwrap_or_default()
+    );
+
+    let start = Instant::now();
+    let serial_report = soak_run(&config, &scenarios, &FleetExecutor::new(1));
+    let serial_phase = FleetPhase {
+        name: "soak-1-thread".into(),
+        threads: 1,
+        wall: start.elapsed(),
+    };
+    let total_tenants = tenants * scenarios.len() as u64;
+    eprintln!(
+        "  {}: {:.3} s ({:.0} tenants/s, {:.0} senses/s)",
+        serial_phase.name,
+        serial_phase.wall.as_secs_f64(),
+        total_tenants as f64 / serial_phase.wall.as_secs_f64(),
+        serial_report.total_senses() as f64 / serial_phase.wall.as_secs_f64()
+    );
+
+    let start = Instant::now();
+    let parallel_report = soak_run(&config, &scenarios, &FleetExecutor::new(threads));
+    let parallel_phase = FleetPhase {
+        name: format!("soak-{threads}-threads"),
+        threads,
+        wall: start.elapsed(),
+    };
+    eprintln!(
+        "  {}: {:.3} s",
+        parallel_phase.name,
+        parallel_phase.wall.as_secs_f64()
+    );
+
+    let serial_bytes = serial_report.render();
+    let parallel_bytes = parallel_report.render();
+    let identical = serial_bytes == parallel_bytes;
+
+    let json = soak_json(
+        &config,
+        &scenarios,
+        &serial_report,
+        identical,
+        &[serial_phase, parallel_phase],
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_soak.json");
+    eprintln!("wrote {out_path}");
+    print!("{serial_bytes}");
+
+    let mut failed = false;
+    if !identical {
+        for (i, (a, b)) in serial_bytes.lines().zip(parallel_bytes.lines()).enumerate() {
+            if a != b {
+                eprintln!(
+                    "first diff at line {}:\n  1-thread: {a}\n  {threads}-thread: {b}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        eprintln!("FAIL: soak reports differ between 1 and {threads} threads");
+        failed = true;
+    }
+    let breaches = serial_report.hard_gate_breaches();
+    if !breaches.is_empty() {
+        eprintln!("FAIL: hard-goal cohort gate breached (p99 > delta) in: {breaches:?}");
+        failed = true;
+    }
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let failures = check_soak(&json, &baseline);
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        if failures.is_empty() {
+            eprintln!("baseline check against {path}: OK");
+        } else {
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "OK: soak reports byte-identical at 1 and {threads} threads, zero hard cohort breaches"
+    );
+}

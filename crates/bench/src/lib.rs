@@ -18,6 +18,7 @@
 //! | `chaos_smoke` | all 7 scenarios × every fault class, hard-goal gated |
 //! | `resilience_smoke` | all 7 scenarios × every compound-fault campaign, recovery-SLO gated |
 //! | `perf_smoke` | epoch throughput + fleet wall-clock, baseline gated |
+//! | `soak_smoke` | 100k-tenant-per-scenario soak under time-varying traffic, cohort-tail gated |
 //!
 //! Criterion microbenchmarks (`cargo bench`) cover controller overhead,
 //! design-choice ablations, and simulator throughput.
@@ -35,6 +36,7 @@ pub mod figure8;
 pub mod fleet;
 pub mod perf;
 pub mod resilience;
+pub mod soak;
 pub mod table6;
 pub mod table7;
 

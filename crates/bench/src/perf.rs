@@ -12,10 +12,20 @@
 //!   smoke fleet (all seven scenarios × seeds × the three smoke
 //!   policies), profiling included. This is what the CI gate watches.
 //!
-//! Only the fleet wall-clock is hard-gated (±[`TOLERANCE`]): epochs/sec
-//! is recorded for trend-watching but a per-scenario gate would be too
-//! noisy on shared CI hosts, where a sub-millisecond decide loop can
-//! jitter by integer factors.
+//! Only the fleet wall-clock and kernel rate are hard-gated: epochs/sec
+//! is recorded for trend-watching (and carried into the `"history"`
+//! record per scenario) but a per-scenario gate would be too noisy on
+//! shared CI hosts, where a sub-millisecond decide loop can jitter by
+//! integer factors.
+//!
+//! The gate has two modes. With fewer than [`STAT_MIN_HISTORY`] runs on
+//! record, a fresh number is compared to the committed headline with a
+//! raw ±[`TOLERANCE`] band. Once the baseline's `"history"` array holds
+//! [`STAT_MIN_HISTORY`] or more entries, the gate switches to the
+//! robust statistical band median ± [`STAT_K`]·MAD over the recorded
+//! trend ([`stat_gate`]) — a single slow committed run no longer skews
+//! the acceptance window, and genuine drifts are caught tighter than
+//! ±25 %.
 
 use std::time::{Duration, Instant};
 
@@ -176,11 +186,34 @@ pub fn measure_fleet(seeds: &[u64]) -> FleetPhase {
 /// Maximum prior runs retained in the artifact's `"history"` array.
 pub const HISTORY_CAP: usize = 32;
 
+/// Extracts the previous artifact's per-scenario epochs/sec as
+/// `(id, rate)` pairs, in document order. Used by [`carry_history`] so
+/// per-scenario trends survive into the history record instead of being
+/// lost between baseline rewrites.
+pub fn parse_scenario_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    // Only the entries of the top-level "scenarios" array carry both an
+    // "id" and an "epochs_per_sec"; history entries embed rates under
+    // "scenario_rates" (no "id" keys), so this scan cannot double-count.
+    while let Some(pos) = rest.find("\"id\": \"") {
+        rest = &rest[pos + "\"id\": \"".len()..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        let Some(rate) = parse_number_after(rest, "\"epochs_per_sec\":") else {
+            break;
+        };
+        out.push((id, rate));
+    }
+    out
+}
+
 /// Carries the run history forward when rewriting `BENCH_perf.json`:
 /// extracts the previous artifact's `"history"` entries, appends the
-/// previous run's own headline numbers as the newest entry, and clamps
-/// to the most recent [`HISTORY_CAP`]. The entries use the keys
-/// `fleet_secs` / `kernel_rate` (not the top-level key names) so the
+/// previous run's own headline numbers — fleet wall, kernel rate, *and*
+/// per-scenario epochs/sec — as the newest entry, and clamps to the most
+/// recent [`HISTORY_CAP`]. The entries use the keys `fleet_secs` /
+/// `kernel_rate` / `scenario_rates` (not the top-level key names) so the
 /// headline parsers keep finding the *current* run first.
 pub fn carry_history(previous: &str) -> Vec<String> {
     let mut entries: Vec<String> = Vec::new();
@@ -197,14 +230,151 @@ pub fn carry_history(previous: &str) -> Vec<String> {
         }
     }
     if let (Some(fleet), Some(rate)) = (parse_fleet_wall(previous), parse_kernel_rate(previous)) {
+        let rates: Vec<String> = parse_scenario_rates(previous)
+            .iter()
+            .map(|(id, r)| format!("\"{id}\": {r:.0}"))
+            .collect();
         entries.push(format!(
-            "{{\"fleet_secs\": {fleet:.3}, \"kernel_rate\": {rate:.0}}}"
+            "{{\"fleet_secs\": {fleet:.3}, \"kernel_rate\": {rate:.0}, \
+             \"scenario_rates\": {{{}}}}}",
+            rates.join(", ")
         ));
     }
     if entries.len() > HISTORY_CAP {
         entries.drain(..entries.len() - HISTORY_CAP);
     }
     entries
+}
+
+/// Minimum history entries before the statistical gate replaces the raw
+/// ±[`TOLERANCE`] band.
+pub const STAT_MIN_HISTORY: usize = 5;
+
+/// Width of the statistical gate in MADs: a fresh number farther than
+/// `STAT_K · MAD` from the history median is out of band. k = 5 on a
+/// MAD (≈ 0.674 σ for normal noise) is roughly a 3.4 σ gate.
+pub const STAT_K: f64 = 5.0;
+
+/// Floor on the MAD as a fraction of the median: a history of
+/// near-identical runs would otherwise produce a near-zero MAD and gate
+/// on measurement noise.
+pub const STAT_MAD_FLOOR: f64 = 0.02;
+
+/// The history-derived statistical gate: median ± [`STAT_K`] · MAD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatGate {
+    /// Median of the history series.
+    pub median: f64,
+    /// Median absolute deviation, floored at
+    /// [`STAT_MAD_FLOOR`] × |median|.
+    pub mad: f64,
+    /// Series length the gate was fit on.
+    pub n: usize,
+}
+
+impl StatGate {
+    /// Lower edge of the acceptance band.
+    pub fn lo(&self) -> f64 {
+        self.median - STAT_K * self.mad
+    }
+
+    /// Upper edge of the acceptance band.
+    pub fn hi(&self) -> f64 {
+        self.median + STAT_K * self.mad
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Fits the median ± k·MAD gate over a history series, or `None` when
+/// the series is shorter than [`STAT_MIN_HISTORY`] (callers fall back
+/// to the raw ±[`TOLERANCE`] band).
+pub fn stat_gate(series: &[f64]) -> Option<StatGate> {
+    let mut sorted: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.len() < STAT_MIN_HISTORY {
+        return None;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let median = median_of(&sorted);
+    let mut devs: Vec<f64> = sorted.iter().map(|v| (v - median).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    let mad = median_of(&devs).max(STAT_MAD_FLOOR * median.abs());
+    Some(StatGate {
+        median,
+        mad,
+        n: sorted.len(),
+    })
+}
+
+/// Every occurrence of `"key": <number>` in `json`, in document order —
+/// applied to a baseline artifact whose history entries use the key,
+/// this recovers the full trend series (history entries first, then the
+/// headline run if it shares the key).
+pub fn parse_series(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        if let Some(v) = rest
+            .trim_start()
+            .split(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .next()
+            .and_then(|t| t.parse::<f64>().ok())
+        {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The baseline's fleet wall-clock trend: history entries
+/// (`fleet_secs`) plus the headline run (`fleet_wall_clock_secs`).
+pub fn fleet_wall_series(baseline: &str) -> Vec<f64> {
+    let mut series = parse_series(baseline, "fleet_secs");
+    series.extend(parse_fleet_wall(baseline));
+    series
+}
+
+/// The baseline's kernel-rate trend: history entries (`kernel_rate`)
+/// plus the headline run (`events_per_sec`).
+pub fn kernel_rate_series(baseline: &str) -> Vec<f64> {
+    let mut series = parse_series(baseline, "kernel_rate");
+    series.extend(parse_kernel_rate(baseline));
+    series
+}
+
+/// Gates a fresh fleet wall-clock against the statistical band: slower
+/// than the upper edge is a regression, faster than the lower edge
+/// means the history understates the current code (stale).
+pub fn check_fleet_wall_stat(gate: &StatGate, new_secs: f64) -> CheckVerdict {
+    if new_secs > gate.hi() {
+        CheckVerdict::Regression
+    } else if new_secs < gate.lo() {
+        CheckVerdict::BaselineStale
+    } else {
+        CheckVerdict::Ok
+    }
+}
+
+/// Gates a fresh kernel rate against the statistical band, directions
+/// inverted relative to [`check_fleet_wall_stat`]: a rate regresses by
+/// *dropping* below the band.
+pub fn check_kernel_rate_stat(gate: &StatGate, new_rate: f64) -> CheckVerdict {
+    if new_rate < gate.lo() {
+        CheckVerdict::Regression
+    } else if new_rate > gate.hi() {
+        CheckVerdict::BaselineStale
+    } else {
+        CheckVerdict::Ok
+    }
 }
 
 /// Renders the `BENCH_perf.json` artifact. `history` holds prior runs'
@@ -449,13 +619,123 @@ mod tests {
         assert!(first.contains("\"history\": []"));
         // Second write: the first run's headline numbers become history.
         let second = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&first));
-        assert!(second.contains("{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000}"));
+        assert!(second
+            .contains("{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000, \"scenario_rates\": {}}"));
         // Third write: both prior runs are retained, in order.
         let third = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&second));
         assert_eq!(third.matches("\"fleet_secs\"").count(), 2);
         // The headline parsers still read the current run, not history.
         assert_eq!(parse_fleet_wall(&third), Some(2.5));
         assert_eq!(parse_kernel_rate(&third), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn history_entries_carry_scenario_rates() {
+        let scenarios = vec![
+            ScenarioPerf {
+                id: "CA6059".into(),
+                epochs: 1000,
+                wall: Duration::from_millis(10),
+            },
+            ScenarioPerf {
+                id: "HD4995".into(),
+                epochs: 100,
+                wall: Duration::from_millis(100),
+            },
+        ];
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        let first = bench_json(42, &scenarios, &kernel, &[42], &fleet, &[]);
+        assert_eq!(
+            parse_scenario_rates(&first),
+            vec![
+                ("CA6059".to_string(), 100_000.0),
+                ("HD4995".to_string(), 1_000.0)
+            ]
+        );
+        // The carried entry embeds both scenarios' rates, so per-scenario
+        // trends survive baseline rewrites.
+        let second = bench_json(
+            42,
+            &scenarios,
+            &kernel,
+            &[42],
+            &fleet,
+            &carry_history(&first),
+        );
+        assert!(
+            second.contains("\"scenario_rates\": {\"CA6059\": 100000, \"HD4995\": 1000}"),
+            "{second}"
+        );
+        // History rates do not confuse the headline scenario parser.
+        assert_eq!(parse_scenario_rates(&second).len(), 2);
+    }
+
+    #[test]
+    fn stat_gate_needs_minimum_history() {
+        assert_eq!(stat_gate(&[4.0; STAT_MIN_HISTORY - 1]), None);
+        let g = stat_gate(&[4.0; STAT_MIN_HISTORY]).expect("enough history");
+        assert_eq!(g.median, 4.0);
+        assert_eq!(g.n, STAT_MIN_HISTORY);
+    }
+
+    #[test]
+    fn stat_gate_uses_median_and_mad() {
+        // Series with one outlier: the median/MAD shrug it off where a
+        // mean/stddev gate would be dragged wide.
+        let g = stat_gate(&[4.0, 4.1, 3.9, 4.05, 40.0]).expect("gate");
+        assert!((g.median - 4.05).abs() < 1e-12);
+        assert!(g.mad < 0.2, "mad {}", g.mad);
+        assert_eq!(check_fleet_wall_stat(&g, g.median), CheckVerdict::Ok);
+        assert_eq!(check_fleet_wall_stat(&g, 40.0), CheckVerdict::Regression);
+        assert_eq!(check_fleet_wall_stat(&g, 0.5), CheckVerdict::BaselineStale);
+    }
+
+    #[test]
+    fn stat_gate_floors_mad_on_identical_history() {
+        // Five byte-identical runs: raw MAD is 0; the floor keeps a
+        // ±STAT_K·2% band so normal noise does not fail the gate.
+        let g = stat_gate(&[4.0; 5]).expect("gate");
+        assert_eq!(g.mad, STAT_MAD_FLOOR * 4.0);
+        assert_eq!(check_fleet_wall_stat(&g, 4.3), CheckVerdict::Ok);
+        assert_eq!(check_fleet_wall_stat(&g, 4.5), CheckVerdict::Regression);
+        // Kernel direction is inverted.
+        assert_eq!(check_kernel_rate_stat(&g, 3.5), CheckVerdict::Regression);
+        assert_eq!(check_kernel_rate_stat(&g, 4.5), CheckVerdict::BaselineStale);
+        assert_eq!(check_kernel_rate_stat(&g, 4.1), CheckVerdict::Ok);
+    }
+
+    #[test]
+    fn series_parsers_recover_history_plus_headline() {
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        let mut json = bench_json(42, &[], &kernel, &[42], &fleet, &[]);
+        // Grow a 6-entry history by repeated rewrites.
+        for _ in 0..6 {
+            json = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&json));
+        }
+        let walls = fleet_wall_series(&json);
+        let rates = kernel_rate_series(&json);
+        assert_eq!(walls.len(), 7, "{walls:?}"); // 6 history + headline
+        assert_eq!(rates.len(), 7, "{rates:?}");
+        assert!(walls.iter().all(|&w| (w - 2.5).abs() < 1e-9));
+        assert!(stat_gate(&walls).is_some());
     }
 
     #[test]
@@ -480,7 +760,7 @@ mod tests {
         // oldest seeded entries were dropped.
         assert_eq!(
             carried.last().unwrap(),
-            "{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000}"
+            "{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000, \"scenario_rates\": {}}"
         );
         assert!(!carried.iter().any(|e| e.contains("\"fleet_secs\": 0.000")));
     }

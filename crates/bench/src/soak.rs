@@ -1,0 +1,610 @@
+//! The million-tenant soak: cohort-sharded multi-tenant fleets under
+//! time-varying traffic.
+//!
+//! The single-deployment fleet smoke validates *correctness* of every
+//! scenario; the soak validates *scale*: N-thousand-to-million
+//! lightweight tenant plants per scenario on one deterministic control
+//! plane, reporting per-cohort tail statistics (p50/p99/p999 goal
+//! overshoot) at production event rates. The perf core:
+//!
+//! * **Template sharing** — each scenario's profile runs once (via the
+//!   fleet's [`ProfileCache`], so e.g. HD4995's namespace synthesis hits
+//!   its process-wide memo) and is distilled into one immutable
+//!   [`SoakTemplate`], `Arc`-shared by every shard. Per-tenant marginal
+//!   cost is a 40-byte slab entry, not a plant.
+//! * **Batched dispatch** — tenants are hashed into cohorts by sensing
+//!   period and driven by [`run_cohort_calendar`]: the simkernel heap
+//!   carries one event per (cohort, tick), the callback sweeps the
+//!   cohort's slab, and idle (churned-out) tenants cost one branch.
+//! * **Stateless traffic** — diurnal wave, flash crowd, churn, and
+//!   per-tenant zipfian weights all come from [`TrafficShape`]'s pure
+//!   per-`(seed, tenant, epoch)` hashes, so chunked parallel execution
+//!   is embarrassingly deterministic.
+//! * **O(1)-memory tails** — each (scenario, cohort) keeps one
+//!   [`QuantileSketch`] of goal-overshoot ratios; sketches merge across
+//!   shards in work-item order. No per-tenant epoch logs exist.
+//!
+//! Byte-identity at 1 vs N threads holds because shards are pure
+//! functions of their work item and merging happens in item order. The
+//! *committed* `BENCH_soak.json` tail numbers are additionally gated
+//! with a small relative tolerance (one sketch bucket) because the
+//! zipfian weight draw goes through libm `pow`, which may differ in the
+//! last ulp across platforms.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use smartconf_harness::{CohortReport, ProfileCache, ScenarioSoakReport, SoakReport, SoakTemplate};
+use smartconf_metrics::QuantileSketch;
+use smartconf_runtime::{run_cohort_calendar, shard_seed, FleetExecutor};
+use smartconf_workload::{KeyDistribution, TrafficShape};
+
+use crate::chaos::HARD_GOAL_SCENARIOS;
+use crate::fleet::{fleet_scenarios, FleetPhase};
+
+/// Relative tolerance for comparing committed cohort tail numbers
+/// across machines: one sketch bucket width (1/64 ≈ 1.6 %) plus margin
+/// for the libm `pow` ulp drift in the zipfian weight draw.
+pub const TAIL_TOLERANCE: f64 = 0.035;
+
+/// How far below the committed baseline the measured tenants/sec may
+/// fall before `--check` fails. Deliberately loose: CI runners share
+/// cores, and the committed baseline carries a 1-CPU dev-container
+/// caveat just like `BENCH_perf.json`.
+pub const RATE_FLOOR: f64 = 0.2;
+
+/// Shape of one soak run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// Base experiment seed.
+    pub seed: u64,
+    /// Tenants per scenario.
+    pub tenants: u64,
+    /// Simulated horizon, µs.
+    pub horizon_us: u64,
+    /// Cohort sensing periods, µs (tenants are hashed uniformly across
+    /// these).
+    pub periods_us: Vec<u64>,
+    /// Tenants per executor work item.
+    pub chunk: u64,
+    /// The traffic model layered on every tenant.
+    pub traffic: TrafficShape,
+}
+
+impl SoakConfig {
+    /// The standard soak: seed 42, a 24 h horizon, four sensing cohorts
+    /// from 15 min to 1 h (96 down to 24 epochs each), 16 Ki-tenant
+    /// chunks, and [`TrafficShape::standard`] traffic.
+    pub fn standard(tenants: u64) -> SoakConfig {
+        const MIN_US: u64 = 60_000_000;
+        SoakConfig {
+            seed: crate::EXPERIMENT_SEED,
+            tenants,
+            horizon_us: 24 * 60 * MIN_US,
+            periods_us: vec![15 * MIN_US, 30 * MIN_US, 45 * MIN_US, 60 * MIN_US],
+            chunk: 16_384,
+            traffic: TrafficShape::standard(),
+        }
+    }
+}
+
+/// One scenario's shared template plus how long its one-time setup
+/// (profiling + distillation) took — the number that proves per-tenant
+/// setup cost is gone.
+#[derive(Debug, Clone)]
+pub struct SoakScenario {
+    /// The `Arc`-shared immutable template every tenant runs against.
+    pub template: Arc<SoakTemplate>,
+    /// One-time setup wall-clock, seconds.
+    pub setup_secs: f64,
+}
+
+/// Builds the per-scenario templates for the standard seven-scenario
+/// roster, profiling each scenario exactly once via [`ProfileCache`]
+/// (HD4995's `Namespace::synthesize_shared` memo is therefore hit once
+/// per process, never per tenant).
+pub fn build_templates(seed: u64) -> Vec<SoakScenario> {
+    let scenarios = fleet_scenarios();
+    let cache = ProfileCache::new(scenarios.len(), &[seed]);
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let start = Instant::now();
+            let profiles = cache.profiles(i, s.as_ref(), seed);
+            let hard = HARD_GOAL_SCENARIOS.contains(&s.id());
+            let template =
+                SoakTemplate::from_profile(s.id(), hard, &s.candidate_settings(), &profiles[0])
+                    .unwrap_or_else(|e| panic!("{}: soak template: {e}", s.id()));
+            SoakScenario {
+                template: Arc::new(template),
+                setup_secs: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// A tenant's slab state: everything the sweep loop touches, 40 bytes.
+struct Tenant {
+    id: u64,
+    setting: f64,
+    weight: f64,
+    arrive_us: u64,
+    depart_us: u64,
+}
+
+/// One (scenario, cohort) partial accumulation from a chunk.
+struct CohortAccum {
+    tenants: u64,
+    violations: u64,
+    sketch: QuantileSketch,
+}
+
+impl CohortAccum {
+    fn new() -> CohortAccum {
+        CohortAccum {
+            tenants: 0,
+            violations: 0,
+            sketch: QuantileSketch::new(),
+        }
+    }
+
+    fn merge(&mut self, other: &CohortAccum) {
+        self.tenants += other.tenants;
+        self.violations += other.violations;
+        self.sketch.merge(&other.sketch);
+    }
+}
+
+/// One executor work item: a contiguous tenant range of one scenario.
+#[derive(Debug, Clone, Copy)]
+struct SoakItem {
+    scenario: usize,
+    start: u64,
+    len: u64,
+}
+
+/// Runs one chunk of tenants through the full horizon on the cohort
+/// calendar. Pure function of `(config, template, item)` — the executor
+/// merges chunk outputs in item order, so thread count is invisible.
+fn run_chunk(config: &SoakConfig, template: &SoakTemplate, item: &SoakItem) -> Vec<CohortAccum> {
+    let n_cohorts = config.periods_us.len();
+    let scen_seed = shard_seed(config.seed, item.scenario as u64);
+    let dist = KeyDistribution::ycsb_default(10_000);
+    let traffic = &config.traffic;
+
+    // Slab the chunk's tenants into their cohorts.
+    let mut slabs: Vec<Vec<Tenant>> = (0..n_cohorts).map(|_| Vec::new()).collect();
+    for id in item.start..item.start + item.len {
+        let cohort = (shard_seed(scen_seed, id) % n_cohorts as u64) as usize;
+        let (arrive_us, depart_us) = traffic.churn_window(scen_seed, id, config.horizon_us);
+        slabs[cohort].push(Tenant {
+            id,
+            setting: template.initial,
+            weight: traffic.tenant_weight(scen_seed, id, &dist),
+            arrive_us,
+            depart_us,
+        });
+    }
+
+    let mut accums: Vec<CohortAccum> = (0..n_cohorts).map(|_| CohortAccum::new()).collect();
+    for (cohort, slab) in slabs.iter().enumerate() {
+        accums[cohort].tenants = slab.len() as u64;
+    }
+
+    run_cohort_calendar(
+        &config.periods_us,
+        config.horizon_us,
+        |cohort, epoch, now| {
+            // The tenant-independent part of the load is hoisted out of the
+            // sweep: one wave evaluation per (cohort, tick), not per tenant.
+            let base_load = traffic.base_load(now);
+            let accum = &mut accums[cohort];
+            for t in &mut slabs[cohort] {
+                if now < t.arrive_us || now >= t.depart_us {
+                    continue;
+                }
+                let measured = template.measured(
+                    t.setting,
+                    base_load * t.weight,
+                    traffic.sense_jitter(scen_seed, t.id, epoch),
+                );
+                accum.sketch.record(template.overshoot(measured));
+                if measured > template.target {
+                    accum.violations += 1;
+                }
+                t.setting = template.next_setting(t.setting, measured);
+            }
+        },
+    );
+    accums
+}
+
+/// Runs the full soak — every scenario × every tenant chunk on
+/// `executor` — and assembles the per-cohort tail report.
+pub fn soak_run(
+    config: &SoakConfig,
+    scenarios: &[SoakScenario],
+    executor: &FleetExecutor,
+) -> SoakReport {
+    let mut items = Vec::new();
+    for (scenario, _) in scenarios.iter().enumerate() {
+        let mut start = 0;
+        while start < config.tenants {
+            let len = config.chunk.min(config.tenants - start);
+            items.push(SoakItem {
+                scenario,
+                start,
+                len,
+            });
+            start += len;
+        }
+    }
+
+    let outputs = executor.execute(&items, |_, item: &SoakItem| {
+        run_chunk(config, &scenarios[item.scenario].template, item)
+    });
+
+    // Merge chunk outputs per (scenario, cohort), in work-item order.
+    let n_cohorts = config.periods_us.len();
+    let mut merged: Vec<Vec<CohortAccum>> = scenarios
+        .iter()
+        .map(|_| (0..n_cohorts).map(|_| CohortAccum::new()).collect())
+        .collect();
+    for (item, chunk) in items.iter().zip(&outputs) {
+        for (cohort, accum) in chunk.iter().enumerate() {
+            merged[item.scenario][cohort].merge(accum);
+        }
+    }
+
+    let reports = scenarios
+        .iter()
+        .zip(merged)
+        .map(|(s, cohorts)| {
+            let t = &s.template;
+            ScenarioSoakReport {
+                scenario: t.scenario.clone(),
+                hard: t.hard,
+                delta: t.delta(),
+                tenants: config.tenants,
+                cohorts: cohorts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        CohortReport::from_sketch(
+                            config.periods_us[i],
+                            a.tenants,
+                            a.violations,
+                            &a.sketch,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    SoakReport {
+        seed: config.seed,
+        tenants_per_scenario: config.tenants,
+        horizon_us: config.horizon_us,
+        scenarios: reports,
+    }
+}
+
+/// Renders the `BENCH_soak.json` artifact.
+pub fn soak_json(
+    config: &SoakConfig,
+    scenarios: &[SoakScenario],
+    report: &SoakReport,
+    reports_identical: bool,
+    phases: &[FleetPhase],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"seed\": {},\n", config.seed));
+    out.push_str(&format!(
+        "  \"tenants_per_scenario\": {},\n",
+        config.tenants
+    ));
+    out.push_str(&format!("  \"scenarios\": {},\n", scenarios.len()));
+    out.push_str(&format!(
+        "  \"horizon_secs\": {},\n",
+        config.horizon_us / 1_000_000
+    ));
+    let periods: Vec<String> = config
+        .periods_us
+        .iter()
+        .map(|p| (p / 1_000_000).to_string())
+        .collect();
+    out.push_str(&format!(
+        "  \"cohort_periods_secs\": [{}],\n",
+        periods.join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        FleetExecutor::available_parallelism().threads()
+    ));
+    out.push_str(
+        "  \"note\": \"rate figures are host-dependent; a 1-CPU host cannot \
+         show parallel speedup. Committed numbers come from the dev \
+         container; the --check gate tolerates small cross-platform tail \
+         drift (libm pow ulps in the zipfian weight draw)\",\n",
+    );
+    out.push_str(&format!("  \"reports_identical\": {reports_identical},\n"));
+    let serial = phases.iter().find(|p| p.threads == 1);
+    let total_tenants = config.tenants * scenarios.len() as u64;
+    if let Some(s) = serial {
+        let wall = s.wall.as_secs_f64();
+        if wall > 0.0 {
+            out.push_str(&format!(
+                "  \"tenants_per_sec\": {:.0},\n",
+                total_tenants as f64 / wall
+            ));
+            out.push_str(&format!(
+                "  \"senses_per_sec\": {:.0},\n",
+                report.total_senses() as f64 / wall
+            ));
+        }
+    }
+    out.push_str(&format!("  \"total_senses\": {},\n", report.total_senses()));
+    let breaches: Vec<String> = report
+        .hard_gate_breaches()
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect();
+    out.push_str(&format!(
+        "  \"hard_breaches\": [{}],\n",
+        breaches.join(", ")
+    ));
+    out.push_str("  \"phases\": [\n");
+    let phase_lines: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"name\": \"{}\", \"threads\": {}, \"wall_clock_secs\": {:.3}}}",
+                p.name,
+                p.threads,
+                p.wall.as_secs_f64()
+            )
+        })
+        .collect();
+    out.push_str(&phase_lines.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str("  \"cohorts\": [\n");
+    let mut lines = Vec::new();
+    for (scen, s) in scenarios.iter().zip(&report.scenarios) {
+        for c in &s.cohorts {
+            lines.push(format!(
+                "    {{\"scenario\": \"{}\", \"hard\": {}, \"delta\": {:.4}, \
+                 \"setup_secs\": {:.3}, \"period_secs\": {}, \"tenants\": {}, \
+                 \"senses\": {}, \"violations\": {}, \"p50\": {:.4}, \
+                 \"p99\": {:.4}, \"p999\": {:.4}, \"max\": {:.4}}}",
+                s.scenario,
+                s.hard,
+                s.delta,
+                scen.setup_secs,
+                c.period_us / 1_000_000,
+                c.tenants,
+                c.senses,
+                c.violations,
+                c.p50,
+                c.p99,
+                c.p999,
+                c.max
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Every value of `"key": <number>` in `json`, in document order.
+fn numbers_after(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest
+            .find([',', '}', '\n'])
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Compares a fresh `BENCH_soak.json` against the committed baseline.
+/// Returns human-readable failure lines (empty = pass). Gates:
+///
+/// 1. same run shape (tenants per scenario, cohort count) — otherwise
+///    the baseline is stale and must be regenerated;
+/// 2. zero hard-goal cohort breaches in the fresh run;
+/// 3. every cohort p99/p999 within [`TAIL_TOLERANCE`] of baseline;
+/// 4. tenants/sec at least [`RATE_FLOOR`] × baseline.
+pub fn check_soak(fresh: &str, baseline: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+
+    let shape = |json: &str| {
+        (
+            numbers_after(json, "tenants_per_scenario"),
+            numbers_after(json, "p99").len(),
+        )
+    };
+    let (fresh_tenants, fresh_cohorts) = shape(fresh);
+    let (base_tenants, base_cohorts) = shape(baseline);
+    if fresh_tenants != base_tenants || fresh_cohorts != base_cohorts {
+        failures.push(format!(
+            "baseline stale: shape {:?}/{} cohorts vs fresh {:?}/{} — regenerate BENCH_soak.json",
+            base_tenants, base_cohorts, fresh_tenants, fresh_cohorts
+        ));
+        return failures;
+    }
+
+    if !fresh.contains("\"hard_breaches\": []") {
+        failures.push("hard-goal cohort gate breached in fresh run".to_string());
+    }
+
+    for key in ["p99", "p999"] {
+        let f = numbers_after(fresh, key);
+        let b = numbers_after(baseline, key);
+        for (i, (fv, bv)) in f.iter().zip(&b).enumerate() {
+            let scale = bv.abs().max(1e-9);
+            if ((fv - bv) / scale).abs() > TAIL_TOLERANCE {
+                failures.push(format!(
+                    "cohort #{i} {key} drifted: fresh {fv} vs baseline {bv} (tol {TAIL_TOLERANCE})"
+                ));
+            }
+        }
+    }
+
+    let fresh_rate = numbers_after(fresh, "tenants_per_sec");
+    let base_rate = numbers_after(baseline, "tenants_per_sec");
+    if let (Some(f), Some(b)) = (fresh_rate.first(), base_rate.first()) {
+        if *f < RATE_FLOOR * b {
+            failures.push(format!(
+                "tenants/sec collapsed: fresh {f:.0} vs baseline {b:.0} (floor {RATE_FLOOR}×)"
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_config() -> SoakConfig {
+        SoakConfig {
+            // 2 h horizon, fast cohorts: enough epochs to exercise the
+            // flash path is not needed here — determinism tests live in
+            // tests/soak_determinism.rs with the real shape.
+            horizon_us: 7_200_000_000,
+            periods_us: vec![900_000_000, 1_800_000_000],
+            chunk: 64,
+            ..SoakConfig::standard(200)
+        }
+    }
+
+    fn toy_scenarios() -> Vec<SoakScenario> {
+        let profile: smartconf_core::ProfileSet = [
+            (10.0, 30.0),
+            (10.0, 30.3),
+            (20.0, 50.0),
+            (20.0, 50.2),
+            (30.0, 70.1),
+            (30.0, 70.4),
+            (40.0, 90.0),
+            (40.0, 90.2),
+        ]
+        .into_iter()
+        .collect();
+        ["TOYA", "TOYB"]
+            .iter()
+            .map(|id| SoakScenario {
+                template: Arc::new(
+                    SoakTemplate::from_profile(
+                        id,
+                        *id == "TOYB",
+                        &[10.0, 20.0, 30.0, 40.0],
+                        &profile,
+                    )
+                    .unwrap(),
+                ),
+                setup_secs: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soak_is_byte_identical_across_threads_and_chunks() {
+        let config = tiny_config();
+        let scenarios = toy_scenarios();
+        let serial = soak_run(&config, &scenarios, &FleetExecutor::new(1));
+        let threaded = soak_run(&config, &scenarios, &FleetExecutor::new(4));
+        assert_eq!(serial.render(), threaded.render());
+        // A different chunk size must not change the report either —
+        // chunks are pure tenant ranges.
+        let rechunked = SoakConfig {
+            chunk: 17,
+            ..config
+        };
+        let odd = soak_run(&rechunked, &scenarios, &FleetExecutor::new(3));
+        assert_eq!(serial.render(), odd.render());
+    }
+
+    #[test]
+    fn soak_accounts_every_tenant_and_senses_scale_with_period() {
+        let config = tiny_config();
+        let scenarios = toy_scenarios();
+        let report = soak_run(&config, &scenarios, &FleetExecutor::new(1));
+        for s in &report.scenarios {
+            let total: u64 = s.cohorts.iter().map(|c| c.tenants).sum();
+            assert_eq!(total, config.tenants, "{} lost tenants", s.scenario);
+            // Faster cohorts sense more per tenant.
+            let per_tenant: Vec<f64> = s
+                .cohorts
+                .iter()
+                .map(|c| c.senses as f64 / c.tenants.max(1) as f64)
+                .collect();
+            assert!(per_tenant[0] > per_tenant[1], "{per_tenant:?}");
+            for c in &s.cohorts {
+                assert!(c.senses > 0);
+                assert!(c.p50 > 0.0 && c.p999 >= c.p99 && c.max >= c.p999);
+            }
+        }
+    }
+
+    #[test]
+    fn soft_scenario_never_breaches_hard_gate() {
+        let config = tiny_config();
+        let scenarios = toy_scenarios();
+        let report = soak_run(&config, &scenarios, &FleetExecutor::new(2));
+        // TOYA is soft: even if its tails wander, it cannot breach.
+        assert!(!report.scenarios[0].hard_breached());
+    }
+
+    #[test]
+    fn soak_json_and_check_roundtrip() {
+        let config = tiny_config();
+        let scenarios = toy_scenarios();
+        let report = soak_run(&config, &scenarios, &FleetExecutor::new(1));
+        let phases = [FleetPhase {
+            name: "soak-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(500),
+        }];
+        let json = soak_json(&config, &scenarios, &report, true, &phases);
+        assert!(json.contains("\"tenants_per_scenario\": 200"));
+        assert!(json.contains("\"reports_identical\": true"));
+        assert!(json.contains("\"p999\""));
+        // A run checked against itself passes.
+        assert_eq!(check_soak(&json, &json), Vec::<String>::new());
+        // A drifted tail fails.
+        let drifted = json.replacen("\"p99\": ", "\"p99\": 9", 1);
+        assert!(!check_soak(&drifted, &json).is_empty());
+        // A different shape reports a stale baseline.
+        let other = soak_json(
+            &SoakConfig {
+                tenants: 300,
+                ..config.clone()
+            },
+            &scenarios,
+            &report,
+            true,
+            &phases,
+        );
+        let stale = check_soak(&other, &json);
+        assert!(stale.iter().any(|f| f.contains("stale")), "{stale:?}");
+    }
+
+    #[test]
+    fn numbers_after_walks_document_order() {
+        let json = "{\"p99\": 1.25, \"x\": {\"p99\": 2.5}, \"p999\": 3.0}";
+        assert_eq!(numbers_after(json, "p99"), vec![1.25, 2.5]);
+        assert_eq!(numbers_after(json, "p999"), vec![3.0]);
+        assert!(numbers_after(json, "missing").is_empty());
+    }
+}

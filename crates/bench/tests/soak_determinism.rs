@@ -1,0 +1,101 @@
+//! Soak determinism and hard-gate pins over the real scenario roster.
+//!
+//! The soak's crown-jewel claim is the same as the fleet's: the cohort
+//! tail report is a pure function of `(config, templates)` — worker
+//! thread count and chunking are invisible. These tests exercise that
+//! claim with the *real* seven scenarios (profiled templates, zipfian
+//! weights, churn enabled) at a reduced tenant count, and pin the
+//! hard-goal cohort gate that CI enforces at full scale.
+
+use smartconf_bench::soak::{build_templates, soak_run, SoakConfig};
+use smartconf_runtime::FleetExecutor;
+use smartconf_workload::TrafficShape;
+
+const SOAK_TENANTS: u64 = 2_000;
+
+#[test]
+fn full_roster_soak_byte_identical_1_vs_4_threads() {
+    // Standard config: diurnal + flash + 25% churn all active.
+    let config = SoakConfig::standard(SOAK_TENANTS);
+    assert!(config.traffic.churn_fraction > 0.0, "churn must be active");
+    let scenarios = build_templates(config.seed);
+    assert_eq!(scenarios.len(), 7);
+
+    let serial = soak_run(&config, &scenarios, &FleetExecutor::new(1));
+    let threaded = soak_run(&config, &scenarios, &FleetExecutor::new(4));
+    assert_eq!(
+        serial.render(),
+        threaded.render(),
+        "soak cohort reports diverged across thread counts"
+    );
+
+    // Churn is visible in the report: every scenario has fewer senses
+    // than a churn-free run would produce, and every tenant is
+    // accounted for in exactly one cohort.
+    for s in &serial.scenarios {
+        let total: u64 = s.cohorts.iter().map(|c| c.tenants).sum();
+        assert_eq!(total, SOAK_TENANTS, "{} lost tenants", s.scenario);
+        for c in &s.cohorts {
+            let max_senses = c.tenants * (config.horizon_us / c.period_us);
+            assert!(
+                c.senses < max_senses,
+                "{} period {}: churn left no idle gaps ({} vs {})",
+                s.scenario,
+                c.period_us,
+                c.senses,
+                max_senses
+            );
+        }
+    }
+}
+
+#[test]
+fn steady_traffic_is_also_thread_invariant() {
+    // The control arm: no churn, no wave, no jitter. Determinism must
+    // not depend on the traffic layer masking an ordering bug.
+    let config = SoakConfig {
+        traffic: TrafficShape::steady(),
+        ..SoakConfig::standard(1_000)
+    };
+    let scenarios = build_templates(config.seed);
+    let serial = soak_run(&config, &scenarios, &FleetExecutor::new(1));
+    let threaded = soak_run(&config, &scenarios, &FleetExecutor::new(4));
+    assert_eq!(serial.render(), threaded.render());
+    // Under steady unity load every tenant converges; violation counts
+    // stay near zero for hard scenarios (virtual-goal headroom).
+    for s in serial.scenarios.iter().filter(|s| s.hard) {
+        for c in &s.cohorts {
+            assert!(
+                c.p99 < s.delta,
+                "{} steady p99 {} vs delta {}",
+                s.scenario,
+                c.p99,
+                s.delta
+            );
+        }
+    }
+}
+
+#[test]
+fn hard_goal_cohorts_hold_under_standard_traffic() {
+    // The gate CI enforces at 100k tenants, pinned at reduced N: no
+    // hard scenario's cohort p99 overshoot may exceed its Δ = 1 + 3λ
+    // budget under the full diurnal + flash + churn traffic.
+    let config = SoakConfig::standard(SOAK_TENANTS);
+    let scenarios = build_templates(config.seed);
+    let report = soak_run(&config, &scenarios, &FleetExecutor::new(4));
+    assert_eq!(
+        report.hard_gate_breaches(),
+        Vec::<&str>::new(),
+        "hard-goal cohort gate breached:\n{}",
+        report.render()
+    );
+    // The three hard scenarios are present and actually gated.
+    let hard: Vec<&str> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.hard)
+        .map(|s| s.scenario.as_str())
+        .collect();
+    assert_eq!(hard, ["HB6728", "HD4995", "MR2820"]);
+}

@@ -15,6 +15,7 @@ mod fleet;
 mod outcome;
 mod report;
 mod scenario;
+mod soak;
 mod sweep;
 
 pub use chart::AsciiChart;
@@ -25,6 +26,9 @@ pub use fleet::{
 pub use outcome::{RunResult, TradeoffDirection};
 pub use report::{epoch_summary, TextTable};
 pub use scenario::Scenario;
+pub use soak::{
+    CohortReport, ScenarioSoakReport, SoakReport, SoakTemplate, DISTURBANCE_GAIN, LAMBDA_FLOOR,
+};
 pub use sweep::{sweep_statics, StaticSweep};
 
 // The named static baselines, the per-epoch event log, and the fleet

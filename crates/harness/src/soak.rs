@@ -1,0 +1,490 @@
+//! Soak-mode shared types: the per-scenario tenant template and the
+//! per-cohort tail reports.
+//!
+//! The soak engine (bench crate) instantiates N-thousand-to-million
+//! lightweight tenant *plants* per scenario. Running a full
+//! `ControlPlane` (or even a `smartconf-core` `Controller`, which
+//! carries a `GainModel` and a `String`-named goal) per tenant would
+//! dominate memory and setup time, so the profile-derived control
+//! parameters are hoisted into one immutable [`SoakTemplate`] per
+//! scenario — built once, shared across every tenant via `Arc` — and
+//! each tenant is just two `f64`s of slab state. The template applies
+//! the paper's integral law (§5.1–§5.2, including the two-pole danger
+//! region for hard goals) as a pure function, exactly mirroring
+//! `Controller::step` for the frozen-model, non-interacting case.
+//!
+//! Tail statistics come back as plain-number [`CohortReport`]s distilled
+//! from streaming [`QuantileSketch`]es — per-tenant epoch logs are never
+//! retained.
+
+use smartconf_core::{pole_from_delta, Error, LinearFit, ProfileSet, Result};
+use smartconf_metrics::QuantileSketch;
+
+/// Floor on the virtual-goal margin `λ` used by soak templates.
+///
+/// Clean profiles from the deterministic simulators can report `λ`
+/// near zero, which would leave a hard goal with no headroom against
+/// the soak's load disturbances; production SmartConf deployments see
+/// sensor noise that keeps `λ` meaningfully positive, so the soak
+/// imposes a floor.
+pub const LAMBDA_FLOOR: f64 = 0.05;
+
+/// How strongly the traffic wave disturbs a tenant plant, as a fraction
+/// of the controllable span `|α·mid|`: `measured` shifts by
+/// `(load − 1) · DISTURBANCE_GAIN · |α·mid|`.
+///
+/// The disturbance is **additive**, not a gain multiplier — a load that
+/// multiplied `α` itself would change the loop gain and destabilise the
+/// frozen-pole law once the ratio exceeded `2/(1−pole)`, which is a
+/// model-adaptation problem (PR 7), not a traffic problem.
+pub const DISTURBANCE_GAIN: f64 = 0.3;
+
+/// Immutable per-scenario control/plant parameters shared by every
+/// tenant in a soak (one allocation per scenario, `Arc`-shared across
+/// shards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakTemplate {
+    /// Scenario id, e.g. `"HD4995"`.
+    pub scenario: String,
+    /// Profiled gain `α` of the linear plant `measured = α·c + β`.
+    pub alpha: f64,
+    /// Profiled intercept `β`.
+    pub beta: f64,
+    /// Regular pole (damping) from the profile's `Δ` via
+    /// [`pole_from_delta`]; hard goals drop to pole 0 in the danger
+    /// region, exactly as `Controller::step`.
+    pub pole: f64,
+    /// Effective virtual-goal margin (profile `λ` floored at
+    /// [`LAMBDA_FLOOR`], capped at 0.5).
+    pub lambda: f64,
+    /// Goal target (upper bound on the measured metric).
+    pub target: f64,
+    /// Whether the goal is hard: danger region + virtual goal apply,
+    /// and the cohort gate checks `p99 overshoot ≤ Δ`.
+    pub hard: bool,
+    /// Lower settable bound.
+    pub lo: f64,
+    /// Upper settable bound.
+    pub hi: f64,
+    /// Arrival setting for new tenants: the *safe* bound (the one
+    /// minimising the measured metric), so churned-in tenants start
+    /// goal-compliant and the controller walks them toward the target.
+    pub initial: f64,
+    /// Additive disturbance scale: `(load − 1) · disturb` shifts the
+    /// measured metric.
+    pub disturb: f64,
+}
+
+impl SoakTemplate {
+    /// Derives a template from a scenario's §6.1 evaluation profile.
+    ///
+    /// `candidates` are the scenario's sweepable settings (bounds and
+    /// goal placement are derived from them); `profile` is the first
+    /// evaluation profile (multi-channel scenarios soak their primary
+    /// channel). The goal target is placed at the plant's response to
+    /// the median candidate setting, so roughly half the settable range
+    /// has headroom — every scenario is soaked as the same well-posed
+    /// upper-bound tracking problem, differing in gain, scale, noise
+    /// margin, and hardness.
+    pub fn from_profile(
+        scenario: &str,
+        hard: bool,
+        candidates: &[f64],
+        profile: &ProfileSet,
+    ) -> Result<SoakTemplate> {
+        let fit: LinearFit = profile.fit()?;
+        let mut sorted: Vec<f64> = candidates
+            .iter()
+            .copied()
+            .filter(|c| c.is_finite())
+            .collect();
+        sorted.sort_by(f64::total_cmp);
+        let (Some(&lo), Some(&hi)) = (sorted.first(), sorted.last()) else {
+            return Err(Error::InvalidParameter {
+                reason: format!("{scenario}: no finite candidate settings"),
+            });
+        };
+        if lo >= hi {
+            return Err(Error::InvalidParameter {
+                reason: format!("{scenario}: degenerate setting range [{lo}, {hi}]"),
+            });
+        }
+        let mid = sorted[sorted.len() / 2];
+        let target = fit.predict(mid);
+        if !target.is_finite() || target <= 0.0 {
+            return Err(Error::InvalidGoal {
+                reason: format!("{scenario}: goal target {target} at mid setting {mid}"),
+            });
+        }
+        let lambda = profile.lambda().clamp(LAMBDA_FLOOR, 0.5);
+        let delta = 1.0 + 3.0 * lambda;
+        let alpha = fit.alpha();
+        if alpha == 0.0 || !alpha.is_finite() {
+            return Err(Error::ZeroGain {
+                conf: scenario.to_string(),
+            });
+        }
+        Ok(SoakTemplate {
+            scenario: scenario.to_string(),
+            alpha,
+            beta: fit.beta(),
+            pole: pole_from_delta(delta),
+            lambda,
+            target,
+            hard,
+            lo,
+            hi,
+            initial: if alpha > 0.0 { lo } else { hi },
+            disturb: DISTURBANCE_GAIN * (alpha * mid).abs(),
+        })
+    }
+
+    /// Hard-goal budget `Δ = 1 + 3λ` (paper §5.2): the worst tolerated
+    /// overshoot ratio under the two-pole scheme.
+    pub fn delta(&self) -> f64 {
+        1.0 + 3.0 * self.lambda
+    }
+
+    /// The tenant plant: measured metric at `setting` under a traffic
+    /// `load` multiplier and a multiplicative sensor `jitter`.
+    pub fn measured(&self, setting: f64, load: f64, jitter: f64) -> f64 {
+        ((self.alpha * setting + self.beta) + (load - 1.0) * self.disturb) * (1.0 + jitter)
+    }
+
+    /// One integral-law step: the next setting given the current one and
+    /// the measured metric. Mirrors `Controller::step` for a frozen
+    /// model and `n = 1`: error against the virtual target for hard
+    /// goals, pole 0 in the danger region, clamp to bounds.
+    pub fn next_setting(&self, current: f64, measured: f64) -> f64 {
+        if !measured.is_finite() {
+            return current;
+        }
+        let target = if self.hard {
+            (1.0 - self.lambda) * self.target
+        } else {
+            self.target
+        };
+        let error = target - measured;
+        let pole = if self.hard && error < 0.0 {
+            0.0
+        } else {
+            self.pole
+        };
+        let next = current + (1.0 - pole) / self.alpha * error;
+        next.clamp(self.lo, self.hi)
+    }
+
+    /// Overshoot ratio `measured / target` — the quantity cohort
+    /// sketches record. 1.0 is exactly on goal; a hard cohort breaches
+    /// when its p99 exceeds [`SoakTemplate::delta`].
+    pub fn overshoot(&self, measured: f64) -> f64 {
+        measured / self.target
+    }
+}
+
+/// Tail statistics for one (scenario, sensing-period) cohort, distilled
+/// from a streaming sketch — O(1) memory regardless of tenant count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortReport {
+    /// Sensing period of this cohort, µs.
+    pub period_us: u64,
+    /// Tenants hashed into this cohort (including churners).
+    pub tenants: u64,
+    /// Sense events recorded (active tenants × their epochs).
+    pub senses: u64,
+    /// Sense events where the measured metric violated the real target.
+    pub violations: u64,
+    /// Median overshoot ratio.
+    pub p50: f64,
+    /// 99th-percentile overshoot ratio.
+    pub p99: f64,
+    /// 99.9th-percentile overshoot ratio.
+    pub p999: f64,
+    /// Worst overshoot ratio seen.
+    pub max: f64,
+}
+
+impl CohortReport {
+    /// Distils a cohort's streaming sketch of overshoot ratios into the
+    /// plain-number report.
+    pub fn from_sketch(
+        period_us: u64,
+        tenants: u64,
+        violations: u64,
+        sketch: &QuantileSketch,
+    ) -> CohortReport {
+        CohortReport {
+            period_us,
+            tenants,
+            senses: sketch.count(),
+            violations,
+            p50: sketch.quantile(0.50),
+            p99: sketch.quantile(0.99),
+            p999: sketch.quantile(0.999),
+            max: sketch.max(),
+        }
+    }
+}
+
+/// One scenario's soak outcome across all its cohorts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSoakReport {
+    /// Scenario id.
+    pub scenario: String,
+    /// Whether the scenario's goal is hard (gated on p99 ≤ Δ).
+    pub hard: bool,
+    /// Hard-goal budget Δ = 1 + 3λ for the gate.
+    pub delta: f64,
+    /// Total tenants soaked for this scenario.
+    pub tenants: u64,
+    /// Per-cohort tail reports, in ascending period order.
+    pub cohorts: Vec<CohortReport>,
+}
+
+impl ScenarioSoakReport {
+    /// Whether any cohort's p99 overshoot exceeds the hard budget Δ.
+    /// Always `false` for soft-goal scenarios.
+    pub fn hard_breached(&self) -> bool {
+        self.hard && self.cohorts.iter().any(|c| c.p99 > self.delta)
+    }
+}
+
+/// The full soak fleet report: every scenario, every cohort, plus the
+/// run's shape parameters. [`SoakReport::render`] is the byte-stable
+/// text artifact diffed across thread counts and machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakReport {
+    /// Base experiment seed.
+    pub seed: u64,
+    /// Tenants per scenario requested.
+    pub tenants_per_scenario: u64,
+    /// Simulated horizon, µs.
+    pub horizon_us: u64,
+    /// Per-scenario outcomes, in roster order.
+    pub scenarios: Vec<ScenarioSoakReport>,
+}
+
+impl SoakReport {
+    /// Scenario ids whose hard-goal cohort gate is breached (empty on a
+    /// healthy soak).
+    pub fn hard_gate_breaches(&self) -> Vec<&str> {
+        self.scenarios
+            .iter()
+            .filter(|s| s.hard_breached())
+            .map(|s| s.scenario.as_str())
+            .collect()
+    }
+
+    /// Total sense events across every cohort of every scenario.
+    pub fn total_senses(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .flat_map(|s| s.cohorts.iter())
+            .map(|c| c.senses)
+            .sum()
+    }
+
+    /// Renders the deterministic text report. Every number is formatted
+    /// with explicit precision so the output is byte-identical across
+    /// thread counts; the smoke binary diffs two renders directly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "soak report: seed {} tenants/scenario {} horizon {}s\n",
+            self.seed,
+            self.tenants_per_scenario,
+            self.horizon_us / 1_000_000
+        ));
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "  {} {} delta {:.4} tenants {}\n",
+                s.scenario,
+                if s.hard { "hard" } else { "soft" },
+                s.delta,
+                s.tenants
+            ));
+            for c in &s.cohorts {
+                out.push_str(&format!(
+                    "    period {:>6}s tenants {:>8} senses {:>10} viol {:>8} \
+                     p50 {:.4} p99 {:.4} p999 {:.4} max {:.4}\n",
+                    c.period_us / 1_000_000,
+                    c.tenants,
+                    c.senses,
+                    c.violations,
+                    c.p50,
+                    c.p99,
+                    c.p999,
+                    c.max
+                ));
+            }
+            if s.hard_breached() {
+                out.push_str(&format!("    HARD GATE BREACHED (p99 > {:.4})\n", s.delta));
+            }
+        }
+        out.push_str(&format!("total senses: {}\n", self.total_senses()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_profile() -> ProfileSet {
+        // Plant: measured = 2c + 10, tight samples → small λ (floored).
+        [
+            (10.0, 30.0),
+            (10.0, 30.2),
+            (20.0, 50.0),
+            (20.0, 50.4),
+            (30.0, 70.0),
+            (30.0, 70.2),
+            (40.0, 90.0),
+            (40.0, 90.3),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn toy_template(hard: bool) -> SoakTemplate {
+        SoakTemplate::from_profile("TOY1", hard, &[10.0, 20.0, 30.0, 40.0], &toy_profile())
+            .expect("toy template")
+    }
+
+    #[test]
+    fn template_derivation_matches_profile() {
+        let t = toy_template(true);
+        assert!((t.alpha - 2.0).abs() < 0.05, "alpha {}", t.alpha);
+        assert!((t.beta - 10.0).abs() < 1.0, "beta {}", t.beta);
+        assert_eq!(t.lo, 10.0);
+        assert_eq!(t.hi, 40.0);
+        // Median of 4 candidates is the 3rd; target = fit(30) ≈ 70.
+        assert!((t.target - 70.0).abs() < 1.0, "target {}", t.target);
+        assert!(t.lambda >= LAMBDA_FLOOR);
+        assert_eq!(t.initial, 10.0, "positive gain starts at the low bound");
+        // λ near the floor gives Δ = 1.15 ≤ 2 → deadbeat pole per §5.1.
+        assert_eq!(t.pole, pole_from_delta(t.delta()));
+        assert!((0.0..1.0).contains(&t.pole));
+        assert!(t.delta() > 1.0);
+    }
+
+    #[test]
+    fn soft_template_converges_to_target() {
+        let t = toy_template(false);
+        let mut setting = t.initial;
+        for _ in 0..50 {
+            let m = t.measured(setting, 1.0, 0.0);
+            setting = t.next_setting(setting, m);
+        }
+        let m = t.measured(setting, 1.0, 0.0);
+        assert!(
+            (t.overshoot(m) - 1.0).abs() < 1e-6,
+            "converged overshoot {}",
+            t.overshoot(m)
+        );
+    }
+
+    #[test]
+    fn hard_template_tracks_virtual_goal_and_rejects_load() {
+        let t = toy_template(true);
+        let mut setting = t.initial;
+        // Converge at load 1, then hit a sustained 1.5× load.
+        for _ in 0..50 {
+            setting = t.next_setting(setting, t.measured(setting, 1.0, 0.0));
+        }
+        let converged = t.overshoot(t.measured(setting, 1.0, 0.0));
+        assert!(
+            (converged - (1.0 - t.lambda)).abs() < 1e-6,
+            "virtual-goal tracking, got {converged}"
+        );
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            let m = t.measured(setting, 1.5, 0.0);
+            worst = worst.max(t.overshoot(m));
+            setting = t.next_setting(setting, m);
+        }
+        // The step disturbance is rejected back inside the hard budget
+        // and settles back on the virtual goal.
+        let settled = t.overshoot(t.measured(setting, 1.5, 0.0));
+        assert!(worst < t.delta(), "worst {} vs delta {}", worst, t.delta());
+        assert!(
+            (settled - (1.0 - t.lambda)).abs() < 1e-6,
+            "settled {settled}"
+        );
+    }
+
+    #[test]
+    fn danger_region_uses_deadbeat_pole() {
+        let t = toy_template(true);
+        // A measurement far beyond the virtual goal must come back in
+        // one model step (pole 0): next measured == virtual target.
+        let setting = 35.0;
+        let m = t.measured(setting, 1.0, 0.0);
+        assert!(m > (1.0 - t.lambda) * t.target, "test premise: in danger");
+        let next = t.next_setting(setting, m);
+        let recovered = t.measured(next, 1.0, 0.0);
+        assert!(
+            (recovered - (1.0 - t.lambda) * t.target).abs() < 1e-9,
+            "deadbeat recovery, got {recovered}"
+        );
+    }
+
+    #[test]
+    fn template_rejects_degenerate_inputs() {
+        let p = toy_profile();
+        assert!(SoakTemplate::from_profile("X", false, &[], &p).is_err());
+        assert!(SoakTemplate::from_profile("X", false, &[5.0, 5.0], &p).is_err());
+        let flat: ProfileSet = [(10.0, 50.0), (20.0, 50.0), (30.0, 50.0), (40.0, 50.0)]
+            .into_iter()
+            .collect();
+        assert!(SoakTemplate::from_profile("X", false, &[10.0, 40.0], &flat).is_err());
+    }
+
+    #[test]
+    fn cohort_report_distils_sketch() {
+        let mut sk = QuantileSketch::new();
+        for i in 0..1000 {
+            sk.record(0.5 + i as f64 / 1000.0);
+        }
+        let c = CohortReport::from_sketch(900_000_000, 250, 3, &sk);
+        assert_eq!(c.senses, 1000);
+        assert_eq!(c.violations, 3);
+        assert!((c.p50 - 1.0).abs() < 0.05);
+        assert!(c.p99 > c.p50 && c.p999 >= c.p99 && c.max >= c.p999);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_flags_breaches() {
+        let cohort = CohortReport {
+            period_us: 900_000_000,
+            tenants: 100,
+            senses: 9600,
+            violations: 12,
+            p50: 0.95,
+            p99: 1.31,
+            p999: 1.40,
+            max: 1.55,
+        };
+        let report = SoakReport {
+            seed: 42,
+            tenants_per_scenario: 100,
+            horizon_us: 86_400_000_000,
+            scenarios: vec![ScenarioSoakReport {
+                scenario: "HB6728".into(),
+                hard: true,
+                delta: 1.15,
+                tenants: 100,
+                cohorts: vec![cohort],
+            }],
+        };
+        assert_eq!(report.render(), report.render());
+        assert!(report.render().contains("HARD GATE BREACHED"));
+        assert_eq!(report.hard_gate_breaches(), vec!["HB6728"]);
+        assert_eq!(report.total_senses(), 9600);
+
+        let mut healthy = report.clone();
+        healthy.scenarios[0].cohorts[0].p99 = 1.10;
+        assert!(healthy.hard_gate_breaches().is_empty());
+        assert!(!healthy.render().contains("BREACHED"));
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`Ewma`] — exponentially weighted moving average for smoothing noisy
 //!   sensors.
 //! * [`RateCounter`] — windowed throughput counter (operations per second).
+//! * [`QuantileSketch`] — mergeable fixed-bin log-bucketed quantile
+//!   sketch, used by the soak mode for per-cohort p99/p999 goal error in
+//!   O(1) memory.
 //!
 //! # Example
 //!
@@ -32,12 +35,14 @@
 
 mod ewma;
 mod histogram;
+mod quantile;
 mod rate;
 mod timeseries;
 mod welford;
 
 pub use ewma::Ewma;
 pub use histogram::Histogram;
+pub use quantile::QuantileSketch;
 pub use rate::RateCounter;
 pub use timeseries::{SeriesPoint, SeriesSummary, TimeSeries};
 pub use welford::OnlineStats;

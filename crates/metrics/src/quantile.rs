@@ -1,0 +1,362 @@
+//! Streaming quantile sketch with deterministic merging.
+//!
+//! The soak mode needs p99/p999 goal error per tenant cohort without
+//! retaining per-tenant epoch logs, and the partial sketches produced by
+//! parallel fleet shards must merge into the *same* result regardless of
+//! worker count. That rules out the classic P² estimator — its marker
+//! positions depend on arrival order and two P² states cannot be merged
+//! — so this sketch is a fixed-geometry log-bucketed histogram instead:
+//!
+//! * each positive value lands in one of [`QuantileSketch::BINS`] buckets
+//!   spanning `[2⁻³², 2³²)`, with [`SUBS`] equal-mantissa sub-buckets per
+//!   power of two (bucketing is pure bit arithmetic on the IEEE-754
+//!   representation — no `log`, no platform-dependent libm);
+//! * bucket counts are integers, so merging is addition — associative,
+//!   commutative, and byte-deterministic;
+//! * a quantile query walks the cumulative counts and reports the bucket
+//!   midpoint, giving a guaranteed relative error of at most
+//!   [`QuantileSketch::RELATIVE_ERROR`] for in-range values.
+//!
+//! Memory is O(1): 2048 × 8-byte buckets (16 KiB) per sketch, however
+//! many values are recorded.
+
+/// Mantissa bits used for sub-bucketing: 2⁵ = 32 sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power of two.
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest tracked binary exponent (values below `2^EXP_MIN` clamp into
+/// the first bucket).
+const EXP_MIN: i32 = -32;
+/// Largest tracked binary exponent, inclusive (values at `2^(EXP_MAX+1)`
+/// or above clamp into the last bucket).
+const EXP_MAX: i32 = 31;
+
+/// `2^e` for `|e| ≤ 1022`, built exactly from the IEEE-754 bit layout so
+/// the representative values are identical on every platform.
+fn pow2(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e));
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// A mergeable fixed-bin log-bucketed quantile sketch for positive
+/// values.
+///
+/// # Example
+///
+/// ```
+/// use smartconf_metrics::QuantileSketch;
+///
+/// let mut a = QuantileSketch::new();
+/// let mut b = QuantileSketch::new();
+/// for i in 1..=500 {
+///     a.record(i as f64);
+///     b.record((500 + i) as f64);
+/// }
+/// a.merge(&b);
+/// assert_eq!(a.count(), 1000);
+/// let p99 = a.quantile(0.99);
+/// assert!((p99 - 990.0).abs() / 990.0 <= QuantileSketch::RELATIVE_ERROR);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Total bucket count of the fixed geometry.
+    pub const BINS: usize = ((EXP_MAX - EXP_MIN + 1) as usize) * SUBS;
+
+    /// Guaranteed relative error bound for quantiles of in-range values:
+    /// a bucket spans a `1/32` relative slice of its octave and the query
+    /// reports the midpoint, so the answer is within `1/64` of the true
+    /// sample quantile.
+    pub const RELATIVE_ERROR: f64 = 1.0 / (2 * SUBS) as f64;
+
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            bins: vec![0; Self::BINS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index of `value`. Non-positive and below-range values
+    /// clamp to bucket 0, above-range values to the last bucket.
+    fn bucket_of(value: f64) -> usize {
+        if value.is_nan() || value <= 0.0 {
+            return 0;
+        }
+        let bits = value.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp < EXP_MIN {
+            return 0;
+        }
+        if exp > EXP_MAX {
+            return Self::BINS - 1;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        ((exp - EXP_MIN) as usize) * SUBS + sub
+    }
+
+    /// The midpoint of bucket `index`'s value range.
+    fn representative(index: usize) -> f64 {
+        let exp = EXP_MIN + (index / SUBS) as i32;
+        let sub = (index % SUBS) as f64;
+        let lo = pow2(exp) * (1.0 + sub / SUBS as f64);
+        let hi = pow2(exp) * (1.0 + (sub + 1.0) / SUBS as f64);
+        (lo + hi) / 2.0
+    }
+
+    /// Records one value. Non-finite values are ignored; non-positive
+    /// values count toward the lowest bucket (the sketch is meant for
+    /// positive metrics such as overshoot ratios).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.bins[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self`. Bucket counts add, so merging is
+    /// order-independent up to the float `sum` (which callers fold in a
+    /// fixed work-item order for byte determinism).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values (exact, not bucketed); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum / self.count as f64
+    }
+
+    /// Smallest recorded value (exact); 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.min
+    }
+
+    /// Largest recorded value (exact); 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.max
+    }
+
+    /// The `q`-quantile (`q` clamped into `[0, 1]`) under the usual
+    /// `rank = ⌈q·n⌉` convention: the reported value is the midpoint of
+    /// the bucket holding the rank-th smallest sample, clamped into the
+    /// exact observed `[min, max]`. Returns 0 for an empty sketch.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::representative(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact quantile under the same `rank = ⌈q·n⌉` convention.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn assert_close(sketch: &QuantileSketch, sorted: &[f64], q: f64) {
+        let exact = exact_quantile(sorted, q);
+        let got = sketch.quantile(q);
+        let rel = (got - exact).abs() / exact.abs().max(f64::MIN_POSITIVE);
+        assert!(
+            rel <= QuantileSketch::RELATIVE_ERROR,
+            "q={q}: sketch {got} vs exact {exact} (rel err {rel})"
+        );
+    }
+
+    /// Deterministic samples of a distribution via its inverse CDF on a
+    /// uniform grid (no RNG, so the test is exactly reproducible).
+    fn grid_samples(n: usize, inv_cdf: impl Fn(f64) -> f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| inv_cdf((i as f64 + 0.5) / n as f64))
+            .collect()
+    }
+
+    #[test]
+    fn bucketing_is_monotone_and_in_range() {
+        let mut last = 0;
+        let mut v = 1e-12;
+        while v < 1e12 {
+            let b = QuantileSketch::bucket_of(v);
+            assert!(b >= last, "bucket decreased at {v}");
+            assert!(b < QuantileSketch::BINS);
+            last = b;
+            v *= 1.07;
+        }
+        assert_eq!(QuantileSketch::bucket_of(-3.0), 0);
+        assert_eq!(QuantileSketch::bucket_of(0.0), 0);
+        assert_eq!(QuantileSketch::bucket_of(1e300), QuantileSketch::BINS - 1);
+    }
+
+    #[test]
+    fn representative_sits_inside_its_bucket() {
+        for i in 0..QuantileSketch::BINS {
+            let rep = QuantileSketch::representative(i);
+            assert_eq!(QuantileSketch::bucket_of(rep), i, "bucket {i} rep {rep}");
+        }
+    }
+
+    #[test]
+    fn p99_and_p999_accuracy_on_uniform() {
+        // Uniform on [1, 100].
+        let samples = grid_samples(100_000, |u| 1.0 + 99.0 * u);
+        let mut s = QuantileSketch::new();
+        samples.iter().for_each(|&v| s.record(v));
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_close(&s, &sorted, q);
+        }
+    }
+
+    #[test]
+    fn p99_and_p999_accuracy_on_exponential() {
+        // Exponential with mean 5: F⁻¹(u) = −5·ln(1−u).
+        let samples = grid_samples(100_000, |u| -5.0 * (1.0 - u).ln());
+        let mut s = QuantileSketch::new();
+        samples.iter().for_each(|&v| s.record(v));
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.99, 0.999] {
+            assert_close(&s, &sorted, q);
+        }
+    }
+
+    #[test]
+    fn p99_and_p999_accuracy_on_pareto_tail() {
+        // Pareto(α = 1.5), scale 1: F⁻¹(u) = (1−u)^(−1/1.5) — a heavy
+        // tail, the case p999 bucketing has to survive.
+        let samples = grid_samples(100_000, |u| (1.0 - u).powf(-1.0 / 1.5));
+        let mut s = QuantileSketch::new();
+        samples.iter().for_each(|&v| s.record(v));
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.99, 0.999] {
+            assert_close(&s, &sorted, q);
+        }
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording() {
+        let values: Vec<f64> = (1..=1000).map(|i| (i as f64) * 0.37).collect();
+        let mut bulk = QuantileSketch::new();
+        values.iter().for_each(|&v| bulk.record(v));
+        let mut left = QuantileSketch::new();
+        let mut right = QuantileSketch::new();
+        values[..400].iter().for_each(|&v| left.record(v));
+        values[400..].iter().for_each(|&v| right.record(v));
+        left.merge(&right);
+        // Bucket counts and extremes merge exactly; the float `sum` can
+        // differ in the last bits because addition re-associates.
+        assert_eq!(left.bins, bulk.bins);
+        assert_eq!(left.count, bulk.count);
+        assert_eq!(left.min, bulk.min);
+        assert_eq!(left.max, bulk.max);
+        assert!((left.sum - bulk.sum).abs() / bulk.sum < 1e-12);
+        // Merge in the opposite order: counts and quantiles agree.
+        let mut l2 = QuantileSketch::new();
+        let mut r2 = QuantileSketch::new();
+        values[..400].iter().for_each(|&v| l2.record(v));
+        values[400..].iter().for_each(|&v| r2.record(v));
+        r2.merge(&l2);
+        assert_eq!(r2.count(), bulk.count());
+        for q in [0.1, 0.5, 0.99, 0.999] {
+            assert_eq!(r2.quantile(q), bulk.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_sketches() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.99), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+
+        let mut one = QuantileSketch::new();
+        one.record(7.25);
+        assert_eq!(one.quantile(0.0), 7.25);
+        assert_eq!(one.quantile(0.999), 7.25);
+        assert_eq!(one.mean(), 7.25);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut s = QuantileSketch::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_extremes() {
+        let mut s = QuantileSketch::new();
+        s.record(1.0000001);
+        s.record(1.0000002);
+        // The midpoint of the shared bucket lies above both values; the
+        // clamp keeps the answer inside the observed range.
+        assert!(s.quantile(0.999) <= 1.0000002);
+        assert!(s.quantile(0.001) >= 1.0000001);
+    }
+}

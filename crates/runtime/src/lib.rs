@@ -43,6 +43,9 @@
 //!   [`epoch`](ControlPlane::epoch)/[`run`](ControlPlane::run) API is a
 //!   compatibility shim over the same decide path; with uniform periods
 //!   the two produce byte-identical logs.
+//! - [`run_cohort_calendar`] — batched soak dispatch: one heap event per
+//!   (cohort, tick) instead of per tenant, so million-tenant soaks keep
+//!   the calendar tiny and idle tenants cost zero between senses.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -56,6 +59,7 @@ mod kernel;
 mod plane;
 mod plant;
 mod profiler;
+mod soak;
 
 pub use baseline::Baseline;
 pub use event::{EpochEvent, EpochLog, EpochSummary, BURST_BINS};
@@ -72,3 +76,4 @@ pub use kernel::{EventPlane, PlaneEvent};
 pub use plane::{ControlPlane, ControlPlaneBuilder, Decider, DEFAULT_PERIOD_US};
 pub use plant::{ChannelId, Plant, Sensed};
 pub use profiler::{ProfileSchedule, Profiler, SampleMode};
+pub use soak::run_cohort_calendar;

@@ -15,6 +15,12 @@
 //!
 //! Evaluation workloads are *two-phase* (the workload or goal changes
 //! mid-run, §6.1); [`PhasedWorkload`] expresses that.
+//!
+//! The soak mode layers production-shaped *time-varying* load on top:
+//! [`TrafficShape`] composes a diurnal wave, a flash-crowd trapezoid,
+//! zipfian per-tenant popularity weights, and tenant churn, all as pure
+//! functions of `(seed, tenant, time)` so soak runs stay byte-identical
+//! at any worker-thread count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -23,6 +29,7 @@ mod arrival;
 mod keydist;
 mod phase;
 mod testdfsio;
+mod traffic;
 mod wordcount;
 mod ycsb;
 
@@ -30,5 +37,6 @@ pub use arrival::ArrivalProcess;
 pub use keydist::KeyDistribution;
 pub use phase::{Phase, PhasedWorkload};
 pub use testdfsio::{DfsOp, TestDfsIoWorkload};
+pub use traffic::TrafficShape;
 pub use wordcount::{MapTask, WordCountJob};
 pub use ycsb::{KvOp, YcsbWorkload};
