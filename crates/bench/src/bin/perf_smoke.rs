@@ -23,6 +23,15 @@
 //! [`smartconf_bench::perf::HISTORY_CAP`] entries) instead of being
 //! overwritten, so repeated `--check` cycles accumulate a trend record.
 //!
+//! Every measurement is preceded by one discarded warmup pass
+//! ([`smartconf_bench::perf::warmup_pass`]): first-touch costs (cold
+//! page cache, HD4995's process-wide namespace memo) would otherwise
+//! pollute the first sample — and through it the history median — with
+//! a cold/warm bimodal mixture. The artifact records
+//! `"warmup_pass": true` and each carried history entry is annotated
+//! with the `"warmup"` flag of the run it came from, so pre-warmup
+//! entries remain distinguishable in the trend.
+//!
 //! Alongside the per-scenario epochs/sec the artifact records the event
 //! kernel's events/sec ([`smartconf_bench::perf::measure_kernel`]): a
 //! synthetic heterogeneous-period plane run through `EventPlane`,
@@ -40,9 +49,10 @@
 use smartconf_bench::perf::{
     bench_json, carry_history, check_fleet_wall, check_fleet_wall_stat, check_kernel_rate,
     check_kernel_rate_stat, fleet_wall_series, kernel_rate_series, measure_fleet, measure_kernel,
-    measure_scenarios, parse_fleet_wall, parse_kernel_rate, stat_gate, CheckVerdict, STAT_K,
-    TOLERANCE,
+    measure_scenarios, parse_fleet_wall, parse_kernel_rate, stat_gate, warmup_pass, CheckVerdict,
+    STAT_K, TOLERANCE,
 };
+use std::time::Instant;
 
 fn main() {
     let mut seeds_n: u64 = 2;
@@ -62,6 +72,17 @@ fn main() {
         }
     }
     let seeds: Vec<u64> = (42..42 + seeds_n.max(1)).collect();
+
+    // One discarded pass over every timed path: first-touch costs
+    // (cold page cache, HD4995's process-wide namespace memo, branch
+    // predictors) land here instead of in the first recorded sample,
+    // so the median ± k·MAD history gate sees only warmed numbers.
+    let warm_start = Instant::now();
+    warmup_pass(42);
+    eprintln!(
+        "perf smoke: warmup pass discarded ({:.3} s)",
+        warm_start.elapsed().as_secs_f64()
+    );
 
     eprintln!("perf smoke: per-scenario epoch throughput (profiled SmartConf run, seed 42)");
     let scenarios = measure_scenarios(42);
@@ -98,7 +119,7 @@ fn main() {
         Ok(previous) => carry_history(&previous),
         Err(_) => Vec::new(),
     };
-    let json = bench_json(42, &scenarios, &kernel, &seeds, &fleet, &history);
+    let json = bench_json(42, &scenarios, &kernel, &seeds, &fleet, true, &history);
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
     eprintln!("wrote {out_path}");
     print!("{json}");

@@ -1,22 +1,31 @@
 //! Soak smoke check: instantiates `--tenants` lightweight tenant plants
-//! per scenario (default 100 000 × 7 scenarios) on the cohort calendar,
-//! drives them through 24 simulated hours of diurnal + flash-crowd +
-//! churn traffic at 1 worker thread and again at N, asserts the two
-//! [`SoakReport`] renderings are byte-identical, asserts zero hard-goal
-//! cohort breaches, and writes `BENCH_soak.json`.
+//! per scenario *per arm* (default 100 000 × 7 scenarios × 5 arms: the
+//! clean control arm plus one arm per soak fault class) on the cohort
+//! calendar, drives them through 24 simulated hours of diurnal +
+//! flash-crowd + churn traffic — fault arms additionally under
+//! tenant-keyed fault windows behind the slab guard ladder — at 1
+//! worker thread and again at N, asserts the two [`SoakReport`]
+//! renderings (and the cross-check arm's) are byte-identical, asserts
+//! zero hard-goal cohort breaches and zero unrecovered hard-goal
+//! tenants, asserts the real-plant cross-check tails sit inside the
+//! distilled-template bracket, and writes `BENCH_soak.json`.
 //!
-//! Usage: `soak_smoke [--tenants N] [--threads T] [--out PATH] [--check BASELINE]`
+//! Usage: `soak_smoke [--tenants N] [--threads T] [--real-tenants R]
+//! [--out PATH] [--check BASELINE]`
 //!
-//! * `--tenants N` — tenants per scenario; default 100 000.
+//! * `--tenants N` — tenants per scenario per arm; default 100 000.
 //! * `--threads T` — parallel phase's worker count; default 4.
+//! * `--real-tenants R` — full `ControlPlane` plants per scenario for
+//!   the cross-check arm; default 64, `0` disables the arm.
 //! * `--out PATH` — where to write the JSON artifact; default
 //!   `BENCH_soak.json`.
-//! * `--check BASELINE` — also gate cohort p99/p999 and tenants/sec
-//!   against a committed baseline ([`check_soak`]).
+//! * `--check BASELINE` — also gate cohort p99/p999, recovery tails,
+//!   and tenants/sec against a committed baseline ([`check_soak`]).
 //!
 //! Exits non-zero if the serial and parallel reports differ, any hard
-//! cohort's p99 overshoot exceeds its Δ budget, or the baseline check
-//! fails.
+//! cohort's p99 overshoot exceeds its Δ budget, any hard-goal tenant
+//! ends the run unrecovered, the cross-check bracket fails, or the
+//! baseline check fails.
 //!
 //! [`SoakReport`]: smartconf_harness::SoakReport
 //! [`check_soak`]: smartconf_bench::soak::check_soak
@@ -24,12 +33,16 @@
 use std::time::Instant;
 
 use smartconf_bench::fleet::FleetPhase;
-use smartconf_bench::soak::{build_templates, check_soak, soak_json, soak_run, SoakConfig};
+use smartconf_bench::soak::{
+    build_templates, check_soak, cross_check_failures, cross_check_run, soak_json, soak_run,
+    SoakConfig,
+};
 use smartconf_runtime::FleetExecutor;
 
 fn main() {
     let mut tenants: u64 = 100_000;
     let mut threads: usize = 4;
+    let mut real_tenants: u64 = 64;
     let mut out_path = "BENCH_soak.json".to_string();
     let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -41,6 +54,11 @@ fn main() {
         match arg.as_str() {
             "--tenants" => tenants = value("--tenants").parse().expect("--tenants takes a count"),
             "--threads" => threads = value("--threads").parse().expect("--threads takes a count"),
+            "--real-tenants" => {
+                real_tenants = value("--real-tenants")
+                    .parse()
+                    .expect("--real-tenants takes a count")
+            }
             "--out" => out_path = value("--out"),
             "--check" => check_path = Some(value("--check")),
             other => panic!("unknown argument {other}"),
@@ -49,8 +67,9 @@ fn main() {
 
     let config = SoakConfig::standard(tenants);
     eprintln!(
-        "soak smoke: {} tenants x 7 scenarios, {} cohorts, {} h horizon",
+        "soak smoke: {} tenants x 7 scenarios x {} arms, {} cohorts, {} h horizon",
         tenants,
+        config.arms.len(),
         config.periods_us.len(),
         config.horizon_us / 3_600_000_000
     );
@@ -75,7 +94,7 @@ fn main() {
         threads: 1,
         wall: start.elapsed(),
     };
-    let total_tenants = tenants * scenarios.len() as u64;
+    let total_tenants = tenants * scenarios.len() as u64 * config.arms.len() as u64;
     eprintln!(
         "  {}: {:.3} s ({:.0} tenants/s, {:.0} senses/s)",
         serial_phase.name,
@@ -97,14 +116,39 @@ fn main() {
         parallel_phase.wall.as_secs_f64()
     );
 
-    let serial_bytes = serial_report.render();
-    let parallel_bytes = parallel_report.render();
+    let mut serial_bytes = serial_report.render();
+    let mut parallel_bytes = parallel_report.render();
+
+    let cross = if real_tenants > 0 {
+        let start = Instant::now();
+        let serial_cross =
+            cross_check_run(&config, &scenarios, real_tenants, &FleetExecutor::new(1));
+        let parallel_cross = cross_check_run(
+            &config,
+            &scenarios,
+            real_tenants,
+            &FleetExecutor::new(threads),
+        );
+        eprintln!(
+            "  cross-check: {} real plants x {} scenarios in {:.3} s",
+            real_tenants,
+            scenarios.len(),
+            start.elapsed().as_secs_f64()
+        );
+        // The cross-check renders join the byte-identity diff.
+        serial_bytes.push_str(&serial_cross.render());
+        parallel_bytes.push_str(&parallel_cross.render());
+        Some(serial_cross)
+    } else {
+        None
+    };
     let identical = serial_bytes == parallel_bytes;
 
     let json = soak_json(
         &config,
         &scenarios,
         &serial_report,
+        cross.as_ref(),
         identical,
         &[serial_phase, parallel_phase],
     );
@@ -131,6 +175,22 @@ fn main() {
         eprintln!("FAIL: hard-goal cohort gate breached (p99 > delta) in: {breaches:?}");
         failed = true;
     }
+    let unrecovered = serial_report.unrecovered_hard_tenants();
+    if unrecovered > 0 {
+        eprintln!("FAIL: {unrecovered} unrecovered hard-goal tenants at end of soak");
+        failed = true;
+    }
+    if let Some(cross) = &cross {
+        let bracket = cross_check_failures(&serial_report, cross);
+        for f in &bracket {
+            eprintln!("FAIL: cross-check {f}");
+        }
+        if bracket.is_empty() {
+            eprintln!("cross-check bracket: OK");
+        } else {
+            failed = true;
+        }
+    }
     if let Some(path) = check_path {
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -148,6 +208,7 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "OK: soak reports byte-identical at 1 and {threads} threads, zero hard cohort breaches"
+        "OK: soak reports byte-identical at 1 and {threads} threads, zero hard cohort \
+         breaches, zero unrecovered hard tenants"
     );
 }

@@ -183,6 +183,19 @@ pub fn measure_fleet(seeds: &[u64]) -> FleetPhase {
     smoke_run(seeds, 1).1
 }
 
+/// One discarded pass over every timed path before the real
+/// measurements: first-touch costs (page faults on cold binaries,
+/// process-wide memos like HD4995's shared-namespace synthesis, branch
+/// predictor and allocator warm-up) otherwise land entirely in the
+/// first sample and pollute the median ± k·MAD history gate with a
+/// bimodal cold/warm mixture. The timings are thrown away; only the
+/// side effects (hot caches) persist.
+pub fn warmup_pass(seed: u64) {
+    let _ = measure_scenarios(seed);
+    let _ = measure_kernel();
+    let _ = measure_fleet(&[seed]);
+}
+
 /// Maximum prior runs retained in the artifact's `"history"` array.
 pub const HISTORY_CAP: usize = 32;
 
@@ -234,9 +247,14 @@ pub fn carry_history(previous: &str) -> Vec<String> {
             .iter()
             .map(|(id, r)| format!("\"{id}\": {r:.0}"))
             .collect();
+        // Carry the previous run's warmup flag into its history entry,
+        // so a trend mixing pre-warmup (cold-start-polluted) and warmed
+        // samples stays auditable. Artifacts written before the flag
+        // existed are recorded as un-warmed.
+        let warmed = previous.contains("\"warmup_pass\": true");
         entries.push(format!(
             "{{\"fleet_secs\": {fleet:.3}, \"kernel_rate\": {rate:.0}, \
-             \"scenario_rates\": {{{}}}}}",
+             \"warmup\": {warmed}, \"scenario_rates\": {{{}}}}}",
             rates.join(", ")
         ));
     }
@@ -386,6 +404,7 @@ pub fn bench_json(
     kernel: &KernelPerf,
     seeds: &[u64],
     fleet: &FleetPhase,
+    warmed: bool,
     history: &[String],
 ) -> String {
     let mut out = String::from("{\n");
@@ -431,6 +450,7 @@ pub fn bench_json(
         "  \"fleet_policies\": [{}],\n",
         policy_list.join(", ")
     ));
+    out.push_str(&format!("  \"warmup_pass\": {warmed},\n"));
     out.push_str(&format!(
         "  \"fleet_wall_clock_secs\": {:.3},\n",
         fleet.wall.as_secs_f64()
@@ -533,7 +553,7 @@ mod tests {
             events: 100_000,
             wall: Duration::from_millis(50),
         };
-        let json = bench_json(42, &scenarios, &kernel, &[42, 43], &fleet, &[]);
+        let json = bench_json(42, &scenarios, &kernel, &[42, 43], &fleet, true, &[]);
         assert!(json.contains("\"epochs\": 1200"));
         assert!(json.contains("\"epochs_per_sec\": 20000"));
         assert!(json.contains("\"events\": 100000"));
@@ -598,7 +618,7 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(2500),
         };
-        let json = bench_json(42, &[], &kernel, &[42], &fleet, &[]);
+        let json = bench_json(42, &[], &kernel, &[42], &fleet, true, &[]);
         assert_eq!(parse_kernel_rate(&json), Some(2_000_000.0));
     }
 
@@ -615,14 +635,32 @@ mod tests {
             wall: Duration::from_millis(2500),
         };
         // First write: no predecessor, empty history.
-        let first = bench_json(42, &[], &kernel, &[42], &fleet, &[]);
+        let first = bench_json(42, &[], &kernel, &[42], &fleet, true, &[]);
         assert!(first.contains("\"history\": []"));
         // Second write: the first run's headline numbers become history.
-        let second = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&first));
-        assert!(second
-            .contains("{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000, \"scenario_rates\": {}}"));
+        let second = bench_json(
+            42,
+            &[],
+            &kernel,
+            &[42],
+            &fleet,
+            true,
+            &carry_history(&first),
+        );
+        assert!(second.contains(
+            "{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000, \"warmup\": true, \
+             \"scenario_rates\": {}}"
+        ));
         // Third write: both prior runs are retained, in order.
-        let third = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&second));
+        let third = bench_json(
+            42,
+            &[],
+            &kernel,
+            &[42],
+            &fleet,
+            true,
+            &carry_history(&second),
+        );
         assert_eq!(third.matches("\"fleet_secs\"").count(), 2);
         // The headline parsers still read the current run, not history.
         assert_eq!(parse_fleet_wall(&third), Some(2.5));
@@ -653,7 +691,7 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(2500),
         };
-        let first = bench_json(42, &scenarios, &kernel, &[42], &fleet, &[]);
+        let first = bench_json(42, &scenarios, &kernel, &[42], &fleet, true, &[]);
         assert_eq!(
             parse_scenario_rates(&first),
             vec![
@@ -669,6 +707,7 @@ mod tests {
             &kernel,
             &[42],
             &fleet,
+            true,
             &carry_history(&first),
         );
         assert!(
@@ -725,10 +764,10 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(2500),
         };
-        let mut json = bench_json(42, &[], &kernel, &[42], &fleet, &[]);
+        let mut json = bench_json(42, &[], &kernel, &[42], &fleet, true, &[]);
         // Grow a 6-entry history by repeated rewrites.
         for _ in 0..6 {
-            json = bench_json(42, &[], &kernel, &[42], &fleet, &carry_history(&json));
+            json = bench_json(42, &[], &kernel, &[42], &fleet, true, &carry_history(&json));
         }
         let walls = fleet_wall_series(&json);
         let rates = kernel_rate_series(&json);
@@ -736,6 +775,32 @@ mod tests {
         assert_eq!(rates.len(), 7, "{rates:?}");
         assert!(walls.iter().all(|&w| (w - 2.5).abs() < 1e-9));
         assert!(stat_gate(&walls).is_some());
+    }
+
+    #[test]
+    fn warmup_flag_is_carried_into_history_entries() {
+        let kernel = KernelPerf {
+            channels: 8,
+            events: 100_000,
+            wall: Duration::from_millis(50),
+        };
+        let fleet = FleetPhase {
+            name: "fleet-1-thread".into(),
+            threads: 1,
+            wall: Duration::from_millis(2500),
+        };
+        // A warmed artifact's headline carries into history flagged true.
+        let warmed = bench_json(42, &[], &kernel, &[42], &fleet, true, &[]);
+        assert!(warmed.contains("\"warmup_pass\": true"));
+        let carried = carry_history(&warmed);
+        assert!(carried.last().unwrap().contains("\"warmup\": true"));
+        // An artifact written without a warmup pass — including any
+        // predating the flag — is annotated false, keeping cold-start
+        // samples distinguishable in the trend.
+        let cold = bench_json(42, &[], &kernel, &[42], &fleet, false, &[]);
+        assert!(cold.contains("\"warmup_pass\": false"));
+        let carried = carry_history(&cold);
+        assert!(carried.last().unwrap().contains("\"warmup\": false"));
     }
 
     #[test]
@@ -753,14 +818,15 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(2500),
         };
-        let json = bench_json(42, &[], &kernel, &[42], &fleet, &seeded);
+        let json = bench_json(42, &[], &kernel, &[42], &fleet, true, &seeded);
         let carried = carry_history(&json);
         assert_eq!(carried.len(), HISTORY_CAP);
         // The newest entry is the artifact's own headline run; the
         // oldest seeded entries were dropped.
         assert_eq!(
             carried.last().unwrap(),
-            "{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000, \"scenario_rates\": {}}"
+            "{\"fleet_secs\": 2.500, \"kernel_rate\": 2000000, \"warmup\": true, \
+             \"scenario_rates\": {}}"
         );
         assert!(!carried.iter().any(|e| e.contains("\"fleet_secs\": 0.000")));
     }

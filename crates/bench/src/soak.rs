@@ -30,13 +30,34 @@
 //! with a small relative tolerance (one sketch bucket) because the
 //! zipfian weight draw goes through libm `pow`, which may differ in the
 //! last ulp across platforms.
+//!
+//! # Soak under fire
+//!
+//! On top of the clean arm, the soak runs one **fault arm per soak
+//! fault class** ([`SOAK_FAULT_CLASSES`]): every tenant gets
+//! hash-scheduled fault windows ([`TenantFaultWindows`], the same
+//! stateless SplitMix64 scheme as `FaultInjector`) and steps through
+//! [`SoakTemplate::guarded_step`] — the slab-weight guard ladder —
+//! instead of the bare law. Each (scenario, arm, cohort) streams three
+//! extra sketches (re-engage dwell, violation-burst length,
+//! epochs-to-recover) plus an end-of-run unrecovered count, and the
+//! **cross-check arm** ([`cross_check_run`]) replays the same window
+//! schedule through a handful of full `ControlPlane` plants per
+//! scenario, asserting the distilled-template tails bracket the real
+//! ones.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use smartconf_harness::{CohortReport, ProfileCache, ScenarioSoakReport, SoakReport, SoakTemplate};
+use smartconf_harness::{
+    CohortReport, ProfileCache, ScenarioSoakReport, SlabGuardPolicy, SoakReport, SoakSlab,
+    SoakTemplate,
+};
 use smartconf_metrics::QuantileSketch;
-use smartconf_runtime::{run_cohort_calendar, shard_seed, FleetExecutor};
+use smartconf_runtime::{
+    cohort_epochs, run_cohort_calendar, shard_seed, FaultClass, FaultSet, FleetExecutor,
+    TenantFaultWindows, CHAOS_STREAM, SOAK_FAULT_CLASSES,
+};
 use smartconf_workload::{KeyDistribution, TrafficShape};
 
 use crate::chaos::HARD_GOAL_SCENARIOS;
@@ -52,6 +73,34 @@ pub const TAIL_TOLERANCE: f64 = 0.035;
 /// cores, and the committed baseline carries a 1-CPU dev-container
 /// caveat just like `BENCH_perf.json`.
 pub const RATE_FLOOR: f64 = 0.2;
+
+/// How far outside the distilled-template cohort p99 span the real
+/// plants' p99 may land before the cross-check arm fails. The template
+/// collapses each scenario to one linear channel, while real plants
+/// carry queue quantisation, deputy re-anchoring, and workload phases
+/// the distillation deliberately drops — the bracket asserts the
+/// template is *representative*, not bit-equal.
+pub const CROSS_CHECK_MARGIN: f64 = 1.25;
+
+/// The soak's arm roster: the clean control arm plus one arm per soak
+/// fault class, in fixed render order.
+pub fn standard_arms() -> Vec<Option<FaultClass>> {
+    let mut arms = vec![None];
+    arms.extend(SOAK_FAULT_CLASSES.iter().copied().map(Some));
+    arms
+}
+
+/// Render label of one arm (`"clean"` for the control arm).
+pub fn arm_label(arm: Option<FaultClass>) -> &'static str {
+    match arm {
+        None => "clean",
+        Some(FaultClass::SensorDropout) => "dropout",
+        Some(FaultClass::Corruption) => "corrupt",
+        Some(FaultClass::ActuatorLag) => "lag",
+        Some(FaultClass::PlantRestart) => "restart",
+        Some(c) => c.label(),
+    }
+}
 
 /// Shape of one soak run.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,12 +118,21 @@ pub struct SoakConfig {
     pub chunk: u64,
     /// The traffic model layered on every tenant.
     pub traffic: TrafficShape,
+    /// The arms to run: `None` is the clean control arm, `Some(class)`
+    /// a fault arm. Every (scenario, arm) pair gets its own full
+    /// tenant roster and report entries.
+    pub arms: Vec<Option<FaultClass>>,
+    /// Guard ladder configuration for the fault arms (the clean arm
+    /// runs the bare law and never consults it). Stored encoded in
+    /// every tenant's slab.
+    pub guard: SlabGuardPolicy,
 }
 
 impl SoakConfig {
     /// The standard soak: seed 42, a 24 h horizon, four sensing cohorts
     /// from 15 min to 1 h (96 down to 24 epochs each), 16 Ki-tenant
-    /// chunks, and [`TrafficShape::standard`] traffic.
+    /// chunks, [`TrafficShape::standard`] traffic, the clean arm plus
+    /// all four soak fault arms, and the standard guard ladder.
     pub fn standard(tenants: u64) -> SoakConfig {
         const MIN_US: u64 = 60_000_000;
         SoakConfig {
@@ -84,7 +142,36 @@ impl SoakConfig {
             periods_us: vec![15 * MIN_US, 30 * MIN_US, 45 * MIN_US, 60 * MIN_US],
             chunk: 16_384,
             traffic: TrafficShape::standard(),
+            arms: standard_arms(),
+            guard: SlabGuardPolicy::standard(),
         }
+    }
+
+    /// The fault-plane seed for one (scenario, arm) pair: decorrelated
+    /// from the workload stream via [`CHAOS_STREAM`], distinct per
+    /// scenario and arm, and shared with the cross-check arm so the
+    /// real plants replay exactly the schedule the slab tenants saw.
+    fn fault_seed(&self, scenario: usize, arm: usize) -> u64 {
+        shard_seed(
+            shard_seed(self.seed, CHAOS_STREAM),
+            (scenario as u64) << 3 | arm as u64,
+        )
+    }
+
+    /// The tenant-keyed fault windows one (scenario, arm, cohort)
+    /// runs under, sized to that cohort's epoch budget.
+    fn arm_windows(
+        &self,
+        scenario: usize,
+        arm: usize,
+        class: FaultClass,
+        cohort: usize,
+    ) -> TenantFaultWindows {
+        TenantFaultWindows::sized_for(
+            class,
+            self.fault_seed(scenario, arm),
+            cohort_epochs(self.periods_us[cohort], self.horizon_us),
+        )
     }
 }
 
@@ -124,20 +211,29 @@ pub fn build_templates(seed: u64) -> Vec<SoakScenario> {
         .collect()
 }
 
-/// A tenant's slab state: everything the sweep loop touches, 40 bytes.
+/// A tenant's slab state: everything the sweep loop touches. The clean
+/// arm reads only `slab.setting` (PR 8's two-f64 hot set); the fault
+/// arms use the full guard slab plus the encoded policy word.
 struct Tenant {
     id: u64,
-    setting: f64,
     weight: f64,
     arrive_us: u64,
     depart_us: u64,
+    /// [`SlabGuardPolicy`], encoded — the compressed guard rides in the
+    /// slab itself.
+    policy: u32,
+    slab: SoakSlab,
 }
 
-/// One (scenario, cohort) partial accumulation from a chunk.
+/// One (scenario, arm, cohort) partial accumulation from a chunk.
 struct CohortAccum {
     tenants: u64,
     violations: u64,
     sketch: QuantileSketch,
+    reengage: QuantileSketch,
+    burst: QuantileSketch,
+    recovery: QuantileSketch,
+    unrecovered: u64,
 }
 
 impl CohortAccum {
@@ -146,6 +242,10 @@ impl CohortAccum {
             tenants: 0,
             violations: 0,
             sketch: QuantileSketch::new(),
+            reengage: QuantileSketch::new(),
+            burst: QuantileSketch::new(),
+            recovery: QuantileSketch::new(),
+            unrecovered: 0,
         }
     }
 
@@ -153,13 +253,19 @@ impl CohortAccum {
         self.tenants += other.tenants;
         self.violations += other.violations;
         self.sketch.merge(&other.sketch);
+        self.reengage.merge(&other.reengage);
+        self.burst.merge(&other.burst);
+        self.recovery.merge(&other.recovery);
+        self.unrecovered += other.unrecovered;
     }
 }
 
-/// One executor work item: a contiguous tenant range of one scenario.
+/// One executor work item: a contiguous tenant range of one
+/// (scenario, arm).
 #[derive(Debug, Clone, Copy)]
 struct SoakItem {
     scenario: usize,
+    arm: usize,
     start: u64,
     len: u64,
 }
@@ -172,6 +278,13 @@ fn run_chunk(config: &SoakConfig, template: &SoakTemplate, item: &SoakItem) -> V
     let scen_seed = shard_seed(config.seed, item.scenario as u64);
     let dist = KeyDistribution::ycsb_default(10_000);
     let traffic = &config.traffic;
+    let arm = config.arms.get(item.arm).copied().flatten();
+    let policy = config.guard;
+    let windows: Option<Vec<TenantFaultWindows>> = arm.map(|class| {
+        (0..n_cohorts)
+            .map(|c| config.arm_windows(item.scenario, item.arm, class, c))
+            .collect()
+    });
 
     // Slab the chunk's tenants into their cohorts.
     let mut slabs: Vec<Vec<Tenant>> = (0..n_cohorts).map(|_| Vec::new()).collect();
@@ -180,10 +293,11 @@ fn run_chunk(config: &SoakConfig, template: &SoakTemplate, item: &SoakItem) -> V
         let (arrive_us, depart_us) = traffic.churn_window(scen_seed, id, config.horizon_us);
         slabs[cohort].push(Tenant {
             id,
-            setting: template.initial,
             weight: traffic.tenant_weight(scen_seed, id, &dist),
             arrive_us,
             depart_us,
+            policy: policy.encode(),
+            slab: SoakSlab::new(template),
         });
     }
 
@@ -200,23 +314,61 @@ fn run_chunk(config: &SoakConfig, template: &SoakTemplate, item: &SoakItem) -> V
             // sweep: one wave evaluation per (cohort, tick), not per tenant.
             let base_load = traffic.base_load(now);
             let accum = &mut accums[cohort];
+            let w = windows.as_ref().map(|ws| &ws[cohort]);
             for t in &mut slabs[cohort] {
                 if now < t.arrive_us || now >= t.depart_us {
                     continue;
                 }
-                let measured = template.measured(
-                    t.setting,
-                    base_load * t.weight,
-                    traffic.sense_jitter(scen_seed, t.id, epoch),
+                let jitter = traffic.sense_jitter(scen_seed, t.id, epoch);
+                let Some(w) = w else {
+                    // Clean arm: the PR-8 loop, byte-for-byte — the
+                    // fault plane and the guard ladder never touch it.
+                    let measured = template.measured(t.slab.setting, base_load * t.weight, jitter);
+                    accum.sketch.record(template.overshoot(measured));
+                    if measured > template.target {
+                        accum.violations += 1;
+                    }
+                    t.slab.setting = template.next_setting(t.slab.setting, measured);
+                    continue;
+                };
+                let faults = w.at(t.id, epoch);
+                let age = t.slab.begin_epoch(template, faults.restart);
+                let load = base_load * t.weight * traffic.restart_load(age);
+                let out = template.guarded_step(
+                    SlabGuardPolicy::decode(t.policy),
+                    &mut t.slab,
+                    &faults,
+                    load,
+                    jitter,
                 );
-                accum.sketch.record(template.overshoot(measured));
-                if measured > template.target {
+                accum.sketch.record(template.overshoot(out.measured));
+                if out.violated {
                     accum.violations += 1;
                 }
-                t.setting = template.next_setting(t.setting, measured);
+                if let Some(d) = out.reengaged_dwell {
+                    accum.reengage.record(d);
+                }
+                if let Some(b) = out.burst_closed {
+                    accum.burst.record(b);
+                }
+                if let Some(r) = out.recovered_after {
+                    accum.recovery.record(r);
+                }
             }
         },
     );
+    if windows.is_some() {
+        // Unrecovered sweep: tenants still resident at the horizon that
+        // blew the recovery SLO and never re-entered their goal.
+        // Churned-out tenants are excluded — their run was cut, not
+        // stuck.
+        for (cohort, slab) in slabs.iter().enumerate() {
+            accums[cohort].unrecovered += slab
+                .iter()
+                .filter(|t| t.depart_us >= config.horizon_us && t.slab.is_unrecovered())
+                .count() as u64;
+        }
+    }
     accums
 }
 
@@ -227,17 +379,21 @@ pub fn soak_run(
     scenarios: &[SoakScenario],
     executor: &FleetExecutor,
 ) -> SoakReport {
+    let n_arms = config.arms.len().max(1);
     let mut items = Vec::new();
     for (scenario, _) in scenarios.iter().enumerate() {
-        let mut start = 0;
-        while start < config.tenants {
-            let len = config.chunk.min(config.tenants - start);
-            items.push(SoakItem {
-                scenario,
-                start,
-                len,
-            });
-            start += len;
+        for arm in 0..n_arms {
+            let mut start = 0;
+            while start < config.tenants {
+                let len = config.chunk.min(config.tenants - start);
+                items.push(SoakItem {
+                    scenario,
+                    arm,
+                    start,
+                    len,
+                });
+                start += len;
+            }
         }
     }
 
@@ -245,25 +401,26 @@ pub fn soak_run(
         run_chunk(config, &scenarios[item.scenario].template, item)
     });
 
-    // Merge chunk outputs per (scenario, cohort), in work-item order.
+    // Merge chunk outputs per (scenario, arm, cohort), in work-item order.
     let n_cohorts = config.periods_us.len();
-    let mut merged: Vec<Vec<CohortAccum>> = scenarios
-        .iter()
+    let mut merged: Vec<Vec<CohortAccum>> = (0..scenarios.len() * n_arms)
         .map(|_| (0..n_cohorts).map(|_| CohortAccum::new()).collect())
         .collect();
     for (item, chunk) in items.iter().zip(&outputs) {
         for (cohort, accum) in chunk.iter().enumerate() {
-            merged[item.scenario][cohort].merge(accum);
+            merged[item.scenario * n_arms + item.arm][cohort].merge(accum);
         }
     }
 
-    let reports = scenarios
-        .iter()
-        .zip(merged)
-        .map(|(s, cohorts)| {
-            let t = &s.template;
-            ScenarioSoakReport {
+    // Scenario-major, arm-minor report order: `scenarios[0]` stays the
+    // first scenario's clean arm, so clean-arm readers are untouched.
+    let mut reports = Vec::with_capacity(scenarios.len() * n_arms);
+    for (si, s) in scenarios.iter().enumerate() {
+        let t = &s.template;
+        for (ai, cohorts) in merged[si * n_arms..(si + 1) * n_arms].iter().enumerate() {
+            reports.push(ScenarioSoakReport {
                 scenario: t.scenario.clone(),
+                arm: arm_label(config.arms.get(ai).copied().flatten()).to_string(),
                 hard: t.hard,
                 delta: t.delta(),
                 tenants: config.tenants,
@@ -271,17 +428,21 @@ pub fn soak_run(
                     .iter()
                     .enumerate()
                     .map(|(i, a)| {
-                        CohortReport::from_sketch(
+                        CohortReport::from_sketches(
                             config.periods_us[i],
                             a.tenants,
                             a.violations,
                             &a.sketch,
+                            &a.reengage,
+                            &a.burst,
+                            &a.recovery,
+                            a.unrecovered,
                         )
                     })
                     .collect(),
-            }
-        })
-        .collect();
+            });
+        }
+    }
 
     SoakReport {
         seed: config.seed,
@@ -291,11 +452,244 @@ pub fn soak_run(
     }
 }
 
+/// Epochs skipped per channel after any goal-target step (including
+/// run start) before the cross-check arm samples overshoot — the
+/// template soaks a fixed target, so step-response transients the
+/// controller has not yet acted on belong to neither side's tail. Six
+/// epochs cover the slowest roster pole's decay back into the bracket
+/// after a halved target (HB2149's phase-goal steps).
+const CROSS_CHECK_SETTLE_EPOCHS: u32 = 6;
+
+/// Decorrelation stream for the cross-check arm's per-tenant run seeds
+/// (the *fault schedule* reuses the soak's own [`CHAOS_STREAM`]-derived
+/// seeds so real plants replay exactly the slab tenants' windows).
+const CROSS_CHECK_STREAM: u64 = 0xC40C;
+
+/// One scenario's cross-check outcome: real full-`ControlPlane` plants
+/// run under the soak's fault-window schedule, with their overshoot
+/// tails distilled from the `EpochEvent` log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossCheckScenario {
+    /// Scenario id.
+    pub scenario: String,
+    /// Whether the goal is hard (the template tails are converted to
+    /// the virtual-target frame before bracketing, because real
+    /// hard-goal `EpochEvent`s carry the virtual target).
+    pub hard: bool,
+    /// The soak template's effective λ for the frame conversion.
+    pub lambda: f64,
+    /// Real plants run for this scenario.
+    pub tenants: u64,
+    /// Control decisions with a finite overshoot sample.
+    pub senses: u64,
+    /// Real-plant overshoot tails (measured / event target).
+    pub real_p50: f64,
+    /// p99 of the same.
+    pub real_p99: f64,
+    /// Max of the same.
+    pub real_max: f64,
+}
+
+/// The cross-check arm's report across every scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossCheckReport {
+    /// Real plants per scenario.
+    pub tenants_per_scenario: u64,
+    /// Per-scenario outcomes, in roster order.
+    pub scenarios: Vec<CrossCheckScenario>,
+}
+
+impl CrossCheckReport {
+    /// Byte-stable text render, diffed across thread counts alongside
+    /// [`SoakReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "cross-check tenants/scenario {}\n",
+            self.tenants_per_scenario
+        );
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "  {} {} lambda {:.4} tenants {} senses {} p50 {:.4} p99 {:.4} max {:.4}\n",
+                s.scenario,
+                if s.hard { "hard" } else { "soft" },
+                s.lambda,
+                s.tenants,
+                s.senses,
+                s.real_p50,
+                s.real_p99,
+                s.real_max,
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the cross-check arm: `real_tenants` full `ControlPlane` plants
+/// per scenario (rotating through the four fault classes) under the
+/// *same* tenant-keyed window schedule as the soak's fault arms, sized
+/// for the fastest cohort. Each plant is a pure function of its
+/// `(scenario, tenant)` item and results merge in item order, so the
+/// render is byte-identical across thread counts.
+///
+/// `templates` supplies each scenario's distilled λ/hardness (roster
+/// order must match [`fleet_scenarios`], as [`build_templates`]
+/// guarantees).
+pub fn cross_check_run(
+    config: &SoakConfig,
+    templates: &[SoakScenario],
+    real_tenants: u64,
+    executor: &FleetExecutor,
+) -> CrossCheckReport {
+    let scenarios = fleet_scenarios();
+    let cache = ProfileCache::new(scenarios.len(), &[config.seed]);
+    let mut items = Vec::new();
+    for si in 0..scenarios.len() {
+        for tenant in 0..real_tenants {
+            items.push((si, tenant));
+        }
+    }
+    let outputs = executor.execute(&items, |_, &(si, tenant): &(usize, u64)| {
+        let s = &scenarios[si];
+        let profiles = cache.profiles(si, s.as_ref(), config.seed);
+        let class_idx = (tenant % SOAK_FAULT_CLASSES.len() as u64) as usize;
+        let class = SOAK_FAULT_CLASSES[class_idx];
+        let arm = config
+            .arms
+            .iter()
+            .position(|a| *a == Some(class))
+            .unwrap_or(class_idx + 1);
+        let windows = config.arm_windows(si, arm, class, 0);
+        let plan = windows.plan_for(tenant);
+        let run_seed = shard_seed(
+            shard_seed(config.seed, CROSS_CHECK_STREAM),
+            (si as u64) << 32 | tenant,
+        );
+        let result = s.run_plan_profiled(run_seed, &plan, &profiles);
+        // Distil overshoot from epochs whose sensed value is the true
+        // plant output: a corrupted/held reading (dropout, stale, NaN,
+        // ×spike) is what the *guard* sees, not what the plant did, and
+        // the template side records true plant output throughout.
+        // Lag/restart/saturation epochs keep their true reading and
+        // stay in the tail. Epochs inside a short settle window after a
+        // goal-target step (scenario phase changes, goal flaps, run
+        // start) are skipped too: the template soaks a fixed target, so
+        // a step response the controller has not yet acted on is not a
+        // tracking failure either side models.
+        let corrupted = FaultSet::DROPOUT.bits()
+            | FaultSet::STALE.bits()
+            | FaultSet::NAN.bits()
+            | FaultSet::SPIKE.bits();
+        let mut sketch = QuantileSketch::new();
+        let mut channels: Vec<(f64, u32)> = Vec::new();
+        for e in result.epochs.events() {
+            let ch = e.channel as usize;
+            if channels.len() <= ch {
+                channels.resize(ch + 1, (f64::NAN, CROSS_CHECK_SETTLE_EPOCHS));
+            }
+            let (prev_target, settle_left) = &mut channels[ch];
+            if e.target != *prev_target {
+                *prev_target = e.target;
+                *settle_left = CROSS_CHECK_SETTLE_EPOCHS;
+            }
+            if *settle_left > 0 {
+                *settle_left -= 1;
+                continue;
+            }
+            if e.faults.bits() & corrupted != 0 {
+                continue;
+            }
+            if e.target.is_finite() && e.target > 0.0 && e.measured.is_finite() {
+                sketch.record(e.measured / e.target);
+            }
+        }
+        sketch
+    });
+
+    let mut merged: Vec<QuantileSketch> = scenarios.iter().map(|_| QuantileSketch::new()).collect();
+    for (&(si, _), sketch) in items.iter().zip(&outputs) {
+        merged[si].merge(sketch);
+    }
+    CrossCheckReport {
+        tenants_per_scenario: real_tenants,
+        scenarios: merged
+            .iter()
+            .enumerate()
+            .map(|(si, sk)| {
+                let t = &templates[si].template;
+                CrossCheckScenario {
+                    scenario: t.scenario.clone(),
+                    hard: t.hard,
+                    lambda: t.lambda,
+                    tenants: real_tenants,
+                    senses: sk.count(),
+                    real_p50: sk.quantile(0.50),
+                    real_p99: sk.quantile(0.99),
+                    real_max: sk.max(),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The bracket gate: for every scenario, the real plants' p99 overshoot
+/// must land inside the span of the distilled-template fault-arm cohort
+/// p99s, widened by [`CROSS_CHECK_MARGIN`] on both sides. Hard-goal
+/// template tails are converted into the virtual-target frame
+/// (`p99 / (1 − λ)`) first, because real hard-goal `EpochEvent`s report
+/// the virtual target. Returns human-readable failure lines.
+pub fn cross_check_failures(report: &SoakReport, cross: &CrossCheckReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    for cs in &cross.scenarios {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in report
+            .scenarios
+            .iter()
+            .filter(|s| s.scenario == cs.scenario && s.arm != "clean")
+        {
+            for c in &s.cohorts {
+                let p = if cs.hard {
+                    c.p99 / (1.0 - cs.lambda)
+                } else {
+                    c.p99
+                };
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        if !hi.is_finite() {
+            failures.push(format!(
+                "{}: no fault-arm cohorts in the soak report to bracket against",
+                cs.scenario
+            ));
+            continue;
+        }
+        if cs.senses == 0 {
+            failures.push(format!(
+                "{}: cross-check plants produced no samples",
+                cs.scenario
+            ));
+            continue;
+        }
+        let floor = lo / CROSS_CHECK_MARGIN;
+        let ceil = hi * CROSS_CHECK_MARGIN;
+        if cs.real_p99 < floor || cs.real_p99 > ceil {
+            failures.push(format!(
+                "{}: real-plant p99 {:.4} outside template bracket [{:.4}, {:.4}] \
+                 (cohort span [{:.4}, {:.4}] × margin {CROSS_CHECK_MARGIN})",
+                cs.scenario, cs.real_p99, floor, ceil, lo, hi
+            ));
+        }
+    }
+    failures
+}
+
 /// Renders the `BENCH_soak.json` artifact.
 pub fn soak_json(
     config: &SoakConfig,
     scenarios: &[SoakScenario],
     report: &SoakReport,
+    cross: Option<&CrossCheckReport>,
     reports_identical: bool,
     phases: &[FleetPhase],
 ) -> String {
@@ -319,6 +713,12 @@ pub fn soak_json(
         "  \"cohort_periods_secs\": [{}],\n",
         periods.join(", ")
     ));
+    let arms: Vec<String> = config
+        .arms
+        .iter()
+        .map(|a| format!("\"{}\"", arm_label(*a)))
+        .collect();
+    out.push_str(&format!("  \"arms\": [{}],\n", arms.join(", ")));
     out.push_str(&format!(
         "  \"host_cpus\": {},\n",
         FleetExecutor::available_parallelism().threads()
@@ -355,6 +755,10 @@ pub fn soak_json(
         "  \"hard_breaches\": [{}],\n",
         breaches.join(", ")
     ));
+    out.push_str(&format!(
+        "  \"unrecovered_hard_tenants\": {},\n",
+        report.unrecovered_hard_tenants()
+    ));
     out.push_str("  \"phases\": [\n");
     let phase_lines: Vec<String> = phases
         .iter()
@@ -370,15 +774,18 @@ pub fn soak_json(
     out.push_str(&phase_lines.join(",\n"));
     out.push_str("\n  ],\n");
     out.push_str("  \"cohorts\": [\n");
+    let n_arms = config.arms.len().max(1);
     let mut lines = Vec::new();
-    for (scen, s) in scenarios.iter().zip(&report.scenarios) {
+    for (i, s) in report.scenarios.iter().enumerate() {
+        let scen = &scenarios[i / n_arms];
         for c in &s.cohorts {
-            lines.push(format!(
-                "    {{\"scenario\": \"{}\", \"hard\": {}, \"delta\": {:.4}, \
-                 \"setup_secs\": {:.3}, \"period_secs\": {}, \"tenants\": {}, \
-                 \"senses\": {}, \"violations\": {}, \"p50\": {:.4}, \
-                 \"p99\": {:.4}, \"p999\": {:.4}, \"max\": {:.4}}}",
+            let mut line = format!(
+                "    {{\"scenario\": \"{}\", \"arm\": \"{}\", \"hard\": {}, \
+                 \"delta\": {:.4}, \"setup_secs\": {:.3}, \"period_secs\": {}, \
+                 \"tenants\": {}, \"senses\": {}, \"violations\": {}, \
+                 \"p50\": {:.4}, \"p99\": {:.4}, \"p999\": {:.4}, \"max\": {:.4}",
                 s.scenario,
+                s.arm,
                 s.hard,
                 s.delta,
                 scen.setup_secs,
@@ -390,10 +797,53 @@ pub fn soak_json(
                 c.p99,
                 c.p999,
                 c.max
-            ));
+            );
+            if s.arm != "clean" {
+                line.push_str(&format!(
+                    ", \"reengages\": {}, \"reengage_p99\": {:.4}, \
+                     \"burst_p99\": {:.4}, \"recoveries\": {}, \"mttr\": {:.4}, \
+                     \"recovery_p99\": {:.4}, \"unrecovered\": {}",
+                    c.reengages,
+                    c.reengage_p99,
+                    c.burst_p99,
+                    c.recoveries,
+                    c.mttr,
+                    c.recovery_p99,
+                    c.unrecovered
+                ));
+            }
+            line.push('}');
+            lines.push(line);
         }
     }
     out.push_str(&lines.join(",\n"));
+    if let Some(cross) = cross {
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"cross_check_margin\": {CROSS_CHECK_MARGIN},\n"
+        ));
+        out.push_str("  \"cross_check\": [\n");
+        let cross_lines: Vec<String> = cross
+            .scenarios
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"scenario\": \"{}\", \"hard\": {}, \"lambda\": {:.4}, \
+                     \"tenants\": {}, \"senses\": {}, \"real_p50\": {:.4}, \
+                     \"real_p99\": {:.4}, \"real_max\": {:.4}}}",
+                    s.scenario,
+                    s.hard,
+                    s.lambda,
+                    s.tenants,
+                    s.senses,
+                    s.real_p50,
+                    s.real_p99,
+                    s.real_max
+                )
+            })
+            .collect();
+        out.push_str(&cross_lines.join(",\n"));
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -405,9 +855,7 @@ fn numbers_after(json: &str, key: &str) -> Vec<f64> {
     let mut rest = json;
     while let Some(pos) = rest.find(&needle) {
         rest = &rest[pos + needle.len()..];
-        let end = rest
-            .find([',', '}', '\n'])
-            .unwrap_or(rest.len());
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
         if let Ok(v) = rest[..end].trim().parse::<f64>() {
             out.push(v);
         }
@@ -421,8 +869,12 @@ fn numbers_after(json: &str, key: &str) -> Vec<f64> {
 /// 1. same run shape (tenants per scenario, cohort count) — otherwise
 ///    the baseline is stale and must be regenerated;
 /// 2. zero hard-goal cohort breaches in the fresh run;
-/// 3. every cohort p99/p999 within [`TAIL_TOLERANCE`] of baseline;
-/// 4. tenants/sec at least [`RATE_FLOOR`] × baseline.
+/// 3. zero unrecovered hard-goal tenants in the fresh run (the
+///    fault-arm zero-tolerance gate);
+/// 4. every cohort p99/p999 — and, when fault arms ran, every
+///    fault-arm mttr/recovery_p99 — within [`TAIL_TOLERANCE`] of
+///    baseline;
+/// 5. tenants/sec at least [`RATE_FLOOR`] × baseline.
 pub fn check_soak(fresh: &str, baseline: &str) -> Vec<String> {
     let mut failures = Vec::new();
 
@@ -446,7 +898,15 @@ pub fn check_soak(fresh: &str, baseline: &str) -> Vec<String> {
         failures.push("hard-goal cohort gate breached in fresh run".to_string());
     }
 
-    for key in ["p99", "p999"] {
+    if let Some(u) = numbers_after(fresh, "unrecovered_hard_tenants").first() {
+        if *u > 0.0 {
+            failures.push(format!(
+                "{u:.0} unrecovered hard-goal tenants in fresh run (gate is zero)"
+            ));
+        }
+    }
+
+    for key in ["p99", "p999", "mttr", "recovery_p99"] {
         let f = numbers_after(fresh, key);
         let b = numbers_after(baseline, key);
         for (i, (fv, bv)) in f.iter().zip(&b).enumerate() {
@@ -567,6 +1027,123 @@ mod tests {
     }
 
     #[test]
+    fn fault_arms_ride_alongside_an_untouched_clean_arm() {
+        let config = tiny_config();
+        let scenarios = toy_scenarios();
+        let report = soak_run(&config, &scenarios, &FleetExecutor::new(2));
+        let n_arms = config.arms.len();
+        assert_eq!(report.scenarios.len(), scenarios.len() * n_arms);
+        let labels: Vec<&str> = report.scenarios[..n_arms]
+            .iter()
+            .map(|s| s.arm.as_str())
+            .collect();
+        assert_eq!(labels, ["clean", "dropout", "corrupt", "lag", "restart"]);
+
+        // The clean arm must be byte-identical to a soak that never
+        // heard of the fault plane.
+        let clean_only = SoakConfig {
+            arms: vec![None],
+            ..config.clone()
+        };
+        let control = soak_run(&clean_only, &scenarios, &FleetExecutor::new(1));
+        let clean: Vec<&ScenarioSoakReport> = report
+            .scenarios
+            .iter()
+            .filter(|s| s.arm == "clean")
+            .collect();
+        assert_eq!(clean.len(), control.scenarios.len());
+        for (a, b) in clean.iter().zip(&control.scenarios) {
+            assert_eq!(**a, *b);
+        }
+
+        // Fault arms actually exercise the recovery machinery: at least
+        // one (scenario, arm) records recoveries, and the clean arm
+        // records none.
+        for s in &clean {
+            assert_eq!(s.cohorts.iter().map(|c| c.recoveries).sum::<u64>(), 0);
+            assert_eq!(s.unrecovered_tenants(), 0);
+        }
+        let recoveries: u64 = report
+            .scenarios
+            .iter()
+            .filter(|s| s.arm != "clean")
+            .flat_map(|s| s.cohorts.iter())
+            .map(|c| c.recoveries)
+            .sum();
+        assert!(recoveries > 0, "fault arms never recovered a tenant");
+    }
+
+    #[test]
+    fn cross_check_bracket_flags_out_of_band_tails() {
+        let sketch = {
+            let mut s = QuantileSketch::new();
+            for _ in 0..100 {
+                s.record(1.0);
+            }
+            s
+        };
+        let cohort = |p99: f64| {
+            let mut c = CohortReport::from_sketch(900_000_000, 10, 0, &sketch);
+            c.p99 = p99;
+            c
+        };
+        let report = SoakReport {
+            seed: 42,
+            tenants_per_scenario: 10,
+            horizon_us: 1,
+            scenarios: vec![
+                ScenarioSoakReport {
+                    scenario: "TOY".into(),
+                    arm: "clean".into(),
+                    hard: false,
+                    delta: 1.0,
+                    tenants: 10,
+                    cohorts: vec![cohort(99.0)], // clean arm is excluded
+                },
+                ScenarioSoakReport {
+                    scenario: "TOY".into(),
+                    arm: "corrupt".into(),
+                    hard: false,
+                    delta: 1.0,
+                    tenants: 10,
+                    cohorts: vec![cohort(1.0), cohort(1.2)],
+                },
+            ],
+        };
+        let cross = |p99: f64| CrossCheckReport {
+            tenants_per_scenario: 4,
+            scenarios: vec![CrossCheckScenario {
+                scenario: "TOY".into(),
+                hard: false,
+                lambda: 0.05,
+                tenants: 4,
+                senses: 100,
+                real_p50: 1.0,
+                real_p99: p99,
+                real_max: p99,
+            }],
+        };
+        // Inside the [1.0 / 1.25, 1.2 × 1.25] bracket.
+        assert_eq!(
+            cross_check_failures(&report, &cross(1.1)),
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            cross_check_failures(&report, &cross(0.9)),
+            Vec::<String>::new()
+        );
+        // Outside it, both ways.
+        assert_eq!(cross_check_failures(&report, &cross(1.6)).len(), 1);
+        assert_eq!(cross_check_failures(&report, &cross(0.7)).len(), 1);
+        // A scenario with no fault arms cannot be bracketed.
+        let clean_only = SoakReport {
+            scenarios: vec![report.scenarios[0].clone()],
+            ..report.clone()
+        };
+        assert_eq!(cross_check_failures(&clean_only, &cross(1.1)).len(), 1);
+    }
+
+    #[test]
     fn soak_json_and_check_roundtrip() {
         let config = tiny_config();
         let scenarios = toy_scenarios();
@@ -576,15 +1153,33 @@ mod tests {
             threads: 1,
             wall: Duration::from_millis(500),
         }];
-        let json = soak_json(&config, &scenarios, &report, true, &phases);
+        let json = soak_json(&config, &scenarios, &report, None, true, &phases);
         assert!(json.contains("\"tenants_per_scenario\": 200"));
         assert!(json.contains("\"reports_identical\": true"));
         assert!(json.contains("\"p999\""));
+        assert!(
+            json.contains("\"arms\": [\"clean\", \"dropout\", \"corrupt\", \"lag\", \"restart\"]")
+        );
+        assert!(json.contains("\"unrecovered_hard_tenants\": "));
+        assert!(json.contains("\"mttr\""));
         // A run checked against itself passes.
         assert_eq!(check_soak(&json, &json), Vec::<String>::new());
         // A drifted tail fails.
         let drifted = json.replacen("\"p99\": ", "\"p99\": 9", 1);
         assert!(!check_soak(&drifted, &json).is_empty());
+        // A drifted recovery tail fails too.
+        let slow = json.replacen("\"mttr\": ", "\"mttr\": 9", 1);
+        assert!(!check_soak(&slow, &json).is_empty());
+        // Unrecovered hard-goal tenants fail regardless of the baseline.
+        let stuck = json.replacen(
+            "\"unrecovered_hard_tenants\": 0",
+            "\"unrecovered_hard_tenants\": 3",
+            1,
+        );
+        assert_ne!(stuck, json, "expected a zero unrecovered count to rewrite");
+        assert!(check_soak(&stuck, &json)
+            .iter()
+            .any(|f| f.contains("unrecovered")));
         // A different shape reports a stale baseline.
         let other = soak_json(
             &SoakConfig {
@@ -593,6 +1188,7 @@ mod tests {
             },
             &scenarios,
             &report,
+            None,
             true,
             &phases,
         );

@@ -6,8 +6,8 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_runtime::{
-    shard_seed, Campaign, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
-    ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
+    shard_seed, Campaign, ChaosSpec, Decider, FaultClass, FaultPlan, GuardPolicy, ProfileSchedule,
+    Profiler, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{SimDuration, SimTime, Simulation};
 
@@ -311,6 +311,19 @@ impl Scenario for Hd4995 {
             Decider::Deputy(Box::new(conf)),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_plan_profiled(&self, seed: u64, plan: &FaultPlan, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let conf = SmartConfIndirect::new("content-summary.limit", controller);
+        let spec =
+            ChaosSpec::new(shard_seed(seed, CHAOS_STREAM), plan.clone()).with_guard(self.guard());
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            seed,
+            "Plan-chaos",
             Some(spec),
         )
     }

@@ -27,7 +27,8 @@ pub use outcome::{RunResult, TradeoffDirection};
 pub use report::{epoch_summary, TextTable};
 pub use scenario::Scenario;
 pub use soak::{
-    CohortReport, ScenarioSoakReport, SoakReport, SoakTemplate, DISTURBANCE_GAIN, LAMBDA_FLOOR,
+    CohortReport, ScenarioSoakReport, SlabGuardPolicy, SoakReport, SoakSlab, SoakTemplate,
+    StepOutcome, DISTURBANCE_GAIN, LAMBDA_FLOOR, RECOVERY_SLO_EPOCHS,
 };
 pub use sweep::{sweep_statics, StaticSweep};
 

@@ -1,7 +1,7 @@
 //! The scenario abstraction: one PerfConf case study.
 
 use smartconf_core::ProfileSet;
-use smartconf_runtime::{Baseline, Campaign, FaultClass, ProfileSchedule};
+use smartconf_runtime::{Baseline, Campaign, FaultClass, FaultPlan, ProfileSchedule};
 
 use crate::{RunResult, TradeoffDirection};
 
@@ -104,6 +104,24 @@ pub trait Scenario {
     ) -> RunResult {
         let _ = profiles;
         self.run_chaos(seed, class)
+    }
+
+    /// [`Scenario::run_chaos_profiled`] with an explicit fault plan
+    /// instead of a standard class plan — the soak's real-tenant
+    /// cross-check arm exports each tenant's hash-scheduled windows as
+    /// a [`FaultPlan`] and replays them through the full
+    /// `ControlPlane` path here.
+    ///
+    /// The profile contract is looser than the other `_profiled` entry
+    /// points: the cross-check arm stamps many per-tenant seeds with
+    /// profiles cached for one base seed (the plants differ in
+    /// workload phase, not in gain), so `profiles` need not come from
+    /// this exact `seed`. The default ignores the plan and runs the
+    /// clean profiled path, so unmigrated scenarios stay correct
+    /// (just fault-free).
+    fn run_plan_profiled(&self, seed: u64, plan: &FaultPlan, profiles: &[ProfileSet]) -> RunResult {
+        let _ = plan;
+        self.run_smartconf_profiled(seed, profiles)
     }
 
     /// [`Scenario::run_smartconf_profiled`] with the online (RLS) gain

@@ -19,6 +19,7 @@
 
 use smartconf_core::{pole_from_delta, Error, LinearFit, ProfileSet, Result};
 use smartconf_metrics::QuantileSketch;
+use smartconf_runtime::{ActiveFaults, SensorFault};
 
 /// Floor on the virtual-goal margin `λ` used by soak templates.
 ///
@@ -180,6 +181,464 @@ impl SoakTemplate {
     pub fn overshoot(&self, measured: f64) -> f64 {
         measured / self.target
     }
+
+    /// The overshoot ratio below which a tenant counts as *recovered*
+    /// after a fault stretch. Hard goals must be back at or under the
+    /// real target (the virtual goal's `λ` headroom makes that the
+    /// steady state, so it is reachable within a few epochs); soft
+    /// goals track the target exactly and hover around 1.0 under the
+    /// ±2 % sensor jitter, so their recovery line sits one `λ` above
+    /// — jitter-proof without being lenient.
+    pub fn recovered_below(&self) -> f64 {
+        if self.hard {
+            1.0
+        } else {
+            1.0 + self.lambda
+        }
+    }
+
+    /// One guarded sense epoch for a soak tenant under the fault plane.
+    ///
+    /// This is the slab-weight guard ladder: the full chaos-mode
+    /// `GuardSet` re-expressed over the distilled template so a tenant
+    /// costs ~56 bytes instead of a `ControlPlane`. The rungs, in
+    /// order:
+    ///
+    /// 1. **Late delivery** — a lag-delayed decision reaches the plant
+    ///    at the first un-lagged epoch, before sensing.
+    /// 2. **Plant truth** — the measured metric at the *actuated*
+    ///    setting; this is what the overshoot sketch records, corrupted
+    ///    readings never pollute the SLO statistics.
+    /// 3. **Sensor fault** — dropout removes the reading, corruption
+    ///    NaNs or scales it.
+    /// 4. **Admission filter** — non-finite readings and readings
+    ///    beyond `spike_ratio × target` are rejected before they can
+    ///    reach the control law.
+    /// 5. **Median-of-3 vote** — when enabled, a reading deviating
+    ///    from the median of itself and the previous two admitted
+    ///    readings by more than a quarter of the admission cut is
+    ///    replaced by that median, killing single-epoch spikes in the
+    ///    `[spike_ratio/4, spike_ratio]×target` band that slip under
+    ///    admission. Consistent readings pass through raw, so clean
+    ///    steady-state dynamics are untouched (a vote that *always*
+    ///    smoothed would add two epochs of delay and limit-cycle
+    ///    against the deadbeat pole).
+    /// 6. **Stale watchdog** — after `watchdog_epochs` consecutive
+    ///    epochs with no admitted reading, the plant reverts to the
+    ///    last setting that produced a clean one.
+    /// 7. **Divergence fallback** (hard goals) — `divergence_streak`
+    ///    consecutive admitted readings past the real target drop the
+    ///    plant to the profiled-safe [`SoakTemplate::initial`] setting
+    ///    and flush the lag pipeline.
+    /// 8. **Re-engage backoff** — fallback holds for
+    ///    `cooldown_epochs · 2^level` epochs (level capped at
+    ///    `backoff_doublings`, doubling on every repeated fallback) and
+    ///    re-engages only on a clean admitted reading.
+    ///
+    /// Recovery-SLO accounting (fault stretches, violation bursts,
+    /// epochs-to-recover, the unrecovered latch) runs on plant truth
+    /// regardless of arming, so disarmed arms report comparable tails.
+    ///
+    /// With `policy.armed == false` and a clean [`ActiveFaults`], the
+    /// setting trajectory is *bit-identical* to the plain
+    /// [`next_setting`](SoakTemplate::next_setting) loop — the clean
+    ///-arm control pin in the determinism suite holds the fault path
+    /// to that contract.
+    pub fn guarded_step(
+        &self,
+        policy: SlabGuardPolicy,
+        slab: &mut SoakSlab,
+        faults: &ActiveFaults,
+        load: f64,
+        jitter: f64,
+    ) -> StepOutcome {
+        let lag_active = faults.lag.is_some();
+        if !lag_active && slab.state.has_pending {
+            slab.setting = slab.pending;
+            slab.state.has_pending = false;
+        }
+        let measured = self.measured(slab.setting, load, jitter);
+        let violated = measured > self.target;
+        let reading: Option<f64> = match faults.sensor {
+            None => Some(measured),
+            Some(SensorFault::Drop) | Some(SensorFault::Stale) => None,
+            Some(SensorFault::Nan) => Some(f64::NAN),
+            Some(SensorFault::Scale(f)) => Some(measured * f),
+        };
+        let mut out = StepOutcome {
+            measured,
+            violated,
+            reengaged_dwell: None,
+            recovered_after: None,
+            burst_closed: None,
+        };
+
+        if !policy.armed {
+            // Disarmed: the PR-8 law verbatim (next_setting already
+            // holds on a non-finite reading).
+            if let Some(r) = reading {
+                slab.setting = self.next_setting(slab.setting, r);
+            }
+            self.account(slab, faults, measured, &mut out);
+            return out;
+        }
+
+        let cut = policy.spike_ratio as f64 * self.target.abs();
+        let admitted = reading.filter(|r| r.is_finite() && r.abs() <= cut);
+        let value = admitted.map(|r| {
+            let v = if policy.vote && slab.state.vote_fill >= 2 {
+                let m = median3(r, slab.votes[0], slab.votes[1]);
+                if (r - m).abs() > 0.25 * cut {
+                    m
+                } else {
+                    r
+                }
+            } else {
+                r
+            };
+            slab.votes[1] = slab.votes[0];
+            slab.votes[0] = r;
+            slab.state.vote_fill = (slab.state.vote_fill + 1).min(2);
+            v
+        });
+
+        match value {
+            None => {
+                slab.state.missed = slab.state.missed.saturating_add(1);
+                slab.state.viol_streak = 0;
+                if slab.state.mode == Mode::Fallback {
+                    slab.state.cooldown_left = slab.state.cooldown_left.saturating_sub(1);
+                } else if slab.state.missed == policy.watchdog_epochs {
+                    // Stale watchdog: blind too long — revert to the
+                    // last setting that produced a clean reading.
+                    slab.setting = slab.last_safe;
+                    slab.state.has_pending = false;
+                }
+            }
+            Some(v) => {
+                slab.state.missed = 0;
+                let danger = v > self.target;
+                if slab.state.mode == Mode::Engaged {
+                    if !danger {
+                        slab.last_safe = slab.setting;
+                        slab.state.viol_streak = 0;
+                    } else if self.hard {
+                        slab.state.viol_streak = slab.state.viol_streak.saturating_add(1);
+                    }
+                    if self.hard && slab.state.viol_streak >= policy.divergence_streak {
+                        self.enter_fallback(policy, slab);
+                    } else {
+                        let next = self.next_setting(slab.setting, v);
+                        if lag_active {
+                            slab.pending = next;
+                            slab.state.has_pending = true;
+                        } else {
+                            slab.setting = next;
+                        }
+                    }
+                } else {
+                    slab.state.cooldown_left = slab.state.cooldown_left.saturating_sub(1);
+                    if slab.state.cooldown_left == 0 {
+                        if danger {
+                            // Still violating at cooldown expiry: back
+                            // off again, dwell doubled.
+                            self.enter_fallback(policy, slab);
+                        } else {
+                            slab.state.mode = Mode::Engaged;
+                            slab.state.viol_streak = 0;
+                            out.reengaged_dwell = Some(
+                                ((policy.cooldown_epochs as u64) << slab.state.entry_level) as f64,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.account(slab, faults, measured, &mut out);
+        out
+    }
+
+    /// Drops the plant to the profiled-safe setting and arms the
+    /// re-engage cooldown (rungs 7–8).
+    fn enter_fallback(&self, policy: SlabGuardPolicy, slab: &mut SoakSlab) {
+        let st = &mut slab.state;
+        st.mode = Mode::Fallback;
+        st.entry_level = st.backoff_level;
+        st.cooldown_left = policy.cooldown_epochs << st.backoff_level;
+        st.backoff_level = (st.backoff_level + 1).min(policy.backoff_doublings);
+        st.viol_streak = 0;
+        st.has_pending = false;
+        slab.setting = self.initial;
+    }
+
+    /// Plant-truth accounting shared by the armed and disarmed paths:
+    /// violation bursts, fault stretches, and the recovery SLO.
+    fn account(
+        &self,
+        slab: &mut SoakSlab,
+        faults: &ActiveFaults,
+        measured: f64,
+        out: &mut StepOutcome,
+    ) {
+        let st = &mut slab.state;
+        if out.violated {
+            st.burst_len = st.burst_len.saturating_add(1);
+        } else if st.burst_len > 0 {
+            out.burst_closed = Some(st.burst_len as f64);
+            st.burst_len = 0;
+        }
+        if !faults.is_clean() {
+            // Recovery is measured from the end of a fault stretch, so
+            // the clock pauses while faults are still firing.
+            st.in_stretch = true;
+            return;
+        }
+        if st.in_stretch {
+            st.in_stretch = false;
+            st.recovery_pending = true;
+        }
+        if st.recovery_pending {
+            st.recovery_elapsed = st.recovery_elapsed.saturating_add(1);
+            if self.overshoot(measured) <= self.recovered_below() {
+                out.recovered_after = Some(st.recovery_elapsed as f64);
+                st.recovery_pending = false;
+                st.recovery_elapsed = 0;
+                st.unrecovered = false;
+                st.backoff_level = 0;
+            } else if st.recovery_elapsed > RECOVERY_SLO_EPOCHS {
+                st.unrecovered = true;
+            }
+        }
+    }
+}
+
+/// Median of three values, branch-free over `min`/`max` so it is exact
+/// and platform-independent.
+fn median3(a: f64, b: f64, c: f64) -> f64 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Epochs a tenant gets to bring its plant back inside the goal after a
+/// fault stretch ends before it is latched *unrecovered* — the
+/// recovery SLO. Generous against the deadbeat/two-pole laws (which
+/// settle in 1–3 model steps) yet far below even the shortest cohort's
+/// epoch budget, so a latch means genuinely stuck, not merely slow.
+pub const RECOVERY_SLO_EPOCHS: u16 = 12;
+
+/// Compressed per-tenant guard configuration — the soak's answer to
+/// `GuardPolicy`, encodable into a `u32` so a cohort's policy rides in
+/// the tenant slab instead of behind an `Arc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabGuardPolicy {
+    /// Master switch: disarmed reduces `guarded_step` to the plain
+    /// PR-8 law plus plant-truth accounting.
+    pub armed: bool,
+    /// Median-of-3 smoothing of admitted readings (rung 5).
+    pub vote: bool,
+    /// Admission cut: readings beyond `spike_ratio × target` are
+    /// rejected (rung 4). Must fit in 6 bits.
+    pub spike_ratio: u8,
+    /// Consecutive missed readings before the stale watchdog reverts
+    /// to the last-safe setting (rung 6). Must fit in 4 bits.
+    pub watchdog_epochs: u8,
+    /// Consecutive violating admitted readings (hard goals) before the
+    /// divergence fallback fires (rung 7). Must fit in 4 bits.
+    pub divergence_streak: u8,
+    /// Base re-engage cooldown, epochs (rung 8). Must fit in 6 bits.
+    pub cooldown_epochs: u8,
+    /// Cap on cooldown doublings across repeated fallbacks. Must fit
+    /// in 2 bits.
+    pub backoff_doublings: u8,
+}
+
+impl SlabGuardPolicy {
+    /// The production soak ladder: armed, voting, spike cut at 8×
+    /// target, 3-epoch watchdog and divergence streaks, 3-epoch
+    /// cooldown with up to 2 doublings (max 12-epoch dwell — safe even
+    /// for the 24-epoch hourly cohort).
+    pub fn standard() -> SlabGuardPolicy {
+        SlabGuardPolicy {
+            armed: true,
+            vote: true,
+            spike_ratio: 8,
+            watchdog_epochs: 3,
+            divergence_streak: 3,
+            cooldown_epochs: 3,
+            backoff_doublings: 2,
+        }
+    }
+
+    /// The standard ladder with the master switch off (the clean-arm
+    /// control configuration).
+    pub fn disarmed() -> SlabGuardPolicy {
+        SlabGuardPolicy {
+            armed: false,
+            ..SlabGuardPolicy::standard()
+        }
+    }
+
+    /// The standard ladder without the median-of-3 vote — the DESIGN
+    /// §3f plant-quantum pin compares this against [`standard`]
+    /// (SlabGuardPolicy::standard).
+    pub fn without_vote() -> SlabGuardPolicy {
+        SlabGuardPolicy {
+            vote: false,
+            ..SlabGuardPolicy::standard()
+        }
+    }
+
+    /// Packs the policy into 24 bits of a `u32`:
+    /// `armed(1) vote(1) spike(6) watchdog(4) divergence(4)
+    /// cooldown(6) backoff(2)`, low to high.
+    pub fn encode(self) -> u32 {
+        (self.armed as u32)
+            | (self.vote as u32) << 1
+            | (self.spike_ratio as u32 & 0x3f) << 2
+            | (self.watchdog_epochs as u32 & 0xf) << 8
+            | (self.divergence_streak as u32 & 0xf) << 12
+            | (self.cooldown_epochs as u32 & 0x3f) << 16
+            | (self.backoff_doublings as u32 & 0x3) << 22
+    }
+
+    /// Inverse of [`encode`](SlabGuardPolicy::encode).
+    pub fn decode(bits: u32) -> SlabGuardPolicy {
+        SlabGuardPolicy {
+            armed: bits & 1 != 0,
+            vote: bits >> 1 & 1 != 0,
+            spike_ratio: (bits >> 2 & 0x3f) as u8,
+            watchdog_epochs: (bits >> 8 & 0xf) as u8,
+            divergence_streak: (bits >> 12 & 0xf) as u8,
+            cooldown_epochs: (bits >> 16 & 0x3f) as u8,
+            backoff_doublings: (bits >> 22 & 0x3) as u8,
+        }
+    }
+}
+
+/// Guard mode of one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Controller live.
+    Engaged,
+    /// Held on the profiled-safe setting pending re-engage.
+    Fallback,
+}
+
+/// The integer half of a tenant's guard state. Every field is a small
+/// saturating counter, so the whole struct packs into 16 bytes beside
+/// the slab's five `f64`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlabGuardState {
+    mode: Mode,
+    missed: u8,
+    viol_streak: u8,
+    cooldown_left: u8,
+    backoff_level: u8,
+    entry_level: u8,
+    vote_fill: u8,
+    restart_age: u8,
+    burst_len: u16,
+    recovery_elapsed: u16,
+    has_pending: bool,
+    in_stretch: bool,
+    recovery_pending: bool,
+    unrecovered: bool,
+}
+
+/// Per-tenant soak slab under the fault plane: the actuated setting
+/// plus the guard ladder's working state — ~56 bytes, versus the ~16
+/// of PR 8's clean slab and the kilobytes of a real `ControlPlane`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoakSlab {
+    /// The setting currently actuated at the plant.
+    pub setting: f64,
+    /// Lag-delayed decision awaiting delivery (live iff the internal
+    /// `has_pending` flag is set).
+    pending: f64,
+    /// Last setting that produced a clean admitted reading.
+    last_safe: f64,
+    /// Previous two admitted readings, for the median-of-3 vote.
+    votes: [f64; 2],
+    state: SlabGuardState,
+}
+
+impl SoakSlab {
+    /// A fresh tenant at the template's profiled-safe arrival setting.
+    pub fn new(template: &SoakTemplate) -> SoakSlab {
+        SoakSlab {
+            setting: template.initial,
+            pending: 0.0,
+            last_safe: template.initial,
+            votes: [0.0; 2],
+            state: SlabGuardState {
+                mode: Mode::Engaged,
+                missed: 0,
+                viol_streak: 0,
+                cooldown_left: 0,
+                backoff_level: 0,
+                entry_level: 0,
+                vote_fill: 0,
+                // Fresh arrivals are not post-restart cold caches.
+                restart_age: u8::MAX,
+                burst_len: 0,
+                recovery_elapsed: 0,
+                has_pending: false,
+                in_stretch: false,
+                recovery_pending: false,
+                unrecovered: false,
+            },
+        }
+    }
+
+    /// Opens one epoch: applies a plant restart if the fault plane
+    /// fired one (setting back to profiled-safe, controller and vote
+    /// state wiped — recovery accounting deliberately survives) and
+    /// returns the cold-cache age for the caller's
+    /// `TrafficShape::restart_load` lookup (0 on the restart epoch
+    /// itself).
+    pub fn begin_epoch(&mut self, template: &SoakTemplate, restart: bool) -> u64 {
+        if restart {
+            self.setting = template.initial;
+            self.last_safe = template.initial;
+            self.votes = [0.0; 2];
+            let st = &mut self.state;
+            st.mode = Mode::Engaged;
+            st.missed = 0;
+            st.viol_streak = 0;
+            st.cooldown_left = 0;
+            st.vote_fill = 0;
+            st.restart_age = 0;
+            st.has_pending = false;
+        } else {
+            self.state.restart_age = self.state.restart_age.saturating_add(1);
+        }
+        self.state.restart_age as u64
+    }
+
+    /// Whether this tenant has blown the recovery SLO and still not
+    /// re-entered its goal — the per-cohort unrecovered count sums
+    /// this at end of run over tenants still resident at the horizon.
+    pub fn is_unrecovered(&self) -> bool {
+        self.state.unrecovered
+    }
+}
+
+/// What one [`SoakTemplate::guarded_step`] epoch reports back to the
+/// cohort sketches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Plant-truth measured metric (record `overshoot(measured)`).
+    pub measured: f64,
+    /// Whether plant truth violated the real target.
+    pub violated: bool,
+    /// `Some(dwell_epochs)` when the guard re-engaged this epoch —
+    /// feed the epochs-to-re-engage sketch.
+    pub reengaged_dwell: Option<f64>,
+    /// `Some(epochs)` when a fault-stretch recovery completed this
+    /// epoch — feed the MTTR sketch.
+    pub recovered_after: Option<f64>,
+    /// `Some(length)` when a violation burst closed this epoch — feed
+    /// the burst-length sketch.
+    pub burst_closed: Option<f64>,
 }
 
 /// Tail statistics for one (scenario, sensing-period) cohort, distilled
@@ -202,26 +661,70 @@ pub struct CohortReport {
     pub p999: f64,
     /// Worst overshoot ratio seen.
     pub max: f64,
+    /// Guard re-engage events after divergence fallbacks.
+    pub reengages: u64,
+    /// p99 epochs-to-re-engage (fallback dwell).
+    pub reengage_p99: f64,
+    /// p99 violation-burst length, epochs.
+    pub burst_p99: f64,
+    /// Completed fault-stretch recoveries.
+    pub recoveries: u64,
+    /// Mean epochs from fault-stretch end back inside the goal (the
+    /// per-fault-class MTTR — each soak arm is one fault class).
+    pub mttr: f64,
+    /// p99 epochs-to-recover.
+    pub recovery_p99: f64,
+    /// Tenants resident at the horizon that blew the recovery SLO and
+    /// never re-entered their goal.
+    pub unrecovered: u64,
 }
 
 impl CohortReport {
     /// Distils a cohort's streaming sketch of overshoot ratios into the
-    /// plain-number report.
+    /// plain-number report, with no fault-plane statistics (the clean
+    /// arm and the PR-8 call sites).
     pub fn from_sketch(
         period_us: u64,
         tenants: u64,
         violations: u64,
         sketch: &QuantileSketch,
     ) -> CohortReport {
+        let empty = QuantileSketch::new();
+        CohortReport::from_sketches(
+            period_us, tenants, violations, sketch, &empty, &empty, &empty, 0,
+        )
+    }
+
+    /// Distils a fault-arm cohort: the overshoot sketch plus the three
+    /// recovery-SLO sketches (re-engage dwell, violation-burst length,
+    /// epochs-to-recover) and the end-of-run unrecovered count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_sketches(
+        period_us: u64,
+        tenants: u64,
+        violations: u64,
+        overshoot: &QuantileSketch,
+        reengage: &QuantileSketch,
+        burst: &QuantileSketch,
+        recovery: &QuantileSketch,
+        unrecovered: u64,
+    ) -> CohortReport {
         CohortReport {
             period_us,
             tenants,
-            senses: sketch.count(),
+            senses: overshoot.count(),
             violations,
-            p50: sketch.quantile(0.50),
-            p99: sketch.quantile(0.99),
-            p999: sketch.quantile(0.999),
-            max: sketch.max(),
+            p50: overshoot.quantile(0.50),
+            p99: overshoot.quantile(0.99),
+            p999: overshoot.quantile(0.999),
+            max: overshoot.max(),
+            reengages: reengage.count(),
+            reengage_p99: reengage.quantile(0.99),
+            burst_p99: burst.quantile(0.99),
+            recoveries: recovery.count(),
+            mttr: recovery.mean(),
+            recovery_p99: recovery.quantile(0.99),
+            unrecovered,
         }
     }
 }
@@ -231,6 +734,9 @@ impl CohortReport {
 pub struct ScenarioSoakReport {
     /// Scenario id.
     pub scenario: String,
+    /// Fault arm this report ran under (`"clean"`, `"dropout"`,
+    /// `"corrupt"`, `"lag"`, `"restart"`).
+    pub arm: String,
     /// Whether the scenario's goal is hard (gated on p99 ≤ Δ).
     pub hard: bool,
     /// Hard-goal budget Δ = 1 + 3λ for the gate.
@@ -246,6 +752,11 @@ impl ScenarioSoakReport {
     /// Always `false` for soft-goal scenarios.
     pub fn hard_breached(&self) -> bool {
         self.hard && self.cohorts.iter().any(|c| c.p99 > self.delta)
+    }
+
+    /// Tenants across all cohorts that ended the run unrecovered.
+    pub fn unrecovered_tenants(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.unrecovered).sum()
     }
 }
 
@@ -275,6 +786,16 @@ impl SoakReport {
             .collect()
     }
 
+    /// Unrecovered tenants summed over hard-goal scenario reports — the
+    /// zero-tolerance fault-arm gate for HB6728/HD4995/MR2820.
+    pub fn unrecovered_hard_tenants(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .filter(|s| s.hard)
+            .map(|s| s.unrecovered_tenants())
+            .sum()
+    }
+
     /// Total sense events across every cohort of every scenario.
     pub fn total_senses(&self) -> u64 {
         self.scenarios
@@ -297,8 +818,9 @@ impl SoakReport {
         ));
         for s in &self.scenarios {
             out.push_str(&format!(
-                "  {} {} delta {:.4} tenants {}\n",
+                "  {} [{}] {} delta {:.4} tenants {}\n",
                 s.scenario,
+                s.arm,
                 if s.hard { "hard" } else { "soft" },
                 s.delta,
                 s.tenants
@@ -306,7 +828,8 @@ impl SoakReport {
             for c in &s.cohorts {
                 out.push_str(&format!(
                     "    period {:>6}s tenants {:>8} senses {:>10} viol {:>8} \
-                     p50 {:.4} p99 {:.4} p999 {:.4} max {:.4}\n",
+                     p50 {:.4} p99 {:.4} p999 {:.4} max {:.4} \
+                     reeng {:>6} rp99 {:.1} b99 {:.1} rec {:>8} mttr {:.2} unrec {:>4}\n",
                     c.period_us / 1_000_000,
                     c.tenants,
                     c.senses,
@@ -314,7 +837,13 @@ impl SoakReport {
                     c.p50,
                     c.p99,
                     c.p999,
-                    c.max
+                    c.max,
+                    c.reengages,
+                    c.reengage_p99,
+                    c.burst_p99,
+                    c.recoveries,
+                    c.mttr,
+                    c.unrecovered
                 ));
             }
             if s.hard_breached() {
@@ -464,6 +993,13 @@ mod tests {
             p99: 1.31,
             p999: 1.40,
             max: 1.55,
+            reengages: 4,
+            reengage_p99: 6.0,
+            burst_p99: 3.0,
+            recoveries: 40,
+            mttr: 1.5,
+            recovery_p99: 4.0,
+            unrecovered: 2,
         };
         let report = SoakReport {
             seed: 42,
@@ -471,6 +1007,7 @@ mod tests {
             horizon_us: 86_400_000_000,
             scenarios: vec![ScenarioSoakReport {
                 scenario: "HB6728".into(),
+                arm: "corrupt".into(),
                 hard: true,
                 delta: 1.15,
                 tenants: 100,
@@ -479,12 +1016,261 @@ mod tests {
         };
         assert_eq!(report.render(), report.render());
         assert!(report.render().contains("HARD GATE BREACHED"));
+        assert!(report.render().contains("[corrupt]"));
+        assert!(report.render().contains("unrec    2"));
         assert_eq!(report.hard_gate_breaches(), vec!["HB6728"]);
         assert_eq!(report.total_senses(), 9600);
+        assert_eq!(report.unrecovered_hard_tenants(), 2);
 
         let mut healthy = report.clone();
         healthy.scenarios[0].cohorts[0].p99 = 1.10;
         assert!(healthy.hard_gate_breaches().is_empty());
         assert!(!healthy.render().contains("BREACHED"));
+        healthy.scenarios[0].hard = false;
+        assert_eq!(healthy.unrecovered_hard_tenants(), 0);
+    }
+
+    #[test]
+    fn policy_encoding_roundtrips() {
+        for p in [
+            SlabGuardPolicy::standard(),
+            SlabGuardPolicy::disarmed(),
+            SlabGuardPolicy::without_vote(),
+            SlabGuardPolicy {
+                armed: true,
+                vote: false,
+                spike_ratio: 63,
+                watchdog_epochs: 15,
+                divergence_streak: 1,
+                cooldown_epochs: 63,
+                backoff_doublings: 3,
+            },
+        ] {
+            assert_eq!(SlabGuardPolicy::decode(p.encode()), p, "{p:?}");
+        }
+        // The standard ladder fits in the documented 24 bits.
+        assert!(SlabGuardPolicy::standard().encode() < 1 << 24);
+        assert_ne!(
+            SlabGuardPolicy::standard().encode(),
+            SlabGuardPolicy::disarmed().encode()
+        );
+    }
+
+    fn clean() -> ActiveFaults {
+        ActiveFaults::default()
+    }
+
+    fn sensor(f: SensorFault, class: smartconf_runtime::FaultSet) -> ActiveFaults {
+        ActiveFaults {
+            sensor: Some(f),
+            set: class,
+            ..ActiveFaults::default()
+        }
+    }
+
+    #[test]
+    fn disarmed_guarded_step_matches_plain_law() {
+        let t = toy_template(true);
+        let mut slab = SoakSlab::new(&t);
+        let mut plain = t.initial;
+        for e in 0..60u64 {
+            let load = 1.0 + 0.2 * ((e % 7) as f64 / 7.0 - 0.5);
+            let jitter = 0.01 * ((e % 5) as f64 / 5.0 - 0.5);
+            let out = t.guarded_step(
+                SlabGuardPolicy::disarmed(),
+                &mut slab,
+                &clean(),
+                load,
+                jitter,
+            );
+            let m = t.measured(plain, load, jitter);
+            plain = t.next_setting(plain, m);
+            assert_eq!(out.measured.to_bits(), m.to_bits(), "epoch {e}");
+            assert_eq!(slab.setting.to_bits(), plain.to_bits(), "epoch {e}");
+        }
+    }
+
+    #[test]
+    fn admission_and_vote_reject_spikes() {
+        let t = toy_template(true);
+        let pol = SlabGuardPolicy::standard();
+        let mut slab = SoakSlab::new(&t);
+        for _ in 0..30 {
+            t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+        }
+        let converged = slab.setting;
+        // A 25× spike reading is rejected at admission: the setting
+        // must not move.
+        let spike = sensor(SensorFault::Scale(25.0), smartconf_runtime::FaultSet::SPIKE);
+        t.guarded_step(pol, &mut slab, &spike, 1.0, 0.0);
+        assert_eq!(slab.setting.to_bits(), converged.to_bits());
+        // A NaN reading likewise holds.
+        let nan = sensor(SensorFault::Nan, smartconf_runtime::FaultSet::NAN);
+        t.guarded_step(pol, &mut slab, &nan, 1.0, 0.0);
+        assert_eq!(slab.setting.to_bits(), converged.to_bits());
+        // A 4× spike passes admission (cut is 8×) but lands beyond the
+        // vote's deviation band: the median replaces it and the setting
+        // barely moves, while the unvoted ladder swings hard.
+        let mild = sensor(SensorFault::Scale(4.0), smartconf_runtime::FaultSet::SPIKE);
+        let mut voted = slab;
+        t.guarded_step(pol, &mut voted, &mild, 1.0, 0.0);
+        let mut unvoted = slab;
+        t.guarded_step(
+            SlabGuardPolicy::without_vote(),
+            &mut unvoted,
+            &mild,
+            1.0,
+            0.0,
+        );
+        let vote_move = (voted.setting - converged).abs();
+        let raw_move = (unvoted.setting - converged).abs();
+        assert!(
+            vote_move < raw_move / 10.0,
+            "vote {vote_move} vs raw {raw_move}"
+        );
+    }
+
+    #[test]
+    fn watchdog_reverts_to_last_safe_under_dropout() {
+        let t = toy_template(true);
+        let pol = SlabGuardPolicy::standard();
+        let mut slab = SoakSlab::new(&t);
+        for _ in 0..30 {
+            t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+        }
+        let safe = slab.last_safe;
+        // Perturb the setting, then go blind: after watchdog_epochs
+        // consecutive dropouts the plant reverts to last-safe.
+        slab.setting = (safe + 5.0).min(t.hi);
+        let drop = sensor(SensorFault::Drop, smartconf_runtime::FaultSet::DROPOUT);
+        for _ in 0..pol.watchdog_epochs {
+            t.guarded_step(pol, &mut slab, &drop, 1.0, 0.0);
+        }
+        assert_eq!(slab.setting.to_bits(), safe.to_bits());
+    }
+
+    #[test]
+    fn divergence_falls_back_then_reengages_with_backoff() {
+        let t = toy_template(true);
+        let pol = SlabGuardPolicy::standard();
+        let mut slab = SoakSlab::new(&t);
+        // Park the plant far beyond the goal and pin it there by
+        // feeding enormous load: the admitted readings violate for
+        // divergence_streak epochs and the guard falls back.
+        slab.setting = t.hi;
+        let mut fell_back = false;
+        for _ in 0..pol.divergence_streak + 1 {
+            t.guarded_step(pol, &mut slab, &clean(), 4.0, 0.0);
+            if slab.setting == t.initial && slab.state.mode == Mode::Fallback {
+                fell_back = true;
+                break;
+            }
+        }
+        assert!(fell_back, "divergence fallback never fired");
+        // Load returns to normal: after the cooldown the guard
+        // re-engages and reports the dwell it served.
+        let mut dwell = None;
+        for _ in 0..20 {
+            let out = t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+            if let Some(d) = out.reengaged_dwell {
+                dwell = Some(d);
+                break;
+            }
+        }
+        assert_eq!(dwell, Some(pol.cooldown_epochs as f64));
+        assert_eq!(slab.state.mode, Mode::Engaged);
+        // And the controller walks back to the virtual goal.
+        for _ in 0..30 {
+            t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+        }
+        let m = t.measured(slab.setting, 1.0, 0.0);
+        assert!((t.overshoot(m) - (1.0 - t.lambda)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lag_defers_delivery_and_restart_resets() {
+        let t = toy_template(false);
+        let pol = SlabGuardPolicy::standard();
+        let mut slab = SoakSlab::new(&t);
+        slab.begin_epoch(&t, false);
+        let before = slab.setting;
+        let lag = ActiveFaults {
+            lag: Some(2),
+            set: smartconf_runtime::FaultSet::LAG,
+            ..ActiveFaults::default()
+        };
+        // Under lag the decision buffers: the plant setting is frozen.
+        t.guarded_step(pol, &mut slab, &lag, 1.0, 0.0);
+        assert_eq!(slab.setting.to_bits(), before.to_bits());
+        assert!(slab.state.has_pending);
+        // First clean epoch delivers the buffered decision before
+        // sensing.
+        t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+        assert!(!slab.state.has_pending);
+        assert_ne!(slab.setting.to_bits(), before.to_bits());
+        // A restart snaps the plant back to profiled-safe with a
+        // fresh cold-cache age.
+        let age = slab.begin_epoch(&t, true);
+        assert_eq!(age, 0);
+        assert_eq!(slab.setting.to_bits(), t.initial.to_bits());
+        assert_eq!(slab.begin_epoch(&t, false), 1);
+    }
+
+    #[test]
+    fn recovery_accounting_tracks_stretches_and_latches() {
+        let t = toy_template(true);
+        let pol = SlabGuardPolicy::standard();
+        let mut slab = SoakSlab::new(&t);
+        for _ in 0..30 {
+            t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+        }
+        // A dropout stretch ends; the converged plant is already back
+        // inside the goal, so recovery completes on the first clean
+        // epoch.
+        let drop = sensor(SensorFault::Drop, smartconf_runtime::FaultSet::DROPOUT);
+        for _ in 0..2 {
+            t.guarded_step(pol, &mut slab, &drop, 1.0, 0.0);
+        }
+        let out = t.guarded_step(pol, &mut slab, &clean(), 1.0, 0.0);
+        assert_eq!(out.recovered_after, Some(1.0));
+        assert!(!slab.is_unrecovered());
+        // A stretch followed by a permanently violating plant blows the
+        // SLO and latches unrecovered. Feed sustained extreme load with
+        // dropped readings so the controller cannot react.
+        t.guarded_step(pol, &mut slab, &drop, 1.0, 0.0);
+        for _ in 0..RECOVERY_SLO_EPOCHS + 2 {
+            t.guarded_step(
+                SlabGuardPolicy::disarmed(),
+                &mut slab,
+                &sensor(SensorFault::Drop, smartconf_runtime::FaultSet::DROPOUT),
+                10.0,
+                0.0,
+            );
+        }
+        // Those epochs were fault-active, so the clock paused; now run
+        // clean disarmed epochs at the same extreme load.
+        for _ in 0..RECOVERY_SLO_EPOCHS + 2 {
+            t.guarded_step(SlabGuardPolicy::disarmed(), &mut slab, &clean(), 10.0, 0.0);
+        }
+        assert!(slab.is_unrecovered());
+        // Violation bursts close with their length.
+        let mut s2 = SoakSlab::new(&t);
+        let mut burst = None;
+        t.guarded_step(SlabGuardPolicy::disarmed(), &mut s2, &clean(), 1.0, 0.0);
+        s2.setting = t.hi;
+        for _ in 0..3 {
+            // Hold the setting hot with a dropped sensor so the
+            // violation persists.
+            t.guarded_step(SlabGuardPolicy::disarmed(), &mut s2, &drop, 4.0, 0.0);
+        }
+        for _ in 0..10 {
+            let out = t.guarded_step(SlabGuardPolicy::disarmed(), &mut s2, &clean(), 1.0, 0.0);
+            if let Some(b) = out.burst_closed {
+                burst = Some(b);
+                break;
+            }
+        }
+        let burst = burst.expect("burst should close once load normalises");
+        assert!(burst >= 3.0, "burst {burst}");
     }
 }

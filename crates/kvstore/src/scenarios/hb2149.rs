@@ -20,8 +20,8 @@ use smartconf_core::{Controller, ControllerBuilder, Goal, ModelMode, ProfileSet,
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
-    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, FaultPlan,
+    GuardPolicy, ProfileSchedule, Profiler, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -315,6 +315,21 @@ impl Scenario for Hb2149 {
             &self.eval.clone(),
             seed,
             &format!("Chaos-{}", class.label()),
+            self.phase_goals_secs,
+            Some(spec),
+        )
+    }
+
+    fn run_plan_profiled(&self, seed: u64, plan: &FaultPlan, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let conf = SmartConf::new("global.memstore.lowerLimit", controller);
+        let spec =
+            ChaosSpec::new(shard_seed(seed, CHAOS_STREAM), plan.clone()).with_guard(self.guard());
+        self.run_model(
+            Decider::Direct(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "Plan-chaos",
             self.phase_goals_secs,
             Some(spec),
         )

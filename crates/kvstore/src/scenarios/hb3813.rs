@@ -19,8 +19,8 @@ use smartconf_core::{
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::{RateCounter, TimeSeries};
 use smartconf_runtime::{
-    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, GuardPolicy,
-    ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
+    shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, Decider, FaultClass, FaultPlan,
+    GuardPolicy, ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{ArrivalProcess, PhasedWorkload, YcsbWorkload};
@@ -455,6 +455,20 @@ impl Scenario for Hb3813 {
             &self.eval.clone(),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_plan_profiled(&self, seed: u64, plan: &FaultPlan, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0], ControllerVariant::SmartConf);
+        let conf = SmartConfIndirect::new("ipc.server.max.queue.size", controller);
+        let spec =
+            ChaosSpec::new(shard_seed(seed, CHAOS_STREAM), plan.clone()).with_guard(self.guard());
+        self.run_model(
+            Decider::Deputy(Box::new(conf)),
+            &self.eval.clone(),
+            seed,
+            "Plan-chaos",
             Some(spec),
         )
     }

@@ -16,8 +16,8 @@ use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_metrics::TimeSeries;
 use smartconf_runtime::{
     shard_seed, Campaign, ChannelId, ChaosSpec, ControlPlane, ControlPlaneBuilder, Decider,
-    FaultClass, GuardPolicy, ProfileSchedule, Profiler, Sensed, ADAPTIVE_CONFIDENCE_FLOOR,
-    CHAOS_STREAM,
+    FaultClass, FaultPlan, GuardPolicy, ProfileSchedule, Profiler, Sensed,
+    ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{Context, Model, SimDuration, SimTime, Simulation};
 use smartconf_workload::{PhasedWorkload, YcsbWorkload};
@@ -462,6 +462,15 @@ impl Scenario for TwinQueues {
         let mut out =
             self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Frozen);
         out.result.label = format!("Chaos-{}", class.label());
+        out.result
+    }
+
+    fn run_plan_profiled(&self, seed: u64, plan: &FaultPlan, profiles: &[ProfileSet]) -> RunResult {
+        let spec =
+            ChaosSpec::new(shard_seed(seed, CHAOS_STREAM), plan.clone()).with_guard(self.guard());
+        let mut out =
+            self.run_smart_inner_profiled(seed, None, Some(spec), profiles, ModelMode::Frozen);
+        out.result.label = "Plan-chaos".to_string();
         out.result
     }
 

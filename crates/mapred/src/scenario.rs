@@ -6,8 +6,8 @@ use smartconf_core::{
 };
 use smartconf_harness::{Baseline, RunResult, Scenario, TradeoffDirection};
 use smartconf_runtime::{
-    shard_seed, Campaign, ChaosSpec, Decider, FaultClass, GuardPolicy, ProfileSchedule, Profiler,
-    ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
+    shard_seed, Campaign, ChaosSpec, Decider, FaultClass, FaultPlan, GuardPolicy, ProfileSchedule,
+    Profiler, ADAPTIVE_CONFIDENCE_FLOOR, CHAOS_STREAM,
 };
 use smartconf_simkernel::{BackgroundChurn, SimDuration, SimRng, SimTime, Simulation};
 use smartconf_workload::WordCountJob;
@@ -318,6 +318,29 @@ impl Scenario for Mr2820 {
             self.eval_jobs(seed),
             seed,
             &format!("Chaos-{}", class.label()),
+            Some(spec),
+        )
+    }
+
+    fn run_plan_profiled(&self, seed: u64, plan: &FaultPlan, profiles: &[ProfileSet]) -> RunResult {
+        let controller = self.build_controller(&profiles[0]);
+        let initial = ((self.disk_goal_mb() - controller.current()) * MB as f64) as u64;
+        let cap = self.disk_capacity as f64 / MB as f64;
+        let conf = SmartConfIndirect::with_transducer(
+            "local.dir.minspacestart",
+            controller,
+            Box::new(FnTransducer::new(move |desired: f64| {
+                (cap - desired).max(0.0)
+            })),
+        );
+        let spec =
+            ChaosSpec::new(shard_seed(seed, CHAOS_STREAM), plan.clone()).with_guard(self.guard());
+        self.run_cluster_chaos(
+            Decider::Deputy(Box::new(conf)),
+            initial,
+            self.eval_jobs(seed),
+            seed,
+            "Plan-chaos",
             Some(spec),
         )
     }

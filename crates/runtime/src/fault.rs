@@ -483,6 +483,201 @@ impl fmt::Display for Campaign {
     }
 }
 
+/// The fault classes the soak's fault-plane arms exercise, in arm order.
+/// The other three classes (StaleRepeat, ActuatorSaturation, GoalFlap)
+/// act on control-plane state the distilled slab law does not carry, so
+/// they stay chaos-sweep-only.
+pub const SOAK_FAULT_CLASSES: [FaultClass; 4] = [
+    FaultClass::SensorDropout,
+    FaultClass::Corruption,
+    FaultClass::ActuatorLag,
+    FaultClass::PlantRestart,
+];
+
+/// Background NaN probability of the soak Corruption arm (matches the
+/// [`FaultClass::Corruption`] standard plan).
+pub const SOAK_NAN_PROBABILITY: f64 = 0.02;
+/// Spike multiplier of the soak Corruption arm.
+pub const SOAK_SPIKE_FACTOR: f64 = 25.0;
+/// Actuation delay of the soak ActuatorLag arm, epochs. Soak cohorts
+/// run 24–96 epochs total, so the chaos sweep's 4-epoch lag is scaled
+/// down to keep bursts shorter than a burst period.
+pub const SOAK_LAG_EPOCHS: u64 = 2;
+
+/// Tenant-keyed stateless fault windows: the soak-scale analogue of a
+/// [`FaultPlan`] evaluated by [`FaultInjector`].
+///
+/// Every tenant of a soak cohort sees repeating fault bursts whose phase
+/// is a pure SplitMix64 hash of `(seed, tenant)` — the same
+/// stateless-roll scheme [`FaultInjector`] uses per
+/// `(seed, window, channel, epoch)` — so bursts roll across the tenant
+/// population instead of striking every tenant at once, and activation
+/// is a pure function of `(seed, tenant, epoch)`: byte-identical at any
+/// worker-thread count and replayable from the `(class, seed, epochs)`
+/// triple alone.
+///
+/// Burst geometry is sized from the cohort's total epoch budget
+/// ([`TenantFaultWindows::sized_for`]): roughly four bursts per run,
+/// each a sixteenth of the run long, after a short clean warm-up —
+/// the same shape [`FaultClass::standard_plan`] gives scenarios with
+/// hundreds of epochs, compressed into a 24–96-epoch soak cohort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantFaultWindows {
+    seed: u64,
+    class: FaultClass,
+    /// Burst period, epochs.
+    pub period: u64,
+    /// Active epochs at the head of each (per-tenant phased) period.
+    pub active: u64,
+    /// Clean warm-up epochs before any tenant's first burst.
+    pub warmup: u64,
+}
+
+impl TenantFaultWindows {
+    /// Windows for one soak arm, sized for a cohort that runs `epochs`
+    /// sense epochs total.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `class` is not one of [`SOAK_FAULT_CLASSES`].
+    pub fn sized_for(class: FaultClass, seed: u64, epochs: u64) -> TenantFaultWindows {
+        assert!(
+            SOAK_FAULT_CLASSES.contains(&class),
+            "{class} is not a soak fault arm"
+        );
+        let period = (epochs / 4).max(6);
+        let active = if class == FaultClass::PlantRestart {
+            1
+        } else {
+            (epochs / 16).max(2).min(period - 1)
+        };
+        TenantFaultWindows {
+            seed,
+            class,
+            period,
+            active,
+            warmup: (epochs / 12).max(2),
+        }
+    }
+
+    /// The fault class these windows inject.
+    pub fn class(&self) -> FaultClass {
+        self.class
+    }
+
+    /// The tenant's burst phase in `[0, period)`: a pure hash of
+    /// `(seed, tenant)`, so each tenant's bursts start at
+    /// `warmup + phase, warmup + phase + period, …`.
+    pub fn phase(&self, tenant: u64) -> u64 {
+        crate::shard_seed(self.seed, tenant) % self.period
+    }
+
+    /// Uniform roll in `[0, 1)` for `(tenant, epoch)` — the same
+    /// SplitMix64 finalizer as [`FaultInjector`]'s per-window roll.
+    fn roll(&self, tenant: u64, epoch: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(tenant.wrapping_mul(0xE703_7ED1_A0B4_28DB))
+            .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether `epoch` falls inside one of the tenant's bursts.
+    fn in_burst(&self, tenant: u64, epoch: u64) -> bool {
+        let start = self.warmup + self.phase(tenant);
+        epoch >= start && (epoch - start) % self.period < self.active
+    }
+
+    /// The faults active for `tenant` at `epoch` — pure, stateless.
+    pub fn at(&self, tenant: u64, epoch: u64) -> ActiveFaults {
+        let mut out = ActiveFaults::default();
+        match self.class {
+            FaultClass::SensorDropout => {
+                if self.in_burst(tenant, epoch) {
+                    out.sensor = Some(SensorFault::Drop);
+                    out.set.insert(FaultSet::DROPOUT);
+                }
+            }
+            FaultClass::Corruption => {
+                // NaN wins over the spike, matching the injector's
+                // declaration-order priority for the standard plan.
+                if epoch >= self.warmup && self.roll(tenant, epoch) < SOAK_NAN_PROBABILITY {
+                    out.sensor = Some(SensorFault::Nan);
+                    out.set.insert(FaultSet::NAN);
+                } else if self.in_burst(tenant, epoch) {
+                    out.sensor = Some(SensorFault::Scale(SOAK_SPIKE_FACTOR));
+                    out.set.insert(FaultSet::SPIKE);
+                }
+            }
+            FaultClass::ActuatorLag => {
+                if self.in_burst(tenant, epoch) {
+                    out.lag = Some(SOAK_LAG_EPOCHS);
+                    out.set.insert(FaultSet::LAG);
+                }
+            }
+            FaultClass::PlantRestart => {
+                if self.in_burst(tenant, epoch) {
+                    out.restart = true;
+                    out.set.insert(FaultSet::RESTART);
+                }
+            }
+            _ => unreachable!("sized_for rejects non-soak classes"),
+        }
+        out
+    }
+
+    /// The tenant's schedule as an explicit [`FaultPlan`], for running a
+    /// *real* control plane under the same windows (the soak's
+    /// cross-check arm). Burst edges are identical to
+    /// [`TenantFaultWindows::at`]; the Corruption arm's background-NaN
+    /// roll goes through [`FaultInjector`]'s per-window hash instead of
+    /// this struct's, so individual NaN epochs differ while the rate and
+    /// windows match.
+    pub fn plan_for(&self, tenant: u64) -> FaultPlan {
+        let start = self.warmup + self.phase(tenant);
+        let plan = FaultPlan::new();
+        match self.class {
+            FaultClass::SensorDropout => plan.window(
+                FaultWindow::new(FaultKind::SensorDropout, start, u64::MAX)
+                    .periodic(self.period, self.active),
+            ),
+            FaultClass::Corruption => plan
+                .window(
+                    FaultWindow::new(FaultKind::SensorNan, self.warmup, u64::MAX)
+                        .with_probability(SOAK_NAN_PROBABILITY),
+                )
+                .window(
+                    FaultWindow::new(
+                        FaultKind::SensorSpike {
+                            factor: SOAK_SPIKE_FACTOR,
+                        },
+                        start,
+                        u64::MAX,
+                    )
+                    .periodic(self.period, self.active),
+                ),
+            FaultClass::ActuatorLag => plan.window(
+                FaultWindow::new(
+                    FaultKind::ActuatorLag {
+                        epochs: SOAK_LAG_EPOCHS,
+                    },
+                    start,
+                    u64::MAX,
+                )
+                .periodic(self.period, self.active),
+            ),
+            FaultClass::PlantRestart => plan.window(
+                FaultWindow::new(FaultKind::PlantRestart, start, u64::MAX)
+                    .periodic(self.period, self.active),
+            ),
+            _ => unreachable!("sized_for rejects non-soak classes"),
+        }
+    }
+}
+
 /// Bit set of fault classes injected on one epoch (recorded on
 /// [`EpochEvent`](crate::EpochEvent)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -963,6 +1158,87 @@ mod tests {
         // starts exactly one stagger (4 epochs) after the previous one.
         assert_eq!(first_drop(1), first_drop(0) + 4);
         assert_eq!(first_drop(2), first_drop(0) + 8);
+    }
+
+    #[test]
+    fn tenant_windows_are_pure_phased_and_sized() {
+        for class in SOAK_FAULT_CLASSES {
+            for epochs in [24u64, 48, 96] {
+                let w = TenantFaultWindows::sized_for(class, 42, epochs);
+                assert!(w.active < w.period, "{class} burst outlives its period");
+                assert!(w.warmup >= 2);
+                // Pure: two evaluations agree everywhere; a different
+                // seed moves at least one tenant's phase.
+                let w2 = TenantFaultWindows::sized_for(class, 42, epochs);
+                let w3 = TenantFaultWindows::sized_for(class, 43, epochs);
+                for t in 0..16u64 {
+                    assert_eq!(w.phase(t), w2.phase(t));
+                    for e in 0..epochs {
+                        assert_eq!(w.at(t, e), w2.at(t, e), "{class} t{t} e{e}");
+                    }
+                }
+                assert!(
+                    (0..64).any(|t| w.phase(t) != w3.phase(t)),
+                    "{class}: seed change moved no phase"
+                );
+                // Every tenant sees at least one burst inside the run,
+                // and no tenant faults during the warm-up.
+                for t in 0..16u64 {
+                    assert!(
+                        (0..epochs).any(|e| !w.at(t, e).is_clean()),
+                        "{class} tenant {t} never faulted in {epochs} epochs"
+                    );
+                    for e in 0..w.warmup {
+                        assert!(w.at(t, e).is_clean(), "{class} faulted in warm-up");
+                    }
+                }
+                // Phases spread bursts across tenants.
+                let phases: std::collections::BTreeSet<u64> =
+                    (0..256).map(|t| w.phase(t)).collect();
+                assert!(phases.len() > 1, "{class}: all tenants in phase");
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_windows_match_their_exported_plan() {
+        // The cross-check arm runs real control planes under
+        // plan_for(tenant); its burst edges must agree with the slab
+        // arm's at(tenant, epoch) for every deterministic (non-rolled)
+        // class, and for Corruption's spike window.
+        for class in SOAK_FAULT_CLASSES {
+            let w = TenantFaultWindows::sized_for(class, 7, 96);
+            for t in [0u64, 3, 11] {
+                let inj = FaultInjector::new(7, w.plan_for(t));
+                for e in 0..200u64 {
+                    let slab = w.at(t, e);
+                    let real = inj.at("x", 0, e);
+                    match class {
+                        FaultClass::Corruption => {
+                            // NaN epochs roll through different hashes;
+                            // compare the deterministic spike windows on
+                            // epochs where neither side rolled a NaN.
+                            if !slab.set.contains(FaultSet::NAN)
+                                && !real.set.contains(FaultSet::NAN)
+                            {
+                                assert_eq!(
+                                    slab.set.contains(FaultSet::SPIKE),
+                                    real.set.contains(FaultSet::SPIKE),
+                                    "{class} t{t} e{e}"
+                                );
+                            }
+                        }
+                        _ => assert_eq!(slab, real, "{class} t{t} e{e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a soak fault arm")]
+    fn tenant_windows_reject_non_soak_classes() {
+        TenantFaultWindows::sized_for(FaultClass::GoalFlap, 1, 96);
     }
 
     #[test]

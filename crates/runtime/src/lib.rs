@@ -65,7 +65,8 @@ pub use baseline::Baseline;
 pub use event::{EpochEvent, EpochLog, EpochSummary, BURST_BINS};
 pub use fault::{
     ActiveFaults, Campaign, ChannelFilter, FaultClass, FaultInjector, FaultKind, FaultPlan,
-    FaultSet, FaultWindow, SensorFault, CHAOS_STREAM,
+    FaultSet, FaultWindow, SensorFault, TenantFaultWindows, CHAOS_STREAM, SOAK_FAULT_CLASSES,
+    SOAK_LAG_EPOCHS, SOAK_NAN_PROBABILITY, SOAK_SPIKE_FACTOR,
 };
 pub use fleet::{shard_seed, FleetExecutor};
 pub use guard::{
@@ -76,4 +77,4 @@ pub use kernel::{EventPlane, PlaneEvent};
 pub use plane::{ControlPlane, ControlPlaneBuilder, Decider, DEFAULT_PERIOD_US};
 pub use plant::{ChannelId, Plant, Sensed};
 pub use profiler::{ProfileSchedule, Profiler, SampleMode};
-pub use soak::run_cohort_calendar;
+pub use soak::{cohort_epochs, run_cohort_calendar};

@@ -49,6 +49,21 @@ impl<F: FnMut(usize, u64, u64)> Model for Calendar<F> {
     }
 }
 
+/// The number of sense epochs a cohort with sensing period `period_us`
+/// fires over `[0, horizon_us)`: ticks land at `p, 2p, …` strictly
+/// before the horizon, so the count is `⌊(horizon − 1) / p⌋`.
+///
+/// The soak's fault-plane arms size their tenant-keyed burst windows
+/// from this budget (see `TenantFaultWindows::sized_for` in
+/// [`crate::fault`]), so window geometry and the calendar's actual tick
+/// count can never drift apart.
+pub fn cohort_epochs(period_us: u64, horizon_us: u64) -> u64 {
+    if horizon_us == 0 {
+        return 0;
+    }
+    (horizon_us - 1) / period_us.max(1)
+}
+
 /// Drives every cohort's sense ticks over `[0, horizon_us)` on the
 /// simkernel event heap.
 ///
@@ -103,6 +118,30 @@ mod tests {
             });
         assert_eq!(ticks, vec![9, 4, 3]);
         assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn cohort_epochs_matches_the_calendar() {
+        // The closed form the fault arms size their windows from must
+        // agree with what the calendar actually fires.
+        for (period, horizon) in [
+            (1_000_000u64, 10_000_000u64),
+            (2_000_000, 10_000_000),
+            (3_000_000, 10_000_000),
+            (900_000_000, 86_400_000_000),
+            (3_600_000_000, 86_400_000_000),
+            (1_000_000, 1_000_000), // first tick lands on the horizon
+            (5, 0),
+            (0, 3),
+        ] {
+            let mut fired = 0u64;
+            run_cohort_calendar(&[period], horizon, |_, _, _| fired += 1);
+            assert_eq!(
+                cohort_epochs(period, horizon),
+                fired,
+                "period {period} horizon {horizon}"
+            );
+        }
     }
 
     #[test]

@@ -97,7 +97,16 @@ pub struct TrafficShape {
     pub weight_max: f64,
     /// Multiplicative sensor jitter half-width (`±jitter`).
     pub jitter: f64,
+    /// Relative load surge right after a plant restart (cold caches
+    /// refilling): the restarted tenant's load is multiplied by
+    /// `1 + restart_surge · 2^−age` for the first
+    /// [`RESTART_SURGE_EPOCHS`] epochs. `0.0` disables the surge.
+    pub restart_surge: f64,
 }
+
+/// How many epochs the post-restart surge decays over before the load
+/// multiplier snaps back to exactly 1.0.
+pub const RESTART_SURGE_EPOCHS: u64 = 4;
 
 impl TrafficShape {
     /// The standard soak shape: a 24 h day with a ±25 % diurnal swing, a
@@ -117,6 +126,7 @@ impl TrafficShape {
             weight_min: 0.75,
             weight_max: 1.5,
             jitter: 0.02,
+            restart_surge: 0.5,
         }
     }
 
@@ -131,6 +141,7 @@ impl TrafficShape {
             weight_min: 1.0,
             weight_max: 1.0,
             jitter: 0.0,
+            restart_surge: 0.0,
             ..TrafficShape::standard()
         }
     }
@@ -192,6 +203,19 @@ impl TrafficShape {
         let arrive = (hash01(mix(h ^ 0x0a)) * half as f64) as u64;
         let depart = half + (hash01(mix(h ^ 0x0b)) * half as f64) as u64;
         (arrive, depart.max(arrive + 1))
+    }
+
+    /// The cold-cache load multiplier `epochs_since_restart` epochs
+    /// after a plant restart: `1 + restart_surge` on the restart epoch
+    /// itself, halving each epoch, exactly 1.0 from
+    /// [`RESTART_SURGE_EPOCHS`] on (the soak's PlantRestart arm feeds
+    /// this from its per-tenant slab age counter; every other arm sees
+    /// a constant 1.0). Pure `+ × ÷`, so it is platform-exact.
+    pub fn restart_load(&self, epochs_since_restart: u64) -> f64 {
+        if self.restart_surge == 0.0 || epochs_since_restart >= RESTART_SURGE_EPOCHS {
+            return 1.0;
+        }
+        1.0 + self.restart_surge / (1u64 << epochs_since_restart) as f64
     }
 
     /// Multiplicative sensor jitter for `(tenant, epoch)`, uniform in
@@ -319,6 +343,23 @@ mod tests {
             sum += j;
         }
         assert!((sum / 10_000.0).abs() < 0.002, "jitter mean {sum}");
+    }
+
+    #[test]
+    fn restart_surge_decays_to_exact_unity() {
+        let t = TrafficShape::standard();
+        assert_eq!(t.restart_load(0), 1.0 + t.restart_surge);
+        let mut prev = t.restart_load(0);
+        for age in 1..RESTART_SURGE_EPOCHS {
+            let l = t.restart_load(age);
+            assert!(l > 1.0 && l < prev, "age {age}: {l} !< {prev}");
+            prev = l;
+        }
+        // Exactly 1.0 (not approximately) once decayed: the fault-free
+        // load path multiplies by this, so it must be the identity.
+        assert_eq!(t.restart_load(RESTART_SURGE_EPOCHS), 1.0);
+        assert_eq!(t.restart_load(1_000), 1.0);
+        assert_eq!(TrafficShape::steady().restart_load(0), 1.0);
     }
 
     #[test]
